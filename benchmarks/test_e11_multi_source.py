@@ -1,0 +1,91 @@
+"""E11 — aMSSD: one hopset, |S| parallel explorations (Thms 3.8/C.3).
+
+The multi-source promise: work scales linearly with |S| while depth stays
+flat (the explorations run side by side on disjoint processor slices), and
+the expensive hopset build is paid once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from conftest import emit
+
+from repro.graphs.distances import dijkstra
+from repro.graphs.generators import layered_hop_graph
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.pram.machine import PRAM
+from repro.sssp.multi_source import approximate_mssd
+
+SIZES = [1, 2, 4, 8, 16]
+
+
+@lru_cache(maxsize=None)
+def setup():
+    g = layered_hop_graph(16, 4, seed=11001)
+    pram = PRAM()
+    H, report = build_hopset(g, HopsetParams(epsilon=0.25, beta=8), pram)
+    return g, H, report
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    g, H, report = setup()
+    rows = []
+    for s in SIZES:
+        sources = np.arange(s)
+        res = approximate_mssd(g, H, sources)
+        rows.append([s, res.work, res.depth, report.work, res.work / s])
+    return rows
+
+
+def test_e11_depth_flat_across_source_counts():
+    """Depth must not scale with |S| — work must (the separation claim).
+
+    Early exit makes per-source round counts vary (a near source converges
+    sooner), so compare the growth *rates*: 16× more sources may at most
+    ~2× the depth (the slowest exploration) but must ~8×+ the work.
+    """
+    rows = run_sweep()
+    first, last = rows[0], rows[-1]
+    depth_growth = last[2] / first[2]
+    work_growth = last[1] / first[1]
+    assert depth_growth <= 2.5
+    assert work_growth >= 8.0
+    assert work_growth > 4 * depth_growth
+
+
+def test_e11_work_linear_in_sources():
+    rows = run_sweep()
+    per_source = [r[4] for r in rows]
+    # per-source work is bounded by one full exploration's cost (within the
+    # early-exit variance band)
+    assert max(per_source) <= 2.5 * min(per_source)
+
+
+def test_e11_build_cost_amortized():
+    rows = run_sweep()
+    g, H, report = setup()
+    assert rows[-1][1] < report.work  # even 16 queries cost less than one build
+
+
+def test_e11_answers_correct():
+    g, H, _ = setup()
+    res = approximate_mssd(g, H, np.array([0, 3, 9]))
+    for row, s in enumerate((0, 3, 9)):
+        exact = dijkstra(g, s)
+        fin = np.isfinite(exact) & (exact > 0)
+        assert np.max(res.dist[row][fin] / exact[fin]) <= 1.25 + 1e-9
+
+
+def test_e11_table(benchmark):
+    rows = run_sweep()
+    emit(
+        "E11: multi-source aMSSD scaling (one hopset, |S| explorations)",
+        ["|S|", "query work", "query depth", "build work (once)", "work per source"],
+        rows,
+    )
+    g, H, _ = setup()
+    benchmark(lambda: approximate_mssd(g, H, np.arange(4)))

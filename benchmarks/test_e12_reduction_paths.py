@@ -1,0 +1,89 @@
+"""E12 — Appendix D: Λ-free path-reporting hopsets + SPT (Thms D.1/D.2).
+
+The composition of E7 (weight reduction) and E8 (path reporting): across a
+Λ sweep, the SPT extracted from the reduced path-reporting hopset must stay
+a valid spanning tree of G with (1+O(ε)) route quality, while the star and
+lifted layers respect their structural bounds.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from conftest import emit
+
+from repro.graphs.distances import dijkstra
+from repro.graphs.generators import wide_weight_graph
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.reduction_paths import (
+    build_reduced_path_reporting_hopset,
+    spt_hop_budget,
+)
+from repro.hopsets.verification import verify_memory_paths
+from repro.sssp.spt import approximate_spt
+
+LAMBDAS = [1e2, 1e4, 1e7]
+N = 32
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    rows = []
+    params = HopsetParams(epsilon=0.25, beta=8)
+    for lam in LAMBDAS:
+        g = wide_weight_graph(N, lam, seed=12000 + int(np.log10(lam)))
+        H, rep = build_reduced_path_reporting_hopset(g, params)
+        verify_memory_paths(g, H)
+        spt = approximate_spt(g, H, 0, hop_budget=spt_hop_budget(8))
+        exact = dijkstra(g, 0)
+        fin = np.isfinite(exact) & (exact > 0)
+        stretch = float(np.max(spt.dist[fin] / exact[fin]))
+        tree_ok = all(
+            g.has_edge(int(spt.parent[v]), v)
+            for v in range(g.n)
+            if v != 0 and spt.parent[v] >= 0
+        )
+        rows.append(
+            [
+                f"{lam:.0e}",
+                len(rep.relevant),
+                rep.star_edges,
+                rep.lifted_edges,
+                sum(spt.replacements.values()),
+                stretch,
+                tree_ok,
+            ]
+        )
+    return rows
+
+
+def test_e12_tree_quality_flat_across_lambda():
+    for row in run_sweep():
+        assert row[5] <= 1 + 6 * 0.25 + 1e-6, row
+
+
+def test_e12_trees_valid_everywhere():
+    for row in run_sweep():
+        assert row[6], row
+
+
+def test_e12_star_bound():
+    for row in run_sweep():
+        assert row[2] <= N * np.log2(N)
+
+
+def test_e12_table(benchmark):
+    rows = run_sweep()
+    emit(
+        f"E12: Appendix D — SPT from Λ-free path-reporting hopsets (n={N})",
+        [
+            "Lambda", "relevant scales", "star edges", "lifted edges",
+            "edges peeled", "tree stretch", "tree valid",
+        ],
+        rows,
+    )
+    g = wide_weight_graph(N, 1e4, seed=12004)
+    benchmark(
+        lambda: build_reduced_path_reporting_hopset(g, HopsetParams(epsilon=0.25, beta=8))
+    )

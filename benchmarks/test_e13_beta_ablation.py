@@ -1,0 +1,65 @@
+"""E13 (ablation) — stretch vs the exploration budget β.
+
+DESIGN.md §1/§6: the construction is distance-safe for any β, and the
+theory's galactic eq. (2) β is a worst case.  This ablation sweeps β and
+reports the certified stretch and achieved hopbound, reproducing the
+qualitative claim: stretch converges to 1+ε rapidly as β grows, at a cost
+(work) roughly linear in β.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import emit
+
+from repro.graphs.generators import path_graph
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.verification import certify
+from repro.pram.machine import PRAM
+
+BETAS = [1, 2, 4, 8, 12]
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    g = path_graph(56, w_range=(1.0, 3.0), seed=13001)
+    rows = []
+    for beta in BETAS:
+        pram = PRAM()
+        H, report = build_hopset(g, HopsetParams(epsilon=0.25, beta=beta), pram)
+        cert = certify(g, H, beta=2 * beta + 1, epsilon=0.25)
+        rows.append(
+            [beta, H.size(), cert.max_stretch, cert.holds, cert.safe, report.work]
+        )
+    return rows
+
+
+def test_e13_always_safe():
+    for row in run_sweep():
+        assert row[4], row
+
+
+def test_e13_stretch_monotone_toward_target():
+    rows = run_sweep()
+    stretches = [r[2] for r in rows]
+    assert stretches[-1] <= stretches[0]
+    assert rows[-1][3], "largest beta must certify eq. (1)"
+
+
+def test_e13_work_grows_with_beta():
+    rows = run_sweep()
+    works = [r[5] for r in rows]
+    assert works[-1] > works[0]
+
+
+def test_e13_table(benchmark):
+    rows = run_sweep()
+    emit(
+        "E13 (ablation): beta sweep on a weighted path (n=56, eps=0.25)",
+        ["beta", "|H| pairs", "max stretch@2b+1", "eq(1) holds", "safe", "build work"],
+        rows,
+    )
+    g = path_graph(56, w_range=(1.0, 3.0), seed=13001)
+    benchmark(lambda: build_hopset(g, HopsetParams(epsilon=0.25, beta=4)))

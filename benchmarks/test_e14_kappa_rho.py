@@ -1,0 +1,79 @@
+"""E14 (ablation) — the (κ, ρ) tradeoff surface.
+
+Theorem 3.7: κ controls sparsity (|H_k| ≤ n^{1+1/κ}), ρ controls the
+processor/work budget (deg thresholds n^ρ) and thereby the phase count
+ℓ(κ, ρ).  The ablation sweeps both and reports size, interconnection
+degree pressure, phase count, and work — reproducing the qualitative
+tradeoffs the theorem encodes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import emit
+
+from repro.graphs.generators import erdos_renyi
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.verification import certify
+from repro.pram.machine import PRAM
+
+GRID = [(2, 0.25), (2, 0.4), (3, 0.3), (4, 0.25), (4, 0.45)]
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    g = erdos_renyi(72, 0.07, seed=14001, w_range=(1.0, 4.0))
+    rows = []
+    for kappa, rho in GRID:
+        params = HopsetParams(epsilon=0.25, kappa=kappa, rho=rho, beta=8)
+        pram = PRAM()
+        H, report = build_hopset(g, params, pram)
+        cert = certify(g, H, beta=17, epsilon=0.25)
+        max_phase = max(
+            (len(stats) for stats in report.per_scale_stats.values()), default=0
+        )
+        rows.append(
+            [
+                kappa,
+                rho,
+                params.ell,
+                max_phase,
+                H.size(),
+                round(g.n ** (1 + 1 / kappa)),
+                cert.max_stretch,
+                report.work,
+            ]
+        )
+    return rows
+
+
+def test_e14_per_scale_size_bound_all_settings():
+    g = erdos_renyi(72, 0.07, seed=14001, w_range=(1.0, 4.0))
+    for kappa, rho in GRID:
+        params = HopsetParams(epsilon=0.25, kappa=kappa, rho=rho, beta=8)
+        _, report = build_hopset(g, params)
+        for count in report.per_scale_edges.values():
+            assert count <= g.n ** (1 + 1 / kappa)
+
+
+def test_e14_stretch_certified_everywhere():
+    for row in run_sweep():
+        assert row[6] <= 1.25 + 1e-9, row
+
+
+def test_e14_phase_count_matches_formula():
+    for row in run_sweep():
+        assert row[3] <= row[2] + 1  # executed phases ≤ ℓ + 1
+
+
+def test_e14_table(benchmark):
+    rows = run_sweep()
+    emit(
+        "E14 (ablation): (kappa, rho) sweep (er graph n=72, eps=0.25, beta=8)",
+        ["kappa", "rho", "ell", "phases run", "|H| pairs", "n^{1+1/k}", "stretch", "work"],
+        rows,
+    )
+    g = erdos_renyi(72, 0.07, seed=14001, w_range=(1.0, 4.0))
+    benchmark(lambda: build_hopset(g, HopsetParams(kappa=3, rho=0.3, beta=8)))

@@ -1,0 +1,75 @@
+"""E15 — near-additive spanners from the derandomized machinery (§1.2/§1.4).
+
+The paper's framework, re-targeted at the [EM19] application: across graph
+families and ε, the spanner must be a subgraph with |S| near n^{1+1/κ} and
+d_S ≤ (1+ε)·d_G + β for a small measured β, deterministically.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import emit
+
+from repro.graphs.generators import erdos_renyi, hypercube_graph, preferential_attachment
+from repro.hopsets.params import HopsetParams
+from repro.pram.machine import PRAM
+from repro.spanners import build_spanner, certify_spanner
+
+CASES = [
+    ("er-dense", lambda: erdos_renyi(64, 0.4, seed=15001), 0.5),
+    ("er-dense", lambda: erdos_renyi(64, 0.4, seed=15001), 0.25),
+    ("hypercube", lambda: hypercube_graph(6), 0.5),
+    ("powerlaw", lambda: preferential_attachment(64, 4, seed=15002), 0.5),
+]
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    rows = []
+    for name, make, eps in CASES:
+        g = make()
+        params = HopsetParams(epsilon=eps, kappa=2, rho=0.4)
+        pram = PRAM()
+        s, rep = build_spanner(g, params, pram)
+        cert = certify_spanner(g, s, epsilon=eps, kappa=2)
+        rows.append(
+            [
+                name,
+                eps,
+                g.num_edges,
+                s.num_edges,
+                round(cert.size_bound),
+                cert.multiplicative,
+                cert.additive_at_eps,
+                rep.work,
+            ]
+        )
+    return rows
+
+
+def test_e15_stretch_shape():
+    for row in run_sweep():
+        assert row[6] <= 10, row  # small additive error at the chosen eps
+
+
+def test_e15_sparsification_on_dense():
+    rows = [r for r in run_sweep() if r[0] == "er-dense"]
+    for row in rows:
+        assert row[3] < row[2], row  # strictly sparser than the input
+
+
+def test_e15_smaller_eps_denser_spanner():
+    dense = {r[1]: r[3] for r in run_sweep() if r[0] == "er-dense"}
+    assert dense[0.25] >= dense[0.5]
+
+
+def test_e15_table(benchmark):
+    rows = run_sweep()
+    emit(
+        "E15: near-additive spanners (derandomized [EM19] machinery)",
+        ["graph", "eps", "|E|", "|S|", "n^{1+1/k}", "mult stretch", "additive beta", "work"],
+        rows,
+    )
+    g = erdos_renyi(64, 0.4, seed=15001)
+    benchmark(lambda: build_spanner(g, HopsetParams(epsilon=0.5, kappa=2, rho=0.4)))

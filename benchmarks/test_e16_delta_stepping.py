@@ -1,0 +1,88 @@
+"""E16 — hopset SSSP vs Δ-stepping, the practical parallel baseline.
+
+Δ-stepping computes exact distances but its phase count (the depth driver)
+scales with the weighted depth of the graph divided by Δ; on long-chain
+workloads no Δ avoids Θ(n) sequential phases.  The hopset's β-round
+exploration breaks exactly that dependence, at the price of (1+ε) accuracy
+and the one-time build — the tradeoff this table quantifies.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from conftest import emit
+
+from repro.baselines.delta_stepping import delta_stepping
+from repro.graphs.distances import dijkstra
+from repro.graphs.generators import erdos_renyi, layered_hop_graph, path_graph
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.pram.machine import PRAM
+from repro.sssp.sssp import approximate_sssp_with_hopset
+
+CASES = [
+    ("path", lambda: path_graph(96, w_range=(1.0, 2.0), seed=16001)),
+    ("layered", lambda: layered_hop_graph(24, 4, seed=16002)),
+    ("er", lambda: erdos_renyi(96, 0.06, seed=16003, w_range=(1.0, 4.0))),
+]
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    rows = []
+    for name, make in CASES:
+        g = make()
+        p_ds = PRAM()
+        ds = delta_stepping(p_ds, g, 0)
+        p_h = PRAM()
+        H, report = build_hopset(g, HopsetParams(epsilon=0.25, beta=8), p_h)
+        q = approximate_sssp_with_hopset(g, H, 0, p_h)
+        exact = dijkstra(g, 0)
+        fin = np.isfinite(exact) & (exact > 0)
+        stretch = float(np.max(q.dist[fin] / exact[fin]))
+        rows.append(
+            [
+                name,
+                g.n,
+                ds.phases,
+                p_ds.cost.depth,
+                q.rounds_used,
+                q.query_cost.depth,
+                stretch,
+                report.work,
+            ]
+        )
+    return rows
+
+
+def test_e16_query_depth_beats_delta_stepping_on_deep_graphs():
+    rows = {r[0]: r for r in run_sweep()}
+    for name in ("path", "layered"):
+        ds_depth, hop_depth = rows[name][3], rows[name][5]
+        assert hop_depth < ds_depth, rows[name]
+
+
+def test_e16_delta_stepping_phase_count_tracks_chain_length():
+    rows = {r[0]: r for r in run_sweep()}
+    assert rows["path"][2] > 4 * rows["er"][2]
+
+
+def test_e16_hopset_accuracy_still_certified():
+    for row in run_sweep():
+        assert row[6] <= 1.25 + 1e-9, row
+
+
+def test_e16_table(benchmark):
+    rows = run_sweep()
+    emit(
+        "E16: hopset query vs Delta-stepping (exact) — depth comparison",
+        [
+            "graph", "n", "DS phases", "DS depth", "hopset rounds",
+            "hopset query depth", "hopset stretch", "hopset build work",
+        ],
+        rows,
+    )
+    g = path_graph(96, w_range=(1.0, 2.0), seed=16001)
+    benchmark(lambda: delta_stepping(PRAM(), g, 0))

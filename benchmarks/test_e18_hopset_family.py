@@ -1,0 +1,76 @@
+"""E18 — three hopset constructions, one table.
+
+The paper's deterministic construction vs the two randomized families its
+related work discusses: the sampling-supercluster route ([Coh94]/[EN19],
+what it derandomizes) and the Thorup–Zwick hierarchy route
+([EN17b]/[HP19]).  Compared on size, certified stretch at the common
+budget, achieved hopbound, and determinism.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import emit
+
+from repro.baselines.randomized_hopset import build_randomized_hopset
+from repro.baselines.thorup_zwick import build_tz_hopset
+from repro.graphs.generators import layered_hop_graph
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.verification import achieved_hopbound, certify
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    g = layered_hop_graph(14, 4, seed=18001)
+    params = HopsetParams(epsilon=0.25, beta=8)
+    rows = []
+
+    det, _ = build_hopset(g, params)
+    rows.append(_row("deterministic (paper)", g, det, deterministic=True))
+    rows.append(_row("sampling [Coh94/EN19]", g, build_randomized_hopset(g, params, seed=0)))
+    rows.append(_row("sampling seed=1", g, build_randomized_hopset(g, params, seed=1)))
+    rows.append(_row("thorup-zwick k=2", g, build_tz_hopset(g, k=2, seed=0)))
+    rows.append(_row("thorup-zwick k=3", g, build_tz_hopset(g, k=3, seed=0)))
+    return rows
+
+
+def _row(name, g, H, deterministic=False):
+    cert = certify(g, H, beta=17, epsilon=0.25)
+    hb = achieved_hopbound(g, H, 0.25, max_hops=40)
+    return [name, H.size(), cert.max_stretch, hb, deterministic]
+
+
+def test_e18_all_constructions_safe():
+    g = layered_hop_graph(14, 4, seed=18001)
+    params = HopsetParams(epsilon=0.25, beta=8)
+    for H in (
+        build_hopset(g, params)[0],
+        build_randomized_hopset(g, params, seed=0),
+        build_tz_hopset(g, k=2, seed=0),
+    ):
+        assert certify(g, H, beta=g.n - 1, epsilon=1e6).safe
+
+
+def test_e18_deterministic_competitive_hopbound():
+    rows = run_sweep()
+    det = rows[0]
+    others = rows[1:]
+    assert det[3] <= min(r[3] for r in others) + 6  # within a constant band
+
+
+def test_e18_tz_trades_size_for_hops():
+    rows = {r[0]: r for r in run_sweep()}
+    assert rows["thorup-zwick k=2"][1] >= rows["thorup-zwick k=3"][1]
+
+
+def test_e18_table(benchmark):
+    rows = run_sweep()
+    emit(
+        "E18: hopset constructions compared (layered graph n=56, budget 17)",
+        ["construction", "|H| pairs", "stretch@17", "achieved hopbound", "deterministic"],
+        rows,
+    )
+    g = layered_hop_graph(14, 4, seed=18001)
+    benchmark(lambda: build_tz_hopset(g, k=2, seed=0))

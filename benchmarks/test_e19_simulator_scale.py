@@ -1,0 +1,70 @@
+"""E19 — simulator throughput: wall-clock scaling of the whole pipeline.
+
+Everything else in the harness compares *metered* PRAM costs; this table
+answers the engineering question of how far the vectorized simulator
+itself scales on one CPU — build + query wall-clock from n = 128 to 1024
+on sparse random graphs (the guides' "profile, then optimize" loop ended
+with the x=1 dedup fast path; see cluster_graph._dedup_and_prune).
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+
+from conftest import emit
+
+from repro.graphs.generators import erdos_renyi
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.sssp.sssp import approximate_sssp_with_hopset
+
+NS = [128, 256, 512, 1024]
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    rows = []
+    params = HopsetParams(epsilon=0.25, beta=8)
+    for n in NS:
+        g = erdos_renyi(n, 4.0 / n, seed=19000 + n, w_range=(1.0, 4.0))
+        t0 = time.perf_counter()
+        H, report = build_hopset(g, params)
+        t_build = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        approximate_sssp_with_hopset(g, H, 0)
+        t_query = time.perf_counter() - t0
+        rows.append(
+            [n, g.num_edges, round(t_build, 3), round(t_query * 1000, 2),
+             H.size(), report.work]
+        )
+    return rows
+
+
+def test_e19_builds_complete_at_scale():
+    rows = run_sweep()
+    assert rows[-1][0] == 1024
+    assert all(r[4] > 0 for r in rows)
+
+
+def test_e19_wallclock_subquadratic():
+    rows = run_sweep()
+    t_small, t_big = rows[0][2], rows[-1][2]
+    # 8× n must cost well below 64× wall-clock (quadratic would be 64×)
+    assert t_big <= 40 * max(t_small, 1e-3)
+
+
+def test_e19_queries_are_milliseconds():
+    for row in run_sweep():
+        assert row[3] < 1000.0  # < 1 s even at n=1024
+
+
+def test_e19_table(benchmark):
+    rows = run_sweep()
+    emit(
+        "E19: simulator wall-clock scaling (sparse ER, eps=0.25, beta=8)",
+        ["n", "m", "build s", "query ms", "|H| pairs", "metered work"],
+        rows,
+    )
+    g = erdos_renyi(256, 4.0 / 256, seed=19256, w_range=(1.0, 4.0))
+    benchmark(lambda: build_hopset(g, HopsetParams(epsilon=0.25, beta=8)))

@@ -1,0 +1,67 @@
+"""E1 — hopset size vs the eq. (10) bound ⌈log Λ⌉·n^{1+1/κ} (Thm 3.7).
+
+Sweeps n and κ on two workload families and reports measured |H| (distinct
+pairs) against the paper's bound; the ratio must stay ≤ 1 and should shrink
+with κ on the per-scale bound n^{1+1/κ}.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import emit
+
+from repro.graphs.generators import erdos_renyi, grid_graph
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+
+SWEEP = [
+    ("er", 48, 2),
+    ("er", 96, 2),
+    ("er", 144, 2),
+    ("er", 96, 3),
+    ("er", 96, 4),
+    ("grid", 100, 2),
+    ("grid", 144, 2),
+]
+
+
+def make_graph(family: str, n: int):
+    if family == "er":
+        return erdos_renyi(n, 4.0 / n, seed=1000 + n, w_range=(1.0, 4.0))
+    side = int(n**0.5)
+    return grid_graph(side, side, seed=1000 + n, w_range=(1.0, 2.0))
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    rows = []
+    for family, n, kappa in SWEEP:
+        g = make_graph(family, n)
+        params = HopsetParams(epsilon=0.25, kappa=kappa, rho=0.4, beta=8)
+        H, report = build_hopset(g, params)
+        num_scales = len(report.scales)
+        bound = num_scales * g.n ** (1 + 1 / kappa)
+        size = H.size()
+        rows.append(
+            [family, g.n, g.num_edges, kappa, num_scales, size, round(bound), size / bound]
+        )
+    return rows
+
+
+def test_e1_size_within_bound():
+    for row in run_sweep():
+        size, bound = row[5], row[6]
+        assert size <= bound, row
+
+
+def test_e1_table(benchmark):
+    rows = run_sweep()
+    emit(
+        "E1: hopset size vs eq. (10) bound",
+        ["family", "n", "m", "kappa", "scales", "|H| pairs", "bound", "ratio"],
+        rows,
+    )
+    g = make_graph("er", 48)
+    params = HopsetParams(epsilon=0.25, kappa=2, rho=0.4, beta=8)
+    benchmark(lambda: build_hopset(g, params))

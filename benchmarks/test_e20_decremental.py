@@ -1,0 +1,80 @@
+"""E20 — decremental SSSP via path-reporting hopsets (§1.4 future work).
+
+An update stream of weight increases on one graph; per batch: how many
+hopset records the targeted invalidation kills (locality), whether queries
+stay safe, and when rebuilds fire.  The point: the memory property turns
+"which hopset edges are stale?" from a research question into a lookup.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from conftest import emit
+
+from repro.graphs.distances import dijkstra
+from repro.graphs.generators import erdos_renyi
+from repro.hopsets.params import HopsetParams
+from repro.sssp.dynamic import DecrementalSSSP
+
+BATCHES = 5
+UPDATES_PER_BATCH = 4
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    g = erdos_renyi(48, 0.1, seed=20001, w_range=(1.0, 3.0))
+    oracle = DecrementalSSSP(g, HopsetParams(epsilon=0.25, beta=8), rebuild_below=0.4)
+    total = len(oracle.hopset.edges)
+    rng = np.random.default_rng(20002)
+    rows = [[0, total, oracle.live_records(), 1.0, oracle.rebuilds, True]]
+    for batch in range(1, BATCHES + 1):
+        for _ in range(UPDATES_PER_BATCH):
+            i = int(rng.integers(0, oracle.graph.num_edges))
+            u = int(oracle.graph.edge_u[i])
+            v = int(oracle.graph.edge_v[i])
+            w = float(oracle.graph.edge_weight(u, v))
+            oracle.increase_weight(u, v, w * 1.5)
+        exact = dijkstra(oracle.graph, 0)
+        got = oracle.distances(0, hop_budget=17)
+        fin = np.isfinite(exact)
+        safe = bool(np.all(got[fin] >= exact[fin] - 1e-9))
+        rows.append(
+            [
+                batch * UPDATES_PER_BATCH,
+                len(oracle.hopset.edges),
+                oracle.live_records(),
+                round(oracle.live_fraction, 3),
+                oracle.rebuilds,
+                safe,
+            ]
+        )
+    return rows
+
+
+def test_e20_queries_always_safe():
+    for row in run_sweep():
+        assert row[5], row
+
+
+def test_e20_invalidation_is_partial_not_total():
+    rows = run_sweep()
+    mid = rows[1]
+    assert 0 < mid[2] <= mid[1]
+
+
+def test_e20_live_fraction_never_below_rebuild_floor():
+    for row in run_sweep():
+        assert row[3] >= 0.4 - 1e-9
+
+
+def test_e20_table(benchmark):
+    rows = run_sweep()
+    emit(
+        "E20: decremental oracle under an update stream (n=48, rebuild<0.4)",
+        ["updates", "records", "live", "live fraction", "rebuilds", "safe"],
+        rows,
+    )
+    g = erdos_renyi(48, 0.1, seed=20001, w_range=(1.0, 3.0))
+    benchmark(lambda: DecrementalSSSP(g, HopsetParams(epsilon=0.25, beta=8)))

@@ -1,0 +1,78 @@
+"""E2 — eq. (1) stretch/hopbound, measured exactly (Thm 3.7).
+
+All-pairs certification across ε, plus the tight-vs-faithful weight
+ablation (DESIGN.md §6): faithful formula weights are valid but inflate the
+realized stretch, tight weights realize the implementing path exactly.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import emit
+
+from repro.graphs.generators import layered_hop_graph, path_graph
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams, theoretical_beta
+from repro.hopsets.verification import achieved_hopbound, certify
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    rows = []
+    g = layered_hop_graph(12, 4, seed=2001)
+    for eps in (0.1, 0.25, 0.5):
+        for tight in (True, False):
+            params = HopsetParams(epsilon=eps, beta=8, tight_weights=tight)
+            H, _ = build_hopset(g, params)
+            cert = certify(g, H, beta=17, epsilon=eps)
+            hb = achieved_hopbound(g, H, eps, max_hops=40)
+            beta_paper = theoretical_beta(g.n, 2.0 ** 12, eps, 2, 0.4)
+            rows.append(
+                [
+                    eps,
+                    "tight" if tight else "faithful",
+                    cert.max_stretch,
+                    cert.holds,
+                    hb,
+                    f"{beta_paper:.1e}",
+                ]
+            )
+    return rows
+
+
+def test_e2_safety_everywhere():
+    g = path_graph(48, w_range=(1.0, 3.0), seed=2002)
+    for eps in (0.1, 0.5):
+        for tight in (True, False):
+            H, _ = build_hopset(g, HopsetParams(epsilon=eps, beta=8, tight_weights=tight))
+            cert = certify(g, H, beta=48, epsilon=100.0)
+            assert cert.safe
+
+
+def test_e2_tight_weights_dominate_faithful():
+    rows = run_sweep()
+    by_eps = {}
+    for eps, mode, mx, *_ in rows:
+        by_eps.setdefault(eps, {})[mode] = mx
+    for eps, modes in by_eps.items():
+        assert modes["tight"] <= modes["faithful"] + 1e-9
+
+
+def test_e2_stretch_holds_at_moderate_eps():
+    for row in run_sweep():
+        eps, mode = row[0], row[1]
+        if mode == "tight" and eps >= 0.25:
+            assert row[3], f"eq.(1) failed at eps={eps}: {row}"
+
+
+def test_e2_table(benchmark):
+    rows = run_sweep()
+    emit(
+        "E2: certified stretch and achieved hopbound (layered graph, n=48, beta=8)",
+        ["eps", "weights", "max stretch@17", "eq(1) holds", "achieved hopbound", "paper beta eq(2)"],
+        rows,
+    )
+    g = layered_hop_graph(12, 4, seed=2001)
+    H, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=8))
+    benchmark(lambda: certify(g, H, beta=17, epsilon=0.25))

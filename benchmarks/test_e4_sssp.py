@@ -1,0 +1,87 @@
+"""E4 — SSSP with hopsets vs hopset-less Bellman–Ford (Thm 3.8).
+
+The headline application: on high-hop-diameter graphs, plain Bellman–Ford
+needs Θ(hop diameter) rounds, while G ∪ H converges within the 2β+1 budget.
+The table sweeps the hop budget and reports both methods' max stretch: the
+crossover (where plain BF catches up) sits near the hop diameter, while the
+hopset answer is already correct at tiny budgets.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.metrics import stretch_stats
+from repro.baselines.plain_bellman_ford import plain_sssp_budgeted
+from repro.graphs.distances import dijkstra
+from repro.graphs.generators import layered_hop_graph
+from repro.graphs.properties import hop_diameter
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.pram.machine import PRAM
+from repro.sssp.sssp import approximate_sssp_with_hopset
+
+BUDGETS = [4, 8, 17, 33, 64]
+
+
+@lru_cache(maxsize=None)
+def setup():
+    g = layered_hop_graph(48, 3, seed=4001)
+    H, report = build_hopset(g, HopsetParams(epsilon=0.25, beta=8))
+    return g, H, report
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    g, H, _ = setup()
+    exact = dijkstra(g, 0)
+    hd = hop_diameter(g)
+    rows = []
+    for budget in BUDGETS:
+        hop = approximate_sssp_with_hopset(g, H, 0, hop_budget=budget)
+        plain = plain_sssp_budgeted(PRAM(), g, 0, hops=budget)
+        s_hop = stretch_stats(exact, hop.dist)
+        s_plain = stretch_stats(exact, plain.dist)
+        rows.append([budget, hd, s_hop.max, s_plain.max, s_plain.unreached])
+    return rows
+
+
+def test_e4_hopset_converges_within_2beta_plus_1():
+    rows = run_sweep()
+    at_17 = [r for r in rows if r[0] == 17][0]
+    assert at_17[2] <= 1.25 + 1e-9
+
+
+def test_e4_plain_bf_diverges_below_hop_diameter():
+    rows = run_sweep()
+    small = [r for r in rows if r[0] < r[1]]
+    assert small, "sweep must include budgets below the hop diameter"
+    assert any(np.isinf(r[3]) for r in small)
+
+
+def test_e4_hopset_never_worse_than_plain():
+    for budget, hd, s_hop, s_plain, _ in run_sweep():
+        assert s_hop <= s_plain + 1e-9
+
+
+def test_e4_crossover_at_hop_diameter():
+    g, H, _ = setup()
+    hd = hop_diameter(g)
+    exact = dijkstra(g, 0)
+    plain = plain_sssp_budgeted(PRAM(), g, 0, hops=hd)
+    assert not stretch_stats(exact, plain.dist).diverged
+
+
+def test_e4_table(benchmark):
+    rows = run_sweep()
+    emit(
+        "E4: SSSP stretch at equal hop budgets (layered graph, hop diameter "
+        f"{rows[0][1]})",
+        ["hop budget", "hop diam", "hopset max stretch", "plain BF max stretch", "plain unreached"],
+        rows,
+    )
+    g, H, _ = setup()
+    benchmark(lambda: approximate_sssp_with_hopset(g, H, 0, hop_budget=17))

@@ -1,0 +1,93 @@
+"""E6 — ruling sets: the (3, 2·log n) guarantees and their cost (Cor. B.4).
+
+Sweeps cluster-graph densities; per row: measured minimum pairwise virtual
+distance of Q (must be ≥ 3), the worst ruling radius (must be ≤ 2·⌈log n⌉),
+and the PRAM depth of the construction (polylog shape).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from conftest import emit
+
+from repro.graphs.generators import erdos_renyi, path_graph
+from repro.hopsets.clusters import Partition
+from repro.hopsets.ruling_sets import ruling_set
+from repro.pram.machine import PRAM
+from repro.pram.primitives import ceil_log2
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+from tests.hopsets.helpers import pairwise_virtual_distances, virtual_adjacency  # noqa: E402
+
+CASES = [
+    ("path", lambda: path_graph(48, weight=1.0), 1.0),
+    ("er-sparse", lambda: erdos_renyi(48, 0.05, seed=6001), 1.5),
+    ("er-dense", lambda: erdos_renyi(48, 0.2, seed=6002), 2.5),
+]
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    rows = []
+    for name, make, threshold in CASES:
+        g = make()
+        part = Partition.singletons(g.n)
+        cands = np.ones(g.n, dtype=bool)
+        pram = PRAM()
+        q = ruling_set(pram, g, part, cands, threshold, hops=2)
+        adj = virtual_adjacency(g, part, threshold, 2)
+        vd = pairwise_virtual_distances(adj)
+        q_idx = np.flatnonzero(q)
+        min_sep = min(
+            (int(vd[a, b]) for i, a in enumerate(q_idx) for b in q_idx[i + 1:] if vd[a, b] >= 0),
+            default=-1,
+        )
+        worst_rule = max(
+            min((int(vd[c, s]) for s in q_idx if vd[c, s] >= 0), default=0)
+            for c in range(g.n)
+        )
+        bound = 2 * ceil_log2(g.n)
+        rows.append(
+            [name, g.n, int(q.sum()), min_sep, worst_rule, bound, pram.cost.depth]
+        )
+    return rows
+
+
+def test_e6_separation_at_least_3():
+    for row in run_sweep():
+        assert row[3] == -1 or row[3] >= 3, row
+
+
+def test_e6_ruling_radius_within_bound():
+    for row in run_sweep():
+        assert row[4] <= row[5], row
+
+
+def test_e6_depth_polylog_shape():
+    ns = [48, 96, 192]
+    depths = []
+    for n in ns:
+        g = path_graph(n, weight=1.0)
+        pram = PRAM()
+        ruling_set(pram, g, Partition.singletons(n), np.ones(n, dtype=bool), 1.0, 2)
+        depths.append(pram.cost.depth)
+    # doubling n must not double depth (polylog, not polynomial)
+    assert depths[-1] < 2 * depths[0]
+
+
+def test_e6_table(benchmark):
+    rows = run_sweep()
+    emit(
+        "E6: ruling-set guarantees (Q separation >= 3, radius <= 2 log n)",
+        ["case", "n", "|Q|", "min sep", "worst radius", "2·log n", "PRAM depth"],
+        rows,
+    )
+    g = path_graph(48, weight=1.0)
+    part = Partition.singletons(48)
+    cands = np.ones(48, dtype=bool)
+    benchmark(lambda: ruling_set(PRAM(), g, part, cands, 1.0, 2))

@@ -1,0 +1,98 @@
+"""E8 — path-reporting hopsets and (1+ε)-SPT extraction (Thms 4.5/4.6).
+
+Measures: SPT validity (spanning tree of G edges, exact tree distances),
+tree stretch vs exact distances, peeling volume per scale, memory-path
+lengths vs the σ bound of eq. (20), and the space overhead of recording.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from conftest import emit
+
+from repro.graphs.distances import dijkstra
+from repro.graphs.generators import erdos_renyi, layered_hop_graph, path_graph
+from repro.hopsets.params import HopsetParams, PhaseSchedule
+from repro.hopsets.path_reporting import build_path_reporting_hopset, memory_path_stats
+from repro.sssp.spt import approximate_spt
+
+CASES = [
+    ("layered", lambda: layered_hop_graph(12, 4, seed=8001)),
+    ("path", lambda: path_graph(48, w_range=(1.0, 3.0), seed=8002)),
+    ("er", lambda: erdos_renyi(48, 0.1, seed=8003, w_range=(1.0, 3.0))),
+]
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    rows = []
+    params = HopsetParams(epsilon=0.25, beta=8)
+    for name, make in CASES:
+        g = make()
+        H, _ = build_path_reporting_hopset(g, params)
+        spt = approximate_spt(g, H, 0)
+        exact = dijkstra(g, 0)
+        fin = np.isfinite(exact) & (exact > 0)
+        tree_stretch = float(np.max(spt.dist[fin] / exact[fin]))
+        sched = PhaseSchedule.for_scale(g.n, max(H.scales()), params, 0.25, 0.0)
+        stats = memory_path_stats(H, sched.sigma)
+        rows.append(
+            [
+                name,
+                g.n,
+                H.num_records,
+                sum(spt.replacements.values()),
+                tree_stretch,
+                stats.max_hops,
+                round(stats.mean_hops, 2),
+                round(sched.sigma),
+            ]
+        )
+    return rows
+
+
+def test_e8_tree_stretch_within_eps():
+    for row in run_sweep():
+        assert row[4] <= 1.25 + 1e-9, row
+
+
+def test_e8_memory_paths_within_sigma():
+    for row in run_sweep():
+        assert row[5] <= row[7], row
+
+
+def test_e8_peeling_replaces_edges_on_deep_graphs():
+    rows = {r[0]: r for r in run_sweep()}
+    assert rows["layered"][3] > 0
+    assert rows["path"][3] > 0
+
+
+def test_e8_trees_are_valid():
+    params = HopsetParams(epsilon=0.25, beta=8)
+    for name, make in CASES:
+        g = make()
+        H, _ = build_path_reporting_hopset(g, params)
+        spt = approximate_spt(g, H, 0)
+        for v in range(g.n):
+            p = int(spt.parent[v])
+            if v == 0 or p < 0:
+                continue
+            assert g.has_edge(p, v)
+            assert np.isclose(spt.dist[v], spt.dist[p] + g.edge_weight(p, v))
+
+
+def test_e8_table(benchmark):
+    rows = run_sweep()
+    emit(
+        "E8: (1+eps)-SPT extraction (eps=0.25, beta=8)",
+        [
+            "graph", "n", "hopset records", "edges peeled", "tree stretch",
+            "max path hops", "mean path hops", "sigma bound",
+        ],
+        rows,
+    )
+    g = layered_hop_graph(12, 4, seed=8001)
+    H, _ = build_path_reporting_hopset(g, HopsetParams(epsilon=0.25, beta=8))
+    benchmark(lambda: approximate_spt(g, H, 0))

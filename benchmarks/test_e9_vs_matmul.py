@@ -1,0 +1,79 @@
+"""E9 — hopset pipeline vs the n^ω-work deterministic strawman (§1.1).
+
+Before this paper, deterministic polylog-time shortest paths cost matrix-
+multiplication work.  The table sweeps n on sparse graphs and reports both
+pipelines' work; the hopset side must win by a growing factor, while both
+keep polylog depth.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import emit
+
+from repro.analysis.metrics import loglog_slope
+from repro.baselines.matmul_apsp import minplus_apsp
+from repro.graphs.generators import erdos_renyi
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.pram.machine import PRAM
+from repro.sssp.sssp import approximate_sssp_with_hopset
+
+NS = [48, 96, 192]
+
+
+@lru_cache(maxsize=None)
+def run_sweep():
+    rows = []
+    for n in NS:
+        g = erdos_renyi(n, 4.0 / n, seed=9000 + n, w_range=(1.0, 3.0))
+        p_hop = PRAM()
+        H, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=8), p_hop)
+        approximate_sssp_with_hopset(g, H, 0, p_hop)
+        p_mat = PRAM()
+        minplus_apsp(p_mat, g)
+        rows.append(
+            [
+                n,
+                g.num_edges,
+                p_hop.cost.work,
+                p_mat.cost.work,
+                p_mat.cost.work / p_hop.cost.work,
+                p_hop.cost.depth,
+                p_mat.cost.depth,
+            ]
+        )
+    return rows
+
+
+def test_e9_hopset_wins_past_the_crossover():
+    """Matmul's n³ can win at tiny n; the hopset must win at the largest n
+    of the sweep (the asymptotic claim of §1.1), with the gap visible."""
+    rows = run_sweep()
+    last = rows[-1]
+    assert last[2] < last[3], last
+    assert last[4] > 1.5, last
+
+
+def test_e9_gap_grows_with_n():
+    ratios = [r[4] for r in run_sweep()]
+    assert ratios == sorted(ratios)
+
+
+def test_e9_matmul_work_slope_cubic_hopset_subquadratic():
+    rows = run_sweep()
+    ns = [r[0] for r in rows]
+    assert loglog_slope(ns, [r[3] for r in rows]) > 2.5
+    assert loglog_slope(ns, [r[2] for r in rows]) < 2.0
+
+
+def test_e9_table(benchmark):
+    rows = run_sweep()
+    emit(
+        "E9: work of hopset SSSP pipeline vs min-plus matmul APSP",
+        ["n", "m", "hopset work", "matmul work", "ratio", "hopset depth", "matmul depth"],
+        rows,
+    )
+    g = erdos_renyi(48, 4.0 / 48, seed=9048)
+    benchmark(lambda: minplus_apsp(PRAM(), g))

@@ -1,0 +1,60 @@
+"""Derandomization study: the paper's contribution, demonstrated.
+
+Builds the deterministic hopset (ruling sets, Appendix B) and the
+randomized sampling baseline ([Coh94]/[EN19] style) side by side, across
+seeds, and prints what the determinism buys: identical output every run,
+no quality variance, no failure tail — at comparable size and stretch.
+
+Run:  python examples/derandomization_study.py
+"""
+
+from __future__ import annotations
+
+from repro import HopsetParams, build_hopset, certify
+from repro.analysis.tables import render_table
+from repro.baselines.randomized_hopset import build_randomized_hopset
+from repro.graphs.generators import layered_hop_graph
+
+
+def main() -> None:
+    g = layered_hop_graph(20, 4, seed=99)
+    params = HopsetParams(epsilon=0.25, beta=8)
+    budget = 2 * 8 + 1
+    print(f"graph: n={g.n}, m={g.num_edges} (deep layered workload)\n")
+
+    rows = []
+    det, _ = build_hopset(g, params)
+    det_cert = certify(g, det, beta=budget, epsilon=params.epsilon)
+    fingerprints = set()
+    for run in range(3):
+        h, _ = build_hopset(g, params)
+        fingerprints.add(tuple(sorted((e.u, e.v, round(e.weight, 9)) for e in h.edges)))
+    rows.append(
+        ["deterministic (this paper)", det.size(), f"{det_cert.max_stretch:.4f}",
+         f"{len(fingerprints)} distinct output(s) in 3 runs"]
+    )
+
+    rand_outputs = set()
+    for seed in range(6):
+        rh = build_randomized_hopset(g, params, seed=seed)
+        rc = certify(g, rh, beta=budget, epsilon=params.epsilon)
+        rand_outputs.add(
+            (rh.size(), round(rc.max_stretch, 4))
+        )
+        rows.append(
+            [f"randomized seed={seed}", rh.size(), f"{rc.max_stretch:.4f}", ""]
+        )
+
+    print(render_table(
+        "deterministic vs sampling-based hopsets",
+        ["construction", "|H| pairs", "max stretch", "notes"],
+        rows,
+    ))
+    print(
+        f"\nrandomized spread: {len(rand_outputs)} distinct (size, stretch) "
+        "outcomes across 6 seeds; the deterministic construction has exactly one."
+    )
+
+
+if __name__ == "__main__":
+    main()

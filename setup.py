@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline
+with the pinned setuptools (no wheel package available in this env)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — Deterministic PRAM approximate shortest paths via hopsets.
+
+A complete Python reproduction of *"Deterministic PRAM Approximate Shortest
+Paths in Polylogarithmic Time and Slightly Super-Linear Work"* (Elkin &
+Matar, SPAA 2021), built on a CREW PRAM cost-model simulator.
+
+Quickstart::
+
+    from repro import build_hopset, approximate_sssp, HopsetParams
+    from repro.graphs.generators import erdos_renyi
+
+    g = erdos_renyi(200, 0.05, seed=7)
+    result = approximate_sssp(g, source=0, params=HopsetParams(epsilon=0.25))
+    print(result.dist[:10], result.build_report.work, result.build_report.depth)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+measured reproduction of every theorem-level claim.
+"""
+
+from repro.graphs import Graph, from_edges
+from repro.hopsets import (
+    Hopset,
+    HopsetEdge,
+    HopsetParams,
+    build_hopset,
+    build_path_reporting_hopset,
+    build_reduced_hopset,
+    certify,
+    theoretical_beta,
+)
+from repro.pram import PRAM, CostModel
+from repro.sssp import (
+    approximate_mssd,
+    approximate_spt,
+    approximate_sssp,
+    approximate_sssp_with_hopset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "from_edges",
+    "PRAM",
+    "CostModel",
+    "Hopset",
+    "HopsetEdge",
+    "HopsetParams",
+    "build_hopset",
+    "build_path_reporting_hopset",
+    "build_reduced_hopset",
+    "certify",
+    "theoretical_beta",
+    "approximate_sssp",
+    "approximate_sssp_with_hopset",
+    "approximate_mssd",
+    "approximate_spt",
+    "__version__",
+]

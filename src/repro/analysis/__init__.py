@@ -1,0 +1,18 @@
+"""Measurement and reporting helpers for the experiment harness."""
+
+from repro.analysis.metrics import (
+    StretchStats,
+    hop_limited_stretch,
+    loglog_slope,
+    stretch_stats,
+)
+from repro.analysis.tables import format_value, render_table
+
+__all__ = [
+    "StretchStats",
+    "stretch_stats",
+    "hop_limited_stretch",
+    "loglog_slope",
+    "render_table",
+    "format_value",
+]

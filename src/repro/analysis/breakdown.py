@@ -1,0 +1,73 @@
+"""Per-phase cost attribution reports.
+
+The hopset constructors label every charge with a phase path such as
+``scale5/phase1/ruling``; this module rolls those totals up into readable
+tables (where did the work go: detection vs ruling vs superclustering vs
+interconnection) — the Lemma 3.1 accounting, measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+from repro.pram.cost import CostModel
+
+__all__ = ["PhaseCost", "cost_breakdown", "breakdown_table"]
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    phase: str
+    work: int
+    depth: int
+    work_share: float
+
+
+def cost_breakdown(cost: CostModel, depth_level: int = 3) -> list[PhaseCost]:
+    """Phase totals, truncated to ``depth_level`` path components.
+
+    Phases nest (``scale5/phase1/ruling`` charges also count toward
+    ``scale5``); only the most specific recorded level is listed here, with
+    shares relative to the total charged work.
+    """
+    rolled: dict[str, tuple[int, int]] = {}
+    for name, snap in cost.phase_totals.items():
+        parts = name.split("/")
+        if len(parts) > depth_level:
+            continue
+        # keep leaves only (nesting means ancestors double-count)
+        if any(
+            other != name and other.startswith(name + "/")
+            for other in cost.phase_totals
+        ):
+            continue
+        rolled[name] = (snap.work, snap.depth)
+    total = max(cost.work, 1)
+    out = [
+        PhaseCost(phase=k, work=w, depth=d, work_share=w / total)
+        for k, (w, d) in sorted(rolled.items(), key=lambda kv: -kv[1][0])
+    ]
+    return out
+
+
+def breakdown_table(cost: CostModel, title: str = "cost breakdown") -> str:
+    """Render the breakdown as a printable table."""
+    rows = [
+        [pc.phase, pc.work, pc.depth, f"{100 * pc.work_share:.1f}%"]
+        for pc in cost_breakdown(cost)
+    ]
+    return render_table(title, ["phase", "work", "depth", "share"], rows)
+
+
+def step_kind_breakdown(cost: CostModel) -> dict[str, tuple[int, int]]:
+    """Totals per step label (requires ``record_steps=True``).
+
+    Answers "how much went into sorting vs relaxation" — the Algorithm 3
+    vs propagation split of Appendix A.
+    """
+    out: dict[str, tuple[int, int]] = {}
+    for step in cost.steps:
+        w, d = out.get(step.label, (0, 0))
+        out[step.label] = (w + step.work, d + step.depth)
+    return out

@@ -1,0 +1,76 @@
+"""Measurement helpers shared by the benchmark harness and the examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.graphs.distances import dijkstra, hop_limited_distances
+
+__all__ = ["StretchStats", "stretch_stats", "hop_limited_stretch", "loglog_slope"]
+
+
+@dataclass(frozen=True)
+class StretchStats:
+    """Distribution of approx/exact distance ratios over sources × targets."""
+
+    max: float
+    mean: float
+    p95: float
+    unreached: int  # approximate distance infinite where the exact is finite
+    pairs: int
+
+    @property
+    def diverged(self) -> bool:
+        return self.unreached > 0
+
+
+def stretch_stats(exact: np.ndarray, approx: np.ndarray) -> StretchStats:
+    """Compare two distance arrays/matrices of the same shape."""
+    exact = np.asarray(exact, dtype=np.float64)
+    approx = np.asarray(approx, dtype=np.float64)
+    if exact.shape != approx.shape:
+        raise ValueError("distance arrays must have matching shapes")
+    finite = np.isfinite(exact) & (exact > 0)
+    pairs = int(finite.sum())
+    if pairs == 0:
+        return StretchStats(1.0, 1.0, 1.0, 0, 0)
+    a = approx[finite]
+    e = exact[finite]
+    unreached = int(np.sum(~np.isfinite(a)))
+    ratios = a[np.isfinite(a)] / e[np.isfinite(a)]
+    if ratios.size == 0:
+        return StretchStats(float("inf"), float("inf"), float("inf"), unreached, pairs)
+    mx = float(ratios.max()) if unreached == 0 else float("inf")
+    return StretchStats(
+        max=mx,
+        mean=float(ratios.mean()),
+        p95=float(np.percentile(ratios, 95)),
+        unreached=unreached,
+        pairs=pairs,
+    )
+
+
+def hop_limited_stretch(graph: Graph, hops: int, sources: list[int]) -> StretchStats:
+    """Stretch of plain ``hops``-round Bellman–Ford on ``graph`` itself."""
+    exacts = np.stack([dijkstra(graph, s) for s in sources])
+    approx = np.stack([hop_limited_distances(graph, s, hops) for s in sources])
+    return stretch_stats(exacts, approx)
+
+
+def loglog_slope(xs: list[float], ys: list[float]) -> float:
+    """Least-squares slope of log y vs log x — the scaling exponent.
+
+    The E3 experiment fits measured work against n to check the
+    "slightly super-linear" claim (slope ≈ 1 + ρ + o(1)); depth against n
+    should fit a slope ≈ 0 in log-log against polylog-corrected axes.
+    """
+    lx = np.log(np.asarray(xs, dtype=np.float64))
+    ly = np.log(np.asarray(ys, dtype=np.float64))
+    if lx.size < 2:
+        raise ValueError("need at least two points for a slope")
+    A = np.stack([lx, np.ones_like(lx)], axis=1)
+    coef, *_ = np.linalg.lstsq(A, ly, rcond=None)
+    return float(coef[0])

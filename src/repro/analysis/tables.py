@@ -1,0 +1,42 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every benchmark prints its rows through :func:`render_table` so
+EXPERIMENTS.md and the bench output share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(v) -> str:
+    """Compact human formatting for one table cell (bool/float/other)."""
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        if v != v:  # nan
+            return "-"
+        if v == float("inf"):
+            return "inf"
+        if abs(v) >= 1e6 or (0 < abs(v) < 1e-3):
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def render_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a fixed-width table with a title rule, ready to print."""
+    cells = [[format_value(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for j, c in enumerate(row):
+            widths[j] = max(widths[j], len(c))
+    sep = "  "
+    lines = [title, "=" * len(title)]
+    lines.append(sep.join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in cells:
+        lines.append(sep.join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Baselines the experiments compare against (DESIGN.md §2).
+
+* :func:`plain_sssp` / :func:`plain_sssp_budgeted` — hopset-less parallel
+  Bellman–Ford (depth Θ(hop diameter));
+* :func:`build_randomized_hopset` — the sampling-based [Coh94]/[EN19]-style
+  construction this paper derandomizes;
+* :func:`minplus_apsp` — the n^ω-work deterministic matrix strawman;
+* exact sequential Dijkstra lives in :mod:`repro.graphs.distances` (it is
+  also the test oracle).
+"""
+
+from repro.baselines.matmul_apsp import minplus_apsp
+from repro.baselines.plain_bellman_ford import plain_sssp, plain_sssp_budgeted
+from repro.baselines.randomized_hopset import build_randomized_hopset
+
+__all__ = [
+    "plain_sssp",
+    "plain_sssp_budgeted",
+    "build_randomized_hopset",
+    "minplus_apsp",
+]

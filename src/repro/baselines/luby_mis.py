@@ -1,0 +1,68 @@
+"""Baseline: Luby's randomized parallel MIS ([Lub86], cited in §1.1).
+
+Maximal independent sets are the historical root of the symmetry-breaking
+toolbox the paper's ruling sets come from ([KW85, Lub86] in the paper's
+derandomization lineage): an MIS is exactly a (2, 1)-ruling set.  Luby's
+algorithm — every round, each live vertex draws a random priority, local
+minima join the MIS, they and their neighbors leave — finishes in O(log n)
+rounds w.h.p., each round O(m) work: the randomized counterpart against
+which the deterministic ruling-set machinery is compared in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.graphs.errors import InvalidGraphError
+from repro.pram.machine import PRAM
+from repro.pram.primitives import ceil_log2
+
+__all__ = ["luby_mis", "is_maximal_independent_set"]
+
+
+def luby_mis(pram: PRAM, graph: Graph, seed: int = 0) -> tuple[np.ndarray, int]:
+    """Luby's MIS; returns (membership mask, rounds used)."""
+    n = graph.n
+    rng = np.random.default_rng(seed)
+    tails, heads, _ = graph.arcs()
+    in_mis = np.zeros(n, dtype=bool)
+    live = np.ones(n, dtype=bool)
+    rounds = 0
+    log_n = ceil_log2(max(n, 2)) + 1
+    # w.h.p. O(log n) rounds; the 4x slack makes non-termination a reportable bug
+    for _ in range(8 * log_n + 8):
+        if not live.any():
+            break
+        rounds += 1
+        prio = rng.random(n)
+        prio[~live] = np.inf
+        # a live vertex wins if its priority beats all live neighbors'
+        best_nbr = np.full(n, np.inf)
+        act = live[tails] & live[heads]
+        np.minimum.at(best_nbr, tails[act], prio[heads[act]])
+        winners = live & (prio < best_nbr)
+        pram.charge(work=int(act.sum()) + n, depth=log_n, label="luby_round")
+        if not winners.any():
+            continue
+        in_mis |= winners
+        # winners and their neighbors retire
+        retire = winners.copy()
+        touched = winners[tails]
+        retire[heads[touched]] = True
+        live &= ~retire
+    if live.any():
+        raise InvalidGraphError("Luby's algorithm failed to terminate (astronomically unlikely)")
+    return in_mis, rounds
+
+
+def is_maximal_independent_set(graph: Graph, mask: np.ndarray) -> bool:
+    """Exact check: independent (no edge inside) and maximal (dominating)."""
+    u, v, _ = graph.edges()
+    if np.any(mask[u] & mask[v]):
+        return False
+    # maximal ⟺ every non-member has a member neighbor
+    covered = mask.copy()
+    covered[u[mask[v]]] = True
+    covered[v[mask[u]]] = True
+    return bool(covered.all())

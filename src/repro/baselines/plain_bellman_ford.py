@@ -1,0 +1,30 @@
+"""Baseline: hopset-less parallel Bellman–Ford.
+
+Exact SSSP by relaxing every arc for up to n−1 rounds.  Its depth is
+Θ(hop-diameter): on the E4 workloads (deep layered graphs, weighted paths)
+that is Θ(n) — the quantity a hopset collapses to β·polylog.  With a hop
+*budget* smaller than the hop diameter its output is an *upper bound* that
+can be arbitrarily bad; E4 measures exactly that divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.pram.machine import PRAM
+from repro.sssp.bellman_ford import BellmanFordResult, bellman_ford
+
+__all__ = ["plain_sssp", "plain_sssp_budgeted"]
+
+
+def plain_sssp(pram: PRAM, graph: Graph, source: int) -> BellmanFordResult:
+    """Exact SSSP: relax until a fixpoint (≤ n−1 rounds)."""
+    return bellman_ford(pram, graph, source, hops=max(graph.n - 1, 1))
+
+
+def plain_sssp_budgeted(
+    pram: PRAM, graph: Graph, source: int, hops: int
+) -> BellmanFordResult:
+    """Bellman–Ford stopped at ``hops`` rounds (possibly non-converged)."""
+    return bellman_ford(pram, graph, source, hops=hops, early_exit=False)

@@ -1,0 +1,161 @@
+"""Baseline: the randomized sampling-based hopset ([Coh94]/[EN19] style).
+
+This is the algorithm the paper derandomizes: the identical
+superclustering-and-interconnection skeleton, but the ruling-set step is
+replaced by *random sampling* — every cluster is sampled with probability
+1/degᵢ, sampled clusters grow superclusters via a depth-1 BFS in G̃ᵢ, and
+everything unattached interconnects.
+
+The point of the baseline (experiment E5) is the derandomization claim:
+this construction's output varies across seeds (and its guarantees hold
+only with high probability), while :func:`repro.hopsets.build_hopset`
+produces the identical hopset on every run.  Sizes and stretches of the two
+should match in *shape*.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graphs.build import reweighted, union_with_edges
+from repro.graphs.csr import Graph
+from repro.hopsets.cluster_graph import bfs_from_clusters, neighbor_tables
+from repro.hopsets.clusters import ClusterMemory, Partition
+from repro.hopsets.hopset import INTERCONNECT, SUPERCLUSTER, Hopset, HopsetEdge
+from repro.hopsets.multi_scale import scale_range
+from repro.hopsets.params import HopsetParams, PhaseSchedule
+from repro.pram.machine import PRAM
+
+__all__ = ["build_randomized_hopset"]
+
+
+def _single_scale_randomized(
+    pram: PRAM,
+    g_prev: Graph,
+    schedule: PhaseSchedule,
+    rng: np.random.Generator,
+    tight_weights: bool,
+) -> list[HopsetEdge]:
+    """One scale of the sampling-based construction."""
+    n = g_prev.n
+    k = schedule.k
+    hops = 2 * schedule.beta + 1
+    log_n = math.log2(max(n, 2))
+    partition = Partition.singletons(n)
+    memory = ClusterMemory(n)
+    edges: list[HopsetEdge] = []
+    for i in range(schedule.ell + 1):
+        if partition.num_clusters <= 1:
+            break
+        members = partition.members_by_cluster()
+        centers = partition.centers
+        threshold = schedule.threshold(i)
+        deg = schedule.degrees[i]
+        last_phase = i == schedule.ell
+        x = partition.num_clusters if last_phase else deg + 1
+        tables = neighbor_tables(
+            pram, g_prev, partition, threshold, hops, x, members_by_cluster=members
+        )
+        sampled = np.zeros(partition.num_clusters, dtype=bool)
+        detected = np.zeros(partition.num_clusters, dtype=bool)
+        bfs = None
+        if not last_phase:
+            sampled = rng.random(partition.num_clusters) < 1.0 / deg
+        if sampled.any():
+            bfs = bfs_from_clusters(
+                pram, g_prev, partition, sampled, threshold, hops,
+                max_pulses=1, memory=memory, members_by_cluster=members,
+            )
+            detected = bfs.detected()
+            formula_w = 2 * ((1 + schedule.eps_prev) * schedule.deltas[i]
+                             + 2 * schedule.radii[i]) * log_n
+            for c in np.flatnonzero(detected & ~sampled):
+                origin = int(bfs.origin[c])
+                weight = float(bfs.acc_weight[c]) if tight_weights else formula_w
+                edges.append(
+                    HopsetEdge(
+                        u=int(centers[origin]), v=int(centers[c]), weight=weight,
+                        scale=k, phase=i, kind=SUPERCLUSTER,
+                    )
+                )
+        in_u = ~detected
+        for row in range(tables.cluster.size):
+            c = int(tables.cluster[row])
+            s = int(tables.src[row])
+            if c == s or not (in_u[c] and in_u[s]) or centers[c] > centers[s]:
+                continue
+            dist = float(tables.dist[row])
+            if tight_weights:
+                weight = (
+                    float(memory.cd[int(tables.member[row])])
+                    + dist
+                    + float(memory.cd[int(tables.seed[row])])
+                )
+            else:
+                weight = dist + 2 * schedule.radii[i]
+            edges.append(
+                HopsetEdge(
+                    u=int(centers[s]), v=int(centers[c]), weight=weight,
+                    scale=k, phase=i, kind=INTERCONNECT,
+                )
+            )
+        if not sampled.any():
+            break
+        assert bfs is not None
+        for c in np.flatnonzero(detected & ~sampled):
+            memory.absorb(members[int(c)], float(bfs.acc_weight[c]))
+        s_idx = np.flatnonzero(sampled)
+        new_of_origin = np.full(partition.num_clusters, -1, dtype=np.int64)
+        new_of_origin[s_idx] = np.arange(s_idx.size, dtype=np.int64)
+        new_cluster_of = np.full(n, -1, dtype=np.int64)
+        for c in np.flatnonzero(detected):
+            new_cluster_of[members[int(c)]] = new_of_origin[int(bfs.origin[c])]
+        partition = Partition(cluster_of=new_cluster_of, centers=centers[s_idx].copy())
+    return edges
+
+
+def build_randomized_hopset(
+    graph: Graph,
+    params: HopsetParams | None = None,
+    seed: int = 0,
+    pram: PRAM | None = None,
+) -> Hopset:
+    """The sampling-based multi-scale hopset (baseline for E5)."""
+    params = params if params is not None else HopsetParams()
+    pram = pram if pram is not None else PRAM()
+    rng = np.random.default_rng(seed)
+    n = graph.n
+    hopset = Hopset(n=n, beta=params.beta_for(n), epsilon=params.epsilon)
+    if graph.num_edges == 0 or n < 2:
+        return hopset
+    w_min = graph.min_weight()
+    scaled = reweighted(graph, 1.0 / w_min) if w_min != 1.0 else graph
+    k0, lam = scale_range(scaled, params.beta_for(n))
+    num_scales = max(lam - k0 + 1, 1)
+    eps_scale = params.epsilon / (2 * num_scales) if params.scale_epsilon else params.epsilon
+    eps_prev = 0.0
+    prev_edges: list[HopsetEdge] = []
+    for k in range(k0, lam + 1):
+        if prev_edges:
+            u = np.array([e.u for e in prev_edges], dtype=np.int64)
+            v = np.array([e.v for e in prev_edges], dtype=np.int64)
+            w = np.array([e.weight for e in prev_edges], dtype=np.float64)
+            g_prev = union_with_edges(scaled, u, v, w)
+        else:
+            g_prev = scaled
+        schedule = PhaseSchedule.for_scale(n, k, params, eps=eps_scale, eps_prev=eps_prev)
+        edges_k = _single_scale_randomized(
+            pram, g_prev, schedule, rng, params.tight_weights
+        )
+        hopset.add(edges_k)
+        prev_edges = edges_k
+        eps_prev = (1 + eps_prev) * (1 + eps_scale) - 1
+    if w_min != 1.0:
+        hopset.edges = [
+            HopsetEdge(u=e.u, v=e.v, weight=e.weight * w_min,
+                       scale=e.scale, phase=e.phase, kind=e.kind)
+            for e in hopset.edges
+        ]
+    return hopset

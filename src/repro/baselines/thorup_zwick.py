@@ -1,0 +1,89 @@
+"""Baseline: Thorup–Zwick-hierarchy hopsets ([TZ01/TZ06] via [EN17b, HP19]).
+
+The related-work section (§1.4) notes that the best randomized hopsets are
+built from the Thorup–Zwick sampling hierarchy, and [HP19] showed TZ
+*emulators* are universally optimal hopsets.  The classic construction:
+
+* sample a hierarchy V = A₀ ⊇ A₁ ⊇ … ⊇ A_{k−1} (each level keeps a vertex
+  with probability n^{−1/k});
+* every vertex u connects to its *bunch*:
+  ``B(u) = ⋃ᵢ { v ∈ Aᵢ \\ A_{i+1} : d(u, v) < d(u, A_{i+1}) }``
+  plus its level pivots p_i(u), with exact distances as weights.
+
+Expected size O(k·n^{1+1/k}).  Distances are computed exactly (sequential
+Dijkstra — this is a quality baseline, not a parallel contender), so the
+hopset is distance-safe by construction; its *hopbound/stretch* behaviour
+is what E18 compares against the deterministic construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.graphs.distances import dijkstra
+from repro.graphs.errors import InvalidGraphError
+from repro.hopsets.hopset import INTERCONNECT, Hopset, HopsetEdge
+
+__all__ = ["build_tz_hopset"]
+
+
+def build_tz_hopset(graph: Graph, k: int = 2, seed: int = 0) -> Hopset:
+    """The TZ bunch hopset with k hierarchy levels (randomized)."""
+    if k < 1:
+        raise InvalidGraphError(f"hierarchy depth k must be >= 1, got {k}")
+    n = graph.n
+    hopset = Hopset(n=n, beta=2, epsilon=float("nan"), meta={"construction": "thorup-zwick", "k": k})
+    if n < 2 or graph.num_edges == 0:
+        return hopset
+    rng = np.random.default_rng(seed)
+    p = float(n) ** (-1.0 / k)
+    levels = [np.ones(n, dtype=bool)]  # A_0 = V
+    for _ in range(1, k):
+        prev = levels[-1]
+        nxt = prev & (rng.random(n) < p)
+        levels.append(nxt)
+    levels.append(np.zeros(n, dtype=bool))  # A_k = ∅
+
+    # distance to each level set, per vertex (multi-source Dijkstra per level)
+    dist_to_level = np.full((k + 1, n), np.inf)
+    for i in range(k + 1):
+        members = np.flatnonzero(levels[i])
+        if members.size == 0:
+            continue
+        best = np.full(n, np.inf)
+        for s in members:
+            best = np.minimum(best, dijkstra(graph, int(s)))
+        dist_to_level[i] = best
+
+    pairs: dict[tuple[int, int], float] = {}
+    for u in range(n):
+        du = dijkstra(graph, u)
+        for i in range(k):
+            cut = dist_to_level[i + 1][u]
+            in_ring = levels[i] & ~levels[i + 1]
+            for v in np.flatnonzero(in_ring):
+                v = int(v)
+                if v == u or not np.isfinite(du[v]):
+                    continue
+                if du[v] < cut:  # bunch condition
+                    key = (min(u, v), max(u, v))
+                    w = float(du[v])
+                    if key not in pairs or w < pairs[key]:
+                        pairs[key] = w
+            # pivot edge to the nearest A_{i+1} vertex (if any)
+            if np.isfinite(cut) and i + 1 <= k - 1:
+                members = np.flatnonzero(levels[i + 1])
+                if members.size:
+                    piv = int(members[np.argmin([du[m] for m in members])])
+                    if piv != u and np.isfinite(du[piv]):
+                        key = (min(u, piv), max(u, piv))
+                        w = float(du[piv])
+                        if key not in pairs or w < pairs[key]:
+                            pairs[key] = w
+
+    hopset.add(
+        HopsetEdge(u=a, v=b, weight=w, scale=0, phase=-1, kind=INTERCONNECT)
+        for (a, b), w in sorted(pairs.items())
+    )
+    return hopset

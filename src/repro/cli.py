@@ -1,0 +1,255 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro build   graph.npz hopset.npz [--epsilon E --kappa K --rho R --beta B --paths --reduce]
+    python -m repro sssp    graph.npz hopset.npz --source S [--out dist.npz]
+    python -m repro spt     graph.npz hopset.npz --source S [--out tree.npz]
+    python -m repro certify graph.npz hopset.npz [--beta B --epsilon E]
+    python -m repro info    artifact.npz
+    python -m repro gen     graph.npz --family er --n 100 [--seed 7 ...]
+
+Edge-list ``.txt`` inputs (``u v w`` per line) are also accepted wherever a
+graph archive is expected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.build import from_edges
+from repro.graphs.csr import Graph
+from repro.graphs.generators import (
+    erdos_renyi,
+    grid_graph,
+    layered_hop_graph,
+    path_graph,
+    preferential_attachment,
+    random_geometric,
+    wide_weight_graph,
+)
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.path_reporting import build_path_reporting_hopset
+from repro.hopsets.reduction_paths import (
+    build_reduced_path_reporting_hopset,
+    spt_hop_budget,
+)
+from repro.hopsets.verification import certify
+from repro.hopsets.weight_reduction import build_reduced_hopset
+from repro.pram.machine import PRAM
+from repro.serialize import load_graph, load_hopset, save_graph, save_hopset
+from repro.sssp.spt import approximate_spt
+from repro.sssp.sssp import approximate_sssp_with_hopset
+
+__all__ = ["main"]
+
+_FAMILIES = {
+    "er": lambda a: erdos_renyi(a.n, a.p, seed=a.seed, w_range=(a.wmin, a.wmax)),
+    "grid": lambda a: grid_graph(
+        int(a.n**0.5), int(a.n**0.5), seed=a.seed, w_range=(a.wmin, a.wmax)
+    ),
+    "path": lambda a: path_graph(a.n, seed=a.seed, w_range=(a.wmin, a.wmax)),
+    "layered": lambda a: layered_hop_graph(max(a.n // 4, 2), 4, seed=a.seed),
+    "geometric": lambda a: random_geometric(a.n, a.radius, seed=a.seed),
+    "powerlaw": lambda a: preferential_attachment(a.n, 2, seed=a.seed),
+    "wide": lambda a: wide_weight_graph(a.n, a.aspect, seed=a.seed),
+}
+
+
+def _read_graph(path: str) -> Graph:
+    p = Path(path)
+    if p.suffix == ".npz":
+        return load_graph(p)
+    triples = []
+    n = 0
+    for line in p.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        u, v, w = line.split()
+        triples.append((int(u), int(v), float(w)))
+        n = max(n, int(u) + 1, int(v) + 1)
+    return from_edges(n, triples)
+
+
+def _params(args) -> HopsetParams:
+    return HopsetParams(
+        epsilon=args.epsilon, kappa=args.kappa, rho=args.rho, beta=args.beta
+    )
+
+
+def _add_param_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--kappa", type=int, default=2)
+    p.add_argument("--rho", type=float, default=0.4)
+    p.add_argument("--beta", type=int, default=None)
+
+
+def cmd_build(args) -> int:
+    g = _read_graph(args.graph)
+    params = _params(args)
+    pram = PRAM()
+    if args.reduce and args.paths:
+        hopset, _ = build_reduced_path_reporting_hopset(g, params, pram)
+    elif args.reduce:
+        hopset, _ = build_reduced_hopset(g, params, pram)
+    elif args.paths:
+        hopset, _ = build_path_reporting_hopset(g, params, pram)
+    else:
+        hopset, _ = build_hopset(g, params, pram)
+    save_hopset(args.out, hopset)
+    print(
+        f"built hopset: {hopset.num_records} records / {hopset.size()} pairs, "
+        f"work={pram.cost.work:,}, depth={pram.cost.depth:,} -> {args.out}"
+    )
+    return 0
+
+
+def cmd_sssp(args) -> int:
+    g = _read_graph(args.graph)
+    hopset = load_hopset(args.hopset)
+    budget = args.hops if args.hops else None
+    if hopset.meta.get("reduction"):
+        budget = budget or spt_hop_budget(hopset.beta)
+    res = approximate_sssp_with_hopset(g, hopset, args.source, hop_budget=budget)
+    reached = int(np.isfinite(res.dist).sum())
+    print(
+        f"sssp from {args.source}: reached {reached}/{g.n} vertices in "
+        f"{res.rounds_used} rounds"
+    )
+    if args.out:
+        np.savez_compressed(args.out, dist=res.dist, parent=res.parent)
+        print(f"wrote {args.out}")
+    else:
+        head = ", ".join(f"{d:.3f}" for d in res.dist[: min(10, g.n)])
+        print(f"dist[0:10] = [{head}]")
+    return 0
+
+
+def cmd_spt(args) -> int:
+    g = _read_graph(args.graph)
+    hopset = load_hopset(args.hopset)
+    budget = args.hops or (
+        spt_hop_budget(hopset.beta) if hopset.meta.get("reduction") else None
+    )
+    spt = approximate_spt(g, hopset, args.source, hop_budget=budget)
+    print(
+        f"spt rooted at {args.source}: {len(spt.tree_edges())} tree edges, "
+        f"peeled {sum(spt.replacements.values())} hopset edges"
+    )
+    if args.out:
+        np.savez_compressed(args.out, parent=spt.parent, dist=spt.dist)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_certify(args) -> int:
+    g = _read_graph(args.graph)
+    hopset = load_hopset(args.hopset)
+    beta = args.beta or 2 * hopset.beta + 1
+    cert = certify(g, hopset, beta=beta, epsilon=args.epsilon)
+    print(
+        f"certify(beta={beta}, eps={args.epsilon}): safe={cert.safe} "
+        f"holds={cert.holds} max_stretch={cert.max_stretch:.4f} "
+        f"pairs={cert.pairs_checked}"
+    )
+    return 0 if (cert.safe and cert.holds) else 1
+
+
+def cmd_info(args) -> int:
+    p = Path(args.artifact)
+    with np.load(p, allow_pickle=False) as data:
+        kind = str(data["kind"][0])
+    if kind == "graph":
+        g = load_graph(p)
+        print(f"graph: n={g.n}, m={g.num_edges}, weights "
+              f"[{g.min_weight():.4g}, {g.max_weight():.4g}]")
+    else:
+        h = load_hopset(p)
+        print(
+            f"hopset: n={h.n}, records={h.num_records}, pairs={h.size()}, "
+            f"beta={h.beta}, eps={h.epsilon}, scales={h.scales()}, "
+            f"kinds={h.kind_counts()}"
+        )
+    return 0
+
+
+def cmd_gen(args) -> int:
+    if args.family not in _FAMILIES:
+        print(f"unknown family {args.family!r}; options: {sorted(_FAMILIES)}",
+              file=sys.stderr)
+        return 2
+    g = _FAMILIES[args.family](args)
+    save_graph(args.out, g)
+    print(f"generated {args.family}: n={g.n}, m={g.num_edges} -> {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro", description="Deterministic PRAM hopsets & approximate SSSP"
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build", help="build a hopset for a graph")
+    p.add_argument("graph")
+    p.add_argument("out")
+    _add_param_flags(p)
+    p.add_argument("--paths", action="store_true", help="record memory paths (§4)")
+    p.add_argument("--reduce", action="store_true", help="Klein–Sairam reduction (App. C/D)")
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("sssp", help="(1+eps)-approximate single-source distances")
+    p.add_argument("graph")
+    p.add_argument("hopset")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--hops", type=int, default=None)
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=cmd_sssp)
+
+    p = sub.add_parser("spt", help="(1+eps)-approximate shortest-path tree")
+    p.add_argument("graph")
+    p.add_argument("hopset")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--hops", type=int, default=None)
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=cmd_spt)
+
+    p = sub.add_parser("certify", help="verify eq. (1) exhaustively")
+    p.add_argument("graph")
+    p.add_argument("hopset")
+    p.add_argument("--beta", type=int, default=None)
+    p.add_argument("--epsilon", type=float, default=0.25)
+    p.set_defaults(func=cmd_certify)
+
+    p = sub.add_parser("info", help="describe a saved artifact")
+    p.add_argument("artifact")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("gen", help="generate a workload graph")
+    p.add_argument("out")
+    p.add_argument("--family", default="er")
+    p.add_argument("--n", type=int, default=100)
+    p.add_argument("--p", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--wmin", type=float, default=1.0)
+    p.add_argument("--wmax", type=float, default=4.0)
+    p.add_argument("--radius", type=float, default=0.2)
+    p.add_argument("--aspect", type=float, default=1e4)
+    p.set_defaults(func=cmd_gen)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to the selected subcommand."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

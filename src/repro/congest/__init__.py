@@ -1,0 +1,12 @@
+"""CONGEST model simulator and the distributed ruling-set original."""
+
+from repro.congest.algorithms import distributed_bfs, distributed_ruling_set
+from repro.congest.network import CongestAlgorithm, CongestError, CongestNetwork
+
+__all__ = [
+    "CongestNetwork",
+    "CongestAlgorithm",
+    "CongestError",
+    "distributed_bfs",
+    "distributed_ruling_set",
+]

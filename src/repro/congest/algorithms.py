@@ -1,0 +1,149 @@
+"""Distributed algorithms on the CONGEST simulator.
+
+Two classics the paper's toolbox descends from:
+
+* **multi-source BFS** — the distributed primitive underlying every
+  exploration in this repository;
+* **the [AGLP89]-style (3, 2·log n)-ruling set** — the same ID-bit
+  divide-and-conquer the PRAM Algorithm 4 runs, in its native distributed
+  habitat: per bit level, the B₀ side floods a 2-hop knockout wave; B₁
+  nodes that hear it drop out.  On singleton clusters the PRAM and CONGEST
+  versions compute *identical* sets, which the tests assert — the
+  derandomization tool really is the same object in both models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.congest.network import CongestNetwork
+from repro.graphs.csr import Graph
+from repro.pram.primitives import ceil_log2
+
+__all__ = ["distributed_bfs", "distributed_ruling_set"]
+
+
+# ---------------------------------------------------------------------------
+# multi-source BFS
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _BFSState:
+    node: int
+    neighbors: list[int]
+    level: int
+    to_send: bool
+
+
+class _BFS:
+    """Flood levels from the sources; each node forwards once."""
+
+    def __init__(self, sources: set[int]) -> None:
+        self.sources = sources
+
+    def init(self, node_id: int, neighbors: list[int]) -> _BFSState:
+        is_src = node_id in self.sources
+        return _BFSState(
+            node=node_id,
+            neighbors=neighbors,
+            level=0 if is_src else -1,
+            to_send=is_src,
+        )
+
+    def step(self, state: _BFSState, inbox):
+        for _, (lvl,) in inbox:
+            if state.level < 0 or lvl + 1 < state.level:
+                state.level = lvl + 1
+                state.to_send = True
+        outbox = {}
+        if state.to_send:
+            outbox = {nbr: (state.level,) for nbr in state.neighbors}
+            state.to_send = False
+        return outbox, not outbox
+
+
+def distributed_bfs(graph: Graph, sources: np.ndarray) -> tuple[np.ndarray, int, int]:
+    """BFS levels from a source set; returns (levels, rounds, messages)."""
+    net = CongestNetwork(graph)
+    states = net.run(_BFS(set(int(s) for s in sources)))
+    levels = np.array([s.level for s in states], dtype=np.int64)
+    return levels, net.rounds, net.messages
+
+
+# ---------------------------------------------------------------------------
+# ruling set
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _RulingState:
+    node: int
+    neighbors: list[int]
+    alive: bool
+    started: bool = False
+
+
+class _RulingLevel:
+    """One bit level: B₀'s knockout wave travels 2 hops; B₁ listeners die.
+
+    Every alive candidate whose current bit is 0 starts a wave with
+    ttl = 2; nodes forward waves with decremented ttl (deduplicated per
+    round); alive candidates with bit 1 that hear any wave drop out.
+    """
+
+    def __init__(self, bit: int, alive: np.ndarray) -> None:
+        self.bit = bit
+        self.alive_in = alive
+
+    def init(self, node_id: int, neighbors: list[int]) -> _RulingState:
+        return _RulingState(node=node_id, neighbors=neighbors, alive=bool(self.alive_in[node_id]))
+
+    def _is_b0(self, state: _RulingState) -> bool:
+        return state.alive and ((state.node >> self.bit) & 1) == 0
+
+    def _is_b1(self, state: _RulingState) -> bool:
+        return state.alive and ((state.node >> self.bit) & 1) == 1
+
+    def step(self, state: _RulingState, inbox):
+        outbox: dict[int, tuple] = {}
+        if self._is_b0(state) and not state.started:
+            state.started = True
+            outbox = {nbr: (2,) for nbr in state.neighbors}
+            return outbox, False
+        heard = False
+        best_ttl = 0
+        for _, (ttl,) in inbox:
+            heard = True
+            best_ttl = max(best_ttl, ttl)
+        if heard and self._is_b1(state):
+            state.alive = False
+        if heard and best_ttl > 1:
+            outbox = {nbr: (best_ttl - 1,) for nbr in state.neighbors}
+        return outbox, not outbox
+
+
+def distributed_ruling_set(graph: Graph, candidates: np.ndarray) -> tuple[np.ndarray, int, int]:
+    """The AGLP bit recursion in CONGEST; returns (mask, rounds, messages).
+
+    Matches the PRAM :func:`repro.hopsets.ruling_sets.ruling_set` on
+    singleton clusters with threshold = hop = 1 (unit weights): a
+    (3, 2·⌈log n⌉)-ruling set of ``candidates`` w.r.t. graph distance.
+    """
+    alive = candidates.copy()
+    total_rounds = 0
+    total_msgs = 0
+    bits = ceil_log2(max(graph.n, 2))
+    for bit in range(bits):
+        has0 = np.any(alive & (((np.arange(graph.n) >> bit) & 1) == 0))
+        has1 = np.any(alive & (((np.arange(graph.n) >> bit) & 1) == 1))
+        if not (has0 and has1):
+            continue
+        net = CongestNetwork(graph)
+        states = net.run(_RulingLevel(bit, alive), max_rounds=graph.n + 8)
+        alive = np.array([s.alive for s in states], dtype=bool)
+        total_rounds += net.rounds
+        total_msgs += net.messages
+    return alive, total_rounds, total_msgs

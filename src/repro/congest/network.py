@@ -1,0 +1,93 @@
+"""A synchronous CONGEST message-passing simulator.
+
+Ruling sets entered parallel computing from *distributed* algorithms
+([GPS88, AGLP89], §1.2), and the paper's closest sibling [EM19] lives in
+the CONGEST model: n nodes, synchronous rounds, and per round at most one
+O(log n)-bit message per edge per direction.  This simulator provides that
+model so the repository can run the distributed originals of its
+derandomization tools and cross-validate them against the PRAM versions.
+
+An algorithm is an object with::
+
+    init(node_id, neighbors) -> state          # called once per node
+    step(state, inbox) -> (outbox, done)       # called once per round
+
+where ``inbox`` is a list of ``(neighbor, payload)`` and ``outbox`` maps
+neighbor → payload.  Payloads must fit the bandwidth: a payload is a tuple
+of at most ``bandwidth_words`` ints (CONGEST's O(log n) bits).  The network
+runs rounds until every node reports done (or a round limit), counting
+rounds and messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.graphs.csr import Graph
+
+__all__ = ["CongestError", "CongestAlgorithm", "CongestNetwork"]
+
+
+class CongestError(Exception):
+    """A CONGEST model violation (bandwidth, unknown neighbor, ...)."""
+
+
+class CongestAlgorithm(Protocol):  # pragma: no cover - typing only
+    def init(self, node_id: int, neighbors: list[int]) -> Any: ...
+
+    def step(self, state: Any, inbox: list[tuple[int, tuple]]) -> tuple[dict[int, tuple], bool]: ...
+
+
+@dataclass
+class CongestNetwork:
+    """Synchronous execution of one algorithm on every node of a graph."""
+
+    graph: Graph
+    bandwidth_words: int = 3
+    rounds: int = 0
+    messages: int = 0
+    _states: list[Any] = field(default_factory=list)
+    _neighbors: list[list[int]] = field(default_factory=list)
+
+    def run(self, algorithm: CongestAlgorithm, max_rounds: int | None = None) -> list[Any]:
+        """Run to completion; returns the final per-node states."""
+        n = self.graph.n
+        self._neighbors = [self.graph.neighbors(v)[0].tolist() for v in range(n)]
+        neighbor_sets = [set(nbrs) for nbrs in self._neighbors]
+        self._states = [algorithm.init(v, list(self._neighbors[v])) for v in range(n)]
+        inboxes: list[list[tuple[int, tuple]]] = [[] for _ in range(n)]
+        limit = max_rounds if max_rounds is not None else 4 * n + 16
+        self.rounds = 0
+        self.messages = 0
+        for _ in range(limit):
+            all_done = True
+            next_inboxes: list[list[tuple[int, tuple]]] = [[] for _ in range(n)]
+            for v in range(n):
+                outbox, done = algorithm.step(self._states[v], inboxes[v])
+                all_done = all_done and done
+                seen: set[int] = set()
+                for dst, payload in outbox.items():
+                    if dst not in neighbor_sets[v]:
+                        raise CongestError(
+                            f"node {v} tried to message non-neighbor {dst}"
+                        )
+                    if dst in seen:
+                        raise CongestError(
+                            f"node {v} sent two messages on edge ({v},{dst}) in one round"
+                        )
+                    seen.add(dst)
+                    if not isinstance(payload, tuple) or len(payload) > self.bandwidth_words:
+                        raise CongestError(
+                            f"payload {payload!r} exceeds the {self.bandwidth_words}-word "
+                            "CONGEST bandwidth"
+                        )
+                    next_inboxes[dst].append((v, payload))
+                    self.messages += 1
+            self.rounds += 1
+            inboxes = next_inboxes
+            if all_done and not any(next_inboxes):
+                break
+        else:
+            raise CongestError(f"algorithm did not terminate within {limit} rounds")
+        return self._states

@@ -1,0 +1,11 @@
+"""Pairwise covers — the [Coh94] ingredient whose derandomization is open."""
+
+from repro.covers.hopset_from_cover import build_cover_hopset
+from repro.covers.pairwise import PairwiseCover, build_pairwise_cover, verify_cover
+
+__all__ = [
+    "PairwiseCover",
+    "build_pairwise_cover",
+    "verify_cover",
+    "build_cover_hopset",
+]

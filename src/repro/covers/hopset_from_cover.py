@@ -1,0 +1,62 @@
+"""A cover-based hopset baseline (the [Coh94] route, simplified).
+
+Given a pairwise cover per distance scale, add a *star* into every cluster
+(center → member, weighted with the true in-cluster distance): any pair at
+distance ≤ W shares a cluster, so two hops through that cluster's center
+span it.  The stretch of this simple one-level scheme is governed by the
+cover radius — O(1/ρ) rather than 1+ε (Cohen's full construction recurses
+to drive it down; this baseline deliberately keeps the single level so the
+cover's radius/overlap tradeoff is visible in the measurements of E17).
+
+It is also inherently *sequential* to build (region growing), which is the
+entire reason the paper's ruling-set route exists.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.covers.pairwise import PairwiseCover, build_pairwise_cover
+from repro.graphs.csr import Graph
+from repro.graphs.distances import dijkstra
+from repro.hopsets.hopset import STAR, Hopset, HopsetEdge
+
+__all__ = ["build_cover_hopset"]
+
+
+def build_cover_hopset(
+    graph: Graph, rho: float = 0.5, beta: int = 2
+) -> tuple[Hopset, dict[int, PairwiseCover]]:
+    """One star per cover cluster per scale; 2 hops span any covered pair.
+
+    Returns the hopset plus the per-scale covers (for inspection and the
+    E17 table).  Weights are exact distances from the region-growing seed,
+    so the hopset is distance-safe by construction.
+    """
+    hopset = Hopset(n=graph.n, beta=beta, epsilon=float("nan"))
+    covers: dict[int, PairwiseCover] = {}
+    if graph.num_edges == 0 or graph.n < 2:
+        return hopset, covers
+    w_min = graph.min_weight()
+    diameter_bound = graph.total_weight()
+    k0 = 0
+    lam = max(int(math.ceil(math.log2(max(diameter_bound / w_min, 2.0)))), k0)
+    for k in range(k0, lam + 1):
+        W = w_min * (2.0**k)
+        cover = build_pairwise_cover(graph, W, rho)
+        covers[k] = cover
+        for center, cluster in zip(cover.centers, cover.clusters):
+            if cluster.size <= 1:
+                continue
+            dist = dijkstra(graph, center)
+            for v in cluster:
+                v = int(v)
+                if v == center or not np.isfinite(dist[v]) or dist[v] <= 0:
+                    continue
+                hopset.edges.append(
+                    HopsetEdge(u=center, v=v, weight=float(dist[v]),
+                               scale=k, phase=-1, kind=STAR)
+                )
+    return hopset, covers

@@ -1,0 +1,70 @@
+"""Graph substrate: CSR graphs, generators, components, contraction, oracles."""
+
+from repro.graphs.build import (
+    from_edge_arrays,
+    from_edges,
+    reweighted,
+    subgraph_by_weight,
+    union_with_edges,
+)
+from repro.graphs.components import component_sizes, connected_components
+from repro.graphs.contraction import Quotient, quotient_graph, relabel_dense
+from repro.graphs.csr import Graph
+from repro.graphs.distances import (
+    all_pairs_dijkstra,
+    dijkstra,
+    dijkstra_with_parents,
+    hop_limited_distances,
+    path_weight,
+    reconstruct_path,
+)
+from repro.graphs.errors import (
+    DisconnectedGraphError,
+    GraphError,
+    InvalidGraphError,
+    VertexError,
+)
+from repro.graphs.preprocess import (
+    ZeroContraction,
+    contract_zero_edges,
+    lift_distances,
+)
+from repro.graphs.properties import (
+    aspect_ratio_bound,
+    exact_aspect_ratio,
+    hop_diameter,
+    is_connected,
+    weight_aspect_ratio,
+)
+
+__all__ = [
+    "Graph",
+    "from_edges",
+    "from_edge_arrays",
+    "union_with_edges",
+    "reweighted",
+    "subgraph_by_weight",
+    "connected_components",
+    "component_sizes",
+    "Quotient",
+    "quotient_graph",
+    "relabel_dense",
+    "dijkstra",
+    "dijkstra_with_parents",
+    "all_pairs_dijkstra",
+    "hop_limited_distances",
+    "path_weight",
+    "reconstruct_path",
+    "ZeroContraction",
+    "contract_zero_edges",
+    "lift_distances",
+    "aspect_ratio_bound",
+    "exact_aspect_ratio",
+    "weight_aspect_ratio",
+    "hop_diameter",
+    "is_connected",
+    "GraphError",
+    "InvalidGraphError",
+    "DisconnectedGraphError",
+    "VertexError",
+]

@@ -1,0 +1,94 @@
+"""Validated graph constructors and graph surgery helpers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.graphs.errors import InvalidGraphError
+
+__all__ = [
+    "from_edges",
+    "from_edge_arrays",
+    "union_with_edges",
+    "reweighted",
+    "subgraph_by_weight",
+]
+
+
+def from_edges(num_vertices: int, edges: Iterable[Sequence]) -> Graph:
+    """Build a graph from an iterable of ``(u, v, w)`` triples.
+
+    Parallel edges are deduplicated keeping the lightest; self-loops are
+    rejected.  This mirrors the paper's convention that ω(u, v) is a single
+    positive weight per unordered pair.
+    """
+    triples = list(edges)
+    if not triples:
+        return Graph(num_vertices, np.zeros(0), np.zeros(0), np.zeros(0))
+    arr = np.asarray(triples, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise InvalidGraphError("edges must be (u, v, w) triples")
+    return from_edge_arrays(
+        num_vertices,
+        arr[:, 0].astype(np.int64),
+        arr[:, 1].astype(np.int64),
+        arr[:, 2],
+    )
+
+
+def from_edge_arrays(
+    num_vertices: int, u: np.ndarray, v: np.ndarray, w: np.ndarray
+) -> Graph:
+    """Build a graph from parallel edge arrays, deduplicating parallels."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    w = np.asarray(w, dtype=np.float64)
+    if np.any(u == v):
+        raise InvalidGraphError("self-loops are not allowed")
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    # Keep the minimum weight per unordered pair: sort by (lo, hi, w) and
+    # take the first occurrence of each pair.
+    order = np.lexsort((w, hi, lo))
+    lo, hi, w = lo[order], hi[order], w[order]
+    if lo.size:
+        keep = np.ones(lo.size, dtype=bool)
+        keep[1:] = (lo[1:] != lo[:-1]) | (hi[1:] != hi[:-1])
+        lo, hi, w = lo[keep], hi[keep], w[keep]
+    return Graph(num_vertices, lo, hi, w)
+
+
+def union_with_edges(
+    graph: Graph, u: np.ndarray, v: np.ndarray, w: np.ndarray
+) -> Graph:
+    """The graph ``G ∪ H``: add edges, keeping min weight on collisions.
+
+    This realizes the paper's ``G_k = (V, E ∪ H_k, ω_k)`` with
+    ``ω_k(u,v) = min(ω(u,v), ω_{H_k}(u,v))``.
+    """
+    all_u = np.concatenate([graph.edge_u, np.asarray(u, dtype=np.int64)])
+    all_v = np.concatenate([graph.edge_v, np.asarray(v, dtype=np.int64)])
+    all_w = np.concatenate([graph.edge_w, np.asarray(w, dtype=np.float64)])
+    return from_edge_arrays(graph.n, all_u, all_v, all_w)
+
+
+def reweighted(graph: Graph, scale: float) -> Graph:
+    """Copy of ``graph`` with all weights multiplied by ``scale`` > 0."""
+    if not scale > 0:
+        raise InvalidGraphError(f"weight scale must be positive, got {scale}")
+    return Graph(graph.n, graph.edge_u, graph.edge_v, graph.edge_w * scale)
+
+
+def subgraph_by_weight(
+    graph: Graph, min_w: float = 0.0, max_w: float = float("inf")
+) -> Graph:
+    """Subgraph keeping edges with weight in ``(min_w, max_w]``.
+
+    Used by the Klein–Sairam reduction (Appendix C), which deletes edges
+    above ``2^{k+1}`` and contracts edges at most ``(ε/n)·2^k``.
+    """
+    mask = (graph.edge_w > min_w) & (graph.edge_w <= max_w)
+    return Graph(graph.n, graph.edge_u[mask], graph.edge_v[mask], graph.edge_w[mask])

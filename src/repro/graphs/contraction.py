@@ -1,0 +1,114 @@
+"""Quotient (contracted) graphs — the node graphs of Appendix C.
+
+Given component labels, :func:`quotient_graph` groups vertices into *nodes*
+and keeps, for every pair of adjacent nodes, the lightest crossing edge —
+remembering which original edge realized it (the reduction's path-reporting
+variant, Appendix D, needs the realizing endpoints (x, y) per superedge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.graphs.errors import InvalidGraphError
+
+__all__ = ["Quotient", "quotient_graph", "relabel_dense"]
+
+
+@dataclass(frozen=True)
+class Quotient:
+    """A contracted graph plus the bookkeeping to lift results back.
+
+    Attributes
+    ----------
+    graph:
+        The node graph; vertices are dense node ids ``0 .. num_nodes-1``.
+    node_of:
+        For each original vertex, its node id.
+    members:
+        For each node id, the array of original vertex ids it contains.
+    rep_u, rep_v:
+        For node-graph edge j (in ``graph.edges()`` order), the original
+        endpoints realizing the lightest crossing edge, with
+        ``node_of[rep_u[j]] == graph.edge_u[j]``.
+    """
+
+    graph: Graph
+    node_of: np.ndarray
+    members: list[np.ndarray]
+    rep_u: np.ndarray
+    rep_v: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.n
+
+    def node_sizes(self) -> np.ndarray:
+        return np.array([m.size for m in self.members], dtype=np.int64)
+
+
+def relabel_dense(labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Relabel arbitrary labels to ``0..k-1``; returns (dense, originals)."""
+    originals, dense = np.unique(labels, return_inverse=True)
+    return dense.astype(np.int64), originals
+
+
+def quotient_graph(
+    base: Graph,
+    labels: np.ndarray,
+    max_weight: float = float("inf"),
+    weight_offset: np.ndarray | None = None,
+) -> Quotient:
+    """Contract ``base`` by ``labels``, keeping lightest crossing edges.
+
+    Parameters
+    ----------
+    base:
+        The original graph.
+    labels:
+        Per-vertex group labels (any integers).
+    max_weight:
+        Crossing edges heavier than this are dropped (Appendix C deletes
+        edges above 2^{k+1} *before* reweighting).
+    weight_offset:
+        Optional per-node additive offsets; superedge (X, Y) realized by an
+        original edge of weight w gets weight ``w + offset[X] + offset[Y]``
+        — exactly eq. (21)'s ``ω(x,y) + (|X|+|Y|)·(ε/n)·2^k`` when the
+        offset of node X is ``|X|·(ε/n)·2^k``.
+    """
+    if labels.shape != (base.n,):
+        raise InvalidGraphError("labels must have one entry per vertex")
+    node_of, originals = relabel_dense(labels)
+    k = int(originals.size)
+    members = [np.flatnonzero(node_of == g) for g in range(k)]
+
+    u, v, w = base.edges()
+    nu, nv = node_of[u], node_of[v]
+    cross = (nu != nv) & (w <= max_weight)
+    u, v, w, nu, nv = u[cross], v[cross], w[cross], nu[cross], nv[cross]
+    lo = np.minimum(nu, nv)
+    hi = np.maximum(nu, nv)
+    # orient the realizing endpoints to match (lo, hi)
+    swap = nu > nv
+    ru = np.where(swap, v, u)
+    rv = np.where(swap, u, v)
+    order = np.lexsort((w, hi, lo))
+    lo, hi, w, ru, rv = lo[order], hi[order], w[order], ru[order], rv[order]
+    if lo.size:
+        keep = np.ones(lo.size, dtype=bool)
+        keep[1:] = (lo[1:] != lo[:-1]) | (hi[1:] != hi[:-1])
+        lo, hi, w, ru, rv = lo[keep], hi[keep], w[keep], ru[keep], rv[keep]
+    if weight_offset is not None:
+        if weight_offset.shape != (k,):
+            raise InvalidGraphError("weight_offset must have one entry per node")
+        w = w + weight_offset[lo] + weight_offset[hi]
+    qgraph = Graph(k, lo, hi, w)
+    # Graph() re-sorts edges; (lo, hi) were already sorted in the same key
+    # order (lexsort by (hi, lo) equals lexsort by (w, hi, lo) after dedup,
+    # because each (lo, hi) pair is now unique), so rep arrays stay aligned.
+    return Quotient(
+        graph=qgraph, node_of=node_of, members=members, rep_u=ru, rep_v=rv
+    )

@@ -1,0 +1,173 @@
+"""Weighted undirected graphs in compressed-sparse-row form.
+
+This is the substrate every algorithm in the repository works on: the input
+graph G = (V, E, ω) of the paper (Section 1.5), with positive edge weights
+and vertex ids ``0 .. n-1``.
+
+The representation keeps two views that the algorithms need:
+
+* a **unique-edge view** (``edge_u``, ``edge_v``, ``edge_w``): each
+  undirected edge once, ``edge_u < edge_v`` — used for hopset accounting and
+  edge-parallel relaxation;
+* a **CSR adjacency view** (``indptr``, ``indices``, ``weights``): both
+  directions of every edge, sorted by endpoint — used for traversals.
+
+Graphs are immutable; "G ∪ H" unions are materialized by
+:func:`repro.graphs.build.union_with_edges` into a fresh object.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.errors import InvalidGraphError, VertexError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable weighted undirected graph.
+
+    Parameters
+    ----------
+    num_vertices:
+        n, the number of vertices (ids ``0 .. n-1``).
+    edge_u, edge_v, edge_w:
+        Parallel arrays of the unique undirected edges.  Self-loops and
+        duplicate pairs are rejected here — use
+        :func:`repro.graphs.build.from_edges` to build from raw edge soup
+        (it deduplicates, keeping the lightest parallel edge).
+    """
+
+    __slots__ = (
+        "n",
+        "edge_u",
+        "edge_v",
+        "edge_w",
+        "indptr",
+        "indices",
+        "weights",
+        "arc_edge_id",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        edge_w: np.ndarray,
+    ) -> None:
+        if num_vertices < 0:
+            raise InvalidGraphError(f"vertex count must be non-negative, got {num_vertices}")
+        edge_u = np.asarray(edge_u, dtype=np.int64)
+        edge_v = np.asarray(edge_v, dtype=np.int64)
+        edge_w = np.asarray(edge_w, dtype=np.float64)
+        if not (edge_u.shape == edge_v.shape == edge_w.shape):
+            raise InvalidGraphError("edge arrays must have equal length")
+        m = int(edge_u.size)
+        if m:
+            if edge_u.min(initial=0) < 0 or edge_v.min(initial=0) < 0:
+                raise InvalidGraphError("negative vertex id in edge list")
+            if max(edge_u.max(initial=-1), edge_v.max(initial=-1)) >= num_vertices:
+                raise InvalidGraphError("vertex id out of range in edge list")
+            if np.any(edge_u == edge_v):
+                raise InvalidGraphError("self-loops are not allowed")
+            if np.any(~np.isfinite(edge_w)) or np.any(edge_w <= 0):
+                raise InvalidGraphError("edge weights must be positive and finite")
+        # Canonicalize edge direction and order.
+        lo = np.minimum(edge_u, edge_v)
+        hi = np.maximum(edge_u, edge_v)
+        order = np.lexsort((hi, lo))
+        lo, hi, edge_w = lo[order], hi[order], edge_w[order]
+        if m > 1 and np.any((lo[1:] == lo[:-1]) & (hi[1:] == hi[:-1])):
+            raise InvalidGraphError(
+                "duplicate edges; use repro.graphs.build.from_edges to deduplicate"
+            )
+        self.n = int(num_vertices)
+        self.edge_u = lo
+        self.edge_v = hi
+        self.edge_w = edge_w
+        self.edge_u.setflags(write=False)
+        self.edge_v.setflags(write=False)
+        self.edge_w.setflags(write=False)
+
+        # CSR over both arc directions.
+        heads = np.concatenate([lo, hi])
+        tails = np.concatenate([hi, lo])
+        arc_w = np.concatenate([edge_w, edge_w])
+        arc_eid = np.tile(np.arange(m, dtype=np.int64), 2)
+        arc_order = np.lexsort((tails, heads))
+        heads = heads[arc_order]
+        self.indices = tails[arc_order]
+        self.weights = arc_w[arc_order]
+        self.arc_edge_id = arc_eid[arc_order]
+        self.indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.add.at(self.indptr, heads + 1, 1)
+        np.cumsum(self.indptr, out=self.indptr)
+        for arr in (self.indices, self.weights, self.arc_edge_id, self.indptr):
+            arr.setflags(write=False)
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """|E|: the number of unique undirected edges."""
+        return int(self.edge_u.size)
+
+    def degree(self, v: int | None = None):
+        """Degree of ``v``, or the full degree array when ``v`` is None."""
+        degs = np.diff(self.indptr)
+        if v is None:
+            return degs
+        self._check_vertex(v)
+        return int(degs[v])
+
+    def neighbors(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """(neighbor ids, edge weights) of vertex ``v``."""
+        self._check_vertex(v)
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        return self.indices[lo:hi], self.weights[lo:hi]
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge (u, v); ``inf`` if absent (paper's convention)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        nbrs, ws = self.neighbors(u)
+        hit = np.flatnonzero(nbrs == v)
+        return float(ws[hit[0]]) if hit.size else float("inf")
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return np.isfinite(self.edge_weight(u, v))
+
+    def arcs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All directed arcs as (tails, heads, weights) — 2|E| of them.
+
+        "Tail" is the arc's source vertex.  The arrays are aligned with the
+        CSR layout, so ``tails`` is simply the CSR row of each slot.
+        """
+        tails = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.indptr))
+        return tails, self.indices, self.weights
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The unique undirected edges as (u, v, w) with u < v."""
+        return self.edge_u, self.edge_v, self.edge_w
+
+    def min_weight(self) -> float:
+        if self.num_edges == 0:
+            raise InvalidGraphError("graph has no edges")
+        return float(self.edge_w.min())
+
+    def max_weight(self) -> float:
+        if self.num_edges == 0:
+            raise InvalidGraphError("graph has no edges")
+        return float(self.edge_w.max())
+
+    def total_weight(self) -> float:
+        return float(self.edge_w.sum())
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise VertexError(f"vertex {v} out of range for graph on {self.n} vertices")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(n={self.n}, m={self.num_edges})"

@@ -1,0 +1,19 @@
+"""Exception types for the graph substrate."""
+
+from __future__ import annotations
+
+
+class GraphError(Exception):
+    """Base class for graph-construction and graph-query errors."""
+
+
+class InvalidGraphError(GraphError):
+    """The edge data does not describe a valid weighted undirected graph."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation requiring connectivity was run on a disconnected graph."""
+
+
+class VertexError(GraphError):
+    """A vertex id is out of range."""

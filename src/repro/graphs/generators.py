@@ -1,0 +1,325 @@
+"""Workload generators for the experiments.
+
+All generators are deterministic given a seed (randomness only ever enters
+through a seeded :class:`numpy.random.Generator`), so every experiment in the
+benchmark harness is reproducible end to end.
+
+The families map to the experiments of DESIGN.md §4:
+
+* Erdős–Rényi and random geometric graphs — generic hopset workloads (E1–E3, E5);
+* grids / tori — the structured sparse workloads;
+* weighted paths, caterpillars and layered graphs — *high hop-diameter*
+  workloads where a hopset is essential for polylog-depth SSSP (E4);
+* wide-weight-range graphs — aspect-ratio stress for the Klein–Sairam
+  reduction (E7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.build import from_edge_arrays
+from repro.graphs.csr import Graph
+from repro.graphs.errors import InvalidGraphError
+
+__all__ = [
+    "as_rng",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "erdos_renyi",
+    "random_geometric",
+    "preferential_attachment",
+    "caterpillar",
+    "layered_hop_graph",
+    "wide_weight_graph",
+    "hypercube_graph",
+    "random_regular",
+    "binary_tree",
+    "circulant_graph",
+]
+
+
+def as_rng(seed) -> np.random.Generator:
+    """Coerce an int seed or Generator into a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _weights(rng: np.random.Generator, m: int, lo: float, hi: float) -> np.ndarray:
+    if not (0 < lo <= hi):
+        raise InvalidGraphError(f"invalid weight range ({lo}, {hi})")
+    if lo == hi:
+        return np.full(m, lo)
+    return rng.uniform(lo, hi, size=m)
+
+
+def path_graph(n: int, weight: float = 1.0, seed=None, w_range=None) -> Graph:
+    """A weighted path 0 - 1 - ... - (n-1)."""
+    if n < 1:
+        raise InvalidGraphError("path needs at least one vertex")
+    u = np.arange(n - 1, dtype=np.int64)
+    v = u + 1
+    if w_range is not None:
+        w = _weights(as_rng(seed), n - 1, *w_range)
+    else:
+        w = np.full(n - 1, float(weight))
+    return from_edge_arrays(n, u, v, w)
+
+
+def cycle_graph(n: int, weight: float = 1.0) -> Graph:
+    """A weighted cycle on n >= 3 vertices."""
+    if n < 3:
+        raise InvalidGraphError("cycle needs at least three vertices")
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    return from_edge_arrays(n, u, v, np.full(n, float(weight)))
+
+
+def star_graph(n: int, weight: float = 1.0) -> Graph:
+    """A star: center 0 joined to vertices 1..n-1."""
+    if n < 2:
+        raise InvalidGraphError("star needs at least two vertices")
+    v = np.arange(1, n, dtype=np.int64)
+    u = np.zeros(n - 1, dtype=np.int64)
+    return from_edge_arrays(n, u, v, np.full(n - 1, float(weight)))
+
+
+def complete_graph(n: int, seed=None, w_range=(1.0, 2.0)) -> Graph:
+    """K_n with random weights in ``w_range``."""
+    if n < 2:
+        raise InvalidGraphError("complete graph needs at least two vertices")
+    u, v = np.triu_indices(n, k=1)
+    w = _weights(as_rng(seed), u.size, *w_range)
+    return from_edge_arrays(n, u.astype(np.int64), v.astype(np.int64), w)
+
+
+def grid_graph(rows: int, cols: int, seed=None, w_range=(1.0, 1.0)) -> Graph:
+    """A rows × cols grid; vertex (r, c) has id ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise InvalidGraphError("grid dimensions must be positive")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    hor_u = ids[:, :-1].ravel()
+    hor_v = ids[:, 1:].ravel()
+    ver_u = ids[:-1, :].ravel()
+    ver_v = ids[1:, :].ravel()
+    u = np.concatenate([hor_u, ver_u])
+    v = np.concatenate([hor_v, ver_v])
+    w = _weights(as_rng(seed), u.size, *w_range)
+    return from_edge_arrays(rows * cols, u, v, w)
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    seed=None,
+    w_range=(1.0, 2.0),
+    ensure_connected: bool = True,
+) -> Graph:
+    """G(n, p) with uniform random weights.
+
+    With ``ensure_connected`` a random spanning tree (random parent among
+    earlier vertices) is added, so SSSP experiments always reach every
+    vertex.
+    """
+    if n < 1:
+        raise InvalidGraphError("graph needs at least one vertex")
+    if not 0 <= p <= 1:
+        raise InvalidGraphError(f"edge probability must be in [0,1], got {p}")
+    rng = as_rng(seed)
+    iu, iv = np.triu_indices(n, k=1)
+    mask = rng.random(iu.size) < p
+    u = iu[mask].astype(np.int64)
+    v = iv[mask].astype(np.int64)
+    if ensure_connected and n > 1:
+        kids = np.arange(1, n, dtype=np.int64)
+        parents = (rng.random(n - 1) * kids).astype(np.int64)  # parent < kid
+        u = np.concatenate([u, parents])
+        v = np.concatenate([v, kids])
+    w = _weights(rng, u.size, *w_range)
+    return from_edge_arrays(n, u, v, w)
+
+
+def random_geometric(n: int, radius: float, seed=None, connect: bool = True) -> Graph:
+    """Random geometric graph on the unit square; weights = distances.
+
+    Points within ``radius`` are joined; weights are Euclidean distances
+    (scaled so the minimum weight is >= a small positive floor).  With
+    ``connect``, a nearest-unreached-neighbor tree links any stray
+    components.
+    """
+    rng = as_rng(seed)
+    pts = rng.random((n, 2))
+    diff = pts[:, None, :] - pts[None, :, :]
+    dist = np.sqrt((diff**2).sum(-1))
+    iu, iv = np.triu_indices(n, k=1)
+    mask = dist[iu, iv] <= radius
+    u, v = iu[mask].astype(np.int64), iv[mask].astype(np.int64)
+    w = dist[u, v]
+    if connect and n > 1:
+        # Prim-style: connect each vertex 1..n-1 to its nearest predecessor.
+        kids = np.arange(1, n, dtype=np.int64)
+        # nearest neighbor among vertices with a smaller id
+        best = np.array([int(np.argmin(dist[k, :k])) for k in kids], dtype=np.int64)
+        u = np.concatenate([u, best])
+        v = np.concatenate([v, kids])
+        w = np.concatenate([w, dist[best, kids]])
+    floor = 1e-6
+    w = np.maximum(w, floor)
+    return from_edge_arrays(n, u, v, w)
+
+
+def preferential_attachment(n: int, m_per: int, seed=None, w_range=(1.0, 2.0)) -> Graph:
+    """Barabási–Albert-style preferential attachment (power-law degrees)."""
+    if n < 2 or m_per < 1:
+        raise InvalidGraphError("need n >= 2 and m_per >= 1")
+    rng = as_rng(seed)
+    targets_pool: list[int] = [0]
+    us: list[int] = []
+    vs: list[int] = []
+    for new in range(1, n):
+        k = min(m_per, new)
+        choices = rng.choice(len(targets_pool), size=k, replace=False)
+        picked = {targets_pool[c] for c in choices}
+        for t in picked:
+            us.append(t)
+            vs.append(new)
+            targets_pool.append(t)
+        targets_pool.extend([new] * len(picked))
+    w = _weights(rng, len(us), *w_range)
+    return from_edge_arrays(n, np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64), w)
+
+
+def caterpillar(spine: int, legs_per: int, seed=None, w_range=(1.0, 1.0)) -> Graph:
+    """A caterpillar tree: a spine path with ``legs_per`` leaves per vertex."""
+    if spine < 2:
+        raise InvalidGraphError("caterpillar spine needs at least two vertices")
+    n = spine * (1 + legs_per)
+    su = np.arange(spine - 1, dtype=np.int64)
+    sv = su + 1
+    leg_u = np.repeat(np.arange(spine, dtype=np.int64), legs_per)
+    leg_v = np.arange(spine, n, dtype=np.int64)
+    u = np.concatenate([su, leg_u])
+    v = np.concatenate([sv, leg_v])
+    w = _weights(as_rng(seed), u.size, *w_range)
+    return from_edge_arrays(n, u, v, w)
+
+
+def layered_hop_graph(layers: int, width: int, seed=None, w_range=(1.0, 2.0)) -> Graph:
+    """A deep layered graph: high hop diameter, the E4 stress workload.
+
+    ``layers`` layers of ``width`` vertices; each vertex joins a random
+    subset of the next layer.  Any s-t path crosses all layers, so plain
+    Bellman–Ford needs Θ(layers) rounds while a hopset cuts the depth to β.
+    """
+    if layers < 2 or width < 1:
+        raise InvalidGraphError("need layers >= 2 and width >= 1")
+    rng = as_rng(seed)
+    n = layers * width
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+    for layer in range(layers - 1):
+        base = layer * width
+        nxt = base + width
+        src = np.repeat(np.arange(base, base + width, dtype=np.int64), 2)
+        dst = nxt + rng.integers(0, width, size=src.size)
+        # guarantee layer-to-layer connectivity with an aligned matching
+        src = np.concatenate([src, np.arange(base, base + width, dtype=np.int64)])
+        dst = np.concatenate([dst, np.arange(nxt, nxt + width, dtype=np.int64)])
+        us.append(src)
+        vs.append(dst.astype(np.int64))
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    w = _weights(rng, u.size, *w_range)
+    return from_edge_arrays(n, u, v, w)
+
+
+def wide_weight_graph(n: int, aspect: float, seed=None, p: float = 0.05) -> Graph:
+    """Connected random graph whose edge weights span ``[1, aspect]``.
+
+    Weights are drawn log-uniformly so every scale (2^k, 2^{k+1}] is
+    populated — the stress case for the Klein–Sairam weight reduction (E7).
+    """
+    if aspect < 1:
+        raise InvalidGraphError(f"aspect must be >= 1, got {aspect}")
+    rng = as_rng(seed)
+    g = erdos_renyi(n, p, seed=rng, w_range=(1.0, 1.0), ensure_connected=True)
+    m = g.num_edges
+    w = np.exp(rng.uniform(0.0, np.log(max(aspect, 1.0 + 1e-12)), size=m))
+    return from_edge_arrays(n, g.edge_u, g.edge_v, w)
+
+
+def hypercube_graph(dim: int, seed=None, w_range=(1.0, 1.0)) -> Graph:
+    """The d-dimensional hypercube: 2^d vertices, edges across one bit flip.
+
+    Log-diameter, highly symmetric — a favorable workload where even small
+    hop budgets reach everything (the counterpoint to the layered graphs).
+    """
+    if dim < 1:
+        raise InvalidGraphError("hypercube dimension must be at least 1")
+    n = 1 << dim
+    ids = np.arange(n, dtype=np.int64)
+    us, vs = [], []
+    for b in range(dim):
+        mask = (ids >> b) & 1
+        lo = ids[mask == 0]
+        us.append(lo)
+        vs.append(lo | (1 << b))
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    return from_edge_arrays(n, u, v, _weights(as_rng(seed), u.size, *w_range))
+
+
+def random_regular(n: int, degree: int, seed=None, w_range=(1.0, 2.0)) -> Graph:
+    """An (approximately) d-regular random graph via the pairing model.
+
+    Self-loops and duplicate pairs from the pairing are dropped, so a few
+    vertices may end up with degree d−O(1); the expander-like structure
+    (constant diameter for d ≥ 3) is what the tests rely on.
+    """
+    if degree < 2 or degree >= n:
+        raise InvalidGraphError("need 2 <= degree < n")
+    if (n * degree) % 2 != 0:
+        raise InvalidGraphError("n * degree must be even for the pairing model")
+    rng = as_rng(seed)
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degree)
+    rng.shuffle(stubs)
+    u = stubs[0::2]
+    v = stubs[1::2]
+    keep = u != v
+    u, v = u[keep], v[keep]
+    return from_edge_arrays(n, u, v, _weights(rng, u.size, *w_range))
+
+
+def binary_tree(depth: int, seed=None, w_range=(1.0, 1.0)) -> Graph:
+    """A complete binary tree of the given depth (root = vertex 0)."""
+    if depth < 1:
+        raise InvalidGraphError("tree depth must be at least 1")
+    n = (1 << (depth + 1)) - 1
+    kids = np.arange(1, n, dtype=np.int64)
+    parents = (kids - 1) // 2
+    return from_edge_arrays(n, parents, kids, _weights(as_rng(seed), kids.size, *w_range))
+
+
+def circulant_graph(n: int, offsets: tuple[int, ...] = (1, 2), weight: float = 1.0) -> Graph:
+    """A circulant (vertex-transitive) graph: i ~ i±o for each offset o.
+
+    With spread offsets this is a decent constant-degree expander stand-in
+    for the dense-neighborhood regime of the superclustering phases.
+    """
+    if n < 3:
+        raise InvalidGraphError("circulant needs at least 3 vertices")
+    if not offsets or any(o <= 0 or o >= n for o in offsets):
+        raise InvalidGraphError("offsets must lie in [1, n-1]")
+    ids = np.arange(n, dtype=np.int64)
+    us, vs = [], []
+    for o in offsets:
+        us.append(ids)
+        vs.append((ids + o) % n)
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    keep = u != v
+    return from_edge_arrays(n, u[keep], v[keep], np.full(int(keep.sum()), float(weight)))

@@ -1,0 +1,87 @@
+"""Graph statistics: aspect ratio, hop diameter, connectivity.
+
+The paper's complexity bounds depend on the *aspect ratio*
+``Λ = max-distance / min-distance`` (Section 1.5).  Exact Λ needs all-pairs
+distances, affordable only for test-sized graphs; :func:`aspect_ratio_bound`
+gives the standard overestimate ``n · max-weight / min-weight`` used to size
+the scale range ``k ∈ [k0, λ]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.graphs.distances import all_pairs_dijkstra, dijkstra
+from repro.graphs.errors import InvalidGraphError
+
+__all__ = [
+    "weight_aspect_ratio",
+    "aspect_ratio_bound",
+    "exact_aspect_ratio",
+    "is_connected",
+    "hop_diameter",
+    "weighted_diameter_upper_bound",
+]
+
+
+def weight_aspect_ratio(graph: Graph) -> float:
+    """max edge weight / min edge weight."""
+    return graph.max_weight() / graph.min_weight()
+
+
+def aspect_ratio_bound(graph: Graph) -> float:
+    """Upper bound on Λ: any shortest path has < n edges of max weight."""
+    if graph.num_edges == 0:
+        return 1.0
+    return (graph.n - 1) * graph.max_weight() / graph.min_weight()
+
+
+def exact_aspect_ratio(graph: Graph) -> float:
+    """Exact Λ via all-pairs Dijkstra (test-sized graphs only)."""
+    dmat = all_pairs_dijkstra(graph)
+    finite = dmat[np.isfinite(dmat) & (dmat > 0)]
+    if finite.size == 0:
+        raise InvalidGraphError("graph has no connected vertex pairs")
+    return float(finite.max() / finite.min())
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whole-graph connectivity via one Dijkstra sweep."""
+    if graph.n <= 1:
+        return True
+    return bool(np.all(np.isfinite(dijkstra(graph, 0))))
+
+
+def hop_diameter(graph: Graph) -> int:
+    """Maximum over vertices of unweighted eccentricity (BFS levels).
+
+    This is the quantity that lower-bounds the round count of a hopset-less
+    Bellman–Ford; the E4 workloads are built to make it large.
+    """
+    if graph.n == 0:
+        return 0
+    tails, heads, _ = graph.arcs()
+    worst = 0
+    for s in range(graph.n):
+        level = np.full(graph.n, -1, dtype=np.int64)
+        level[s] = 0
+        frontier = np.array([s], dtype=np.int64)
+        depth = 0
+        while frontier.size:
+            depth += 1
+            mask = np.isin(tails, frontier)
+            nxt = heads[mask]
+            nxt = np.unique(nxt[level[nxt] < 0])
+            level[nxt] = depth
+            frontier = nxt
+        reached = level[level >= 0]
+        worst = max(worst, int(reached.max(initial=0)))
+    return worst
+
+
+def weighted_diameter_upper_bound(graph: Graph) -> float:
+    """Cheap upper bound on the weighted diameter: total edge weight."""
+    if graph.num_edges == 0:
+        return 0.0
+    return graph.total_weight()

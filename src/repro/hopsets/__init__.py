@@ -1,0 +1,95 @@
+"""The paper's contribution: deterministic PRAM hopset construction.
+
+Public entry points:
+
+* :func:`build_hopset` — Theorem 3.7: the multi-scale deterministic
+  (1+ε, β)-hopset;
+* :func:`certify` — exact verification of eq. (1) on experiment-sized
+  graphs;
+* :class:`HopsetParams` — the (ε, κ, ρ, β) knobs and derived schedules;
+* :func:`ruling_set` — the Appendix B derandomization engine;
+* weight reduction (Appendix C) and path reporting (§4) live in
+  :mod:`repro.hopsets.weight_reduction` and
+  :mod:`repro.hopsets.path_reporting`.
+"""
+
+from repro.hopsets.cluster_graph import bfs_from_clusters, neighbor_tables
+from repro.hopsets.clusters import ClusterMemory, Partition
+from repro.hopsets.errors import (
+    CertificationError,
+    HopsetError,
+    ParameterError,
+    PathReportingError,
+)
+from repro.hopsets.hopset import INTERCONNECT, STAR, SUPERCLUSTER, Hopset, HopsetEdge
+from repro.hopsets.multi_scale import BuildReport, build_hopset, scale_range
+from repro.hopsets.params import (
+    HopsetParams,
+    PhaseSchedule,
+    practical_beta,
+    theoretical_beta,
+)
+from repro.hopsets.path_reporting import (
+    PathStats,
+    build_path_reporting_hopset,
+    memory_path_stats,
+)
+from repro.hopsets.reduction_paths import (
+    PathReductionReport,
+    build_reduced_path_reporting_hopset,
+    spt_hop_budget,
+)
+from repro.hopsets.ruling_sets import ruling_set
+from repro.hopsets.single_scale import PhaseStats, build_single_scale
+from repro.hopsets.weight_reduction import (
+    ReductionReport,
+    build_reduced_hopset,
+    relevant_scales,
+)
+from repro.hopsets.verification import (
+    Certification,
+    achieved_hopbound,
+    certify,
+    certify_sampled,
+    verify_memory_paths,
+)
+
+__all__ = [
+    "build_hopset",
+    "BuildReport",
+    "scale_range",
+    "Hopset",
+    "HopsetEdge",
+    "SUPERCLUSTER",
+    "INTERCONNECT",
+    "STAR",
+    "HopsetParams",
+    "PhaseSchedule",
+    "practical_beta",
+    "theoretical_beta",
+    "Partition",
+    "ClusterMemory",
+    "neighbor_tables",
+    "bfs_from_clusters",
+    "ruling_set",
+    "build_single_scale",
+    "PhaseStats",
+    "build_path_reporting_hopset",
+    "memory_path_stats",
+    "PathStats",
+    "build_reduced_hopset",
+    "relevant_scales",
+    "ReductionReport",
+    "build_reduced_path_reporting_hopset",
+    "PathReductionReport",
+    "spt_hop_budget",
+    "certify",
+    "certify_sampled",
+    "Certification",
+    "achieved_hopbound",
+    "verify_memory_paths",
+    "HopsetError",
+    "ParameterError",
+    "CertificationError",
+    "PathReportingError",
+]

@@ -1,0 +1,426 @@
+"""Algorithm 2: parallel hop-limited explorations in the virtual graph G̃ᵢ.
+
+The virtual graph G̃ᵢ has the current clusters ``P_i`` as supervertices and
+an edge between clusters at (2β+1)-hop-bounded distance ≤ (1+ε_{k−1})δᵢ in
+``G_{k−1}`` (Section 2.1.1).  Its edges are never materialized; instead the
+explorations run at the *vertex* level of G_{k−1}:
+
+* **distribution** — every vertex copies its cluster's records,
+* **propagation** — 2β+1 rounds of edge relaxation, keeping per vertex the
+  x closest sources, pruning entries beyond the distance threshold,
+* **aggregation** — every cluster merges its members' records.
+
+Entries are flat NumPy arrays ``(vert, src, dist, seed)`` — ``seed`` is the
+vertex at which the entry was seeded (the paper's first path vertex), used
+for tight edge weights and path reporting.  The per-round merge implements
+the paper's Algorithm 3 (sort, dedup by source, re-sort by distance, keep
+x), charged at AKS sorting rates.
+
+Two drivers are exported:
+
+* :func:`neighbor_tables` — the d=1 variants (popular-cluster detection
+  with x = degᵢ+1, and the phase-ℓ interconnection with x = |P_ℓ|);
+* :func:`bfs_from_clusters` — the x=1 BFS variant (superclustering sweeps
+  to depth 2·log n, and the depth-2 knockout sweeps inside Algorithm 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.hopsets.clusters import ClusterMemory, Partition
+from repro.hopsets.errors import HopsetError
+from repro.pram.machine import PRAM
+from repro.pram.primitives import ceil_log2
+
+__all__ = ["EntryTable", "ClusterTables", "BFSResult", "neighbor_tables", "bfs_from_clusters"]
+
+_EPS_PAD = 1e-9  # float-safe threshold comparisons
+
+
+@dataclass
+class EntryTable:
+    """Flat per-vertex exploration entries (the paper's L(v) lists)."""
+
+    vert: np.ndarray
+    src: np.ndarray
+    dist: np.ndarray
+    seed: np.ndarray
+    paths: list[tuple[int, ...]] | None = None
+
+    @property
+    def size(self) -> int:
+        return int(self.vert.size)
+
+    def take(self, idx: np.ndarray) -> "EntryTable":
+        return EntryTable(
+            vert=self.vert[idx],
+            src=self.src[idx],
+            dist=self.dist[idx],
+            seed=self.seed[idx],
+            paths=None if self.paths is None else [self.paths[i] for i in idx],
+        )
+
+    @staticmethod
+    def concat(a: "EntryTable", b: "EntryTable") -> "EntryTable":
+        paths: list[tuple[int, ...]] | None = None
+        if (a.paths is None) != (b.paths is None):
+            raise HopsetError("cannot concat path-recording with non-recording tables")
+        if a.paths is not None and b.paths is not None:
+            paths = a.paths + b.paths
+        return EntryTable(
+            vert=np.concatenate([a.vert, b.vert]),
+            src=np.concatenate([a.src, b.src]),
+            dist=np.concatenate([a.dist, b.dist]),
+            seed=np.concatenate([a.seed, b.seed]),
+            paths=paths,
+        )
+
+
+@dataclass
+class ClusterTables:
+    """Aggregated per-cluster records: the paper's m(C) arrays.
+
+    Rows are grouped by cluster and sorted by (dist, src) within a cluster.
+    ``member`` is the cluster vertex that realized the entry (paper's u);
+    ``seed`` the vertex where it originated inside the source cluster (z).
+    """
+
+    num_clusters: int
+    cluster: np.ndarray
+    src: np.ndarray
+    dist: np.ndarray
+    member: np.ndarray
+    seed: np.ndarray
+    paths: list[tuple[int, ...]] | None
+    row_start: np.ndarray  # (num_clusters + 1,) CSR offsets into the rows
+
+    def rows_of(self, c: int) -> slice:
+        return slice(int(self.row_start[c]), int(self.row_start[c + 1]))
+
+    def counts(self) -> np.ndarray:
+        return np.diff(self.row_start)
+
+
+@dataclass
+class BFSResult:
+    """Outcome of a multi-pulse BFS in G̃ᵢ from a set of source clusters."""
+
+    pulse: np.ndarray       # detection pulse per cluster; -1 = undetected, 0 = source
+    origin: np.ndarray      # originating source cluster (-1 = undetected)
+    pred: np.ndarray        # predecessor cluster on the detection chain (-1 at sources)
+    acc_weight: np.ndarray  # realized origin-center → cluster-center path weight
+    seg_seed: np.ndarray    # z: seed vertex (in pred) of the detecting segment
+    seg_member: np.ndarray  # u: member vertex (in cluster) where detection arrived
+    seg_dist: np.ndarray    # weight of the z → u segment in G_{k−1}
+    seg_paths: list[tuple[int, ...] | None] | None
+
+    def detected(self) -> np.ndarray:
+        return self.pulse >= 0
+
+
+# ---------------------------------------------------------------------------
+# internal machinery
+# ---------------------------------------------------------------------------
+
+
+def _seed(
+    members_by_cluster: list[np.ndarray],
+    clusters: np.ndarray,
+    src_of_cluster: np.ndarray,
+    record_paths: bool,
+) -> EntryTable:
+    """Distribution part: every member of each listed cluster gets (src, 0)."""
+    member_lists = [members_by_cluster[int(c)] for c in clusters]
+    if member_lists:
+        vert = np.concatenate(member_lists)
+        sizes = np.array([m.size for m in member_lists], dtype=np.int64)
+        src = np.repeat(np.asarray(src_of_cluster, dtype=np.int64), sizes)
+    else:
+        vert = np.zeros(0, dtype=np.int64)
+        src = np.zeros(0, dtype=np.int64)
+    paths = [(int(v),) for v in vert] if record_paths else None
+    return EntryTable(
+        vert=vert,
+        src=src,
+        dist=np.zeros(vert.size, dtype=np.float64),
+        seed=vert.copy(),
+        paths=paths,
+    )
+
+
+def _dedup_and_prune(table: EntryTable, x: int, pram: PRAM) -> EntryTable:
+    """Algorithm 3: dedup per (vertex, source) by min distance, keep x per vertex."""
+    n = table.size
+    if n == 0:
+        return table
+    if x == 1:
+        # Per-vertex pruning to one entry subsumes the per-(vertex, source)
+        # dedup: keep the minimum (dist, src, seed) row per vertex.
+        order = np.lexsort((table.seed, table.src, table.dist, table.vert))
+        t = table.take(order)
+        first = np.ones(t.size, dtype=bool)
+        first[1:] = t.vert[1:] != t.vert[:-1]
+        out = t.take(np.flatnonzero(first))
+        pram.charge(
+            work=n * max(1, ceil_log2(n)),
+            depth=ceil_log2(max(n, 2)) + 1,
+            label="algo3_sort",
+        )
+        return out
+    # Sort by (vert, src, dist, seed): first row of each (vert, src) group is
+    # the minimum-distance entry (seed is a deterministic tiebreak).
+    order = np.lexsort((table.seed, table.dist, table.src, table.vert))
+    t = table.take(order)
+    first = np.ones(t.size, dtype=bool)
+    first[1:] = (t.vert[1:] != t.vert[:-1]) | (t.src[1:] != t.src[:-1])
+    t = t.take(np.flatnonzero(first))
+    # Keep the x closest sources per vertex (ties by src id).
+    order2 = np.lexsort((t.src, t.dist, t.vert))
+    t = t.take(order2)
+    new_vert = np.ones(t.size, dtype=bool)
+    new_vert[1:] = t.vert[1:] != t.vert[:-1]
+    group_start = np.flatnonzero(new_vert)
+    group_id = np.cumsum(new_vert) - 1
+    rank = np.arange(t.size) - group_start[group_id]
+    t = t.take(np.flatnonzero(rank < x))
+    pram.charge(
+        work=2 * n * max(1, ceil_log2(n)),
+        depth=2 * (ceil_log2(max(n, 2)) + 1),
+        label="algo3_sort",
+    )
+    return t
+
+
+def _propagate(
+    pram: PRAM,
+    graph: Graph,
+    table: EntryTable,
+    rounds: int,
+    threshold: float,
+    x: int,
+) -> EntryTable:
+    """Propagation part: ``rounds`` rounds of threshold-pruned relaxation."""
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    outdeg = np.diff(indptr)
+    table = _dedup_and_prune(table, x, pram)
+    for _ in range(rounds):
+        if table.size == 0:
+            break
+        deg_e = outdeg[table.vert]
+        total = int(deg_e.sum())
+        if total == 0:
+            break
+        rep = np.repeat(np.arange(table.size, dtype=np.int64), deg_e)
+        run_start = np.concatenate([[0], np.cumsum(deg_e)[:-1]])
+        offsets = np.arange(total, dtype=np.int64) - run_start[rep]
+        arc = indptr[table.vert][rep] + offsets
+        cand_dist = table.dist[rep] + weights[arc]
+        keep = cand_dist <= threshold + _EPS_PAD
+        pram.charge(work=total, depth=1, label="relax")
+        rep_k = rep[keep]
+        if rep_k.size == 0:
+            break
+        cand = EntryTable(
+            vert=indices[arc[keep]],
+            src=table.src[rep_k],
+            dist=cand_dist[keep],
+            seed=table.seed[rep_k],
+            paths=(
+                None
+                if table.paths is None
+                else [
+                    table.paths[int(i)] + (int(h),)
+                    for i, h in zip(rep_k, indices[arc[keep]])
+                ]
+            ),
+        )
+        before = table.size
+        before_key = (table.vert.copy(), table.src.copy(), table.dist.copy())
+        table = _dedup_and_prune(EntryTable.concat(table, cand), x, pram)
+        if table.size == before and np.array_equal(table.vert, before_key[0]) and np.array_equal(
+            table.src, before_key[1]
+        ) and np.array_equal(table.dist, before_key[2]):
+            break  # converged early; remaining rounds are no-ops
+    return table
+
+
+def _aggregate(
+    pram: PRAM,
+    partition: Partition,
+    table: EntryTable,
+    x: int,
+) -> ClusterTables:
+    """Aggregation part: merge member entries into per-cluster m(C) tables."""
+    ncl = partition.num_clusters
+    cl = partition.cluster_of[table.vert] if table.size else np.zeros(0, dtype=np.int64)
+    live = cl >= 0
+    idx = np.flatnonzero(live)
+    t = table.take(idx)
+    cl = cl[idx]
+    n = t.size
+    if n:
+        # dedup per (cluster, src) keeping min (dist, member, seed)
+        order = np.lexsort((t.seed, t.vert, t.dist, t.src, cl))
+        t = t.take(order)
+        cl = cl[order]
+        first = np.ones(n, dtype=bool)
+        first[1:] = (cl[1:] != cl[:-1]) | (t.src[1:] != t.src[:-1])
+        sel = np.flatnonzero(first)
+        t = t.take(sel)
+        cl = cl[sel]
+        # keep the x closest sources per cluster
+        order2 = np.lexsort((t.src, t.dist, cl))
+        t = t.take(order2)
+        cl = cl[order2]
+        new_cl = np.ones(t.size, dtype=bool)
+        new_cl[1:] = cl[1:] != cl[:-1]
+        group_start = np.flatnonzero(new_cl)
+        group_id = np.cumsum(new_cl) - 1
+        rank = np.arange(t.size) - group_start[group_id]
+        sel2 = np.flatnonzero(rank < x)
+        t = t.take(sel2)
+        cl = cl[sel2]
+        pram.charge(
+            work=2 * n * max(1, ceil_log2(n)),
+            depth=2 * (ceil_log2(max(n, 2)) + 1),
+            label="aggregate",
+        )
+    counts = np.zeros(ncl, dtype=np.int64)
+    if t.size:
+        np.add.at(counts, cl, 1)
+    row_start = np.zeros(ncl + 1, dtype=np.int64)
+    np.cumsum(counts, out=row_start[1:])
+    return ClusterTables(
+        num_clusters=ncl,
+        cluster=cl,
+        src=t.src,
+        dist=t.dist,
+        member=t.vert,
+        seed=t.seed,
+        paths=t.paths,
+        row_start=row_start,
+    )
+
+
+# ---------------------------------------------------------------------------
+# public drivers
+# ---------------------------------------------------------------------------
+
+
+def neighbor_tables(
+    pram: PRAM,
+    graph: Graph,
+    partition: Partition,
+    threshold: float,
+    hops: int,
+    x: int,
+    record_paths: bool = False,
+    members_by_cluster: list[np.ndarray] | None = None,
+) -> ClusterTables:
+    """One pulse (d=1) of Algorithm 2 from *all* clusters, x sources kept.
+
+    With ``x = degᵢ + 1`` this is the popular-cluster detection of
+    Lemma A.3: a cluster is popular iff its table holds x records (itself +
+    degᵢ neighbors).  With ``x = |P_ℓ|`` it is the phase-ℓ interconnection
+    sweep.  Every record carries the (2β+1)-hop cluster distance, the
+    realizing member vertex, and the seed vertex inside the source cluster.
+    """
+    if x < 1:
+        raise HopsetError(f"x must be >= 1, got {x}")
+    members = members_by_cluster if members_by_cluster is not None else partition.members_by_cluster()
+    all_clusters = np.arange(partition.num_clusters, dtype=np.int64)
+    table = _seed(members, all_clusters, all_clusters, record_paths)
+    pram.charge(work=table.size, depth=1, label="distribute")
+    table = _propagate(pram, graph, table, hops, threshold, x)
+    return _aggregate(pram, partition, table, x)
+
+
+def bfs_from_clusters(
+    pram: PRAM,
+    graph: Graph,
+    partition: Partition,
+    source_mask: np.ndarray,
+    threshold: float,
+    hops: int,
+    max_pulses: int,
+    memory: ClusterMemory | None = None,
+    record_paths: bool = False,
+    members_by_cluster: list[np.ndarray] | None = None,
+) -> BFSResult:
+    """The x=1 BFS variant (Appendix A.3.2) from ``source_mask`` clusters.
+
+    Each pulse advances the detection frontier one G̃ᵢ-hop (Lemma A.4); per
+    pulse the frontier clusters' members are re-seeded at distance 0 and
+    relaxed for ``hops`` rounds within ``threshold``.  Detection is
+    deterministic: ties broken by (segment distance, predecessor id,
+    member id, seed id).
+
+    ``memory`` supplies CD(·) so ``acc_weight`` is the *realized* weight of
+    the composed center-to-center path (tight edge weights, §4.3); without
+    it the CD terms are treated as 0 and ``acc_weight`` only sums segment
+    weights (callers in faithful mode use the formula weight anyway).
+    """
+    ncl = partition.num_clusters
+    if source_mask.shape != (ncl,):
+        raise HopsetError("source_mask must have one flag per cluster")
+    members = members_by_cluster if members_by_cluster is not None else partition.members_by_cluster()
+    pulse = np.full(ncl, -1, dtype=np.int64)
+    origin = np.full(ncl, -1, dtype=np.int64)
+    pred = np.full(ncl, -1, dtype=np.int64)
+    acc = np.full(ncl, np.inf)
+    seg_seed = np.full(ncl, -1, dtype=np.int64)
+    seg_member = np.full(ncl, -1, dtype=np.int64)
+    seg_dist = np.full(ncl, np.inf)
+    seg_paths: list[tuple[int, ...] | None] | None = [None] * ncl if record_paths else None
+
+    sources = np.flatnonzero(source_mask)
+    pulse[sources] = 0
+    origin[sources] = sources
+    acc[sources] = 0.0
+    frontier = sources
+    cd = memory.cd if memory is not None else None
+
+    for p in range(1, max_pulses + 1):
+        if frontier.size == 0:
+            break
+        table = _seed(members, frontier, frontier, record_paths)
+        pram.charge(work=table.size, depth=1, label="distribute")
+        table = _propagate(pram, graph, table, hops, threshold, x=1)
+        agg = _aggregate(pram, partition, table, x=1)
+        fresh: list[int] = []
+        for row in range(agg.cluster.size):
+            c = int(agg.cluster[row])
+            if pulse[c] >= 0:
+                continue
+            pulse[c] = p
+            pr = int(agg.src[row])
+            pred[c] = pr
+            origin[c] = origin[pr]
+            z = int(agg.seed[row])
+            u = int(agg.member[row])
+            d = float(agg.dist[row])
+            seg_seed[c] = z
+            seg_member[c] = u
+            seg_dist[c] = d
+            cd_z = float(cd[z]) if cd is not None else 0.0
+            cd_u = float(cd[u]) if cd is not None else 0.0
+            acc[c] = acc[pr] + cd_z + d + cd_u
+            if seg_paths is not None and agg.paths is not None:
+                seg_paths[c] = agg.paths[row]
+            fresh.append(c)
+        pram.charge(work=ncl, depth=1, label="bfs_bookkeep")
+        frontier = np.array(fresh, dtype=np.int64)
+    return BFSResult(
+        pulse=pulse,
+        origin=origin,
+        pred=pred,
+        acc_weight=acc,
+        seg_seed=seg_seed,
+        seg_member=seg_member,
+        seg_dist=seg_dist,
+        seg_paths=seg_paths,
+    )

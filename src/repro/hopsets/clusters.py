@@ -1,0 +1,140 @@
+"""Clusters, partitions, and cluster memory (Sections 2.1 and 4.3).
+
+A *partition state* tracks the paper's ``P_i``: the collection of clusters
+that are still being superclustered.  Every cluster has a center vertex
+(its processors simulate the cluster) and the cluster's ID is its center's
+ID (Section 1.5).  Vertices whose cluster has left the game (joined some
+``U_j``) carry ``cluster_of == -1``.
+
+:class:`ClusterMemory` is the §4.3 cluster-memory: for every vertex ``v``
+currently in a cluster ``C`` centered at ``r_C``, it stores ``CD(v)`` — the
+weight of a *remembered* path from v to r_C in ``E ∪ H_{k−1}`` — and, in
+path-reporting mode, ``CP(v)`` — the path itself.  These let hopset edges be
+assigned *realized* path weights (tight mode) and implementing paths
+(path-reporting mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hopsets.errors import HopsetError
+
+__all__ = ["Partition", "ClusterMemory"]
+
+
+@dataclass
+class Partition:
+    """The current cluster collection ``P_i``.
+
+    Attributes
+    ----------
+    cluster_of:
+        (n,) array; ``cluster_of[v]`` is v's dense cluster index in
+        ``[0, num_clusters)`` or -1 if v's cluster has left ``P_i``.
+    centers:
+        (num_clusters,) array of center vertex ids; ``centers[c]`` is the
+        paper's ``r_C`` and doubles as the cluster's ID for tie-breaking
+        and the ruling-set bit recursion.
+    """
+
+    cluster_of: np.ndarray
+    centers: np.ndarray
+
+    @staticmethod
+    def singletons(n: int) -> "Partition":
+        """Phase 0: ``P_0 = {{v} | v ∈ V}`` (every vertex its own center)."""
+        ids = np.arange(n, dtype=np.int64)
+        return Partition(cluster_of=ids.copy(), centers=ids.copy())
+
+    @property
+    def num_clusters(self) -> int:
+        return int(self.centers.size)
+
+    @property
+    def n(self) -> int:
+        return int(self.cluster_of.size)
+
+    def members(self, c: int) -> np.ndarray:
+        """Vertex ids of cluster ``c``."""
+        return np.flatnonzero(self.cluster_of == c)
+
+    def members_by_cluster(self) -> list[np.ndarray]:
+        """Members of every cluster (one pass, grouped)."""
+        order = np.argsort(self.cluster_of, kind="stable")
+        sorted_cl = self.cluster_of[order]
+        live = sorted_cl >= 0
+        order, sorted_cl = order[live], sorted_cl[live]
+        out: list[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in range(self.num_clusters)]
+        if order.size == 0:
+            return out
+        bounds = np.flatnonzero(np.diff(sorted_cl)) + 1
+        starts = np.concatenate([[0], bounds])
+        ends = np.concatenate([bounds, [order.size]])
+        for s, e in zip(starts, ends):
+            out[int(sorted_cl[s])] = order[s:e]
+        return out
+
+    def sizes(self) -> np.ndarray:
+        counts = np.zeros(self.num_clusters, dtype=np.int64)
+        live = self.cluster_of >= 0
+        np.add.at(counts, self.cluster_of[live], 1)
+        return counts
+
+    def validate(self) -> None:
+        """Internal-consistency checks (each center belongs to its cluster)."""
+        if self.num_clusters:
+            owner = self.cluster_of[self.centers]
+            if not np.array_equal(owner, np.arange(self.num_clusters)):
+                raise HopsetError("partition centers do not belong to their clusters")
+
+
+class ClusterMemory:
+    """Per-vertex distance (and optionally path) to the current cluster center.
+
+    Paths are stored root-last: ``cp[v] == (v, ..., r_C)``.  Vertices outside
+    any current cluster keep their last values; callers only read entries of
+    currently clustered vertices.
+    """
+
+    def __init__(self, n: int, record_paths: bool = False) -> None:
+        self.cd = np.zeros(n, dtype=np.float64)
+        self.record_paths = record_paths
+        self.cp: list[tuple[int, ...]] | None = (
+            [(v,) for v in range(n)] if record_paths else None
+        )
+
+    def reset_singletons(self) -> None:
+        """Phase 0: every vertex is its own center at distance 0."""
+        self.cd[:] = 0.0
+        if self.cp is not None:
+            for v in range(len(self.cp)):
+                self.cp[v] = (v,)
+
+    def absorb(
+        self,
+        vertices: np.ndarray,
+        extra_dist: float,
+        extra_path: tuple[int, ...] | None = None,
+    ) -> None:
+        """The §4.3 update when these vertices' cluster joins a supercluster.
+
+        Their new center is reached by appending the superclustering edge's
+        memory path (old center → new center) after their old CP path:
+        ``CP_new(v) = CP_old(v) ++ path(r_old → r_new)``,
+        ``CD_new(v) = CD_old(v) + weight(path)``.
+        """
+        self.cd[vertices] += extra_dist
+        if self.cp is not None:
+            if extra_path is None:
+                raise HopsetError("path-reporting memory requires an extra_path")
+            tail = extra_path[1:]  # old center is already the CP path's last vertex
+            for v in vertices:
+                self.cp[int(v)] = self.cp[int(v)] + tail
+
+    def path(self, v: int) -> tuple[int, ...]:
+        if self.cp is None:
+            raise HopsetError("cluster memory was built without path recording")
+        return self.cp[int(v)]

@@ -1,0 +1,19 @@
+"""Exception types for the hopset construction."""
+
+from __future__ import annotations
+
+
+class HopsetError(Exception):
+    """Base class for hopset-construction errors."""
+
+
+class ParameterError(HopsetError):
+    """A construction parameter is outside its legal range."""
+
+
+class CertificationError(HopsetError):
+    """A constructed hopset failed its safety/stretch certification."""
+
+
+class PathReportingError(HopsetError):
+    """A memory path or peeling invariant was violated."""

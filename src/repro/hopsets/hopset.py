@@ -1,0 +1,129 @@
+"""The hopset container: per-scale edge records and the union graph G ∪ H.
+
+A hopset edge is born in a specific scale k, phase i, and step
+(superclustering or interconnection); the path-reporting machinery (§4)
+needs all of that provenance, plus the *memory path* implementing the edge
+in ``E ∪ H_{k−1}``.  The container keeps the full per-scale records and
+exposes the deduplicated union for distance computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.graphs.build import union_with_edges
+from repro.graphs.csr import Graph
+from repro.hopsets.errors import HopsetError
+
+__all__ = ["HopsetEdge", "Hopset", "SUPERCLUSTER", "INTERCONNECT", "STAR"]
+
+SUPERCLUSTER = "supercluster"
+INTERCONNECT = "interconnect"
+STAR = "star"  # Appendix C node-star edges
+
+
+@dataclass(frozen=True)
+class HopsetEdge:
+    """One hopset edge with its provenance.
+
+    ``path`` (path-reporting mode only) is the memory path: a vertex tuple
+    from ``u`` to ``v`` whose edges all lie in ``E ∪ H_{k−1}`` and whose
+    total weight is at most ``weight`` (the §4.1 memory property).
+    """
+
+    u: int
+    v: int
+    weight: float
+    scale: int
+    phase: int
+    kind: str
+    path: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise HopsetError("hopset self-loop")
+        if not self.weight > 0:
+            raise HopsetError(f"hopset edge weight must be positive, got {self.weight}")
+        if self.path is not None:
+            if len(self.path) < 2 or self.path[0] != self.u or self.path[-1] != self.v:
+                raise HopsetError(
+                    f"memory path endpoints {self.path[:1]}..{self.path[-1:]} "
+                    f"do not match edge ({self.u}, {self.v})"
+                )
+
+
+@dataclass
+class Hopset:
+    """A (1+ε, β)-hopset: the union over scales of single-scale hopsets."""
+
+    n: int
+    edges: list[HopsetEdge] = field(default_factory=list)
+    beta: int = 0
+    epsilon: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def add(self, edges: Iterable[HopsetEdge]) -> None:
+        self.edges.extend(edges)
+
+    @property
+    def num_records(self) -> int:
+        """Total edge records over all scales (with per-scale multiplicity)."""
+        return len(self.edges)
+
+    def size(self) -> int:
+        """|H|: distinct vertex pairs carrying a hopset edge."""
+        if not self.edges:
+            return 0
+        pairs = {(min(e.u, e.v), max(e.u, e.v)) for e in self.edges}
+        return len(pairs)
+
+    def scales(self) -> list[int]:
+        return sorted({e.scale for e in self.edges})
+
+    def of_scale(self, k: int) -> list[HopsetEdge]:
+        return [e for e in self.edges if e.scale == k]
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All records as (u, v, w) arrays (duplicates included; the union
+        graph construction keeps the per-pair minimum)."""
+        if not self.edges:
+            z = np.zeros(0, dtype=np.int64)
+            return z, z.copy(), np.zeros(0, dtype=np.float64)
+        u = np.array([e.u for e in self.edges], dtype=np.int64)
+        v = np.array([e.v for e in self.edges], dtype=np.int64)
+        w = np.array([e.weight for e in self.edges], dtype=np.float64)
+        return u, v, w
+
+    def union_graph(self, base: Graph) -> Graph:
+        """``G ∪ H`` with ``ω(u,v) = min(ω_G, ω_H)`` — the paper's 𝒢."""
+        if base.n != self.n:
+            raise HopsetError(
+                f"hopset built for n={self.n} cannot union with a graph on n={base.n}"
+            )
+        u, v, w = self.edge_arrays()
+        return union_with_edges(base, u, v, w)
+
+    def union_graph_up_to_scale(self, base: Graph, k: int) -> Graph:
+        """``G ∪ H_{k0} ∪ ... ∪ H_k`` (used by the peeling procedure)."""
+        sub = [e for e in self.edges if e.scale <= k]
+        if not sub:
+            return base
+        u = np.array([e.u for e in sub], dtype=np.int64)
+        v = np.array([e.v for e in sub], dtype=np.int64)
+        w = np.array([e.weight for e in sub], dtype=np.float64)
+        return union_with_edges(base, u, v, w)
+
+    def kind_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.edges:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Hopset(n={self.n}, records={self.num_records}, pairs={self.size()}, "
+            f"scales={self.scales()}, beta={self.beta})"
+        )

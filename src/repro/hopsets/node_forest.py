@@ -1,0 +1,72 @@
+"""The nodes forest Ḡ and laminar center selection (Appendix C.3, Fig. 10).
+
+Across the relevant scales, the contracted nodes form a laminar family:
+the contraction threshold (ε/n)·2^k grows with k, so every scale-k node is
+a union of nodes of the previous relevant scale.  Centers are chosen
+consistently — a node inherits the center of its *largest* sub-node — which
+Lemma C.1 turns into the ``|S| ≤ n·log n`` star-edge bound: every vertex
+pays a star edge only when its sub-node loses the "largest" contest, which
+halves the containing size each time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hopsets.errors import HopsetError
+
+__all__ = ["ScaleNodes", "select_centers"]
+
+
+@dataclass
+class ScaleNodes:
+    """Nodes of one relevant scale: labels, members, centers, star targets."""
+
+    scale: int
+    node_of: np.ndarray            # per-vertex dense node id
+    members: list[np.ndarray]
+    centers: np.ndarray            # per-node center vertex
+    star_targets: list[np.ndarray]  # per-node vertices that receive a star edge
+
+
+def select_centers(
+    scale: int,
+    node_of: np.ndarray,
+    members: list[np.ndarray],
+    prev: ScaleNodes | None,
+) -> ScaleNodes:
+    """Pick node centers for one scale, consistently with the previous one.
+
+    Base scale (``prev is None``): the smallest-id member is the center and
+    every other member gets a star edge (deterministic stand-in for the
+    paper's "arbitrary vertex").
+
+    Higher scales: among the previous-scale sub-nodes of U, the largest
+    (ties → smallest center id) donates its center; every vertex of U
+    outside that sub-node gets a star edge.  Vertices inside it keep their
+    existing star edges — none are re-added, which is what caps |S|.
+    """
+    num_nodes = len(members)
+    centers = np.full(num_nodes, -1, dtype=np.int64)
+    star_targets: list[np.ndarray] = []
+    if prev is None:
+        for j, mem in enumerate(members):
+            if mem.size == 0:
+                raise HopsetError("empty node in contraction")
+            centers[j] = int(mem.min())
+            star_targets.append(mem[mem != centers[j]])
+        return ScaleNodes(scale, node_of, members, centers, star_targets)
+
+    for j, mem in enumerate(members):
+        sub_ids = np.unique(prev.node_of[mem])
+        sizes = np.array([prev.members[int(s)].size for s in sub_ids])
+        sub_centers = prev.centers[sub_ids]
+        # largest sub-node wins; ties broken by smallest center id
+        order = np.lexsort((sub_centers, -sizes))
+        winner = int(sub_ids[order[0]])
+        centers[j] = int(prev.centers[winner])
+        inside_winner = prev.node_of[mem] == winner
+        star_targets.append(mem[~inside_winner])
+    return ScaleNodes(scale, node_of, members, centers, star_targets)

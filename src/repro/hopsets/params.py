@@ -1,0 +1,206 @@
+"""Construction parameters and the paper's derived schedules.
+
+Section 2 fixes, for input parameters 0 < ε < 1/10, κ ∈ {1, 2, ...} and
+0 < ρ < 1/2, the per-phase schedules used by every scale's construction:
+
+* number of phases       ``ℓ = ⌊log κρ⌋ + ⌈(κ+1)/(κρ)⌉ − 1``
+* degree thresholds      ``deg_i = n^{2^i/κ}`` (exponential stage,
+  ``i ≤ i₀ = ⌊log κρ⌋``) then ``deg_i = n^ρ`` (fixed stage)
+* distance thresholds    ``δ_i = α·(1/ε)^i`` with ``α = ℓ·2^{k+1}``
+* radius bounds          ``R₀ = 0, R_{i+1} = (2(1+ε_{k−1})δ_i + 4R_i)·log n + R_i``
+* path-length bounds     ``σ₀ = 0, σ_{i+1} = (4 log n + 1)σ_i + 2(2β+1) log n``
+  (eq. 20, path-reporting)
+* hopbound               eq. (2) — implemented exactly in
+  :func:`theoretical_beta`, which is astronomically large for real n; the
+  constructor therefore also accepts a *practical* β (see DESIGN.md §1 and
+  §6: the construction is distance-safe for every β).
+
+When κρ < 1 the exponential stage is empty (i₀ < 0) and every phase uses
+``deg_i = n^ρ`` — the paper's formulas specialize cleanly to this case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.hopsets.errors import ParameterError
+
+__all__ = ["HopsetParams", "PhaseSchedule", "theoretical_beta", "practical_beta"]
+
+
+def theoretical_beta(n: int, aspect_ratio: float, epsilon: float, kappa: int, rho: float) -> float:
+    """The paper's hopbound, eq. (2).
+
+    ``β = O(log Λ · log n · (log κρ + 1/ρ) / ε)^{⌊log κρ⌋ + ⌈(κ+1)/(κρ)⌉ − 1}``
+
+    Returned as a float because it overflows any practical hop budget —
+    that is the point of exposing it: the benchmark harness reports the
+    paper bound next to the practical β that the experiments actually use.
+    """
+    if n < 2:
+        return 1.0
+    ell = num_phases(kappa, rho)
+    base = (
+        math.log2(max(aspect_ratio, 2.0))
+        * math.log2(n)
+        * (max(math.log2(kappa * rho), 0.0) + 1.0 / rho)
+        / epsilon
+    )
+    return max(base, 1.0) ** max(ell, 1)
+
+
+def practical_beta(n: int) -> int:
+    """Default practical hopbound: Θ(log n) exploration budget."""
+    return max(4, int(math.ceil(math.log2(max(n, 2)))) + 2)
+
+
+def num_phases(kappa: int, rho: float) -> int:
+    """``ℓ = ⌊log κρ⌋ + ⌈(κ+1)/(κρ)⌉ − 1`` (at least 1)."""
+    ell = math.floor(math.log2(kappa * rho)) + math.ceil((kappa + 1) / (kappa * rho)) - 1
+    return max(int(ell), 1)
+
+
+def exponential_stage_end(kappa: int, rho: float) -> int:
+    """``i₀ = ⌊log κρ⌋``; negative when κρ < 1 (empty exponential stage)."""
+    return math.floor(math.log2(kappa * rho))
+
+
+@dataclass(frozen=True)
+class HopsetParams:
+    """User-facing knobs of the deterministic hopset construction.
+
+    Parameters
+    ----------
+    epsilon:
+        The per-scale construction ε (drives the δ_i thresholds and the
+        per-scale stretch target).  The end-to-end stretch compounds across
+        scales as (1+ε)^{#scales} (Lemma 3.6); pass
+        ``scale_epsilon=True`` to divide ε by the scale count up front so
+        the compounded stretch stays ≈ 1+ε, at the cost of larger δ_i.
+    kappa:
+        Sparsity: |H_k| ≤ n^{1+1/κ} (eq. 9).
+    rho:
+        Work exponent: ~n^ρ processors per edge/vertex; 0 < ρ < 1/2.
+    beta:
+        Exploration hop budget (2β+1-hop explorations).  ``None`` selects
+        :func:`practical_beta`.  Any value is *safe*; small values may
+        degrade the certified stretch, which experiments measure.
+    tight_weights:
+        ``True`` (default): hopset edges carry the realized path weight
+        (still an upper bound on the true distance, but not inflated).
+        ``False``: the paper's worst-case formula weights
+        (superclustering: ``2((1+ε_{k−1})δ_i + 2R_i)·log n``,
+        interconnection: ``d^{(2β+1)} + 2R_i``) — the faithful-mode
+        ablation of DESIGN.md §4/E2.
+    scale_epsilon:
+        Rescale ε per Section 3.4 so the compounded multi-scale stretch
+        stays ≤ 1+ε.
+    """
+
+    epsilon: float = 0.25
+    kappa: int = 2
+    rho: float = 0.4
+    beta: int | None = None
+    tight_weights: bool = True
+    scale_epsilon: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 < self.epsilon < 1:
+            raise ParameterError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if self.kappa < 1:
+            raise ParameterError(f"kappa must be a positive integer, got {self.kappa}")
+        if not 0 < self.rho < 0.5:
+            raise ParameterError(f"rho must be in (0, 1/2), got {self.rho}")
+        if self.beta is not None and self.beta < 1:
+            raise ParameterError(f"beta must be positive, got {self.beta}")
+
+    def beta_for(self, n: int) -> int:
+        """The hop budget used for graphs on n vertices."""
+        return self.beta if self.beta is not None else practical_beta(n)
+
+    @property
+    def ell(self) -> int:
+        return num_phases(self.kappa, self.rho)
+
+    @property
+    def i0(self) -> int:
+        return exponential_stage_end(self.kappa, self.rho)
+
+    def degree_threshold(self, n: int, phase: int) -> int:
+        """``deg_i``: exponential then fixed growth (Section 2.1), ≥ 2."""
+        if phase < 0 or phase > self.ell:
+            raise ParameterError(f"phase {phase} outside [0, {self.ell}]")
+        if phase <= self.i0:
+            exponent = (2.0**phase) / self.kappa
+        else:
+            exponent = self.rho
+        deg = int(math.ceil(n**exponent))
+        return max(2, min(deg, n))
+
+
+@dataclass(frozen=True)
+class PhaseSchedule:
+    """All derived per-phase quantities for one scale-k construction.
+
+    Built once per (n, k) by :meth:`for_scale`; the single-scale
+    constructor then reads thresholds off it, and the faithful-weights
+    mode reads the radius bounds ``R_i``.
+    """
+
+    n: int
+    k: int
+    beta: int
+    eps: float
+    eps_prev: float
+    ell: int
+    alpha: float
+    degrees: tuple[int, ...]
+    deltas: tuple[float, ...]
+    radii: tuple[float, ...] = field(default=())
+    sigmas: tuple[float, ...] = field(default=())
+
+    @staticmethod
+    def for_scale(
+        n: int, k: int, params: HopsetParams, eps: float, eps_prev: float
+    ) -> "PhaseSchedule":
+        """Instantiate Section 2.1's schedules for scale (2^k, 2^{k+1}]."""
+        ell = params.ell
+        beta = params.beta_for(n)
+        # δ_i = α·(1/ε)^i with δ_{ℓ−1} = 2^{k+1}.  The paper's text prints
+        # α = ℓ·2^{k+1}, but its own analysis (Lemma 2.8's "thus
+        # d_G(C_u, C_v) ≤ 2^{k+1}" and Corollary 3.5's additive-term
+        # algebra) only goes through with α = ε^{ℓ−1}·2^{k+1}, which is
+        # also the schedule of the randomized original [EN19].
+        alpha = (eps ** (ell - 1)) * (2.0 ** (k + 1))
+        degrees = tuple(params.degree_threshold(n, i) for i in range(ell + 1))
+        deltas = tuple(alpha * (1.0 / eps) ** i for i in range(ell + 1))
+        log_n = math.log2(max(n, 2))
+        radii = [0.0]
+        for i in range(ell):
+            radii.append((2 * (1 + eps_prev) * deltas[i] + 4 * radii[i]) * log_n + radii[i])
+        sigmas = [0.0]
+        for _ in range(ell):
+            sigmas.append((4 * log_n + 1) * sigmas[-1] + 2 * (2 * beta + 1) * log_n)
+        return PhaseSchedule(
+            n=n,
+            k=k,
+            beta=beta,
+            eps=eps,
+            eps_prev=eps_prev,
+            ell=ell,
+            alpha=alpha,
+            degrees=degrees,
+            deltas=deltas,
+            radii=tuple(radii),
+            sigmas=tuple(sigmas),
+        )
+
+    def threshold(self, phase: int) -> float:
+        """The exploration prune distance ``(1+ε_{k−1})·δ_i``."""
+        return (1.0 + self.eps_prev) * self.deltas[phase]
+
+    @property
+    def sigma(self) -> float:
+        """eq. (20): maximum memory-path length ``σ = 2σ_ℓ + 2β + 1``."""
+        return 2 * self.sigmas[-1] + 2 * self.beta + 1

@@ -1,0 +1,69 @@
+"""Path-reporting hopsets — Section 4 / Theorem 4.5.
+
+A hopset is *path-reporting* when every edge satisfies the memory property
+(§4.1): it carries an explicit path in ``E ∪ H_{k−1}`` of weight at most
+the edge's weight.  The construction threads paths through the Algorithm 2
+messages (the paper's L_P/L_dist lists; our entry tables carry the same
+tuples) and through the cluster memory CP/CD (§4.3), so recording costs a
+σ-factor in space/work — eq. (20) bounds σ, and
+:func:`memory_path_stats` measures the realized lengths against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.hopsets.errors import PathReportingError
+from repro.hopsets.hopset import Hopset
+from repro.hopsets.multi_scale import BuildReport, build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.pram.machine import PRAM
+
+__all__ = ["PathStats", "build_path_reporting_hopset", "memory_path_stats"]
+
+
+@dataclass(frozen=True)
+class PathStats:
+    """Realized memory-path lengths vs the σ bound of eq. (20)."""
+
+    num_edges: int
+    max_hops: int
+    mean_hops: float
+    sigma_bound: float
+
+    @property
+    def within_bound(self) -> bool:
+        return self.max_hops <= self.sigma_bound
+
+
+def build_path_reporting_hopset(
+    graph: Graph,
+    params: HopsetParams | None = None,
+    pram: PRAM | None = None,
+) -> tuple[Hopset, BuildReport]:
+    """Theorem 4.5: the deterministic hopset with the memory property."""
+    return build_hopset(graph, params, pram, record_paths=True)
+
+
+def memory_path_stats(hopset: Hopset, sigma_bound: float) -> PathStats:
+    """Hop-length statistics of all memory paths in ``hopset``."""
+    lens: list[int] = []
+    for e in hopset.edges:
+        if e.path is None:
+            raise PathReportingError(
+                f"edge ({e.u},{e.v}) has no memory path; "
+                "build with build_path_reporting_hopset"
+            )
+        lens.append(len(e.path) - 1)
+    if not lens:
+        return PathStats(0, 0, 0.0, sigma_bound)
+    arr = np.array(lens)
+    return PathStats(
+        num_edges=len(lens),
+        max_hops=int(arr.max()),
+        mean_hops=float(arr.mean()),
+        sigma_bound=sigma_bound,
+    )

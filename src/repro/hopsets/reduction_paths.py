@@ -1,0 +1,258 @@
+"""Appendix D: path-reporting hopsets *without* aspect-ratio dependence.
+
+Combines the Klein–Sairam reduction (Appendix C) with the memory property
+(§4), yielding Theorem D.1/D.2: a path-reporting hopset (and thus a
+(1+ε)-SPT) whose β and depth do not depend on Λ.
+
+Per relevant scale k the construction produces three layers of edges whose
+memory paths reference strictly lower layers — exactly the three
+replacement steps of Figure 11:
+
+* **lifted hop-edges** (the per-𝒢_k hopset, node centers substituted for
+  nodes): a memory path over node centers where each step is either a
+  lower-scale lifted edge or one *superedge step*;
+* each superedge step (c_X → c_Y) is expanded inline to
+  ``c_X → x → y → c_Y`` — the realizing original edge (x, y) of the
+  superedge (Figure 12) flanked by two **star edges**;
+* **star edges** (center → member) carry spanning-forest paths inside the
+  contracted node (only original edges).
+
+The layers are ordered by integer *scale codes* (stars < lifted edges of
+the same k; everything of scale k below everything of later relevant
+scales), so the generic peeling procedure of :mod:`repro.sssp.spt`
+consumes the result unchanged.  The SPT query budget is (6β+5) hops
+([EN19] Lemma 4.3's hop expansion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.build import reweighted, subgraph_by_weight
+from repro.graphs.components import connected_components
+from repro.graphs.contraction import quotient_graph
+from repro.graphs.csr import Graph
+from repro.hopsets.errors import PathReportingError
+from repro.hopsets.hopset import STAR, Hopset, HopsetEdge
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.node_forest import ScaleNodes, select_centers
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.weight_reduction import relevant_scales
+from repro.pram.machine import PRAM
+
+__all__ = ["PathReductionReport", "build_reduced_path_reporting_hopset", "spt_hop_budget"]
+
+_CODE_STRIDE = 256  # scale codes per relevant scale (stars, then lifted layers)
+
+
+def spt_hop_budget(beta: int) -> int:
+    """The [EN19] Lemma 4.3 hop expansion for reduced hopsets: 6β+5."""
+    return 6 * beta + 5
+
+
+@dataclass
+class PathReductionReport:
+    """Accounting for the Appendix D construction."""
+
+    relevant: list[int] = field(default_factory=list)
+    star_edges: int = 0
+    lifted_edges: int = 0
+    code_of_scale: dict[int, int] = field(default_factory=dict)  # k → base code
+    work: int = 0
+    depth: int = 0
+
+
+def _star_tree(graph: Graph, threshold: float, centers: np.ndarray):
+    """Multi-source shortest-path forest from node centers on light edges.
+
+    Returns (dist, parent): the §C.3 spanning-tree distances with explicit
+    parents, so star edges can carry their in-node paths.
+    """
+    sub = subgraph_by_weight(graph, max_w=threshold)
+    dist = np.full(graph.n, np.inf)
+    parent = np.full(graph.n, -1, dtype=np.int64)
+    dist[centers] = 0.0
+    parent[centers] = centers
+    tails, heads, w = sub.arcs()
+    for _ in range(graph.n):
+        cand = dist[tails] + w
+        new = dist.copy()
+        np.minimum.at(new, heads, cand)
+        changed = new < dist - 1e-15
+        if not changed.any():
+            break
+        # recover winning parents for the changed cells (deterministic: the
+        # smallest tail among ties)
+        for h in np.flatnonzero(changed):
+            arcs_in = np.flatnonzero(heads == h)
+            vals = dist[tails[arcs_in]] + w[arcs_in]
+            best = arcs_in[np.lexsort((tails[arcs_in], vals))[0]]
+            parent[h] = tails[best]
+        dist = new
+    return dist, parent
+
+
+def _vertex_path_to_center(parent: np.ndarray, z: int) -> tuple[int, ...]:
+    """Center-first path (center, ..., z) following the star forest."""
+    chain = [int(z)]
+    cur = int(z)
+    for _ in range(parent.size + 1):
+        p = int(parent[cur])
+        if p == cur:
+            return tuple(reversed(chain))
+        chain.append(p)
+        cur = p
+    raise PathReportingError("star forest parent chain does not terminate")
+
+
+def build_reduced_path_reporting_hopset(
+    graph: Graph,
+    params: HopsetParams | None = None,
+    pram: PRAM | None = None,
+) -> tuple[Hopset, PathReductionReport]:
+    """Theorem D.1: deterministic path-reporting hopset, Λ-free."""
+    params = params if params is not None else HopsetParams()
+    pram = pram if pram is not None else PRAM()
+    n = graph.n
+    beta = params.beta_for(n)
+    hopset = Hopset(n=n, beta=beta, epsilon=params.epsilon)
+    report = PathReductionReport()
+    if graph.num_edges == 0 or n < 2:
+        return hopset, report
+
+    w_min = graph.min_weight()
+    scaled = reweighted(graph, 1.0 / w_min) if w_min != 1.0 else graph
+    eps = params.epsilon
+    scales = relevant_scales(scaled, eps, beta)
+    report.relevant = scales
+    start = pram.snapshot()
+
+    prev_nodes: ScaleNodes | None = None
+    for idx, k in enumerate(scales):
+        base_code = (idx + 1) * _CODE_STRIDE
+        report.code_of_scale[k] = base_code
+        contract_thr = (eps / n) * (2.0**k)
+        delete_thr = 2.0 ** (k + 1)
+        light = subgraph_by_weight(scaled, max_w=contract_thr)
+        labels = connected_components(pram, light)
+        _, dense = np.unique(labels, return_inverse=True)
+        sizes = np.bincount(dense).astype(np.float64)
+        offset = sizes * contract_thr
+        quot = quotient_graph(scaled, labels, max_weight=delete_thr, weight_offset=offset)
+        nodes = select_centers(k, quot.node_of, quot.members, prev_nodes)
+
+        # --- star edges with in-node paths -----------------------------
+        star_dist, star_parent = _star_tree(scaled, contract_thr, nodes.centers)
+        for j, targets in enumerate(nodes.star_targets):
+            c = int(nodes.centers[j])
+            for z in targets:
+                d = float(star_dist[int(z)])
+                if not np.isfinite(d) or d <= 0:
+                    continue
+                path = _vertex_path_to_center(star_parent, int(z))
+                hopset.edges.append(
+                    HopsetEdge(u=c, v=int(z), weight=d, scale=base_code,
+                               phase=-1, kind=STAR, path=path)
+                )
+                report.star_edges += 1
+        pram.charge(work=n, depth=1, label="stars")
+
+        if quot.graph.num_edges == 0 or quot.num_nodes < 2:
+            prev_nodes = nodes
+            continue
+
+        # --- per-superedge realization table ----------------------------
+        qe_u, qe_v, qe_w = quot.graph.edges()
+        superedge: dict[tuple[int, int], tuple[int, int, float]] = {}
+        for a, b, w, ru, rv in zip(qe_u, qe_v, qe_w, quot.rep_u, quot.rep_v):
+            superedge[(int(a), int(b))] = (int(ru), int(rv), float(w))
+
+        # --- lifted hopset of the contracted graph ----------------------
+        sub_hopset, _ = build_hopset(quot.graph, params, pram, record_paths=True)
+        sub_scales = sub_hopset.scales()
+        code_of_sub = {ks: base_code + 1 + r for r, ks in enumerate(sorted(sub_scales))}
+        # min sub-record weight per node pair and sub scale prefix, used to
+        # replicate the union-min semantics of memory-path steps
+        best_below: dict[tuple[int, int], list[tuple[int, float]]] = {}
+        for e in sub_hopset.edges:
+            key = (min(e.u, e.v), max(e.u, e.v))
+            best_below.setdefault(key, []).append((e.scale, e.weight))
+
+        def step_realization(a: int, b: int, sub_scale: int):
+            """How a node-path step (a, b) is realized below ``sub_scale``.
+
+            Returns ("graph", (x, y, w)) for a superedge (expanded via
+            stars + the realizing original edge) or ("lifted", w) for a
+            lower-scale lifted record.
+            """
+            key = (min(a, b), max(a, b))
+            gw = superedge.get(key, (None, None, np.inf))[2]
+            rec_w = min(
+                (w for s, w in best_below.get(key, []) if s < sub_scale),
+                default=np.inf,
+            )
+            if not np.isfinite(gw) and not np.isfinite(rec_w):
+                raise PathReportingError(
+                    f"node step ({a},{b}) is not realizable below scale {sub_scale}"
+                )
+            if gw <= rec_w:
+                ru, rv, _ = superedge[key]
+                # orient the realizing endpoints a-side first
+                if quot.node_of[ru] != a:
+                    ru, rv = rv, ru
+                return "graph", (ru, rv, gw)
+            return "lifted", rec_w
+
+        def convert_path(node_path: tuple[int, ...], sub_scale: int) -> tuple[int, ...]:
+            """Node-id memory path → vertex path over centers/stars/edges."""
+            out: list[int] = [int(nodes.centers[node_path[0]])]
+            for a, b in zip(node_path, node_path[1:]):
+                kind, info = step_realization(int(a), int(b), sub_scale)
+                cb = int(nodes.centers[int(b)])
+                if kind == "graph":
+                    x, y, _ = info
+                    for vtx in (int(x), int(y), cb):
+                        if vtx != out[-1]:
+                            out.append(vtx)
+                else:
+                    if cb != out[-1]:
+                        out.append(cb)
+            return tuple(out)
+
+        for e in sub_hopset.edges:
+            cu = int(nodes.centers[e.u])
+            cv = int(nodes.centers[e.v])
+            if cu == cv:
+                continue
+            if e.path is None:
+                raise PathReportingError("sub-hopset was not built path-reporting")
+            vpath = convert_path(e.path, e.scale)
+            if vpath[0] != cu or vpath[-1] != cv:
+                raise PathReportingError("lifted memory path lost its endpoints")
+            hopset.edges.append(
+                HopsetEdge(u=cu, v=cv, weight=e.weight, scale=code_of_sub[e.scale],
+                           phase=e.phase, kind=e.kind, path=vpath)
+            )
+            report.lifted_edges += 1
+        prev_nodes = nodes
+
+    if w_min != 1.0:
+        hopset.edges = [
+            HopsetEdge(u=e.u, v=e.v, weight=e.weight * w_min,
+                       scale=e.scale, phase=e.phase, kind=e.kind, path=e.path)
+            for e in hopset.edges
+        ]
+    delta = pram.snapshot() - start
+    report.work, report.depth = delta.work, delta.depth
+    hopset.meta.update(
+        {
+            "reduction": True,
+            "path_reporting": True,
+            "relevant_scales": scales,
+            "star_edges": report.star_edges,
+            "lifted_edges": report.lifted_edges,
+        }
+    )
+    return hopset, report

@@ -1,0 +1,193 @@
+"""Hopset certification: the eq. (1) guarantees, measured exactly.
+
+A (1+ε, β)-hopset must satisfy, for every pair u, v:
+
+    d_G(u, v)  ≤  d^{(β)}_{G∪H}(u, v)  ≤  (1+ε)·d_G(u, v)
+
+The left inequality is the *safety* invariant (hopset edges never shorten
+true distances); the right is the *stretch/hopbound* guarantee.  The
+certifier computes both sides exactly (Dijkstra + hop-limited Bellman–Ford)
+for every pair — affordable at experiment sizes — and additionally reports
+the *achieved hopbound*: the smallest h for which the stretch bound already
+holds, which the experiments compare against the practical β and the
+galactic eq. (2) bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.graphs.distances import dijkstra, hop_limited_distances, path_weight
+from repro.hopsets.errors import CertificationError
+from repro.hopsets.hopset import Hopset
+
+__all__ = ["Certification", "certify", "certify_sampled", "achieved_hopbound", "verify_memory_paths"]
+
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Certification:
+    """Outcome of a full-pairs hopset certification."""
+
+    n: int
+    beta: int
+    safe: bool                 # d_{G∪H} >= d_G for all pairs (no shortening)
+    max_stretch: float         # max over pairs of d^{(β)}_{G∪H} / d_G
+    mean_stretch: float
+    pairs_checked: int
+    pairs_within_eps: int      # pairs meeting (1+ε) at hop budget β
+    epsilon: float
+
+    @property
+    def holds(self) -> bool:
+        """eq. (1) verified at (ε, β) for every pair."""
+        return self.safe and self.pairs_within_eps == self.pairs_checked
+
+
+def certify(graph: Graph, hopset: Hopset, beta: int, epsilon: float) -> Certification:
+    """Exact eq. (1) check over all connected vertex pairs."""
+    union = hopset.union_graph(graph)
+    n = graph.n
+    safe = True
+    stretches: list[float] = []
+    within = 0
+    checked = 0
+    for s in range(n):
+        exact = dijkstra(graph, s)
+        exact_union = dijkstra(union, s)
+        limited = hop_limited_distances(union, s, beta)
+        for t in range(s + 1, n):
+            if not np.isfinite(exact[t]):
+                continue
+            checked += 1
+            if exact_union[t] < exact[t] * (1 - _REL_TOL):
+                safe = False
+            stretch = limited[t] / exact[t] if exact[t] > 0 else 1.0
+            stretches.append(float(stretch))
+            if stretch <= (1 + epsilon) * (1 + _REL_TOL):
+                within += 1
+    if checked == 0:
+        return Certification(n, beta, True, 1.0, 1.0, 0, 0, epsilon)
+    arr = np.array(stretches)
+    return Certification(
+        n=n,
+        beta=beta,
+        safe=safe,
+        max_stretch=float(arr.max()),
+        mean_stretch=float(arr.mean()),
+        pairs_checked=checked,
+        pairs_within_eps=within,
+        epsilon=epsilon,
+    )
+
+
+def achieved_hopbound(
+    graph: Graph, hopset: Hopset, epsilon: float, max_hops: int | None = None
+) -> int:
+    """Smallest h with ``d^{(h)}_{G∪H} ≤ (1+ε)·d_G`` for every pair.
+
+    Returns ``max_hops + 1`` if the bound is not met within ``max_hops``
+    (default: n−1, where hop-limited equals unlimited).
+    """
+    union = hopset.union_graph(graph)
+    n = graph.n
+    cap = max_hops if max_hops is not None else max(n - 1, 1)
+    exact = [dijkstra(graph, s) for s in range(n)]
+    tails, heads, w = union.arcs()
+    dist = np.full((n, n), np.inf)
+    for s in range(n):
+        dist[s, s] = 0.0
+    target = np.stack(exact) * (1 + epsilon) * (1 + _REL_TOL)
+    for h in range(1, cap + 1):
+        for s in range(n):
+            cand = dist[s][tails] + w
+            np.minimum.at(dist[s], heads, cand)
+        ok = np.all((dist <= target) | ~np.isfinite(np.stack(exact)))
+        if ok:
+            return h
+    return cap + 1
+
+
+def verify_memory_paths(graph: Graph, hopset: Hopset) -> None:
+    """Check the §4.1 memory property of a path-reporting hopset.
+
+    Every edge of scale k must carry a path whose edges lie in
+    ``E ∪ H_{k−1}`` (lower scales suffice) and whose weight is at most the
+    edge's weight.  Raises :class:`CertificationError` on violation.
+    """
+    by_scale: dict[int, list] = {}
+    for e in hopset.edges:
+        if e.path is None:
+            raise CertificationError(f"hopset edge ({e.u},{e.v}) has no memory path")
+        by_scale.setdefault(e.scale, []).append(e)
+    for k in sorted(by_scale):
+        lower = hopset.union_graph_up_to_scale(graph, k - 1)
+        for e in by_scale[k]:
+            w = path_weight(lower, list(e.path))
+            if not np.isfinite(w):
+                raise CertificationError(
+                    f"memory path of ({e.u},{e.v}) uses an edge outside E ∪ H_(<k)"
+                )
+            if w > e.weight * (1 + 1e-6) + 1e-9:
+                raise CertificationError(
+                    f"memory path of ({e.u},{e.v}) weighs {w} > edge weight {e.weight}"
+                )
+
+
+def certify_sampled(
+    graph: Graph,
+    hopset: Hopset,
+    beta: int,
+    epsilon: float,
+    num_sources: int = 8,
+    seed: int = 0,
+) -> Certification:
+    """eq. (1) checked from a random sample of sources (for larger graphs).
+
+    Exact per sampled source (Dijkstra + hop-limited Bellman–Ford over all
+    targets), sampled across sources — the scalable companion to
+    :func:`certify`, used by the larger E-sweeps.  The returned
+    ``pairs_checked`` counts sampled pairs only.
+    """
+    import numpy as _np
+
+    rng = _np.random.default_rng(seed)
+    n = graph.n
+    sources = rng.choice(n, size=min(num_sources, n), replace=False)
+    union = hopset.union_graph(graph)
+    safe = True
+    stretches: list[float] = []
+    within = 0
+    checked = 0
+    for s in sources:
+        s = int(s)
+        exact = dijkstra(graph, s)
+        exact_union = dijkstra(union, s)
+        limited = hop_limited_distances(union, s, beta)
+        for t in range(n):
+            if t == s or not np.isfinite(exact[t]):
+                continue
+            checked += 1
+            if exact_union[t] < exact[t] * (1 - _REL_TOL):
+                safe = False
+            stretch = limited[t] / exact[t] if exact[t] > 0 else 1.0
+            stretches.append(float(stretch))
+            if stretch <= (1 + epsilon) * (1 + _REL_TOL):
+                within += 1
+    if checked == 0:
+        return Certification(n, beta, True, 1.0, 1.0, 0, 0, epsilon)
+    arr = np.array(stretches)
+    return Certification(
+        n=n,
+        beta=beta,
+        safe=safe,
+        max_stretch=float(arr.max()),
+        mean_stretch=float(arr.mean()),
+        pairs_checked=checked,
+        pairs_within_eps=within,
+        epsilon=epsilon,
+    )

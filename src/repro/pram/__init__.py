@@ -1,0 +1,33 @@
+"""CREW PRAM simulation substrate: cost metering, memory, and primitives.
+
+This package is the hardware substitution for the paper's abstract machine
+(Section 1.5.1): algorithms execute vectorized on one CPU but are metered in
+**work** (total operations) and **depth** (synchronous rounds), the two
+quantities the paper's theorems bound.
+"""
+
+from repro.pram.cost import CostModel, CostSnapshot, StepRecord
+from repro.pram.errors import (
+    InvalidStepError,
+    PRAMError,
+    ProcessorBudgetError,
+    WriteConflictError,
+)
+from repro.pram.machine import PRAM
+from repro.pram.memory import CREWMemory
+from repro.pram.schedule import SchedulePoint, makespan, speedup_curve
+
+__all__ = [
+    "PRAM",
+    "CostModel",
+    "CostSnapshot",
+    "StepRecord",
+    "CREWMemory",
+    "makespan",
+    "speedup_curve",
+    "SchedulePoint",
+    "PRAMError",
+    "WriteConflictError",
+    "ProcessorBudgetError",
+    "InvalidStepError",
+]

@@ -1,0 +1,128 @@
+"""Work/depth cost accounting for the CREW PRAM simulator.
+
+The paper's theorems bound two resources of a PRAM algorithm:
+
+* **depth** (parallel time): the number of synchronous rounds, and
+* **work**: the total number of elementary operations over all processors.
+
+Because CPython cannot execute fine-grained synchronous PRAM rounds in real
+parallel, every algorithm in this repository runs *sequentially but
+vectorized*, and charges its cost to a :class:`CostModel`.  The charged
+figures are the quantities compared against the paper's bounds in the
+benchmark harness; Brent's scheduling theorem (``T_p <= W/p + D``) converts
+them into a running-time estimate for any concrete processor count.
+
+Charges may be grouped into named *phases* (nested), so that experiments can
+attribute work to e.g. ``superclustering`` vs ``interconnection``.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.pram.errors import InvalidStepError
+
+__all__ = ["StepRecord", "CostModel", "CostSnapshot"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One charged parallel step (or batch of identical steps)."""
+
+    label: str
+    work: int
+    depth: int
+
+
+@dataclass(frozen=True)
+class CostSnapshot:
+    """Immutable (work, depth) pair, used for deltas between two points."""
+
+    work: int
+    depth: int
+
+    def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
+        return CostSnapshot(self.work - other.work, self.depth - other.depth)
+
+
+@dataclass
+class CostModel:
+    """Accumulates the work and depth of a simulated PRAM execution.
+
+    Attributes
+    ----------
+    work:
+        Total operations charged so far.
+    depth:
+        Total synchronous rounds charged so far.
+    """
+
+    work: int = 0
+    depth: int = 0
+    record_steps: bool = False
+    steps: list[StepRecord] = field(default_factory=list)
+    phase_totals: dict[str, CostSnapshot] = field(default_factory=dict)
+    _phase_stack: list[str] = field(default_factory=list)
+
+    def charge(self, work: int, depth: int = 1, label: str = "") -> None:
+        """Charge ``work`` operations spread over ``depth`` rounds.
+
+        ``depth`` may be 0 for pure bookkeeping work folded into an
+        already-charged round; ``work`` may be 0 for synchronization-only
+        rounds.  Negative charges are rejected.
+        """
+        if work < 0 or depth < 0:
+            raise InvalidStepError(
+                f"negative cost charge (work={work}, depth={depth})"
+            )
+        self.work += int(work)
+        self.depth += int(depth)
+        if self.record_steps:
+            self.steps.append(StepRecord(label or self._current_phase(), work, depth))
+        for phase in self._phase_stack:
+            prev = self.phase_totals.get(phase, CostSnapshot(0, 0))
+            self.phase_totals[phase] = CostSnapshot(prev.work + work, prev.depth + depth)
+
+    def snapshot(self) -> CostSnapshot:
+        """Return the current (work, depth) totals as an immutable value."""
+        return CostSnapshot(self.work, self.depth)
+
+    def time_on(self, processors: int) -> int:
+        """Brent's-theorem running-time bound with ``processors`` processors.
+
+        ``T_p <= work / p + depth`` — the standard upper bound for greedy
+        scheduling of a work/depth computation on ``p`` processors.
+        """
+        if processors <= 0:
+            raise InvalidStepError(f"processor count must be positive, got {processors}")
+        return int(math.ceil(self.work / processors)) + self.depth
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute all charges inside the ``with`` block to ``name``.
+
+        Phases nest; a charge inside nested phases is attributed to each
+        enclosing phase (so phase totals are inclusive).
+        """
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    def _current_phase(self) -> str:
+        return self._phase_stack[-1] if self._phase_stack else ""
+
+    def reset(self) -> None:
+        """Zero all counters and recorded steps."""
+        self.work = 0
+        self.depth = 0
+        self.steps.clear()
+        self.phase_totals.clear()
+        self._phase_stack.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CostModel(work={self.work}, depth={self.depth})"

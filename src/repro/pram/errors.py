@@ -1,0 +1,33 @@
+"""Exception types for the PRAM simulation layer."""
+
+from __future__ import annotations
+
+
+class PRAMError(Exception):
+    """Base class for all PRAM-simulator errors."""
+
+
+class WriteConflictError(PRAMError):
+    """Two processors wrote different values to one cell in a CREW round.
+
+    The CREW (concurrent-read exclusive-write) model forbids concurrent
+    writes to the same memory cell within a synchronous round.  The staged
+    :class:`repro.pram.memory.CREWMemory` raises this error when the
+    violation is detected at the end-of-round commit.
+    """
+
+    def __init__(self, cell: int, values: tuple) -> None:
+        self.cell = cell
+        self.values = values
+        super().__init__(
+            f"CREW violation: cell {cell} written concurrently with "
+            f"conflicting values {values!r}"
+        )
+
+
+class ProcessorBudgetError(PRAMError):
+    """An algorithm requested more processors than the machine allows."""
+
+
+class InvalidStepError(PRAMError):
+    """A cost charge or memory operation was malformed (negative work, ...)."""

@@ -1,0 +1,92 @@
+"""The CREW PRAM machine façade.
+
+A :class:`PRAM` bundles a cost model with the vectorized primitives, so that
+algorithm code reads like PRAM pseudocode::
+
+    pram = PRAM()
+    dist = pram.broadcast(np.inf, n)
+    dist[s] = 0.0
+    for _ in range(beta):
+        pram.scatter_min(dist, heads, dist[tails] + w)
+
+All resource metering flows into ``pram.cost``; ``pram.cost.time_on(p)``
+yields the Brent-scheduled running time on ``p`` processors, the quantity
+the paper's processor bounds (e.g. Theorem 3.7's O((|E| + n^{1+1/κ})·n^ρ))
+speak about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram import pointer_jumping, primitives, scan, sort
+from repro.pram.cost import CostModel, CostSnapshot
+
+__all__ = ["PRAM"]
+
+
+class PRAM:
+    """A simulated CREW PRAM: vectorized execution + work/depth metering."""
+
+    def __init__(self, cost: CostModel | None = None) -> None:
+        self.cost = cost if cost is not None else CostModel()
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def charge(self, work: int, depth: int = 1, label: str = "") -> None:
+        """Charge raw work/depth (for costs not covered by a primitive)."""
+        self.cost.charge(work=work, depth=depth, label=label)
+
+    def snapshot(self) -> CostSnapshot:
+        return self.cost.snapshot()
+
+    def phase(self, name: str):
+        return self.cost.phase(name)
+
+    # -- primitives ---------------------------------------------------------
+
+    def map(self, fn, *arrays: np.ndarray, label: str = "map") -> np.ndarray:
+        return primitives.elementwise(self.cost, fn, *arrays, label=label)
+
+    def reduce(self, op: str, arr: np.ndarray, label: str = "reduce"):
+        return primitives.preduce(self.cost, op, arr, label=label)
+
+    def broadcast(self, value, n: int, dtype=None, label: str = "broadcast") -> np.ndarray:
+        return primitives.pbroadcast(self.cost, value, n, dtype=dtype, label=label)
+
+    def scatter_min(self, target, idx, values, label: str = "scatter_min") -> np.ndarray:
+        return primitives.scatter_min(self.cost, target, idx, values, label=label)
+
+    def scatter_min_arg(
+        self, target, payload, idx, values, value_payload, label: str = "scatter_min_arg"
+    ):
+        return primitives.scatter_min_arg(
+            self.cost, target, payload, idx, values, value_payload, label=label
+        )
+
+    def select(self, mask: np.ndarray, label: str = "select") -> np.ndarray:
+        return primitives.pselect(self.cost, mask, label=label)
+
+    def compact(self, arr: np.ndarray, mask: np.ndarray, label: str = "compact") -> np.ndarray:
+        return primitives.pcompact(self.cost, arr, mask, label=label)
+
+    def prefix_sum(self, arr: np.ndarray, inclusive: bool = True) -> np.ndarray:
+        return scan.prefix_sum(self.cost, arr, inclusive=inclusive)
+
+    def prefix_max(self, arr: np.ndarray) -> np.ndarray:
+        return scan.prefix_max(self.cost, arr)
+
+    def segmented_sum(self, values, segment_ids, num_segments: int) -> np.ndarray:
+        return scan.segmented_sum(self.cost, values, segment_ids, num_segments)
+
+    def sort(self, keys: np.ndarray, network: str = "aks", label: str = "sort") -> np.ndarray:
+        return sort.parallel_sort(self.cost, keys, network=network, label=label)
+
+    def lexsort(self, keys, network: str = "aks", label: str = "lexsort") -> np.ndarray:
+        return sort.parallel_lexsort(self.cost, keys, network=network, label=label)
+
+    def pointer_jump(self, parent, weight=None):
+        return pointer_jumping.pointer_jump(self.cost, parent, weight)
+
+    def list_rank(self, nxt):
+        return pointer_jumping.list_rank(self.cost, nxt)

@@ -1,0 +1,90 @@
+"""A literal CREW shared memory with staged writes and conflict detection.
+
+Section 1.5.1 of the paper defines the model: processors work in synchronous
+rounds; concurrent *reads* of a cell are allowed, but at most one processor
+may *write* a given cell per round ("vertices write on odd rounds and read on
+even rounds").  :class:`CREWMemory` enforces exactly that discipline: writes
+issued during a round are staged, and :meth:`end_round` commits them — after
+checking that no cell received two *different* values.  (Identical concurrent
+writes are tolerated, matching the COMMON-CRCW relaxation many PRAM texts
+allow for ties; strict mode rejects any double write.)
+
+This object is deliberately slow and explicit.  The production algorithms in
+this repository use the vectorized primitives of :mod:`repro.pram.primitives`
+for speed; ``CREWMemory`` exists to *validate the model semantics* — tests
+run small reference algorithms on it and check that the vectorized versions
+agree, and that genuinely conflicting programs are rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.pram.errors import InvalidStepError, WriteConflictError
+
+__all__ = ["CREWMemory"]
+
+
+class CREWMemory:
+    """Word-addressed shared memory with per-round staged CREW writes.
+
+    Parameters
+    ----------
+    size:
+        Number of cells.  Cells hold arbitrary Python values, ``None``
+        initially.
+    strict:
+        When ``True``, *any* two writes to one cell in a round conflict,
+        even with equal values.  When ``False`` (default), equal-valued
+        concurrent writes commit (COMMON rule); differing values raise.
+    """
+
+    def __init__(self, size: int, strict: bool = False) -> None:
+        if size < 0:
+            raise InvalidStepError(f"memory size must be non-negative, got {size}")
+        self._cells: list[Any] = [None] * size
+        self._staged: dict[int, Any] = {}
+        self._staged_writers: dict[int, int] = {}
+        self._strict = strict
+        self.rounds: int = 0
+        self.reads: int = 0
+        self.writes: int = 0
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def read(self, cell: int) -> Any:
+        """Concurrent-read a cell (sees the value as of the last commit)."""
+        self._check_cell(cell)
+        self.reads += 1
+        return self._cells[cell]
+
+    def write(self, cell: int, value: Any) -> None:
+        """Stage a write; visible to reads only after :meth:`end_round`."""
+        self._check_cell(cell)
+        self.writes += 1
+        if cell in self._staged:
+            if self._strict or self._staged[cell] != value:
+                raise WriteConflictError(cell, (self._staged[cell], value))
+            self._staged_writers[cell] += 1
+            return
+        self._staged[cell] = value
+        self._staged_writers[cell] = 1
+
+    def end_round(self) -> None:
+        """Commit all staged writes and advance the round counter."""
+        for cell, value in self._staged.items():
+            self._cells[cell] = value
+        self._staged.clear()
+        self._staged_writers.clear()
+        self.rounds += 1
+
+    def snapshot(self) -> list[Any]:
+        """Copy of the committed memory contents (for assertions)."""
+        return list(self._cells)
+
+    def _check_cell(self, cell: int) -> None:
+        if not 0 <= cell < len(self._cells):
+            raise InvalidStepError(
+                f"cell index {cell} out of range for memory of size {len(self._cells)}"
+            )

@@ -1,0 +1,166 @@
+"""Core data-parallel primitives, executed vectorized and cost-metered.
+
+Each primitive performs the operation with NumPy (so the simulation is fast
+and bit-exact) and charges the :class:`~repro.pram.cost.CostModel` the work
+and depth that the operation costs on a CREW PRAM:
+
+==============================  ======================  =====================
+primitive                       work                    depth
+==============================  ======================  =====================
+``elementwise`` over n items    O(n)                    O(1)
+``preduce`` over n items        O(n)                    O(log n)   (tree)
+``pbroadcast`` to n cells       O(n)                    O(1)       (CREW read)
+``scatter_min`` of n updates    O(n)                    O(log n)   (combine)
+``pselect`` / ``pwhere``        O(n)                    O(1)
+==============================  ======================  =====================
+
+``scatter_min`` deserves a note: on CREW, concurrent updates to one cell are
+not allowed, so colliding updates are combined by a balanced min-tree per
+cell — hence the O(log n) depth charge.  This is exactly how the paper's
+Algorithm 2 merges exploration entries arriving at one vertex.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.pram.cost import CostModel
+from repro.pram.errors import InvalidStepError
+
+__all__ = [
+    "ceil_log2",
+    "elementwise",
+    "preduce",
+    "pbroadcast",
+    "scatter_min",
+    "scatter_min_arg",
+    "pselect",
+    "pcompact",
+]
+
+
+def ceil_log2(n: int) -> int:
+    """``ceil(log2(n))`` for n >= 1; 0 for n in {0, 1}."""
+    if n <= 1:
+        return 0
+    return int(math.ceil(math.log2(n)))
+
+
+def elementwise(
+    cost: CostModel, fn: Callable[..., np.ndarray], *arrays: np.ndarray, label: str = "map"
+) -> np.ndarray:
+    """Apply a vectorized function elementwise; one round, linear work."""
+    out = fn(*arrays)
+    n = max((int(np.size(a)) for a in arrays), default=0)
+    cost.charge(work=n, depth=1, label=label)
+    return out
+
+
+def preduce(
+    cost: CostModel, op: str, arr: np.ndarray, label: str = "reduce"
+) -> np.generic:
+    """Tree-reduce an array with ``op`` in {'min','max','sum','or','and'}."""
+    reducers: dict[str, Callable[[np.ndarray], np.generic]] = {
+        "min": np.min,
+        "max": np.max,
+        "sum": np.sum,
+        "or": np.any,
+        "and": np.all,
+    }
+    if op not in reducers:
+        raise InvalidStepError(f"unknown reduction op {op!r}")
+    n = int(arr.size)
+    if n == 0:
+        raise InvalidStepError("cannot reduce an empty array")
+    cost.charge(work=n, depth=ceil_log2(n) + 1, label=label)
+    return reducers[op](arr)
+
+
+def pbroadcast(cost: CostModel, value, n: int, dtype=None, label: str = "broadcast") -> np.ndarray:
+    """Broadcast one value to ``n`` cells (one concurrent-read round)."""
+    if n < 0:
+        raise InvalidStepError(f"broadcast size must be non-negative, got {n}")
+    cost.charge(work=n, depth=1, label=label)
+    return np.full(n, value, dtype=dtype)
+
+
+def scatter_min(
+    cost: CostModel,
+    target: np.ndarray,
+    idx: np.ndarray,
+    values: np.ndarray,
+    label: str = "scatter_min",
+) -> np.ndarray:
+    """``target[idx[i]] = min(target[idx[i]], values[i])`` for all i, in place.
+
+    Colliding updates are combined with a per-cell min tree (depth
+    ``O(log n)`` in the worst case of all updates colliding).
+    """
+    if idx.shape != values.shape:
+        raise InvalidStepError("scatter_min: idx and values must have equal shape")
+    np.minimum.at(target, idx, values)
+    n = int(idx.size)
+    cost.charge(work=n, depth=ceil_log2(max(n, 1)) + 1, label=label)
+    return target
+
+
+def scatter_min_arg(
+    cost: CostModel,
+    target: np.ndarray,
+    payload: np.ndarray,
+    idx: np.ndarray,
+    values: np.ndarray,
+    value_payload: np.ndarray,
+    label: str = "scatter_min_arg",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scatter-min that also tracks *which* update won each cell.
+
+    Like :func:`scatter_min`, but additionally writes ``value_payload[i]``
+    into ``payload[idx[i]]`` whenever ``values[i]`` strictly improves the
+    cell.  Ties are broken deterministically toward the smallest payload, so
+    repeated runs produce identical results (a requirement for the
+    determinism experiments).
+    """
+    if not (idx.shape == values.shape == value_payload.shape):
+        raise InvalidStepError("scatter_min_arg: inputs must have equal shape")
+    n = int(idx.size)
+    if n == 0:
+        cost.charge(work=0, depth=1, label=label)
+        return target, payload
+    # Sort updates by (cell, value, payload); the first update per cell is
+    # the deterministic winner.  Charged as one parallel sort round below.
+    order = np.lexsort((value_payload, values, idx))
+    idx_s = idx[order]
+    first = np.ones(n, dtype=bool)
+    first[1:] = idx_s[1:] != idx_s[:-1]
+    win_cells = idx_s[first]
+    win_vals = values[order][first]
+    win_pay = value_payload[order][first]
+    improve = win_vals < target[win_cells]
+    target[win_cells[improve]] = win_vals[improve]
+    payload[win_cells[improve]] = win_pay[improve]
+    cost.charge(work=n * max(1, ceil_log2(n)), depth=ceil_log2(n) + 2, label=label)
+    return target, payload
+
+
+def pselect(cost: CostModel, mask: np.ndarray, label: str = "select") -> np.ndarray:
+    """Indices where ``mask`` holds (compaction via prefix sums)."""
+    out = np.flatnonzero(mask)
+    n = int(mask.size)
+    cost.charge(work=n, depth=ceil_log2(max(n, 1)) + 1, label=label)
+    return out
+
+
+def pcompact(
+    cost: CostModel, arr: np.ndarray, mask: np.ndarray, label: str = "compact"
+) -> np.ndarray:
+    """Keep the elements of ``arr`` where ``mask`` holds, preserving order."""
+    if arr.shape[0] != mask.shape[0]:
+        raise InvalidStepError("pcompact: arr and mask must have equal length")
+    out = arr[mask]
+    n = int(mask.size)
+    cost.charge(work=n, depth=ceil_log2(max(n, 1)) + 1, label=label)
+    return out

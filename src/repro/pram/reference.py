@@ -1,0 +1,104 @@
+"""Literal CREW reference programs, executed on :class:`CREWMemory`.
+
+These run the paper's model *for real*: every read/write goes through the
+staged shared memory with write-conflict detection, and the round counter
+is the actual depth.  They exist to validate the vectorized, cost-charged
+implementations — the test-suite runs both and asserts identical results
+and consistent round counts.  They are small and slow by design.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.csr import Graph
+from repro.pram.memory import CREWMemory
+from repro.pram.primitives import ceil_log2
+
+__all__ = ["crew_prefix_sum", "crew_pointer_jump", "crew_bellman_ford"]
+
+
+def crew_prefix_sum(values: list[float]) -> tuple[list[float], int]:
+    """Hillis–Steele inclusive scan on a CREW memory.
+
+    One processor per cell; in round j, cell i reads cell i − 2^j (a
+    concurrent-read) and adds.  Returns (prefix sums, rounds used).
+    """
+    n = len(values)
+    mem = CREWMemory(n)
+    for i, x in enumerate(values):
+        mem.write(i, float(x))
+    mem.end_round()
+    stride = 1
+    while stride < n:
+        updates = {}
+        for i in range(n):
+            if i >= stride:
+                updates[i] = mem.read(i) + mem.read(i - stride)
+        for i, val in updates.items():
+            mem.write(i, val)
+        mem.end_round()
+        stride *= 2
+    return [mem.read(i) for i in range(n)], mem.rounds
+
+
+def crew_pointer_jump(parent: list[int], weight: list[float]) -> tuple[list[int], list[float], int]:
+    """Section 4.2's pointer jumping, literally on a CREW memory.
+
+    Cells 0..n-1 hold q(v); cells n..2n-1 hold d'(v).  Each round every
+    processor concurrently reads its target's cells (legal on CREW) and
+    rewrites its own (exclusive).  Returns (roots, distances, rounds).
+    """
+    n = len(parent)
+    mem = CREWMemory(2 * n)
+    for v in range(n):
+        mem.write(v, int(parent[v]))
+        mem.write(n + v, 0.0 if parent[v] == v else float(weight[v]))
+    mem.end_round()
+    for _ in range(ceil_log2(max(n, 2)) + 1):
+        updates = {}
+        for v in range(n):
+            q = mem.read(v)
+            updates[v] = (mem.read(q), mem.read(n + v) + mem.read(n + q))
+        for v, (q2, d2) in updates.items():
+            mem.write(v, q2)
+        mem.end_round()
+        for v, (q2, d2) in updates.items():
+            mem.write(n + v, d2)
+        mem.end_round()
+    roots = [mem.read(v) for v in range(n)]
+    dists = [mem.read(n + v) for v in range(n)]
+    return roots, dists, mem.rounds
+
+
+def crew_bellman_ford(graph: Graph, source: int, hops: int) -> tuple[list[float], int]:
+    """Hop-limited Bellman–Ford with explicit CREW round discipline.
+
+    Per relaxation round, each vertex processor serially reads its
+    neighbors' distances (concurrent reads of popular cells are fine) and
+    exclusively rewrites its own cell — the paper's read-on-even /
+    write-on-odd pattern.  Returns (distances, rounds used).
+    """
+    inf = float("inf")
+    n = graph.n
+    mem = CREWMemory(n)
+    for v in range(n):
+        mem.write(v, 0.0 if v == source else inf)
+    mem.end_round()
+    for _ in range(hops):
+        updates = {}
+        for v in range(n):
+            best = mem.read(v)
+            nbrs, ws = graph.neighbors(v)
+            for t, w in zip(nbrs, ws):
+                cand = mem.read(int(t)) + float(w)
+                if cand < best:
+                    best = cand
+            updates[v] = best
+        changed = False
+        for v, val in updates.items():
+            if val != mem.read(v):
+                mem.write(v, val)
+                changed = True
+        mem.end_round()
+        if not changed:
+            break
+    return [mem.read(v) for v in range(n)], mem.rounds

@@ -1,0 +1,77 @@
+"""Parallel prefix sums (scans) and segmented scans.
+
+The work-efficient two-sweep algorithm of Blelloch runs in ``O(n)`` work and
+``O(log n)`` depth; we execute the scan with NumPy's ``cumsum``/``ufunc``
+accumulations and charge those costs.  Segmented scans (restarting at segment
+boundaries) are the standard building block for per-cluster aggregation in
+the hopset construction's aggregation part (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.cost import CostModel
+from repro.pram.errors import InvalidStepError
+from repro.pram.primitives import ceil_log2
+
+__all__ = ["prefix_sum", "prefix_max", "segmented_sum", "segment_offsets"]
+
+
+def _charge_scan(cost: CostModel, n: int, label: str) -> None:
+    # Blelloch up-sweep + down-sweep: 2n work, 2*ceil(log n) rounds.
+    cost.charge(work=2 * n, depth=2 * ceil_log2(max(n, 1)) + 1, label=label)
+
+
+def prefix_sum(
+    cost: CostModel, arr: np.ndarray, inclusive: bool = True, label: str = "scan"
+) -> np.ndarray:
+    """Prefix sums of ``arr``; exclusive scans start at 0."""
+    n = int(arr.size)
+    _charge_scan(cost, n, label)
+    if inclusive:
+        return np.cumsum(arr)
+    out = np.zeros_like(arr)
+    if n > 1:
+        np.cumsum(arr[:-1], out=out[1:])
+    return out
+
+
+def prefix_max(cost: CostModel, arr: np.ndarray, label: str = "scan_max") -> np.ndarray:
+    """Inclusive prefix maxima of ``arr``."""
+    _charge_scan(cost, int(arr.size), label)
+    return np.maximum.accumulate(arr)
+
+
+def segment_offsets(cost: CostModel, segment_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Start offsets and lengths of runs in a sorted ``segment_ids`` array.
+
+    ``segment_ids`` must be non-decreasing (i.e. the data is already grouped
+    by segment).  Returns ``(unique_ids, counts)``.
+    """
+    n = int(segment_ids.size)
+    if n == 0:
+        cost.charge(work=0, depth=1, label="segments")
+        return segment_ids[:0], np.zeros(0, dtype=np.int64)
+    if np.any(segment_ids[1:] < segment_ids[:-1]):
+        raise InvalidStepError("segment_offsets requires sorted segment ids")
+    uniq, counts = np.unique(segment_ids, return_counts=True)
+    _charge_scan(cost, n, "segments")
+    return uniq, counts
+
+
+def segmented_sum(
+    cost: CostModel, values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Sum of ``values`` within each segment id in ``[0, num_segments)``.
+
+    Segments need not be contiguous; this is a scatter-add combined with a
+    per-segment reduction tree (``O(n)`` work, ``O(log n)`` depth).
+    """
+    if values.shape != segment_ids.shape:
+        raise InvalidStepError("segmented_sum: values and segment_ids must match")
+    out = np.zeros(num_segments, dtype=values.dtype)
+    np.add.at(out, segment_ids, values)
+    n = int(values.size)
+    cost.charge(work=n, depth=ceil_log2(max(n, 1)) + 1, label="segmented_sum")
+    return out

@@ -1,0 +1,59 @@
+"""Processor-limited scheduling of a recorded PRAM execution.
+
+``CostModel.time_on(p)`` applies Brent's bound to the *totals*; this module
+applies it per recorded step (requires ``record_steps=True``), which is the
+tight version: steps are sequential (each depends on the previous round),
+so the makespan with p processors is
+
+    T_p  =  Σ_steps  ( depth_i + ⌈work_i / p⌉ − 1 )
+
+clipped below by the step's depth (a step can never beat its critical
+path).  The speedup/efficiency curves this produces are what the E3/E10
+scaling tables describe qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pram.cost import CostModel
+from repro.pram.errors import InvalidStepError
+
+__all__ = ["SchedulePoint", "makespan", "speedup_curve"]
+
+
+@dataclass(frozen=True)
+class SchedulePoint:
+    processors: int
+    time: int
+    speedup: float
+    efficiency: float
+
+
+def makespan(cost: CostModel, processors: int) -> int:
+    """Per-step Brent makespan on ``processors`` processors."""
+    if processors < 1:
+        raise InvalidStepError(f"processor count must be positive, got {processors}")
+    if not cost.steps:
+        raise InvalidStepError(
+            "makespan needs recorded steps; build the CostModel with record_steps=True"
+        )
+    total = 0
+    for step in cost.steps:
+        if step.work:
+            extra = max(0, -(-step.work // processors) - 1)  # ceil(work/p) − 1
+            total += step.depth + extra
+        else:
+            total += step.depth
+    return total
+
+
+def speedup_curve(cost: CostModel, processor_counts: list[int]) -> list[SchedulePoint]:
+    """Speedup/efficiency against the 1-processor makespan."""
+    base = makespan(cost, 1)
+    out = []
+    for p in processor_counts:
+        t = makespan(cost, p)
+        s = base / t if t else float("inf")
+        out.append(SchedulePoint(processors=p, time=t, speedup=s, efficiency=s / p))
+    return out

@@ -1,0 +1,118 @@
+"""Persistence: save/load graphs and hopsets as ``.npz`` archives.
+
+Hopsets are expensive to build and meant to be reused across many queries
+(Theorem 3.8's whole point); this module lets a downstream user build once
+and ship the artifact.  Memory paths (path-reporting hopsets) are stored as
+one flat vertex array plus offsets, so archives stay compact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.hopsets.errors import HopsetError
+from repro.hopsets.hopset import Hopset, HopsetEdge
+
+__all__ = ["save_graph", "load_graph", "save_hopset", "load_hopset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(path: str | Path, graph: Graph) -> None:
+    """Write a graph to ``path`` (.npz)."""
+    np.savez_compressed(
+        Path(path),
+        format=np.array([_FORMAT_VERSION]),
+        kind=np.array(["graph"]),
+        n=np.array([graph.n]),
+        edge_u=graph.edge_u,
+        edge_v=graph.edge_v,
+        edge_w=graph.edge_w,
+    )
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Read a graph written by :func:`save_graph`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        _check(data, "graph")
+        return Graph(int(data["n"][0]), data["edge_u"], data["edge_v"], data["edge_w"])
+
+
+def save_hopset(path: str | Path, hopset: Hopset) -> None:
+    """Write a hopset (records, provenance, and memory paths) to ``path``."""
+    edges = hopset.edges
+    kinds = sorted({e.kind for e in edges})
+    kind_code = {k: i for i, k in enumerate(kinds)}
+    has_paths = bool(edges) and all(e.path is not None for e in edges)
+    if edges and not has_paths and any(e.path is not None for e in edges):
+        raise HopsetError("cannot serialize a hopset with partially recorded paths")
+    flat: list[int] = []
+    offsets = [0]
+    if has_paths:
+        for e in edges:
+            flat.extend(e.path)  # type: ignore[arg-type]
+            offsets.append(len(flat))
+    np.savez_compressed(
+        Path(path),
+        format=np.array([_FORMAT_VERSION]),
+        kind=np.array(["hopset"]),
+        n=np.array([hopset.n]),
+        beta=np.array([hopset.beta]),
+        epsilon=np.array([hopset.epsilon]),
+        meta=np.array([json.dumps(hopset.meta, default=str)]),
+        kinds=np.array(kinds),
+        edge_u=np.array([e.u for e in edges], dtype=np.int64),
+        edge_v=np.array([e.v for e in edges], dtype=np.int64),
+        edge_w=np.array([e.weight for e in edges], dtype=np.float64),
+        edge_scale=np.array([e.scale for e in edges], dtype=np.int64),
+        edge_phase=np.array([e.phase for e in edges], dtype=np.int64),
+        edge_kind=np.array([kind_code[e.kind] for e in edges], dtype=np.int64),
+        has_paths=np.array([has_paths]),
+        path_flat=np.array(flat, dtype=np.int64),
+        path_offsets=np.array(offsets, dtype=np.int64),
+    )
+
+
+def load_hopset(path: str | Path) -> Hopset:
+    """Read a hopset written by :func:`save_hopset`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        _check(data, "hopset")
+        kinds = [str(k) for k in data["kinds"]]
+        has_paths = bool(data["has_paths"][0])
+        flat = data["path_flat"]
+        offsets = data["path_offsets"]
+        edges = []
+        for i in range(data["edge_u"].size):
+            path = None
+            if has_paths:
+                path = tuple(int(x) for x in flat[offsets[i]:offsets[i + 1]])
+            edges.append(
+                HopsetEdge(
+                    u=int(data["edge_u"][i]),
+                    v=int(data["edge_v"][i]),
+                    weight=float(data["edge_w"][i]),
+                    scale=int(data["edge_scale"][i]),
+                    phase=int(data["edge_phase"][i]),
+                    kind=kinds[int(data["edge_kind"][i])],
+                    path=path,
+                )
+            )
+        hopset = Hopset(
+            n=int(data["n"][0]),
+            edges=edges,
+            beta=int(data["beta"][0]),
+            epsilon=float(data["epsilon"][0]),
+            meta=json.loads(str(data["meta"][0])),
+        )
+        return hopset
+
+
+def _check(data, expected_kind: str) -> None:
+    if "kind" not in data or str(data["kind"][0]) != expected_kind:
+        raise HopsetError(f"archive is not a serialized {expected_kind}")
+    if int(data["format"][0]) > _FORMAT_VERSION:
+        raise HopsetError("archive written by a newer format version")

@@ -1,0 +1,11 @@
+"""Near-additive spanners — the derandomized [EM19] companion (§1.2/§1.4)."""
+
+from repro.spanners.construction import SpannerReport, build_spanner
+from repro.spanners.verification import SpannerCertification, certify_spanner
+
+__all__ = [
+    "build_spanner",
+    "SpannerReport",
+    "certify_spanner",
+    "SpannerCertification",
+]

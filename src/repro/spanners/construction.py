@@ -1,0 +1,181 @@
+"""Near-additive spanners from derandomized superclustering ([EM19], §1.4).
+
+The paper's technique is a derandomization of the
+superclustering-and-interconnection framework; the same framework (with the
+same ruling sets) built *near-additive spanners* for unweighted graphs in
+[EM19] and [EP01], and §1.2 points out that derandomized spanners are the
+missing ingredient for a fully deterministic [EGN19].  This module runs the
+identical phase machinery on an unweighted graph, but instead of inserting
+weighted shortcut *edges* into a hopset it inserts the underlying *paths*
+into a subgraph — producing a (1+ε, β)-spanner:
+
+    d_S(u, v) ≤ (1+ε)·d_G(u, v) + β       with |S| = O(n^{1+1/κ}) edges.
+
+Unweighted distances make the machinery simpler than the hopset case: a
+δ-bounded exploration needs exactly δ hops, so there is no β parameter in
+the exploration itself and no multi-scale loop — one pass over the phase
+schedule suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.build import from_edge_arrays
+from repro.graphs.csr import Graph
+from repro.hopsets.cluster_graph import bfs_from_clusters, neighbor_tables
+from repro.hopsets.clusters import ClusterMemory, Partition
+from repro.hopsets.errors import CertificationError
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.ruling_sets import ruling_set
+from repro.hopsets.single_scale import compose_supercluster_path, interconnect_path
+from repro.pram.machine import PRAM
+from repro.pram.primitives import ceil_log2
+
+__all__ = ["SpannerReport", "build_spanner"]
+
+
+@dataclass
+class SpannerReport:
+    """Phase accounting for the spanner construction."""
+
+    phases: int = 0
+    clusters_per_phase: list[int] = field(default_factory=list)
+    ruling_sizes: list[int] = field(default_factory=list)
+    work: int = 0
+    depth: int = 0
+
+
+def _unit_graph(graph: Graph) -> Graph:
+    """Strip weights: the spanner machinery is for unweighted graphs."""
+    return Graph(graph.n, graph.edge_u, graph.edge_v, np.ones(graph.num_edges))
+
+
+def build_spanner(
+    graph: Graph,
+    params: HopsetParams | None = None,
+    pram: PRAM | None = None,
+) -> tuple[Graph, SpannerReport]:
+    """Deterministic (1+ε, β)-spanner of an (unweighted) graph.
+
+    Input weights are ignored (distances are hop counts).  Returns the
+    spanner as a subgraph (unit weights) plus a report.  Determinism,
+    subgraph-ness, and the size/stretch shape are covered by tests and E15.
+    """
+    params = params if params is not None else HopsetParams()
+    pram = pram if pram is not None else PRAM()
+    n = graph.n
+    report = SpannerReport()
+    if graph.num_edges == 0 or n < 2:
+        return _unit_graph(graph), report
+
+    g = _unit_graph(graph)
+    partition = Partition.singletons(n)
+    memory = ClusterMemory(n, record_paths=True)
+    eps = params.epsilon
+    ell = params.ell
+    spanner_pairs: set[tuple[int, int]] = set()
+    start = pram.snapshot()
+
+    def add_path(path: tuple[int, ...]) -> None:
+        for a, b in zip(path, path[1:]):
+            spanner_pairs.add((min(a, b), max(a, b)))
+
+    for i in range(ell + 1):
+        if partition.num_clusters <= 1:
+            break
+        report.phases += 1
+        report.clusters_per_phase.append(partition.num_clusters)
+        members = partition.members_by_cluster()
+        centers = partition.centers
+        # unit weights: a δ-bounded exploration needs exactly δ = (1/ε)^i hops
+        delta = max(1, int(round((1.0 / eps) ** i)))
+        deg = params.degree_threshold(n, i)
+        last_phase = i == ell
+        x = partition.num_clusters if last_phase else deg + 1
+
+        with pram.phase(f"spanner/phase{i}/detect"):
+            tables = neighbor_tables(
+                pram, g, partition, threshold=float(delta), hops=delta, x=x,
+                record_paths=True, members_by_cluster=members,
+            )
+        counts = tables.counts()
+        popular = (
+            np.zeros(partition.num_clusters, dtype=bool)
+            if last_phase
+            else counts >= (deg + 1)
+        )
+
+        q_mask = np.zeros(partition.num_clusters, dtype=bool)
+        detected = np.zeros(partition.num_clusters, dtype=bool)
+        bfs = None
+        if popular.any():
+            with pram.phase(f"spanner/phase{i}/ruling"):
+                q_mask = ruling_set(
+                    pram, g, partition, popular, float(delta), delta,
+                    members_by_cluster=members,
+                )
+            with pram.phase(f"spanner/phase{i}/supercluster"):
+                bfs = bfs_from_clusters(
+                    pram, g, partition, q_mask, float(delta), delta,
+                    max_pulses=2 * ceil_log2(max(n, 2)),
+                    memory=memory, record_paths=True,
+                    members_by_cluster=members,
+                )
+            detected = bfs.detected()
+            if np.any(popular & ~detected):
+                raise CertificationError("popular cluster missed by the ruling BFS")
+        report.ruling_sizes.append(int(q_mask.sum()))
+
+        super_paths: dict[int, tuple[int, ...]] = {}
+        if bfs is not None:
+            for c in np.flatnonzero(detected & ~q_mask):
+                path = compose_supercluster_path(bfs, int(c), memory, centers)
+                super_paths[int(c)] = path
+                add_path(path)
+
+        in_u = ~detected
+        with pram.phase(f"spanner/phase{i}/interconnect"):
+            for row in range(tables.cluster.size):
+                c = int(tables.cluster[row])
+                s = int(tables.src[row])
+                if c == s or not (in_u[c] and in_u[s]) or centers[c] > centers[s]:
+                    continue
+                seg = tables.paths[row] if tables.paths is not None else None
+                if seg is None:
+                    raise CertificationError("interconnection row lacks a path")
+                add_path(
+                    interconnect_path(
+                        memory, int(tables.seed[row]), int(tables.member[row]), seg
+                    )
+                )
+            pram.charge(work=int(tables.cluster.size), depth=1, label="interconnect")
+
+        if not popular.any():
+            break
+
+        assert bfs is not None
+        for c in np.flatnonzero(detected & ~q_mask):
+            memory.absorb(
+                members[int(c)], float(bfs.acc_weight[c]), super_paths[int(c)][::-1]
+            )
+        q_idx = np.flatnonzero(q_mask)
+        new_of_origin = np.full(partition.num_clusters, -1, dtype=np.int64)
+        new_of_origin[q_idx] = np.arange(q_idx.size, dtype=np.int64)
+        new_cluster_of = np.full(n, -1, dtype=np.int64)
+        for c in np.flatnonzero(detected):
+            new_cluster_of[members[int(c)]] = new_of_origin[int(bfs.origin[c])]
+        partition = Partition(cluster_of=new_cluster_of, centers=centers[q_idx].copy())
+        pram.charge(work=n, depth=1, label="reform_partition")
+
+    delta_cost = pram.snapshot() - start
+    report.work, report.depth = delta_cost.work, delta_cost.depth
+    if spanner_pairs:
+        u = np.array([p[0] for p in sorted(spanner_pairs)], dtype=np.int64)
+        v = np.array([p[1] for p in sorted(spanner_pairs)], dtype=np.int64)
+        spanner = from_edge_arrays(n, u, v, np.ones(u.size))
+    else:
+        spanner = from_edge_arrays(n, np.zeros(0), np.zeros(0), np.zeros(0))
+    return spanner, report

@@ -1,0 +1,77 @@
+"""Spanner certification: subgraph-ness and the (1+ε, β) stretch shape."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.graphs.distances import dijkstra
+from repro.hopsets.errors import CertificationError
+
+__all__ = ["SpannerCertification", "certify_spanner"]
+
+
+@dataclass(frozen=True)
+class SpannerCertification:
+    """Measured spanner quality against a (1+ε, β) target."""
+
+    edges: int
+    size_bound: float
+    multiplicative: float   # max d_S/d_G (the pure multiplicative view)
+    additive_at_eps: float  # max (d_S − (1+ε)·d_G): β needed at this ε
+    pairs: int
+    is_subgraph: bool
+
+    def holds(self, beta: float) -> bool:
+        return self.is_subgraph and self.additive_at_eps <= beta + 1e-9
+
+
+def certify_spanner(
+    graph: Graph, spanner: Graph, epsilon: float, kappa: int
+) -> SpannerCertification:
+    """Exact all-pairs certification of an unweighted spanner.
+
+    ``additive_at_eps`` is the smallest β for which the spanner satisfies
+    ``d_S ≤ (1+ε)·d_G + β`` — the quantity compared to the [EM19] bound.
+    Raises if the spanner is not a subgraph of ``graph``.
+    """
+    if spanner.n != graph.n:
+        raise CertificationError("spanner vertex count differs from the graph's")
+    gpairs = set(zip(graph.edge_u.tolist(), graph.edge_v.tolist()))
+    is_subgraph = all(
+        (int(u), int(v)) in gpairs
+        for u, v in zip(spanner.edge_u, spanner.edge_v)
+    )
+    if not is_subgraph:
+        raise CertificationError("spanner contains a non-graph edge")
+    # unweighted distances on both
+    from repro.graphs.csr import Graph as _G
+
+    unit = _G(graph.n, graph.edge_u, graph.edge_v, np.ones(graph.num_edges))
+    mult = 1.0
+    additive = 0.0
+    pairs = 0
+    for s in range(graph.n):
+        dg = dijkstra(unit, s)
+        ds = dijkstra(spanner, s) if spanner.num_edges else np.full(graph.n, np.inf)
+        ds[s] = 0.0
+        for t in range(s + 1, graph.n):
+            if not np.isfinite(dg[t]) or dg[t] == 0:
+                continue
+            pairs += 1
+            if not np.isfinite(ds[t]):
+                additive = float("inf")
+                mult = float("inf")
+                continue
+            mult = max(mult, float(ds[t] / dg[t]))
+            additive = max(additive, float(ds[t] - (1 + epsilon) * dg[t]))
+    return SpannerCertification(
+        edges=spanner.num_edges,
+        size_bound=graph.n ** (1 + 1 / kappa),
+        multiplicative=mult,
+        additive_at_eps=max(additive, 0.0),
+        pairs=pairs,
+        is_subgraph=is_subgraph,
+    )

@@ -1,0 +1,186 @@
+"""Decremental approximate SSSP — the §1.4 future-work direction, realized.
+
+The paper closes by conjecturing its techniques will be useful for dynamic
+shortest paths [Ber09, BR11, HKN16].  The path-reporting mechanism (§4)
+makes a *decremental* oracle straightforwardly sound:
+
+* every hopset edge's weight equals the weight of its recorded memory
+  path;
+* under decremental updates (weight increases / deletions) a hopset edge
+  stays a **safe upper bound** exactly as long as its memory path is
+  intact — the path is still there, at the same cost;
+* so on each update we invalidate precisely the hopset edges whose memory
+  paths (transitively, through lower-scale hopset edges) touch a modified
+  edge, and rebuild only when too few survive.
+
+Queries run β-hop Bellman–Ford over the graph plus the *live* hopset
+edges: answers never under-estimate; accuracy degrades gracefully as edges
+invalidate and is restored by the (counted) rebuilds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.build import from_edge_arrays, union_with_edges
+from repro.graphs.csr import Graph
+from repro.graphs.errors import InvalidGraphError, VertexError
+from repro.hopsets.hopset import Hopset
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.path_reporting import build_path_reporting_hopset
+from repro.pram.machine import PRAM
+from repro.sssp.bellman_ford import bellman_ford
+
+__all__ = ["DecrementalSSSP"]
+
+
+def _key(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+class DecrementalSSSP:
+    """A decremental (weight-increase / edge-deletion) distance oracle.
+
+    Parameters
+    ----------
+    graph:
+        The initial graph.
+    params:
+        Hopset parameters (the hopset is built path-reporting).
+    rebuild_below:
+        When the live fraction of hopset edges drops below this, the
+        hopset is rebuilt from the current graph (counted in
+        ``rebuilds``).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        params: HopsetParams | None = None,
+        rebuild_below: float = 0.5,
+        pram: PRAM | None = None,
+    ) -> None:
+        if not 0.0 <= rebuild_below <= 1.0:
+            raise InvalidGraphError("rebuild_below must lie in [0, 1]")
+        self.params = params if params is not None else HopsetParams()
+        self.rebuild_below = rebuild_below
+        self.pram = pram if pram is not None else PRAM()
+        self.graph = graph
+        self.rebuilds = 0
+        self.updates = 0
+        self._build()
+
+    # -- construction & indexing -------------------------------------------
+
+    def _build(self) -> None:
+        self.hopset, _ = build_path_reporting_hopset(self.graph, self.params, self.pram)
+        self._alive = [True] * len(self.hopset.edges)
+        # pair → indices of hopset records on that pair
+        self._records_on_pair: dict[tuple[int, int], list[int]] = {}
+        # pair → indices of hopset records whose memory path *uses* the pair
+        self._dependents: dict[tuple[int, int], list[int]] = {}
+        for idx, e in enumerate(self.hopset.edges):
+            self._records_on_pair.setdefault(_key(e.u, e.v), []).append(idx)
+            assert e.path is not None
+            for a, b in zip(e.path, e.path[1:]):
+                self._dependents.setdefault(_key(int(a), int(b)), []).append(idx)
+
+    @property
+    def live_fraction(self) -> float:
+        """Fraction of hopset records still valid."""
+        if not self._alive:
+            return 1.0
+        return sum(self._alive) / len(self._alive)
+
+    def live_records(self) -> int:
+        return int(sum(self._alive))
+
+    # -- updates -------------------------------------------------------------
+
+    def increase_weight(self, u: int, v: int, new_weight: float) -> None:
+        """Raise the weight of edge (u, v); decremental-only is enforced."""
+        old = self.graph.edge_weight(u, v)
+        if not np.isfinite(old):
+            raise InvalidGraphError(f"({u},{v}) is not an edge")
+        if new_weight < old:
+            raise InvalidGraphError(
+                f"decremental oracle: weight of ({u},{v}) may only increase "
+                f"({old} -> {new_weight})"
+            )
+        if new_weight == old:
+            return
+        self._apply_edge_change(u, v, new_weight)
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Remove edge (u, v) entirely."""
+        if not self.graph.has_edge(u, v):
+            raise InvalidGraphError(f"({u},{v}) is not an edge")
+        self._apply_edge_change(u, v, None)
+
+    def _apply_edge_change(self, u: int, v: int, new_weight: float | None) -> None:
+        self.updates += 1
+        eu, ev, ew = self.graph.edges()
+        ew = ew.copy()
+        mask = (np.minimum(eu, ev) == min(u, v)) & (np.maximum(eu, ev) == max(u, v))
+        if new_weight is None:
+            keep = ~mask
+            self.graph = from_edge_arrays(self.graph.n, eu[keep], ev[keep], ew[keep])
+        else:
+            ew[mask] = new_weight
+            self.graph = from_edge_arrays(self.graph.n, eu, ev, ew)
+        self._invalidate(_key(u, v))
+        if self.live_fraction < self.rebuild_below:
+            self.rebuilds += 1
+            self._build()
+
+    def _invalidate(self, pair: tuple[int, int]) -> None:
+        """Worklist propagation: kill every record depending on ``pair``.
+
+        A record dies when its memory path contains a compromised pair —
+        one whose graph edge was modified or whose covering records died —
+        and a dead record compromises its own pair in turn (a lower-scale
+        record's death can break a higher-scale path even if a graph edge
+        still spans the pair, because the path's cost bound may have relied
+        on the cheaper record; see the module docstring).
+        """
+        stack = [pair]
+        seen: set[tuple[int, int]] = set()
+        while stack:
+            p = stack.pop()
+            if p in seen:
+                continue
+            seen.add(p)
+            for idx in self._dependents.get(p, ()):  # records using this pair
+                if self._alive[idx]:
+                    self._alive[idx] = False
+                    e = self.hopset.edges[idx]
+                    stack.append(_key(e.u, e.v))
+
+    # -- queries ---------------------------------------------------------------
+
+    def _live_union(self) -> Graph:
+        u, v, w = [], [], []
+        for idx, e in enumerate(self.hopset.edges):
+            if self._alive[idx]:
+                u.append(e.u)
+                v.append(e.v)
+                w.append(e.weight)
+        return union_with_edges(
+            self.graph,
+            np.array(u, dtype=np.int64),
+            np.array(v, dtype=np.int64),
+            np.array(w, dtype=np.float64),
+        )
+
+    def distances(self, source: int, hop_budget: int | None = None) -> np.ndarray:
+        """Distances from ``source``; never under the true distances.
+
+        The default budget is n−1 with early exit: exact answers, with the
+        live hopset edges only accelerating convergence.  A small explicit
+        budget (e.g. 2β+1) trades accuracy for rounds as usual.
+        """
+        if not 0 <= source < self.graph.n:
+            raise VertexError(f"source {source} out of range")
+        budget = hop_budget if hop_budget is not None else max(self.graph.n - 1, 1)
+        res = bellman_ford(self.pram, self._live_union(), source, budget)
+        return res.dist

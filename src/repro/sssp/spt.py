@@ -1,0 +1,226 @@
+"""(1+ε)-approximate shortest-path *trees* — Section 4 / Theorem 4.6.
+
+Distances alone do not give paths.  Given a path-reporting hopset, the
+peeling procedure (Algorithm 1) converts the β-hop Bellman–Ford tree in
+G ∪ H — which contains hopset edges — into a genuine spanning tree of G:
+
+  iteration k = λ, λ−1, …, k0:  every tree edge from H_k is replaced by its
+  memory path (a path in ``E ∪ H_{k−1}``); interior path vertices receive
+  candidate (distance, parent) proposals through the global array M, sorted
+  and resolved exactly as §4.1 describes; Lemma 4.1's invariant
+  (d(p(v)) < d(v)) keeps the structure acyclic after every iteration.
+
+After the last iteration every parent edge lies in E; the §4.2 pointer-
+jumping pass (Lemma 4.3) computes exact distances in the resulting tree T,
+which satisfies d_T(s, v) ≤ stretch·d_G(s, v).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.hopsets.errors import PathReportingError
+from repro.hopsets.hopset import Hopset, HopsetEdge
+from repro.pram.machine import PRAM
+from repro.sssp.bellman_ford import bellman_ford
+
+__all__ = ["SPTResult", "approximate_spt"]
+
+_TOL = 1e-9
+
+
+@dataclass
+class SPTResult:
+    """A spanning tree of G (parent array + exact tree distances)."""
+
+    source: int
+    parent: np.ndarray        # parent[source] == source; -1 where unreached
+    dist: np.ndarray          # exact distances *in the tree* (inf unreached)
+    replacements: dict[int, int] = field(default_factory=dict)  # scale → #edges peeled
+    rounds_used: int = 0
+
+    def tree_edges(self) -> list[tuple[int, int]]:
+        out = []
+        for v in range(self.parent.size):
+            p = int(self.parent[v])
+            if p >= 0 and p != v:
+                out.append((p, v))
+        return out
+
+
+def _edge_key(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+def _best_records(hopset: Hopset) -> dict[tuple[int, int], HopsetEdge]:
+    """Per vertex pair, the lightest hopset record (ties → lower scale)."""
+    best: dict[tuple[int, int], HopsetEdge] = {}
+    for e in hopset.edges:
+        key = _edge_key(e.u, e.v)
+        cur = best.get(key)
+        if cur is None or (e.weight, e.scale) < (cur.weight, cur.scale):
+            best[key] = e
+    return best
+
+
+def approximate_spt(
+    graph: Graph,
+    hopset: Hopset,
+    source: int,
+    pram: PRAM | None = None,
+    hop_budget: int | None = None,
+) -> SPTResult:
+    """Extract a (1+ε)-SPT rooted at ``source`` (Algorithm 1).
+
+    ``hopset`` must be path-reporting (every edge carries a memory path);
+    otherwise :class:`PathReportingError` is raised.
+
+    ``hop_budget`` defaults to n−1 rounds: a *tree* should span every
+    reachable vertex even when the hopset is too weak to certify (1+ε) at
+    2β+1 hops, and the Bellman–Ford early exit makes the generous default
+    free whenever the hopset is adequate (it converges within ~2β+1 rounds
+    anyway).  Pass an explicit budget to study truncated-budget behaviour
+    (vertices beyond it stay at parent −1 / distance ∞).
+    """
+    pram = pram if pram is not None else PRAM()
+    n = graph.n
+    for e in hopset.edges:
+        if e.path is None:
+            raise PathReportingError(
+                "SPT extraction needs a path-reporting hopset "
+                "(use build_path_reporting_hopset)"
+            )
+
+    union = hopset.union_graph(graph)
+    budget = hop_budget if hop_budget is not None else max(n - 1, 1)
+    bf = bellman_ford(pram, union, source, budget)
+    parent = bf.parent.copy()
+    dist = bf.dist.copy()
+
+    graph_w: dict[tuple[int, int], float] = {
+        _edge_key(int(u), int(v)): float(w) for u, v, w in zip(*graph.edges())
+    }
+    records = _best_records(hopset)
+
+    def is_graph_edge(u: int, v: int) -> bool:
+        key = _edge_key(u, v)
+        gw = graph_w.get(key)
+        if gw is None:
+            return False
+        rec = records.get(key)
+        return rec is None or gw <= rec.weight + _TOL
+
+    def path_weights(path: tuple[int, ...]) -> np.ndarray:
+        """Per-edge weights along a memory path (edges from E ∪ H_{<k})."""
+        out = np.empty(len(path) - 1)
+        for j, (a, b) in enumerate(zip(path, path[1:])):
+            key = _edge_key(int(a), int(b))
+            gw = graph_w.get(key, np.inf)
+            rec = records.get(key)
+            rw = rec.weight if rec is not None else np.inf
+            w = min(gw, rw)
+            if not np.isfinite(w):
+                raise PathReportingError(
+                    f"memory path step ({a},{b}) is not an edge of E ∪ H"
+                )
+            out[j] = w
+        return out
+
+    def peel_scale(k: int) -> int:
+        """One iteration of Algorithm 1 for scale k; returns #edges peeled."""
+        proposals: list[tuple[int, float, int]] = []  # (vertex, dist, parent)
+        forced: list[tuple[int, int]] = []            # (vertex v, new parent)
+        peeled = 0
+        for v in range(n):
+            p = int(parent[v])
+            if p < 0 or p == v:
+                continue
+            if is_graph_edge(p, v):
+                continue
+            rec = records.get(_edge_key(p, v))
+            if rec is None:
+                raise PathReportingError(
+                    f"tree edge ({p},{v}) is neither a graph edge nor a hopset record"
+                )
+            if rec.scale != k:
+                continue  # handled in its own scale's iteration
+            path = rec.path if rec.u == p else rec.path[::-1]
+            ws = path_weights(path)
+            prefix = np.concatenate([[0.0], np.cumsum(ws)])
+            base = float(dist[p])
+            for j in range(1, len(path) - 1):
+                proposals.append((int(path[j]), base + float(prefix[j]), int(path[j - 1])))
+            forced.append((v, int(path[-2])))
+            peeled += 1
+        # the global array M: sort, and let each vertex take its best entry
+        for v, new_p in forced:
+            parent[v] = new_p
+        if proposals:
+            arr_v = np.array([p[0] for p in proposals], dtype=np.int64)
+            arr_d = np.array([p[1] for p in proposals])
+            arr_p = np.array([p[2] for p in proposals], dtype=np.int64)
+            order = pram.lexsort((arr_p, arr_d, arr_v), label="peel_sort")
+            arr_v, arr_d, arr_p = arr_v[order], arr_d[order], arr_p[order]
+            first = np.ones(arr_v.size, dtype=bool)
+            first[1:] = arr_v[1:] != arr_v[:-1]
+            for i in np.flatnonzero(first):
+                v = int(arr_v[i])
+                if arr_d[i] < dist[v] - _TOL:
+                    dist[v] = float(arr_d[i])
+                    parent[v] = int(arr_p[i])
+        pram.charge(work=n + len(proposals), depth=2, label="peel_commit")
+        return peeled
+
+    def has_hopset_tree_edge() -> bool:
+        for v in range(n):
+            p = int(parent[v])
+            if p >= 0 and p != v and not is_graph_edge(p, v):
+                return True
+        return False
+
+    # Iterate the descending-scale sweep to a fixpoint.  A single sweep can
+    # strand an edge: a memory-path step may be realized by a record whose
+    # *best* (lightest) twin lives at an already-processed higher scale.
+    # Re-sweeping handles it; the (weight, scale) of every stranded edge
+    # strictly lexicographically decreases, so the loop terminates well
+    # within #scales + 2 passes.
+    replacements: dict[int, int] = {}
+    scale_order = sorted(hopset.scales(), reverse=True)
+    for _ in range(len(scale_order) + 2):
+        for k in scale_order:
+            peeled = peel_scale(k)
+            if peeled:
+                replacements[k] = replacements.get(k, 0) + peeled
+        if not has_hopset_tree_edge():
+            break
+    else:
+        raise PathReportingError("peeling did not converge to graph-only tree edges")
+
+    # every remaining tree edge must be a graph edge
+    edge_w = np.zeros(n)
+    for v in range(n):
+        p = int(parent[v])
+        if p < 0 or p == v:
+            continue
+        key = _edge_key(p, v)
+        if key not in graph_w:
+            raise PathReportingError(f"peeling left a non-graph tree edge ({p},{v})")
+        edge_w[v] = graph_w[key]
+
+    # §4.2 pointer jumping for exact tree distances
+    q = parent.copy()
+    unreached = q < 0
+    q[unreached] = np.flatnonzero(unreached)
+    root, tree_dist = pram.pointer_jump(q, edge_w)
+    del root
+    tree_dist[unreached] = np.inf
+    return SPTResult(
+        source=source,
+        parent=parent,
+        dist=tree_dist,
+        replacements=replacements,
+        rounds_used=bf.rounds_used,
+    )

@@ -1,0 +1,61 @@
+"""Cost-attribution reports."""
+
+from repro.analysis.breakdown import breakdown_table, cost_breakdown, step_kind_breakdown
+from repro.graphs.generators import erdos_renyi
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.pram.cost import CostModel
+from repro.pram.machine import PRAM
+
+
+def test_breakdown_simple_phases():
+    c = CostModel()
+    with c.phase("a"):
+        c.charge(work=10, depth=1)
+    with c.phase("b"):
+        c.charge(work=30, depth=2)
+    out = cost_breakdown(c)
+    assert [pc.phase for pc in out] == ["b", "a"]  # sorted by work desc
+    assert out[0].work == 30 and out[0].work_share == 0.75
+
+
+def test_breakdown_keeps_leaves_only():
+    c = CostModel()
+    with c.phase("outer"):
+        with c.phase("outer/inner"):
+            c.charge(work=5, depth=1)
+    names = {pc.phase for pc in cost_breakdown(c)}
+    assert "outer/inner" in names
+    assert "outer" not in names  # ancestor would double-count
+
+
+def test_breakdown_of_real_build_sums_sensibly():
+    g = erdos_renyi(32, 0.15, seed=501)
+    pram = PRAM()
+    build_hopset(g, HopsetParams(beta=6), pram)
+    out = cost_breakdown(pram.cost)
+    assert out, "a real build must have phases"
+    assert all(pc.work >= 0 for pc in out)
+    # leaves partition most of the charged work (some charges are unphased)
+    assert sum(pc.work for pc in out) <= pram.cost.work
+    # detection and interconnection phases exist
+    names = " ".join(pc.phase for pc in out)
+    assert "detect" in names and "interconnect" in names
+
+
+def test_breakdown_table_renders():
+    c = CostModel()
+    with c.phase("x"):
+        c.charge(work=7, depth=1)
+    table = breakdown_table(c, title="T")
+    assert "T" in table and "x" in table and "100.0%" in table
+
+
+def test_step_kind_breakdown():
+    c = CostModel(record_steps=True)
+    c.charge(work=4, depth=1, label="relax")
+    c.charge(work=6, depth=2, label="relax")
+    c.charge(work=5, depth=1, label="sort")
+    kinds = step_kind_breakdown(c)
+    assert kinds["relax"] == (10, 3)
+    assert kinds["sort"] == (5, 1)

@@ -1,0 +1,57 @@
+"""Measurement helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import hop_limited_stretch, loglog_slope, stretch_stats
+from repro.graphs.generators import path_graph
+
+
+def test_stretch_stats_basic():
+    exact = np.array([1.0, 2.0, 4.0])
+    approx = np.array([1.0, 3.0, 4.0])
+    s = stretch_stats(exact, approx)
+    assert s.max == 1.5
+    assert s.pairs == 3
+    assert not s.diverged
+
+
+def test_stretch_stats_ignores_zero_and_inf_exact():
+    exact = np.array([0.0, np.inf, 2.0])
+    approx = np.array([0.0, np.inf, 2.0])
+    s = stretch_stats(exact, approx)
+    assert s.pairs == 1 and s.max == 1.0
+
+
+def test_stretch_stats_detects_divergence():
+    exact = np.array([1.0, 2.0])
+    approx = np.array([1.0, np.inf])
+    s = stretch_stats(exact, approx)
+    assert s.diverged and s.max == np.inf and s.unreached == 1
+
+
+def test_stretch_stats_shape_mismatch():
+    with pytest.raises(ValueError):
+        stretch_stats(np.ones(2), np.ones(3))
+
+
+def test_stretch_stats_matrix_input():
+    exact = np.ones((2, 3))
+    approx = np.full((2, 3), 1.2)
+    assert stretch_stats(exact, approx).max == pytest.approx(1.2)
+
+
+def test_hop_limited_stretch_on_path():
+    g = path_graph(10, weight=1.0)
+    full = hop_limited_stretch(g, hops=9, sources=[0])
+    assert full.max == 1.0
+    short = hop_limited_stretch(g, hops=3, sources=[0])
+    assert short.diverged
+
+
+def test_loglog_slope_linear_and_quadratic():
+    xs = [10.0, 100.0, 1000.0]
+    assert loglog_slope(xs, [2 * x for x in xs]) == pytest.approx(1.0)
+    assert loglog_slope(xs, [x * x for x in xs]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        loglog_slope([1.0], [1.0])

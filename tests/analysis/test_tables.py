@@ -1,0 +1,31 @@
+"""Table rendering."""
+
+from repro.analysis.tables import format_value, render_table
+
+
+def test_format_value_variants():
+    assert format_value(True) == "yes"
+    assert format_value(False) == "no"
+    assert format_value(3) == "3"
+    assert format_value(1.5) == "1.5"
+    assert format_value(float("inf")) == "inf"
+    assert format_value(float("nan")) == "-"
+    assert "e" in format_value(1.23e9)
+    assert "e" in format_value(1.23e-7)
+
+
+def test_render_table_alignment():
+    out = render_table("T", ["a", "long_header"], [[1, 2.0], [333, 4]])
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[1] == "="
+    header = lines[2]
+    assert "a" in header and "long_header" in header
+    # all rows share a width
+    widths = {len(line) for line in lines[2:]}
+    assert len(widths) <= 2  # header/rows may differ only by trailing spaces
+
+
+def test_render_table_empty_rows():
+    out = render_table("Empty", ["x"], [])
+    assert "Empty" in out and "x" in out

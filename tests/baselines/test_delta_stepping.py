@@ -1,0 +1,71 @@
+"""Δ-stepping baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.delta_stepping import delta_stepping
+from repro.graphs.distances import dijkstra
+from repro.graphs.errors import VertexError
+from repro.graphs.generators import erdos_renyi, layered_hop_graph, path_graph
+from repro.pram.machine import PRAM
+
+
+def test_exact_on_random_graphs():
+    for seed in (1, 2, 3):
+        g = erdos_renyi(40, 0.12, seed=seed, w_range=(1.0, 5.0))
+        res = delta_stepping(PRAM(), g, 0)
+        assert np.allclose(res.dist, dijkstra(g, 0))
+
+
+def test_exact_across_delta_choices():
+    g = erdos_renyi(30, 0.15, seed=4, w_range=(1.0, 4.0))
+    exact = dijkstra(g, 0)
+    for d in (0.5, 1.0, 4.0, 100.0):
+        res = delta_stepping(PRAM(), g, 0, delta=d)
+        assert np.allclose(res.dist, exact), f"delta={d}"
+
+
+def test_disconnected():
+    from repro.graphs.build import from_edges
+
+    g = from_edges(4, [(0, 1, 1.0)])
+    res = delta_stepping(PRAM(), g, 0)
+    assert res.dist[2] == np.inf
+
+
+def test_small_delta_many_buckets_large_delta_few():
+    g = path_graph(30, w_range=(1.0, 2.0), seed=5)
+    small = delta_stepping(PRAM(), g, 0, delta=0.5)
+    large = delta_stepping(PRAM(), g, 0, delta=100.0)
+    assert small.buckets_processed > large.buckets_processed
+    assert np.allclose(small.dist, large.dist)
+
+
+def test_depth_scales_with_weighted_depth():
+    """On a long unit path, Δ-stepping needs Θ(n) phases (the E16 story)."""
+    g = path_graph(64, weight=1.0)
+    pram = PRAM()
+    res = delta_stepping(pram, g, 0, delta=1.0)
+    assert res.phases >= 30  # cannot shortcut the chain
+
+
+def test_validation():
+    g = path_graph(5)
+    with pytest.raises(VertexError):
+        delta_stepping(PRAM(), g, 9)
+    with pytest.raises(VertexError):
+        delta_stepping(PRAM(), g, 0, delta=0.0)
+
+
+def test_empty_graph():
+    from repro.graphs.build import from_edges
+
+    g = from_edges(3, [])
+    res = delta_stepping(PRAM(), g, 1)
+    assert res.dist[1] == 0.0 and np.all(~np.isfinite(np.delete(res.dist, 1)))
+
+
+def test_layered_graph_exactness():
+    g = layered_hop_graph(12, 3, seed=6)
+    res = delta_stepping(PRAM(), g, 0)
+    assert np.allclose(res.dist, dijkstra(g, 0))

@@ -1,0 +1,69 @@
+"""Luby's randomized MIS (the [Lub86] symmetry-breaking root)."""
+
+import numpy as np
+
+from repro.baselines.luby_mis import is_maximal_independent_set, luby_mis
+from repro.graphs.generators import complete_graph, erdos_renyi, path_graph, star_graph
+from repro.pram.machine import PRAM
+from repro.pram.primitives import ceil_log2
+
+
+def test_mis_valid_on_random_graphs():
+    for seed in range(4):
+        g = erdos_renyi(50, 0.1, seed=seed)
+        mask, rounds = luby_mis(PRAM(), g, seed=seed)
+        assert is_maximal_independent_set(g, mask)
+
+
+def test_mis_on_complete_graph_is_singleton():
+    g = complete_graph(12, seed=1)
+    mask, _ = luby_mis(PRAM(), g, seed=2)
+    assert mask.sum() == 1
+    assert is_maximal_independent_set(g, mask)
+
+
+def test_mis_on_star_center_or_all_leaves():
+    g = star_graph(10)
+    mask, _ = luby_mis(PRAM(), g, seed=3)
+    assert is_maximal_independent_set(g, mask)
+    assert (mask[0] and mask.sum() == 1) or (not mask[0] and mask[1:].all())
+
+
+def test_mis_on_edgeless_graph_is_everything():
+    from repro.graphs.build import from_edges
+
+    g = from_edges(5, [])
+    mask, rounds = luby_mis(PRAM(), g, seed=4)
+    assert mask.all()
+
+
+def test_rounds_logarithmic_in_practice():
+    g = erdos_renyi(200, 0.05, seed=5)
+    _, rounds = luby_mis(PRAM(), g, seed=6)
+    assert rounds <= 4 * (ceil_log2(200) + 1)
+
+
+def test_mis_varies_with_seed_but_reproducible():
+    g = erdos_renyi(60, 0.1, seed=7)
+    a, _ = luby_mis(PRAM(), g, seed=1)
+    b, _ = luby_mis(PRAM(), g, seed=1)
+    assert np.array_equal(a, b)
+    results = {tuple(luby_mis(PRAM(), g, seed=s)[0].tolist()) for s in range(6)}
+    assert len(results) > 1
+
+
+def test_mis_is_a_2_1_ruling_set():
+    """An MIS rules at distance 1 and is 2-separated — the ruling-set root."""
+    g = path_graph(20)
+    mask, _ = luby_mis(PRAM(), g, seed=8)
+    sel = np.flatnonzero(mask)
+    for a, b in zip(sel, sel[1:]):
+        assert b - a >= 2  # 2-separation on a path
+    assert is_maximal_independent_set(g, mask)
+
+
+def test_independence_checker_rejects_bad_sets():
+    g = path_graph(4)
+    assert not is_maximal_independent_set(g, np.array([True, True, False, False]))
+    assert not is_maximal_independent_set(g, np.array([True, False, False, False]))
+    assert is_maximal_independent_set(g, np.array([True, False, True, False]))

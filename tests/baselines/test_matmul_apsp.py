@@ -1,0 +1,44 @@
+"""Min-plus squaring APSP strawman."""
+
+import numpy as np
+
+from repro.baselines.matmul_apsp import minplus_apsp
+from repro.graphs.distances import all_pairs_dijkstra
+from repro.graphs.generators import erdos_renyi, path_graph
+from repro.pram.machine import PRAM
+
+
+def test_matches_dijkstra():
+    g = erdos_renyi(20, 0.15, seed=95, w_range=(1.0, 3.0))
+    got = minplus_apsp(PRAM(), g)
+    assert np.allclose(got, all_pairs_dijkstra(g))
+
+
+def test_disconnected_infinities():
+    from repro.graphs.build import from_edges
+
+    g = from_edges(4, [(0, 1, 1.0), (2, 3, 2.0)])
+    d = minplus_apsp(PRAM(), g)
+    assert d[0, 3] == np.inf and d[0, 1] == 1.0
+
+
+def test_cubic_work_charged():
+    pram = PRAM()
+    g = path_graph(32, weight=1.0)
+    minplus_apsp(pram, g)
+    # log2(32)=5 squarings needed for a 31-hop path → ~5·n³ work
+    assert pram.cost.work >= 32**3
+    assert pram.cost.depth <= 100  # polylog depth
+
+
+def test_work_dwarfs_hopset_pipeline():
+    """E9's claim in miniature: n³ ≫ hopset work on sparse graphs."""
+    from repro.hopsets.multi_scale import build_hopset
+    from repro.hopsets.params import HopsetParams
+
+    g = path_graph(128, weight=1.0)
+    p_mat, p_hop = PRAM(), PRAM()
+    minplus_apsp(p_mat, g)
+    build_hopset(g, HopsetParams(beta=6), p_hop)
+    # the crossover lands well below n=128 on sparse graphs
+    assert p_mat.cost.work > p_hop.cost.work

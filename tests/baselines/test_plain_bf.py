@@ -1,0 +1,38 @@
+"""Hopset-less Bellman–Ford baseline."""
+
+import numpy as np
+
+from repro.baselines.plain_bellman_ford import plain_sssp, plain_sssp_budgeted
+from repro.graphs.distances import dijkstra
+from repro.graphs.generators import layered_hop_graph, path_graph
+from repro.graphs.properties import hop_diameter
+from repro.pram.machine import PRAM
+
+
+def test_plain_sssp_exact():
+    g = layered_hop_graph(8, 3, seed=81)
+    res = plain_sssp(PRAM(), g, 0)
+    assert np.allclose(res.dist, dijkstra(g, 0))
+
+
+def test_budgeted_diverges_below_hop_diameter():
+    g = path_graph(30, weight=1.0)
+    res = plain_sssp_budgeted(PRAM(), g, 0, hops=5)
+    assert np.isfinite(res.dist[5])
+    assert not np.isfinite(res.dist[20])  # beyond the budget
+
+
+def test_plain_depth_scales_with_hop_diameter():
+    shallow = layered_hop_graph(4, 8, seed=82)
+    deep = layered_hop_graph(32, 1, seed=82)
+    p1, p2 = PRAM(), PRAM()
+    r1 = plain_sssp(p1, shallow, 0)
+    r2 = plain_sssp(p2, deep, 0)
+    assert hop_diameter(deep) > hop_diameter(shallow)
+    assert r2.rounds_used > r1.rounds_used
+
+
+def test_budgeted_does_not_early_exit():
+    g = path_graph(5, weight=1.0)
+    res = plain_sssp_budgeted(PRAM(), g, 0, hops=50)
+    assert res.rounds_used == 50

@@ -1,0 +1,67 @@
+"""The sampling-based randomized baseline (E5's comparison subject)."""
+
+import numpy as np
+
+from repro.baselines.randomized_hopset import build_randomized_hopset
+from repro.graphs.distances import dijkstra
+from repro.graphs.generators import erdos_renyi, path_graph
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.verification import certify
+
+
+def test_randomized_hopset_is_safe():
+    g = erdos_renyi(30, 0.12, seed=91, w_range=(1.0, 3.0))
+    for seed in (0, 1, 2):
+        H = build_randomized_hopset(g, HopsetParams(beta=6), seed=seed)
+        cert = certify(g, H, beta=g.n - 1, epsilon=100.0)
+        assert cert.safe
+
+
+def test_randomized_output_varies_across_seeds():
+    g = erdos_renyi(40, 0.12, seed=92)
+    params = HopsetParams(beta=6)
+    keysets = set()
+    for seed in range(5):
+        H = build_randomized_hopset(g, params, seed=seed)
+        keysets.add(tuple(sorted((e.u, e.v, round(e.weight, 6)) for e in H.edges)))
+    assert len(keysets) > 1, "sampling should produce different hopsets"
+
+
+def test_deterministic_construction_does_not_vary():
+    g = erdos_renyi(40, 0.12, seed=92)
+    params = HopsetParams(beta=6)
+    keysets = set()
+    for _ in range(3):
+        H, _ = build_hopset(g, params)
+        keysets.add(tuple(sorted((e.u, e.v, round(e.weight, 6)) for e in H.edges)))
+    assert len(keysets) == 1
+
+
+def test_same_seed_reproducible():
+    g = erdos_renyi(30, 0.15, seed=93)
+    a = build_randomized_hopset(g, HopsetParams(beta=6), seed=7)
+    b = build_randomized_hopset(g, HopsetParams(beta=6), seed=7)
+    ka = [(e.u, e.v, e.weight) for e in a.edges]
+    kb = [(e.u, e.v, e.weight) for e in b.edges]
+    assert ka == kb
+
+
+def test_randomized_stretch_comparable_shape():
+    """The deterministic hopset should match the randomized one's quality."""
+    g = path_graph(40, w_range=(1.0, 2.0), seed=94)
+    params = HopsetParams(epsilon=0.25, beta=8)
+    det, _ = build_hopset(g, params)
+    det_cert = certify(g, det, beta=17, epsilon=0.25)
+    rand_best = min(
+        certify(g, build_randomized_hopset(g, params, seed=s), beta=17, epsilon=0.25).max_stretch
+        for s in range(3)
+    )
+    assert det_cert.max_stretch <= rand_best * 1.5 + 1e-9
+
+
+def test_empty_graph():
+    from repro.graphs.build import from_edges
+
+    H = build_randomized_hopset(from_edges(3, []), HopsetParams(beta=4), seed=0)
+    assert H.num_records == 0

@@ -1,0 +1,73 @@
+"""Thorup–Zwick hierarchy hopset baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.thorup_zwick import build_tz_hopset
+from repro.graphs.distances import dijkstra
+from repro.graphs.errors import InvalidGraphError
+from repro.graphs.generators import erdos_renyi, path_graph
+from repro.hopsets.verification import certify
+
+
+def test_tz_hopset_is_safe():
+    g = erdos_renyi(30, 0.12, seed=901, w_range=(1.0, 3.0))
+    for k in (2, 3):
+        H = build_tz_hopset(g, k=k, seed=1)
+        cert = certify(g, H, beta=g.n - 1, epsilon=1e6)
+        assert cert.safe
+
+
+def test_tz_weights_are_exact_distances():
+    g = erdos_renyi(20, 0.2, seed=902)
+    H = build_tz_hopset(g, k=2, seed=2)
+    exact = {s: dijkstra(g, s) for s in range(g.n)}
+    for e in H.edges:
+        assert e.weight == pytest.approx(exact[e.u][e.v])
+
+
+def test_tz_k1_is_complete_distance_graph():
+    """k=1: A_1 = ∅, so every vertex bunches with everything — clique."""
+    g = path_graph(8, weight=1.0)
+    H = build_tz_hopset(g, k=1, seed=3)
+    assert H.size() == 8 * 7 // 2
+    cert = certify(g, H, beta=1, epsilon=0.0)
+    assert cert.holds
+
+
+def test_tz_size_shrinks_with_k():
+    g = erdos_renyi(40, 0.15, seed=903)
+    sizes = [build_tz_hopset(g, k=k, seed=4).size() for k in (1, 2, 3)]
+    assert sizes[0] >= sizes[1] >= sizes[2] * 0.8  # stochastic but monotone-ish
+    assert sizes[0] == 40 * 39 // 2
+
+
+def test_tz_varies_with_seed_deterministic_per_seed():
+    g = erdos_renyi(30, 0.15, seed=904)
+    a = build_tz_hopset(g, k=2, seed=5)
+    b = build_tz_hopset(g, k=2, seed=5)
+    c = build_tz_hopset(g, k=2, seed=6)
+    ka = [(e.u, e.v, e.weight) for e in a.edges]
+    kb = [(e.u, e.v, e.weight) for e in b.edges]
+    kc = [(e.u, e.v, e.weight) for e in c.edges]
+    assert ka == kb
+    assert ka != kc
+
+
+def test_tz_small_hopbound_on_deep_graph():
+    """Bunch edges shortcut the path graph to a few hops."""
+    from repro.hopsets.verification import achieved_hopbound
+
+    g = path_graph(24, weight=1.0)
+    H = build_tz_hopset(g, k=2, seed=7)
+    hb = achieved_hopbound(g, H, epsilon=0.5, max_hops=23)
+    assert hb < 23
+
+
+def test_tz_validation_and_trivial():
+    from repro.graphs.build import from_edges
+
+    with pytest.raises(InvalidGraphError):
+        build_tz_hopset(path_graph(4), k=0)
+    H = build_tz_hopset(from_edges(3, []), k=2)
+    assert H.num_records == 0

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    erdos_renyi,
+    grid_graph,
+    layered_hop_graph,
+    path_graph,
+)
+from repro.hopsets.params import HopsetParams
+from repro.pram.machine import PRAM
+
+
+@pytest.fixture
+def pram() -> PRAM:
+    return PRAM()
+
+
+@pytest.fixture
+def small_er():
+    """Connected random graph, 40 vertices, mixed weights."""
+    return erdos_renyi(40, 0.1, seed=101, w_range=(1.0, 4.0))
+
+
+@pytest.fixture
+def small_path():
+    """Weighted path: the high-hop-diameter stress fixture."""
+    return path_graph(32, w_range=(1.0, 3.0), seed=102)
+
+
+@pytest.fixture
+def small_grid():
+    return grid_graph(6, 6, seed=103, w_range=(1.0, 2.0))
+
+
+@pytest.fixture
+def small_layered():
+    return layered_hop_graph(8, 4, seed=104)
+
+
+@pytest.fixture
+def default_params() -> HopsetParams:
+    return HopsetParams(epsilon=0.25, kappa=2, rho=0.4, beta=8)
+
+
+def rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)

@@ -1,0 +1,172 @@
+"""CONGEST simulator + distributed BFS / ruling sets."""
+
+import numpy as np
+import pytest
+
+from repro.congest import (
+    CongestError,
+    CongestNetwork,
+    distributed_bfs,
+    distributed_ruling_set,
+)
+from repro.graphs.generators import cycle_graph, erdos_renyi, path_graph, star_graph
+from repro.hopsets.clusters import Partition
+from repro.hopsets.ruling_sets import ruling_set
+from repro.pram.machine import PRAM
+from repro.pram.primitives import ceil_log2
+
+
+# ---------------------------------------------------------------------------
+# the simulator itself
+# ---------------------------------------------------------------------------
+
+
+class _Gossip:
+    """Every node forwards the max id it has seen (a legal algorithm)."""
+
+    def init(self, node_id, neighbors):
+        return {"id": node_id, "nbrs": neighbors, "best": node_id, "fresh": True}
+
+    def step(self, state, inbox):
+        for _, (val,) in inbox:
+            if val > state["best"]:
+                state["best"] = val
+                state["fresh"] = True
+        if state["fresh"]:
+            state["fresh"] = False
+            return {n: (state["best"],) for n in state["nbrs"]}, False
+        return {}, True
+
+
+class _Cheater(_Gossip):
+    """Sends an over-wide payload — the network must reject it."""
+
+    def step(self, state, inbox):
+        return {n: tuple(range(99)) for n in state["nbrs"]}, False
+
+
+class _Stranger(_Gossip):
+    """Messages a non-neighbor."""
+
+    def step(self, state, inbox):
+        far = (state["id"] + 2) % 5
+        return ({far: (1,)}, False) if far not in state["nbrs"] else ({}, True)
+
+
+def test_gossip_converges_to_global_max():
+    g = cycle_graph(9)
+    net = CongestNetwork(g)
+    states = net.run(_Gossip())
+    assert all(s["best"] == 8 for s in states)
+    assert net.rounds <= 9 + 2
+    assert net.messages > 0
+
+
+def test_bandwidth_enforced():
+    with pytest.raises(CongestError):
+        CongestNetwork(path_graph(4)).run(_Cheater())
+
+
+def test_non_neighbor_messaging_rejected():
+    with pytest.raises(CongestError):
+        CongestNetwork(path_graph(5)).run(_Stranger())
+
+
+def test_round_limit_enforced():
+    class Forever(_Gossip):
+        def step(self, state, inbox):
+            return {n: (1,) for n in state["nbrs"]}, False
+
+    with pytest.raises(CongestError):
+        CongestNetwork(path_graph(4)).run(Forever(), max_rounds=5)
+
+
+# ---------------------------------------------------------------------------
+# distributed BFS
+# ---------------------------------------------------------------------------
+
+
+def test_bfs_levels_on_path():
+    g = path_graph(7)
+    levels, rounds, _ = distributed_bfs(g, np.array([0]))
+    assert np.array_equal(levels, np.arange(7))
+    assert rounds <= 7 + 2  # level flooding takes eccentricity rounds
+
+
+def test_bfs_multi_source_nearest():
+    g = path_graph(7)
+    levels, _, _ = distributed_bfs(g, np.array([0, 6]))
+    assert np.array_equal(levels, [0, 1, 2, 3, 2, 1, 0])
+
+
+def test_bfs_star_is_constant_rounds():
+    g = star_graph(20)
+    levels, rounds, _ = distributed_bfs(g, np.array([0]))
+    assert levels[0] == 0 and np.all(levels[1:] == 1)
+    assert rounds <= 4
+
+
+def test_bfs_matches_hop_oracle():
+    from repro.graphs.distances import hop_limited_distances
+    from repro.graphs.csr import Graph
+
+    g = erdos_renyi(30, 0.12, seed=801)
+    unit = Graph(g.n, g.edge_u, g.edge_v, np.ones(g.num_edges))
+    levels, _, _ = distributed_bfs(g, np.array([3]))
+    oracle = hop_limited_distances(unit, 3, g.n)
+    expect = np.where(np.isfinite(oracle), oracle, -1).astype(np.int64)
+    assert np.array_equal(levels, expect)
+
+
+# ---------------------------------------------------------------------------
+# distributed ruling sets
+# ---------------------------------------------------------------------------
+
+
+def check_properties(g, mask, candidates):
+    from repro.graphs.distances import hop_limited_distances
+    from repro.graphs.csr import Graph
+
+    unit = Graph(g.n, g.edge_u, g.edge_v, np.ones(g.num_edges))
+    sel = np.flatnonzero(mask)
+    assert mask.any()
+    for i, a in enumerate(sel):
+        da = hop_limited_distances(unit, int(a), g.n)
+        for b in sel[i + 1:]:
+            assert not np.isfinite(da[b]) or da[b] >= 3
+    bound = 2 * ceil_log2(max(g.n, 2))
+    for c in np.flatnonzero(candidates):
+        dc = hop_limited_distances(unit, int(c), g.n)
+        dmin = min((dc[s] for s in sel if np.isfinite(dc[s])), default=np.inf)
+        assert dmin <= bound
+
+
+def test_distributed_ruling_set_properties():
+    for make, seed in ((lambda: path_graph(16), 0),
+                       (lambda: erdos_renyi(24, 0.15, seed=802), 0)):
+        g = make()
+        cands = np.ones(g.n, dtype=bool)
+        mask, rounds, msgs = distributed_ruling_set(g, cands)
+        check_properties(g, mask, cands)
+        assert rounds <= 6 * ceil_log2(g.n) + 10  # O(log n) levels, O(1) each
+
+
+def test_distributed_matches_pram_ruling_set():
+    """The same derandomization object in both models: identical output."""
+    for seed in (1, 2, 3):
+        g = erdos_renyi(20, 0.2, seed=810 + seed, w_range=(1.0, 1.0))
+        cands = np.ones(g.n, dtype=bool)
+        dist_mask, _, _ = distributed_ruling_set(g, cands)
+        pram_mask = ruling_set(
+            PRAM(), g, Partition.singletons(g.n), cands, threshold=1.0, hops=1
+        )
+        assert np.array_equal(dist_mask, pram_mask), f"seed {seed}"
+
+
+def test_distributed_ruling_subset_candidates():
+    g = path_graph(12)
+    cands = np.zeros(12, dtype=bool)
+    cands[::3] = True
+    mask, _, _ = distributed_ruling_set(g, cands)
+    assert not np.any(mask & ~cands)
+    check_properties(g, mask, cands)

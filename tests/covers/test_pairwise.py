@@ -1,0 +1,105 @@
+"""Pairwise covers: properties, and the cover-based hopset baseline."""
+
+import numpy as np
+import pytest
+
+from repro.covers import build_cover_hopset, build_pairwise_cover, verify_cover
+from repro.graphs.errors import InvalidGraphError
+from repro.graphs.generators import erdos_renyi, grid_graph, path_graph
+from repro.hopsets.verification import certify
+
+
+def test_cover_properties_on_random_graph():
+    g = erdos_renyi(30, 0.15, seed=701, w_range=(1.0, 3.0))
+    for W in (2.0, 5.0):
+        cover = build_pairwise_cover(g, W, rho=0.5)
+        verify_cover(g, cover)  # raises on violation
+
+
+def test_cover_properties_on_path():
+    g = path_graph(24, weight=1.0)
+    cover = build_pairwise_cover(g, W=3.0, rho=0.5)
+    verify_cover(g, cover)
+    # a path is sparse: radius stays within (1/rho + 1)·W
+    assert cover.max_radius() <= (1 / 0.5 + 1) * 3.0 + 1e-9
+
+
+def test_cover_radius_bound():
+    """Region growing stops within ⌈1/ρ⌉ + 1 rings (the sparsity argument)."""
+    for rho in (0.34, 0.5):
+        g = erdos_renyi(40, 0.2, seed=702)
+        cover = build_pairwise_cover(g, W=2.0, rho=rho)
+        rings = int(np.ceil(1 / rho)) + 1
+        assert cover.max_radius() <= rings * 2.0 + 1e-9
+
+
+def test_cover_overlap_is_modest():
+    g = grid_graph(6, 6)
+    cover = build_pairwise_cover(g, W=2.0, rho=0.5)
+    # overlap is bounded by ~n^rho (the region-growing charge argument);
+    # on a 36-vertex grid that is 6, with small constants on top
+    assert cover.max_overlap() <= 2 * int(36**0.5)
+
+
+def test_every_vertex_covered():
+    g = erdos_renyi(25, 0.2, seed=703)
+    cover = build_pairwise_cover(g, W=1.5, rho=0.5)
+    seen = set()
+    for cl in cover.clusters:
+        seen.update(int(v) for v in cl)
+    assert seen == set(range(g.n))
+
+
+def test_cover_deterministic():
+    g = erdos_renyi(25, 0.2, seed=704)
+    a = build_pairwise_cover(g, W=2.0, rho=0.5)
+    b = build_pairwise_cover(g, W=2.0, rho=0.5)
+    assert a.centers == b.centers
+    assert all(np.array_equal(x, y) for x, y in zip(a.clusters, b.clusters))
+
+
+def test_cover_validation():
+    g = path_graph(5)
+    with pytest.raises(InvalidGraphError):
+        build_pairwise_cover(g, W=0.0)
+    with pytest.raises(InvalidGraphError):
+        build_pairwise_cover(g, W=1.0, rho=0.0)
+
+
+def test_verify_cover_catches_missing_pair():
+    from repro.covers.pairwise import PairwiseCover
+
+    g = path_graph(4, weight=1.0)
+    bad = PairwiseCover(
+        W=1.0,
+        clusters=[np.array([0, 1]), np.array([2, 3])],  # pair (1,2) uncovered
+        centers=[0, 2],
+        radius=[1.0, 1.0],
+    )
+    with pytest.raises(InvalidGraphError):
+        verify_cover(g, bad)
+
+
+def test_cover_hopset_is_safe_and_two_hop_covers_pairs():
+    g = erdos_renyi(24, 0.15, seed=705, w_range=(1.0, 3.0))
+    H, covers = build_cover_hopset(g, rho=0.5)
+    cert = certify(g, H, beta=g.n - 1, epsilon=1e6)
+    assert cert.safe
+    # 2 hops through a shared cluster center reach every pair, with stretch
+    # bounded by the cover radius ratio (O(1/rho), not 1+eps)
+    cert2 = certify(g, H, beta=2, epsilon=1e6)
+    assert cert2.pairs_within_eps == cert2.pairs_checked  # all pairs reached
+    assert np.isfinite(cert2.max_stretch)
+
+
+def test_cover_hopset_stretch_worse_than_ruling_set_hopset():
+    """The E17 story in miniature: one-level covers trade stretch away."""
+    from repro.hopsets.multi_scale import build_hopset
+    from repro.hopsets.params import HopsetParams
+
+    g = path_graph(32, w_range=(1.0, 2.0), seed=706)
+    cover_h, _ = build_cover_hopset(g, rho=0.5)
+    ours, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=8))
+    c_cover = certify(g, cover_h, beta=17, epsilon=0.25)
+    c_ours = certify(g, ours, beta=17, epsilon=0.25)
+    assert c_ours.max_stretch <= c_cover.max_stretch + 1e-9

@@ -1,0 +1,79 @@
+"""Graph constructors and surgery helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.build import (
+    from_edge_arrays,
+    from_edges,
+    reweighted,
+    subgraph_by_weight,
+    union_with_edges,
+)
+from repro.graphs.errors import InvalidGraphError
+
+
+def test_from_edges_triples():
+    g = from_edges(3, [(0, 1, 1.0), (1, 2, 2.0)])
+    assert g.num_edges == 2
+    assert g.edge_weight(1, 2) == 2.0
+
+
+def test_from_edges_empty():
+    g = from_edges(4, [])
+    assert g.n == 4 and g.num_edges == 0
+
+
+def test_parallel_edges_keep_lightest():
+    g = from_edges(2, [(0, 1, 5.0), (1, 0, 2.0), (0, 1, 9.0)])
+    assert g.num_edges == 1
+    assert g.edge_weight(0, 1) == 2.0
+
+
+def test_from_edges_rejects_self_loop():
+    with pytest.raises(InvalidGraphError):
+        from_edges(2, [(1, 1, 1.0)])
+
+
+def test_from_edges_rejects_bad_shape():
+    with pytest.raises(InvalidGraphError):
+        from_edges(2, [(0, 1)])
+
+
+def test_union_with_edges_takes_min_on_collision():
+    g = from_edges(3, [(0, 1, 5.0), (1, 2, 1.0)])
+    u = union_with_edges(g, np.array([0, 0]), np.array([1, 2]), np.array([2.0, 7.0]))
+    assert u.edge_weight(0, 1) == 2.0  # improved
+    assert u.edge_weight(1, 2) == 1.0  # untouched
+    assert u.edge_weight(0, 2) == 7.0  # new
+    # original untouched (immutability of inputs)
+    assert g.edge_weight(0, 2) == float("inf")
+
+
+def test_union_with_edges_keeps_lighter_original():
+    g = from_edges(2, [(0, 1, 1.0)])
+    u = union_with_edges(g, np.array([0]), np.array([1]), np.array([4.0]))
+    assert u.edge_weight(0, 1) == 1.0
+
+
+def test_reweighted():
+    g = from_edges(2, [(0, 1, 3.0)])
+    h = reweighted(g, 2.0)
+    assert h.edge_weight(0, 1) == 6.0
+    with pytest.raises(InvalidGraphError):
+        reweighted(g, 0.0)
+
+
+def test_subgraph_by_weight_half_open_interval():
+    g = from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+    # (min_w, max_w] — keeps strictly-above min, at-or-below max
+    s = subgraph_by_weight(g, min_w=1.0, max_w=2.0)
+    assert s.num_edges == 1
+    assert s.has_edge(1, 2)
+    assert not s.has_edge(0, 1)
+
+
+def test_subgraph_by_weight_keeps_vertex_count():
+    g = from_edges(5, [(0, 1, 1.0)])
+    s = subgraph_by_weight(g, max_w=0.5)
+    assert s.n == 5 and s.num_edges == 0

@@ -1,0 +1,69 @@
+"""Shiloach–Vishkin connected components on the PRAM."""
+
+import numpy as np
+
+from repro.graphs.build import from_edges
+from repro.graphs.components import component_sizes, connected_components
+from repro.graphs.generators import erdos_renyi, grid_graph
+from repro.graphs.csr import Graph
+from repro.pram.machine import PRAM
+
+
+def test_two_components():
+    g = from_edges(5, [(0, 1, 1), (1, 2, 1), (3, 4, 1)])
+    labels = connected_components(PRAM(), g)
+    assert labels[0] == labels[1] == labels[2]
+    assert labels[3] == labels[4]
+    assert labels[0] != labels[3]
+
+
+def test_labels_are_min_vertex_ids():
+    g = from_edges(6, [(4, 5, 1), (1, 2, 1), (2, 0, 1)])
+    labels = connected_components(PRAM(), g)
+    assert labels[0] == labels[1] == labels[2] == 0
+    assert labels[4] == labels[5] == 4
+    assert labels[3] == 3  # isolated
+
+
+def test_edgeless_graph_all_singletons():
+    g = Graph(4, np.zeros(0), np.zeros(0), np.zeros(0))
+    labels = connected_components(PRAM(), g)
+    assert np.array_equal(labels, np.arange(4))
+
+
+def test_matches_reference_on_random_graphs():
+    import networkx as nx
+
+    for seed in (1, 2, 3):
+        g = erdos_renyi(60, 0.03, seed=seed, ensure_connected=False)
+        labels = connected_components(PRAM(), g)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.n))
+        nxg.add_edges_from(zip(g.edge_u.tolist(), g.edge_v.tolist()))
+        for comp in nx.connected_components(nxg):
+            comp = sorted(comp)
+            assert len({int(labels[v]) for v in comp}) == 1
+            assert int(labels[comp[0]]) == comp[0]  # min-id labelling
+
+
+def test_depth_polylog_on_long_path():
+    from repro.graphs.generators import path_graph
+
+    pram = PRAM()
+    g = path_graph(256)
+    connected_components(pram, g)
+    # hook + shortcut converges in O(log n) outer rounds of O(log n) depth
+    assert pram.cost.depth <= 40 * (np.log2(256) ** 2)
+
+
+def test_component_sizes():
+    g = from_edges(5, [(0, 1, 1), (3, 4, 1)])
+    labels = connected_components(PRAM(), g)
+    sizes = component_sizes(labels)
+    assert sizes == {0: 2, 2: 1, 3: 2}
+
+
+def test_grid_is_single_component():
+    g = grid_graph(5, 5)
+    labels = connected_components(PRAM(), g)
+    assert np.all(labels == 0)

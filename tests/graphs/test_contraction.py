@@ -1,0 +1,82 @@
+"""Quotient graphs for the Klein–Sairam reduction."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.build import from_edges
+from repro.graphs.contraction import quotient_graph, relabel_dense
+from repro.graphs.errors import InvalidGraphError
+
+
+def sample():
+    # two groups {0,1} and {2,3}; crossing edges (1,2,w=3) and (0,3,w=5)
+    return from_edges(4, [(0, 1, 1), (2, 3, 1), (1, 2, 3), (0, 3, 5)])
+
+
+def test_relabel_dense():
+    dense, orig = relabel_dense(np.array([7, 7, 3, 9]))
+    assert np.array_equal(orig, [3, 7, 9])
+    assert np.array_equal(dense, [1, 1, 0, 2])
+
+
+def test_quotient_keeps_lightest_crossing_edge():
+    q = quotient_graph(sample(), np.array([0, 0, 1, 1]))
+    assert q.num_nodes == 2
+    assert q.graph.num_edges == 1
+    assert q.graph.edge_weight(0, 1) == 3.0  # min(3, 5)
+
+
+def test_quotient_realizing_endpoints():
+    q = quotient_graph(sample(), np.array([0, 0, 1, 1]))
+    ru, rv = int(q.rep_u[0]), int(q.rep_v[0])
+    assert (ru, rv) == (1, 2)
+    assert q.node_of[ru] == q.graph.edge_u[0]
+    assert q.node_of[rv] == q.graph.edge_v[0]
+
+
+def test_quotient_members_and_sizes():
+    q = quotient_graph(sample(), np.array([0, 0, 1, 1]))
+    assert np.array_equal(q.members[0], [0, 1])
+    assert np.array_equal(q.members[1], [2, 3])
+    assert np.array_equal(q.node_sizes(), [2, 2])
+
+
+def test_max_weight_drops_heavy_crossings():
+    q = quotient_graph(sample(), np.array([0, 0, 1, 1]), max_weight=2.0)
+    assert q.graph.num_edges == 0  # both crossings exceed 2
+
+
+def test_weight_offset_applied_per_endpoint():
+    offset = np.array([10.0, 100.0])
+    q = quotient_graph(sample(), np.array([0, 0, 1, 1]), weight_offset=offset)
+    assert q.graph.edge_weight(0, 1) == 3.0 + 10.0 + 100.0
+
+
+def test_internal_edges_dropped():
+    q = quotient_graph(sample(), np.array([0, 0, 0, 0]))
+    assert q.num_nodes == 1
+    assert q.graph.num_edges == 0
+
+
+def test_nondense_labels_accepted():
+    q = quotient_graph(sample(), np.array([5, 5, 9, 9]))
+    assert q.num_nodes == 2
+
+
+def test_label_shape_checked():
+    with pytest.raises(InvalidGraphError):
+        quotient_graph(sample(), np.array([0, 0, 1]))
+
+
+def test_offset_shape_checked():
+    with pytest.raises(InvalidGraphError):
+        quotient_graph(sample(), np.array([0, 0, 1, 1]), weight_offset=np.array([1.0]))
+
+
+def test_multiple_crossing_pairs():
+    g = from_edges(6, [(0, 3, 2), (1, 4, 7), (2, 5, 4), (0, 1, 1), (3, 4, 1)])
+    labels = np.array([0, 0, 1, 2, 2, 1])
+    q = quotient_graph(g, labels)
+    # crossings: (0,3)->groups(0,2) w2 ; (1,4)->(0,2) w7 ; (2,5) internal to 1
+    assert q.graph.num_edges == 1
+    assert q.graph.edge_weight(0, 2) == 2.0

@@ -1,0 +1,112 @@
+"""Graph class: construction, validation, queries."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import Graph
+from repro.graphs.errors import InvalidGraphError, VertexError
+
+
+def triangle():
+    return Graph(3, np.array([0, 1, 2]), np.array([1, 2, 0]), np.array([1.0, 2.0, 3.0]))
+
+
+def test_basic_counts():
+    g = triangle()
+    assert g.n == 3
+    assert g.num_edges == 3
+    assert np.array_equal(g.degree(), [2, 2, 2])
+
+
+def test_edges_canonicalized_u_lt_v():
+    g = Graph(3, np.array([2, 1]), np.array([0, 0]), np.array([5.0, 4.0]))
+    u, v, w = g.edges()
+    assert np.all(u < v)
+    assert set(zip(u.tolist(), v.tolist())) == {(0, 1), (0, 2)}
+
+
+def test_neighbors_and_weights():
+    g = triangle()
+    nbrs, ws = g.neighbors(0)
+    assert set(nbrs.tolist()) == {1, 2}
+    assert g.edge_weight(0, 1) == 1.0
+    assert g.edge_weight(1, 0) == 1.0  # symmetric
+
+
+def test_missing_edge_is_infinite():
+    g = Graph(3, np.array([0]), np.array([1]), np.array([1.0]))
+    assert g.edge_weight(0, 2) == float("inf")
+    assert not g.has_edge(0, 2)
+    assert g.has_edge(0, 1)
+
+
+def test_self_loop_rejected():
+    with pytest.raises(InvalidGraphError):
+        Graph(2, np.array([1]), np.array([1]), np.array([1.0]))
+
+
+def test_duplicate_edge_rejected():
+    with pytest.raises(InvalidGraphError):
+        Graph(2, np.array([0, 1]), np.array([1, 0]), np.array([1.0, 2.0]))
+
+
+def test_nonpositive_weight_rejected():
+    with pytest.raises(InvalidGraphError):
+        Graph(2, np.array([0]), np.array([1]), np.array([0.0]))
+    with pytest.raises(InvalidGraphError):
+        Graph(2, np.array([0]), np.array([1]), np.array([-1.0]))
+    with pytest.raises(InvalidGraphError):
+        Graph(2, np.array([0]), np.array([1]), np.array([np.inf]))
+
+
+def test_vertex_id_out_of_range():
+    with pytest.raises(InvalidGraphError):
+        Graph(2, np.array([0]), np.array([2]), np.array([1.0]))
+    with pytest.raises(InvalidGraphError):
+        Graph(2, np.array([-1]), np.array([1]), np.array([1.0]))
+
+
+def test_empty_graph():
+    g = Graph(5, np.zeros(0), np.zeros(0), np.zeros(0))
+    assert g.num_edges == 0
+    assert np.array_equal(g.degree(), np.zeros(5, dtype=np.int64))
+
+
+def test_arcs_both_directions():
+    g = triangle()
+    tails, heads, w = g.arcs()
+    assert tails.size == 6
+    pairs = set(zip(tails.tolist(), heads.tolist()))
+    assert (0, 1) in pairs and (1, 0) in pairs
+
+
+def test_weight_extrema():
+    g = triangle()
+    assert g.min_weight() == 1.0
+    assert g.max_weight() == 3.0
+    assert g.total_weight() == 6.0
+
+
+def test_vertex_bounds_checked():
+    g = triangle()
+    with pytest.raises(VertexError):
+        g.neighbors(3)
+    with pytest.raises(VertexError):
+        g.degree(-1)
+
+
+def test_immutability():
+    g = triangle()
+    with pytest.raises(ValueError):
+        g.edge_w[0] = 99.0
+    with pytest.raises(ValueError):
+        g.indptr[0] = 1
+
+
+def test_arc_edge_id_maps_back():
+    g = triangle()
+    tails, heads, w = g.arcs()
+    eu, ev, ew = g.edges()
+    for t, h, ww, eid in zip(tails, heads, w, g.arc_edge_id):
+        assert {int(t), int(h)} == {int(eu[eid]), int(ev[eid])}
+        assert ww == ew[eid]

@@ -1,0 +1,104 @@
+"""Distance oracles: Dijkstra, hop-limited Bellman–Ford, path helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.build import from_edges
+from repro.graphs.distances import (
+    all_pairs_dijkstra,
+    dijkstra,
+    dijkstra_with_parents,
+    hop_limited_distances,
+    path_weight,
+    reconstruct_path,
+)
+from repro.graphs.errors import VertexError
+from repro.graphs.generators import erdos_renyi, path_graph
+
+
+def diamond():
+    # 0-1 (1), 0-2 (4), 1-2 (1), 2-3 (1), 1-3 (5)
+    return from_edges(4, [(0, 1, 1), (0, 2, 4), (1, 2, 1), (2, 3, 1), (1, 3, 5)])
+
+
+def test_dijkstra_exact():
+    d = dijkstra(diamond(), 0)
+    assert np.allclose(d, [0, 1, 2, 3])
+
+
+def test_dijkstra_unreachable_inf():
+    g = from_edges(3, [(0, 1, 1.0)])
+    d = dijkstra(g, 0)
+    assert d[2] == float("inf")
+
+
+def test_dijkstra_source_out_of_range():
+    with pytest.raises(VertexError):
+        dijkstra(diamond(), 4)
+
+
+def test_parents_form_shortest_path_tree():
+    g = diamond()
+    dist, parent = dijkstra_with_parents(g, 0)
+    assert parent[0] == 0
+    for v in range(1, 4):
+        p = int(parent[v])
+        assert np.isclose(dist[v], dist[p] + g.edge_weight(p, v))
+
+
+def test_all_pairs_symmetric():
+    g = diamond()
+    mat = all_pairs_dijkstra(g)
+    assert np.allclose(mat, mat.T)
+    assert np.allclose(np.diag(mat), 0)
+
+
+def test_hop_limited_monotone_in_hops():
+    g = path_graph(10, w_range=(1.0, 2.0), seed=1)
+    d_exact = dijkstra(g, 0)
+    prev = hop_limited_distances(g, 0, 0)
+    assert prev[0] == 0 and np.all(~np.isfinite(prev[1:]))
+    for h in range(1, 10):
+        cur = hop_limited_distances(g, 0, h)
+        assert np.all(cur <= prev + 1e-12)
+        prev = cur
+    assert np.allclose(prev, d_exact)
+
+
+def test_hop_limited_equals_exact_at_n_minus_1():
+    g = erdos_renyi(25, 0.15, seed=4)
+    for s in (0, 7):
+        assert np.allclose(hop_limited_distances(g, s, 24), dijkstra(g, s))
+
+
+def test_hop_limited_semantics_picks_fewest_hop_tradeoff():
+    # 0-1-2 each weight 1, plus direct 0-2 weight 5
+    g = from_edges(3, [(0, 1, 1), (1, 2, 1), (0, 2, 5)])
+    assert hop_limited_distances(g, 0, 1)[2] == 5.0
+    assert hop_limited_distances(g, 0, 2)[2] == 2.0
+
+
+def test_hop_limited_rejects_negative_hops():
+    with pytest.raises(VertexError):
+        hop_limited_distances(diamond(), 0, -1)
+
+
+def test_path_weight():
+    g = diamond()
+    assert path_weight(g, [0, 1, 2, 3]) == 3.0
+    assert path_weight(g, [0]) == 0.0
+    assert path_weight(g, [0, 3]) == float("inf")  # no direct edge
+
+
+def test_reconstruct_path():
+    g = diamond()
+    _, parent = dijkstra_with_parents(g, 0)
+    p = reconstruct_path(parent, 0, 3)
+    assert p[0] == 0 and p[-1] == 3
+    assert path_weight(g, p) == dijkstra(g, 0)[3]
+
+
+def test_reconstruct_path_unreachable():
+    g = from_edges(3, [(0, 1, 1.0)])
+    _, parent = dijkstra_with_parents(g, 0)
+    assert reconstruct_path(parent, 0, 2) == []

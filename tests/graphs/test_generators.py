@@ -1,0 +1,125 @@
+"""Workload generators: shape, determinism, connectivity guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.errors import InvalidGraphError
+from repro.graphs.generators import (
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    layered_hop_graph,
+    path_graph,
+    preferential_attachment,
+    random_geometric,
+    star_graph,
+    wide_weight_graph,
+)
+from repro.graphs.properties import hop_diameter, is_connected, weight_aspect_ratio
+
+
+def test_path_graph_structure():
+    g = path_graph(5)
+    assert g.n == 5 and g.num_edges == 4
+    assert g.has_edge(0, 1) and g.has_edge(3, 4) and not g.has_edge(0, 2)
+
+
+def test_path_graph_random_weights_seeded():
+    a = path_graph(10, w_range=(1.0, 5.0), seed=3)
+    b = path_graph(10, w_range=(1.0, 5.0), seed=3)
+    assert np.array_equal(a.edge_w, b.edge_w)
+
+
+def test_cycle_graph():
+    g = cycle_graph(4)
+    assert g.num_edges == 4
+    assert all(g.degree(v) == 2 for v in range(4))
+    with pytest.raises(InvalidGraphError):
+        cycle_graph(2)
+
+
+def test_star_graph():
+    g = star_graph(6)
+    assert g.degree(0) == 5
+    assert all(g.degree(v) == 1 for v in range(1, 6))
+
+
+def test_complete_graph():
+    g = complete_graph(5, seed=1)
+    assert g.num_edges == 10
+    assert is_connected(g)
+
+
+def test_grid_graph_counts():
+    g = grid_graph(3, 4)
+    assert g.n == 12
+    assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+    assert is_connected(g)
+
+
+def test_erdos_renyi_connected_flag():
+    g = erdos_renyi(50, 0.01, seed=5, ensure_connected=True)
+    assert is_connected(g)
+    g2 = erdos_renyi(50, 0.0, seed=5, ensure_connected=False)
+    assert g2.num_edges == 0
+
+
+def test_erdos_renyi_determinism():
+    a = erdos_renyi(30, 0.2, seed=9)
+    b = erdos_renyi(30, 0.2, seed=9)
+    assert a.num_edges == b.num_edges
+    assert np.array_equal(a.edge_u, b.edge_u)
+    assert np.array_equal(a.edge_w, b.edge_w)
+
+
+def test_erdos_renyi_rejects_bad_p():
+    with pytest.raises(InvalidGraphError):
+        erdos_renyi(5, 1.5)
+
+
+def test_random_geometric_connected():
+    g = random_geometric(40, 0.15, seed=2)
+    assert is_connected(g)
+    assert g.min_weight() > 0
+
+
+def test_preferential_attachment_connected_powerlaw_ish():
+    g = preferential_attachment(100, 2, seed=3)
+    assert is_connected(g)
+    degs = np.sort(g.degree())[::-1]
+    assert degs[0] >= 3 * np.median(degs)  # heavy head
+
+
+def test_caterpillar():
+    g = caterpillar(5, 2)
+    assert g.n == 15
+    assert g.num_edges == 14  # a tree
+    assert is_connected(g)
+
+
+def test_layered_hop_graph_deep():
+    g = layered_hop_graph(12, 3, seed=7)
+    assert g.n == 36
+    assert is_connected(g)
+    assert hop_diameter(g) >= 11  # at least layers-1 hops across
+
+
+def test_wide_weight_graph_spans_aspect():
+    g = wide_weight_graph(40, 1e5, seed=8)
+    assert is_connected(g)
+    assert weight_aspect_ratio(g) > 1e3
+
+
+def test_generator_input_validation():
+    with pytest.raises(InvalidGraphError):
+        path_graph(0)
+    with pytest.raises(InvalidGraphError):
+        grid_graph(0, 3)
+    with pytest.raises(InvalidGraphError):
+        layered_hop_graph(1, 3)
+    with pytest.raises(InvalidGraphError):
+        wide_weight_graph(10, 0.5)
+    with pytest.raises(InvalidGraphError):
+        preferential_attachment(1, 1)

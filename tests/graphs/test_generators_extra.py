@@ -1,0 +1,99 @@
+"""The additional generator families (hypercube, regular, trees, circulant)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.errors import InvalidGraphError
+from repro.graphs.generators import (
+    binary_tree,
+    circulant_graph,
+    hypercube_graph,
+    random_regular,
+)
+from repro.graphs.properties import hop_diameter, is_connected
+
+
+def test_hypercube_structure():
+    g = hypercube_graph(4)
+    assert g.n == 16
+    assert g.num_edges == 4 * 16 // 2
+    assert np.all(g.degree() == 4)
+    assert hop_diameter(g) == 4  # = dim
+
+
+def test_hypercube_neighbors_differ_in_one_bit():
+    g = hypercube_graph(3)
+    for u, v, _ in zip(*g.edges()):
+        x = int(u) ^ int(v)
+        assert x and (x & (x - 1)) == 0  # power of two
+
+
+def test_hypercube_validation():
+    with pytest.raises(InvalidGraphError):
+        hypercube_graph(0)
+
+
+def test_random_regular_degree_concentrated():
+    g = random_regular(60, 4, seed=1)
+    degs = g.degree()
+    assert degs.max() <= 4
+    assert degs.mean() > 3.0  # pairing drops only a few stubs
+
+
+def test_random_regular_expander_like_diameter():
+    g = random_regular(128, 4, seed=2)
+    if is_connected(g):
+        assert hop_diameter(g) <= 12
+
+
+def test_random_regular_validation():
+    with pytest.raises(InvalidGraphError):
+        random_regular(10, 1)
+    with pytest.raises(InvalidGraphError):
+        random_regular(5, 3)  # odd stub count
+    with pytest.raises(InvalidGraphError):
+        random_regular(4, 4)
+
+
+def test_binary_tree_structure():
+    g = binary_tree(3)
+    assert g.n == 15
+    assert g.num_edges == 14
+    assert is_connected(g)
+    assert g.degree(0) == 2  # root
+    leaves = [v for v in range(g.n) if g.degree(v) == 1]
+    assert len(leaves) == 8
+
+
+def test_binary_tree_validation():
+    with pytest.raises(InvalidGraphError):
+        binary_tree(0)
+
+
+def test_circulant_structure():
+    g = circulant_graph(10, offsets=(1, 3))
+    assert g.n == 10
+    assert np.all(g.degree() == 4)
+    assert is_connected(g)
+
+
+def test_circulant_validation():
+    with pytest.raises(InvalidGraphError):
+        circulant_graph(2)
+    with pytest.raises(InvalidGraphError):
+        circulant_graph(8, offsets=())
+    with pytest.raises(InvalidGraphError):
+        circulant_graph(8, offsets=(8,))
+
+
+def test_new_families_work_with_hopsets():
+    from repro.hopsets.multi_scale import build_hopset
+    from repro.hopsets.params import HopsetParams
+    from repro.hopsets.verification import certify
+
+    for g in (hypercube_graph(4, seed=1, w_range=(1.0, 2.0)),
+              binary_tree(4, seed=2, w_range=(1.0, 2.0)),
+              circulant_graph(20, offsets=(1, 4))):
+        H, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=8))
+        cert = certify(g, H, beta=17, epsilon=0.25)
+        assert cert.safe and cert.holds

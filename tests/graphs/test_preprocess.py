@@ -1,0 +1,94 @@
+"""Zero-weight edge contraction (footnote 1)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.distances import dijkstra
+from repro.graphs.errors import InvalidGraphError
+from repro.graphs.preprocess import contract_zero_edges, lift_distances
+from repro.pram.machine import PRAM
+
+
+def arrays(edges):
+    u = np.array([e[0] for e in edges], dtype=np.int64)
+    v = np.array([e[1] for e in edges], dtype=np.int64)
+    w = np.array([e[2] for e in edges], dtype=np.float64)
+    return u, v, w
+
+
+def test_no_zero_edges_is_identity_shape():
+    zc = contract_zero_edges(PRAM(), 3, *arrays([(0, 1, 1.0), (1, 2, 2.0)]))
+    assert not zc.contracted
+    assert zc.graph.n == 3
+    assert np.array_equal(zc.node_of, [0, 1, 2])
+
+
+def test_zero_class_collapses():
+    # 0 =0= 1 =0= 2, plus 2 -(3.0)- 3
+    zc = contract_zero_edges(
+        PRAM(), 4, *arrays([(0, 1, 0.0), (1, 2, 0.0), (2, 3, 3.0)])
+    )
+    assert zc.contracted
+    assert zc.graph.n == 2
+    assert zc.node_of[0] == zc.node_of[1] == zc.node_of[2]
+    assert zc.node_of[3] != zc.node_of[0]
+    assert zc.graph.edge_weight(int(zc.node_of[0]), int(zc.node_of[3])) == 3.0
+
+
+def test_intra_class_positive_edges_vanish():
+    # 0 =0= 1 and also 0 -(5.0)- 1: the positive edge is internal
+    zc = contract_zero_edges(PRAM(), 2, *arrays([(0, 1, 0.0), (0, 1, 5.0)]))
+    assert zc.graph.n == 1 and zc.graph.num_edges == 0
+
+
+def test_parallel_positive_edges_keep_min():
+    zc = contract_zero_edges(
+        PRAM(), 4, *arrays([(0, 1, 0.0), (0, 2, 4.0), (1, 2, 1.5)])
+    )
+    a, b = int(zc.node_of[0]), int(zc.node_of[2])
+    assert zc.graph.edge_weight(a, b) == 1.5
+
+
+def test_lift_distances_roundtrip():
+    edges = [(0, 1, 0.0), (1, 2, 2.0), (2, 3, 0.0), (3, 4, 1.0)]
+    zc = contract_zero_edges(PRAM(), 5, *arrays(edges))
+    d_c = dijkstra(zc.graph, int(zc.node_of[0]))
+    lifted = lift_distances(zc, d_c)
+    # ground truth on the original graph with zeros treated as weight->0+
+    assert np.allclose(lifted, [0.0, 0.0, 2.0, 2.0, 3.0])
+
+
+def test_negative_weight_rejected():
+    with pytest.raises(InvalidGraphError):
+        contract_zero_edges(PRAM(), 2, *arrays([(0, 1, -1.0)]))
+
+
+def test_self_loop_rejected():
+    with pytest.raises(InvalidGraphError):
+        contract_zero_edges(PRAM(), 2, *arrays([(1, 1, 1.0)]))
+
+
+def test_lift_shape_checked():
+    zc = contract_zero_edges(PRAM(), 3, *arrays([(0, 1, 1.0)]))
+    with pytest.raises(InvalidGraphError):
+        lift_distances(zc, np.zeros(99))
+
+
+def test_representatives_are_min_ids():
+    zc = contract_zero_edges(PRAM(), 5, *arrays([(3, 4, 0.0), (1, 2, 0.0)]))
+    assert np.array_equal(zc.representative, [0, 1, 3])
+
+
+def test_end_to_end_with_hopset():
+    """The paper's pipeline: contract zeros, build the hopset, lift."""
+    from repro.hopsets.multi_scale import build_hopset
+    from repro.hopsets.params import HopsetParams
+    from repro.sssp.sssp import approximate_sssp_with_hopset
+
+    edges = [(0, 1, 0.0)] + [(i, i + 1, float(i)) for i in range(1, 10)]
+    zc = contract_zero_edges(PRAM(), 11, *arrays(edges))
+    H, _ = build_hopset(zc.graph, HopsetParams(beta=6))
+    res = approximate_sssp_with_hopset(zc.graph, H, int(zc.node_of[0]))
+    lifted = lift_distances(zc, res.dist)
+    assert lifted[1] == 0.0  # zero-merged with the source
+    assert np.isfinite(lifted).all()

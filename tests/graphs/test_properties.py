@@ -1,0 +1,61 @@
+"""Graph statistics: aspect ratios, hop diameter, connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.build import from_edges
+from repro.graphs.errors import InvalidGraphError
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.properties import (
+    aspect_ratio_bound,
+    exact_aspect_ratio,
+    hop_diameter,
+    is_connected,
+    weight_aspect_ratio,
+    weighted_diameter_upper_bound,
+)
+
+
+def test_weight_aspect_ratio():
+    g = from_edges(3, [(0, 1, 1.0), (1, 2, 10.0)])
+    assert weight_aspect_ratio(g) == 10.0
+
+
+def test_aspect_ratio_bound_dominates_exact():
+    g = path_graph(8, w_range=(1.0, 3.0), seed=1)
+    assert aspect_ratio_bound(g) >= exact_aspect_ratio(g)
+
+
+def test_exact_aspect_ratio_path():
+    g = path_graph(5, weight=2.0)
+    # min distance 2, max distance 8
+    assert exact_aspect_ratio(g) == 4.0
+
+
+def test_exact_aspect_ratio_no_pairs():
+    g = from_edges(3, [])
+    with pytest.raises(InvalidGraphError):
+        exact_aspect_ratio(g)
+
+
+def test_is_connected():
+    assert is_connected(path_graph(5))
+    assert not is_connected(from_edges(3, [(0, 1, 1.0)]))
+    assert is_connected(from_edges(1, []))
+
+
+def test_hop_diameter_path_and_star():
+    assert hop_diameter(path_graph(6)) == 5
+    assert hop_diameter(star_graph(10)) == 2
+    assert hop_diameter(cycle_graph(8)) == 4
+
+
+def test_hop_diameter_ignores_weights():
+    heavy = from_edges(3, [(0, 1, 100.0), (1, 2, 100.0)])
+    assert hop_diameter(heavy) == 2
+
+
+def test_weighted_diameter_upper_bound():
+    g = path_graph(4, weight=2.0)
+    assert weighted_diameter_upper_bound(g) == 6.0
+    assert weighted_diameter_upper_bound(from_edges(3, [])) == 0.0

@@ -1,0 +1,76 @@
+"""Brute-force oracles for the hopset tests.
+
+These recompute the paper's virtual graph G̃ᵢ definitions from scratch
+(all-pairs hop-limited distances, cluster minima, BFS in the virtual graph)
+so the production code in ``repro.hopsets`` is checked against an
+independent implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.graphs.distances import hop_limited_distances
+from repro.hopsets.clusters import Partition
+
+
+def hop_limited_matrix(graph: Graph, hops: int) -> np.ndarray:
+    """n × n matrix of ``hops``-bounded distances."""
+    return np.stack([hop_limited_distances(graph, s, hops) for s in range(graph.n)])
+
+
+def cluster_distance_matrix(
+    graph: Graph, partition: Partition, hops: int
+) -> np.ndarray:
+    """(2β+1)-hop cluster-to-cluster distances: min over member pairs."""
+    vmat = hop_limited_matrix(graph, hops)
+    ncl = partition.num_clusters
+    out = np.full((ncl, ncl), np.inf)
+    members = partition.members_by_cluster()
+    for a in range(ncl):
+        for b in range(ncl):
+            ma, mb = members[a], members[b]
+            if ma.size and mb.size:
+                out[a, b] = vmat[np.ix_(ma, mb)].min()
+    return out
+
+
+def virtual_adjacency(
+    graph: Graph, partition: Partition, threshold: float, hops: int
+) -> np.ndarray:
+    """Boolean adjacency of G̃ᵢ (diagonal False)."""
+    cmat = cluster_distance_matrix(graph, partition, hops)
+    adj = cmat <= threshold + 1e-9
+    np.fill_diagonal(adj, False)
+    return adj
+
+
+def virtual_bfs_levels(adj: np.ndarray, sources: np.ndarray) -> np.ndarray:
+    """Unweighted BFS levels in G̃ᵢ from a source mask; -1 = unreached."""
+    ncl = adj.shape[0]
+    level = np.full(ncl, -1, dtype=np.int64)
+    frontier = np.flatnonzero(sources)
+    level[frontier] = 0
+    d = 0
+    while frontier.size:
+        d += 1
+        nxt = []
+        for c in frontier:
+            for o in np.flatnonzero(adj[c]):
+                if level[o] < 0:
+                    level[o] = d
+                    nxt.append(o)
+        frontier = np.array(nxt, dtype=np.int64)
+    return level
+
+
+def pairwise_virtual_distances(adj: np.ndarray) -> np.ndarray:
+    """All-pairs unweighted distances in G̃ᵢ (-1 = unreachable)."""
+    ncl = adj.shape[0]
+    out = np.full((ncl, ncl), -1, dtype=np.int64)
+    for s in range(ncl):
+        src = np.zeros(ncl, dtype=bool)
+        src[s] = True
+        out[s] = virtual_bfs_levels(adj, src)
+    return out

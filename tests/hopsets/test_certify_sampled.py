@@ -1,0 +1,52 @@
+"""The sampled certifier (scalable companion to the all-pairs one)."""
+
+import numpy as np
+
+from repro.graphs.generators import erdos_renyi, path_graph
+from repro.hopsets.hopset import INTERCONNECT, Hopset, HopsetEdge
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.verification import certify, certify_sampled
+
+
+def test_sampled_agrees_with_full_when_sampling_everything():
+    g = erdos_renyi(20, 0.2, seed=1201, w_range=(1.0, 3.0))
+    H, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=8))
+    full = certify(g, H, beta=17, epsilon=0.25)
+    sampled = certify_sampled(g, H, beta=17, epsilon=0.25, num_sources=g.n)
+    assert sampled.safe == full.safe
+    assert sampled.holds == full.holds
+    assert sampled.max_stretch >= full.max_stretch - 1e-9  # sees each pair twice
+
+
+def test_sampled_detects_unsafe_hopsets():
+    g = path_graph(10, weight=2.0)
+    bad = Hopset(n=10)
+    bad.add([HopsetEdge(0, 9, 0.5, 2, 0, INTERCONNECT)])
+    cert = certify_sampled(g, bad, beta=9, epsilon=0.5, num_sources=10)
+    assert not cert.safe
+
+
+def test_sampled_deterministic_per_seed():
+    g = erdos_renyi(30, 0.15, seed=1202)
+    H, _ = build_hopset(g, HopsetParams(beta=6))
+    a = certify_sampled(g, H, 13, 0.5, num_sources=5, seed=3)
+    b = certify_sampled(g, H, 13, 0.5, num_sources=5, seed=3)
+    assert a == b
+
+
+def test_sampled_scales_to_larger_graphs_quickly():
+    g = erdos_renyi(200, 0.03, seed=1203, w_range=(1.0, 4.0))
+    H, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=8))
+    cert = certify_sampled(g, H, beta=17, epsilon=0.25, num_sources=6)
+    assert cert.safe
+    assert cert.pairs_checked <= 6 * g.n
+    assert np.isfinite(cert.max_stretch)
+
+
+def test_sampled_empty_graph():
+    from repro.graphs.build import from_edges
+
+    g = from_edges(3, [])
+    cert = certify_sampled(g, Hopset(n=3), beta=2, epsilon=0.1)
+    assert cert.holds and cert.pairs_checked == 0

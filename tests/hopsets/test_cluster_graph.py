@@ -1,0 +1,240 @@
+"""Algorithm 2 explorations vs. brute-force virtual-graph oracles."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.build import from_edges
+from repro.graphs.generators import erdos_renyi, path_graph
+from repro.hopsets.cluster_graph import bfs_from_clusters, neighbor_tables
+from repro.hopsets.clusters import ClusterMemory, Partition
+from repro.hopsets.errors import HopsetError
+from repro.pram.machine import PRAM
+
+from tests.hopsets.helpers import (
+    cluster_distance_matrix,
+    virtual_adjacency,
+    virtual_bfs_levels,
+)
+
+
+def grouped_partition(n: int, group: int) -> Partition:
+    """Clusters of consecutive vertices; center = smallest member."""
+    cluster_of = np.arange(n) // group
+    centers = np.arange(0, n, group, dtype=np.int64)
+    return Partition(cluster_of=cluster_of.astype(np.int64), centers=centers)
+
+
+# ---------------------------------------------------------------------------
+# neighbor_tables (the d=1 detection variant, Lemma A.3)
+# ---------------------------------------------------------------------------
+
+
+def test_singleton_partition_distances_match_hop_limited():
+    g = erdos_renyi(20, 0.2, seed=1, w_range=(1.0, 3.0))
+    part = Partition.singletons(g.n)
+    hops = 4
+    threshold = 6.0
+    tables = neighbor_tables(PRAM(), g, part, threshold, hops, x=g.n)
+    oracle = cluster_distance_matrix(g, part, hops)
+    got = np.full((g.n, g.n), np.inf)
+    for r in range(tables.cluster.size):
+        got[int(tables.cluster[r]), int(tables.src[r])] = tables.dist[r]
+    expect = np.where(oracle <= threshold + 1e-9, oracle, np.inf)
+    assert np.allclose(got, expect)
+
+
+def test_grouped_partition_cluster_distances():
+    g = path_graph(12, weight=1.0)
+    part = grouped_partition(12, 3)
+    hops = 5
+    threshold = 4.0
+    tables = neighbor_tables(PRAM(), g, part, threshold, hops, x=part.num_clusters)
+    oracle = cluster_distance_matrix(g, part, hops)
+    for r in range(tables.cluster.size):
+        c, s = int(tables.cluster[r]), int(tables.src[r])
+        assert tables.dist[r] == pytest.approx(oracle[c, s])
+
+
+def test_self_entry_present_at_distance_zero():
+    g = path_graph(6)
+    part = grouped_partition(6, 2)
+    tables = neighbor_tables(PRAM(), g, part, threshold=10.0, hops=3, x=5)
+    for c in range(part.num_clusters):
+        rows = tables.rows_of(c)
+        pairs = list(zip(tables.src[rows].tolist(), tables.dist[rows].tolist()))
+        assert (c, 0.0) in pairs
+
+
+def test_popularity_counts_lemma_a3():
+    """A cluster is popular iff its table holds x = deg+1 records."""
+    g = path_graph(9, weight=1.0)
+    part = Partition.singletons(9)
+    deg = 2
+    tables = neighbor_tables(PRAM(), g, part, threshold=1.0, hops=3, x=deg + 1)
+    counts = tables.counts()
+    # interior vertices have 2 unit-distance neighbors → popular (3 records);
+    # endpoints have 1 → unpopular (2 records)
+    assert counts[0] == 2 and counts[8] == 2
+    assert np.all(counts[1:8] == 3)
+
+
+def test_x_truncation_keeps_closest_sources():
+    # star: center 0 with leaves at distinct distances
+    g = from_edges(4, [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0)])
+    part = Partition.singletons(4)
+    tables = neighbor_tables(PRAM(), g, part, threshold=10.0, hops=2, x=2)
+    rows = tables.rows_of(0)
+    srcs = tables.src[rows].tolist()
+    assert srcs == [0, 1]  # itself + the closest leaf only
+
+
+def test_member_and_seed_realize_the_distance():
+    g = path_graph(10, w_range=(1.0, 2.0), seed=3)
+    part = grouped_partition(10, 5)
+    tables = neighbor_tables(PRAM(), g, part, threshold=20.0, hops=9, x=2)
+    for r in range(tables.cluster.size):
+        c, s = int(tables.cluster[r]), int(tables.src[r])
+        if c == s:
+            continue
+        u, z = int(tables.member[r]), int(tables.seed[r])
+        assert part.cluster_of[u] == c
+        assert part.cluster_of[z] == s
+        # boundary members 4 and 5 realize the inter-cluster distance
+        assert {u, z} == {4, 5}
+
+
+def test_threshold_pruning():
+    g = path_graph(5, weight=2.0)
+    part = Partition.singletons(5)
+    tables = neighbor_tables(PRAM(), g, part, threshold=3.0, hops=4, x=5)
+    for r in range(tables.cluster.size):
+        assert tables.dist[r] <= 3.0 + 1e-9
+
+
+def test_hop_budget_limits_reach():
+    g = path_graph(6, weight=1.0)
+    part = Partition.singletons(6)
+    tables = neighbor_tables(PRAM(), g, part, threshold=10.0, hops=2, x=6)
+    rows = tables.rows_of(0)
+    reach = set(tables.src[rows].tolist())
+    assert reach == {0, 1, 2}  # ≤ 2 hops away
+
+
+def test_record_paths_are_real_graph_walks():
+    g = erdos_renyi(15, 0.25, seed=7, w_range=(1.0, 2.0))
+    part = grouped_partition(15, 5)
+    tables = neighbor_tables(
+        PRAM(), g, part, threshold=8.0, hops=4, x=3, record_paths=True
+    )
+    assert tables.paths is not None
+    for r in range(tables.cluster.size):
+        path = tables.paths[r]
+        assert path[0] == int(tables.seed[r])
+        assert path[-1] == int(tables.member[r])
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            w = g.edge_weight(int(a), int(b))
+            assert np.isfinite(w)
+            total += w
+        assert total <= tables.dist[r] + 1e-9
+
+
+def test_invalid_x_rejected():
+    g = path_graph(4)
+    with pytest.raises(HopsetError):
+        neighbor_tables(PRAM(), g, Partition.singletons(4), 1.0, 2, x=0)
+
+
+# ---------------------------------------------------------------------------
+# bfs_from_clusters (the x=1 BFS variant, Lemma A.4)
+# ---------------------------------------------------------------------------
+
+
+def test_bfs_pulses_match_virtual_levels():
+    g = erdos_renyi(18, 0.15, seed=11, w_range=(1.0, 2.0))
+    part = Partition.singletons(g.n)
+    threshold, hops = 2.5, 3
+    sources = np.zeros(g.n, dtype=bool)
+    sources[[0, 7]] = True
+    res = bfs_from_clusters(PRAM(), g, part, sources, threshold, hops, max_pulses=g.n)
+    adj = virtual_adjacency(g, part, threshold, hops)
+    levels = virtual_bfs_levels(adj, sources)
+    assert np.array_equal(res.pulse, levels)
+
+
+def test_bfs_detection_capped_by_max_pulses():
+    g = path_graph(8, weight=1.0)
+    part = Partition.singletons(8)
+    sources = np.zeros(8, dtype=bool)
+    sources[0] = True
+    res = bfs_from_clusters(PRAM(), g, part, sources, threshold=1.0, hops=1, max_pulses=3)
+    assert res.pulse[3] == 3
+    assert res.pulse[4] == -1  # beyond the pulse budget
+
+
+def test_bfs_origin_is_nearest_source_deterministic():
+    g = path_graph(7, weight=1.0)
+    part = Partition.singletons(7)
+    sources = np.zeros(7, dtype=bool)
+    sources[[0, 6]] = True
+    res = bfs_from_clusters(PRAM(), g, part, sources, threshold=1.0, hops=1, max_pulses=7)
+    assert res.origin[1] == 0 and res.origin[2] == 0
+    assert res.origin[5] == 6 and res.origin[4] == 6
+    # the exact middle (pulse ties) resolves deterministically to min id
+    assert res.origin[3] == 0
+
+
+def test_bfs_acc_weight_is_realized_center_path_weight():
+    g = path_graph(6, w_range=(1.0, 3.0), seed=13)
+    part = Partition.singletons(6)
+    memory = ClusterMemory(6)
+    sources = np.zeros(6, dtype=bool)
+    sources[0] = True
+    res = bfs_from_clusters(
+        PRAM(), g, part, sources, threshold=10.0, hops=1, max_pulses=6, memory=memory
+    )
+    # singleton clusters, 1-hop pulses: acc = sum of edge weights along path
+    from repro.graphs.distances import dijkstra
+
+    exact = dijkstra(g, 0)
+    for v in range(1, 6):
+        assert res.acc_weight[v] == pytest.approx(exact[v])
+
+
+def test_bfs_pred_chain_leads_to_origin():
+    g = erdos_renyi(16, 0.2, seed=17)
+    part = Partition.singletons(g.n)
+    sources = np.zeros(g.n, dtype=bool)
+    sources[2] = True
+    res = bfs_from_clusters(PRAM(), g, part, sources, threshold=3.0, hops=2, max_pulses=g.n)
+    for c in np.flatnonzero(res.detected()):
+        cur = c
+        for _ in range(g.n + 1):
+            if res.pred[cur] < 0:
+                break
+            cur = int(res.pred[cur])
+        assert cur == 2
+
+
+def test_bfs_records_segment_paths():
+    g = path_graph(5, weight=1.0)
+    part = Partition.singletons(5)
+    sources = np.zeros(5, dtype=bool)
+    sources[0] = True
+    res = bfs_from_clusters(
+        PRAM(), g, part, sources, threshold=2.0, hops=2, max_pulses=5,
+        record_paths=True,
+    )
+    assert res.seg_paths is not None
+    for c in np.flatnonzero(res.detected() & (res.pulse > 0)):
+        seg = res.seg_paths[int(c)]
+        assert seg is not None
+        assert seg[0] == res.seg_seed[c] and seg[-1] == res.seg_member[c]
+
+
+def test_bfs_source_mask_shape_checked():
+    g = path_graph(4)
+    with pytest.raises(HopsetError):
+        bfs_from_clusters(
+            PRAM(), g, Partition.singletons(4), np.zeros(3, dtype=bool), 1.0, 1, 1
+        )

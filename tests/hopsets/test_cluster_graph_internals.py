@@ -1,0 +1,105 @@
+"""White-box tests of the Algorithm 2/3 engine internals."""
+
+import numpy as np
+
+from repro.graphs.build import from_edges
+from repro.graphs.generators import path_graph
+from repro.hopsets.cluster_graph import EntryTable, _dedup_and_prune, _propagate
+from repro.pram.machine import PRAM
+
+
+def table(verts, srcs, dists, seeds=None, paths=None):
+    v = np.array(verts, dtype=np.int64)
+    return EntryTable(
+        vert=v,
+        src=np.array(srcs, dtype=np.int64),
+        dist=np.array(dists, dtype=np.float64),
+        seed=np.array(seeds if seeds is not None else verts, dtype=np.int64),
+        paths=paths,
+    )
+
+
+def test_dedup_keeps_min_distance_per_vertex_source():
+    t = table([0, 0, 0], [5, 5, 6], [3.0, 1.0, 2.0])
+    out = _dedup_and_prune(t, x=10, pram=PRAM())
+    rows = sorted(zip(out.src.tolist(), out.dist.tolist()))
+    assert rows == [(5, 1.0), (6, 2.0)]
+
+
+def test_prune_keeps_x_closest_sources():
+    t = table([0, 0, 0, 0], [1, 2, 3, 4], [4.0, 1.0, 3.0, 2.0])
+    out = _dedup_and_prune(t, x=2, pram=PRAM())
+    assert sorted(out.src.tolist()) == [2, 4]  # the two closest
+
+
+def test_prune_tie_breaks_by_source_id():
+    t = table([0, 0], [9, 3], [1.0, 1.0])
+    out = _dedup_and_prune(t, x=1, pram=PRAM())
+    assert out.src.tolist() == [3]
+
+
+def test_dedup_is_per_vertex():
+    t = table([0, 1], [7, 7], [5.0, 6.0])
+    out = _dedup_and_prune(t, x=1, pram=PRAM())
+    assert out.size == 2  # same source at two vertices both survive
+
+
+def test_dedup_preserves_paths_alignment():
+    paths = [(0, 9), (0,), (1, 8)]
+    t = table([0, 0, 1], [5, 5, 5], [3.0, 1.0, 2.0], paths=paths)
+    out = _dedup_and_prune(t, x=10, pram=PRAM())
+    # vertex 0 keeps the dist-1.0 entry whose path was (0,)
+    m = {(int(v), float(d)): p for v, d, p in zip(out.vert, out.dist, out.paths)}
+    assert m[(0, 1.0)] == (0,)
+    assert m[(1, 2.0)] == (1, 8)
+
+
+def test_propagate_respects_threshold():
+    g = path_graph(5, weight=2.0)
+    t = table([0], [0], [0.0])
+    out = _propagate(PRAM(), g, t, rounds=10, threshold=3.0, x=5)
+    assert set(out.vert.tolist()) == {0, 1}  # vertex 2 is at distance 4 > 3
+
+
+def test_propagate_respects_hop_budget():
+    g = path_graph(6, weight=1.0)
+    t = table([0], [0], [0.0])
+    out = _propagate(PRAM(), g, t, rounds=2, threshold=100.0, x=6)
+    assert set(out.vert.tolist()) == {0, 1, 2}
+
+
+def test_propagate_early_exit_charges_less():
+    g = path_graph(4, weight=1.0)
+    p1, p2 = PRAM(), PRAM()
+    t1 = table([0], [0], [0.0])
+    t2 = table([0], [0], [0.0])
+    _propagate(p1, g, t1, rounds=3, threshold=100.0, x=4)
+    _propagate(p2, g, t2, rounds=300, threshold=100.0, x=4)
+    # converges after ~3 rounds either way
+    assert p2.cost.depth <= 2 * p1.cost.depth + 20
+
+
+def test_propagate_merges_multiple_sources():
+    g = from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+    t = table([0, 2], [0, 2], [0.0, 0.0])
+    out = _propagate(PRAM(), g, t, rounds=3, threshold=10.0, x=2)
+    mid = [(int(s), float(d)) for v, s, d in zip(out.vert, out.src, out.dist) if v == 1]
+    assert sorted(mid) == [(0, 1.0), (2, 1.0)]
+
+
+def test_empty_table_propagates_to_empty():
+    g = path_graph(3)
+    t = table([], [], [])
+    out = _propagate(PRAM(), g, t, rounds=5, threshold=10.0, x=3)
+    assert out.size == 0
+
+
+def test_concat_path_mode_mismatch_rejected():
+    import pytest
+
+    from repro.hopsets.errors import HopsetError
+
+    a = table([0], [0], [0.0], paths=[(0,)])
+    b = table([1], [1], [0.0])
+    with pytest.raises(HopsetError):
+        EntryTable.concat(a, b)

@@ -1,0 +1,80 @@
+"""Partition state and cluster memory (CP/CD)."""
+
+import numpy as np
+import pytest
+
+from repro.hopsets.clusters import ClusterMemory, Partition
+from repro.hopsets.errors import HopsetError
+
+
+def test_singletons():
+    p = Partition.singletons(4)
+    assert p.num_clusters == 4
+    assert np.array_equal(p.cluster_of, np.arange(4))
+    assert np.array_equal(p.centers, np.arange(4))
+    p.validate()
+
+
+def test_members_lookup():
+    p = Partition(cluster_of=np.array([0, 1, 0, -1, 1]), centers=np.array([0, 1]))
+    assert np.array_equal(p.members(0), [0, 2])
+    assert np.array_equal(p.members(1), [1, 4])
+
+
+def test_members_by_cluster_handles_unclustered():
+    p = Partition(cluster_of=np.array([1, -1, 0, 1]), centers=np.array([2, 0]))
+    by = p.members_by_cluster()
+    assert np.array_equal(by[0], [2])
+    assert np.array_equal(by[1], [0, 3])
+
+
+def test_members_by_cluster_empty_cluster():
+    p = Partition(cluster_of=np.array([-1, -1]), centers=np.zeros(0, dtype=np.int64))
+    assert p.members_by_cluster() == []
+
+
+def test_sizes():
+    p = Partition(cluster_of=np.array([0, 0, 1, -1]), centers=np.array([0, 2]))
+    assert np.array_equal(p.sizes(), [2, 1])
+
+
+def test_validate_rejects_misplaced_center():
+    p = Partition(cluster_of=np.array([1, 0]), centers=np.array([0, 1]))
+    with pytest.raises(HopsetError):
+        p.validate()
+
+
+def test_cluster_memory_distances_only():
+    m = ClusterMemory(3)
+    assert np.array_equal(m.cd, np.zeros(3))
+    m.absorb(np.array([0, 2]), extra_dist=5.0)
+    assert np.array_equal(m.cd, [5.0, 0.0, 5.0])
+    with pytest.raises(HopsetError):
+        m.path(0)  # paths not recorded
+
+
+def test_cluster_memory_paths():
+    m = ClusterMemory(4, record_paths=True)
+    assert m.path(2) == (2,)
+    # vertex 0's cluster (center 0) joins a supercluster centered at 3 via 0-1-3
+    m.absorb(np.array([0]), extra_dist=2.0, extra_path=(0, 1, 3))
+    assert m.path(0) == (0, 1, 3)
+    assert m.cd[0] == 2.0
+    # a second absorb chains correctly: 3 → 2
+    m.absorb(np.array([0]), extra_dist=1.0, extra_path=(3, 2))
+    assert m.path(0) == (0, 1, 3, 2)
+    assert m.cd[0] == 3.0
+
+
+def test_absorb_requires_path_in_path_mode():
+    m = ClusterMemory(2, record_paths=True)
+    with pytest.raises(HopsetError):
+        m.absorb(np.array([0]), extra_dist=1.0)
+
+
+def test_reset_singletons():
+    m = ClusterMemory(2, record_paths=True)
+    m.absorb(np.array([0]), 1.0, (0, 1))
+    m.reset_singletons()
+    assert m.cd[0] == 0.0
+    assert m.path(0) == (0,)

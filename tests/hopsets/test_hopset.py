@@ -1,0 +1,89 @@
+"""Hopset container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.build import from_edges
+from repro.hopsets.errors import HopsetError
+from repro.hopsets.hopset import INTERCONNECT, SUPERCLUSTER, Hopset, HopsetEdge
+
+
+def make_hopset():
+    h = Hopset(n=5, beta=4, epsilon=0.25)
+    h.add(
+        [
+            HopsetEdge(0, 2, 3.0, scale=2, phase=0, kind=SUPERCLUSTER),
+            HopsetEdge(2, 4, 5.0, scale=3, phase=1, kind=INTERCONNECT),
+            HopsetEdge(0, 2, 2.0, scale=3, phase=0, kind=INTERCONNECT),  # same pair
+        ]
+    )
+    return h
+
+
+def test_edge_validation():
+    with pytest.raises(HopsetError):
+        HopsetEdge(1, 1, 1.0, 0, 0, SUPERCLUSTER)
+    with pytest.raises(HopsetError):
+        HopsetEdge(0, 1, 0.0, 0, 0, SUPERCLUSTER)
+    with pytest.raises(HopsetError):
+        HopsetEdge(0, 1, 1.0, 0, 0, SUPERCLUSTER, path=(0, 2))  # wrong endpoint
+    with pytest.raises(HopsetError):
+        HopsetEdge(0, 1, 1.0, 0, 0, SUPERCLUSTER, path=(0,))  # too short
+
+
+def test_size_counts_distinct_pairs():
+    h = make_hopset()
+    assert h.num_records == 3
+    assert h.size() == 2  # (0,2) counted once
+
+
+def test_scales_and_of_scale():
+    h = make_hopset()
+    assert h.scales() == [2, 3]
+    assert len(h.of_scale(3)) == 2
+    assert h.of_scale(7) == []
+
+
+def test_union_graph_takes_min_weight():
+    g = from_edges(5, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 10.0)])
+    h = make_hopset()
+    u = h.union_graph(g)
+    assert u.edge_weight(0, 2) == 2.0   # min(10 graph, 3, 2 hopset)
+    assert u.edge_weight(2, 4) == 5.0   # hopset-only edge
+    assert u.edge_weight(0, 1) == 1.0
+
+
+def test_union_graph_size_mismatch():
+    g = from_edges(3, [(0, 1, 1.0)])
+    with pytest.raises(HopsetError):
+        make_hopset().union_graph(g)
+
+
+def test_union_graph_up_to_scale():
+    g = from_edges(5, [(0, 1, 1.0)])
+    h = make_hopset()
+    u2 = h.union_graph_up_to_scale(g, 2)
+    assert u2.edge_weight(0, 2) == 3.0   # only the scale-2 record
+    assert not u2.has_edge(2, 4)
+    u1 = h.union_graph_up_to_scale(g, 1)
+    assert u1.num_edges == g.num_edges   # no hopset edges below scale 2
+
+
+def test_kind_counts():
+    h = make_hopset()
+    assert h.kind_counts() == {SUPERCLUSTER: 1, INTERCONNECT: 2}
+
+
+def test_empty_hopset_union_is_base():
+    g = from_edges(3, [(0, 1, 1.0)])
+    h = Hopset(n=3)
+    u = h.union_graph(g)
+    assert u.num_edges == 1
+    assert h.size() == 0 and h.scales() == []
+
+
+def test_edge_arrays_roundtrip():
+    h = make_hopset()
+    u, v, w = h.edge_arrays()
+    assert u.size == 3
+    assert np.all(u < 5) and np.all(v < 5)

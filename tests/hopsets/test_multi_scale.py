@@ -1,0 +1,127 @@
+"""The Theorem 3.7 driver: multi-scale hopset build + certification."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import Graph
+from repro.graphs.generators import erdos_renyi, layered_hop_graph, path_graph
+from repro.hopsets.multi_scale import build_hopset, scale_range
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.verification import certify
+from repro.pram.machine import PRAM
+
+
+def test_scale_range_endpoints():
+    g = path_graph(16, weight=1.0)  # diameter 15, total weight 15
+    k0, lam = scale_range(g, beta=4)
+    assert k0 == 2  # floor(log2 4)
+    assert lam == 3  # ceil(log2 15) - 1
+    empty = Graph(4, np.zeros(0), np.zeros(0), np.zeros(0))
+    assert scale_range(empty, 4) == (0, -1)
+
+
+def test_build_covers_all_scales_in_range():
+    g = path_graph(30, w_range=(1.0, 2.0), seed=1)
+    params = HopsetParams(beta=4)
+    H, report = build_hopset(g, params)
+    k0, lam = scale_range(g, 4)
+    assert report.scales == list(range(k0, lam + 1))
+    assert set(H.scales()) <= set(report.scales)
+
+
+def test_eq1_certified_on_random_graph():
+    g = erdos_renyi(36, 0.12, seed=2, w_range=(1.0, 3.0))
+    params = HopsetParams(epsilon=0.25, beta=8)
+    H, _ = build_hopset(g, params)
+    cert = certify(g, H, beta=2 * 8 + 1, epsilon=0.25)
+    assert cert.safe
+    assert cert.holds, f"max stretch {cert.max_stretch}"
+
+
+def test_eq1_certified_on_deep_graph():
+    g = layered_hop_graph(10, 3, seed=3)
+    params = HopsetParams(epsilon=0.25, beta=8)
+    H, _ = build_hopset(g, params)
+    cert = certify(g, H, beta=2 * 8 + 1, epsilon=0.25)
+    assert cert.safe and cert.holds
+
+
+def test_safety_invariant_always_holds_even_with_tiny_beta():
+    """Any β gives a *valid* (never-shortening) hopset (DESIGN.md §1)."""
+    g = path_graph(24, w_range=(1.0, 3.0), seed=4)
+    for beta in (1, 2, 4):
+        H, _ = build_hopset(g, HopsetParams(beta=beta))
+        cert = certify(g, H, beta=beta, epsilon=10.0)
+        assert cert.safe
+
+
+def test_stretch_improves_with_beta():
+    g = path_graph(40, w_range=(1.0, 3.0), seed=5)
+    stretches = []
+    for beta in (2, 4, 8):
+        H, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=beta))
+        cert = certify(g, H, beta=2 * beta + 1, epsilon=0.25)
+        stretches.append(cert.max_stretch)
+    assert stretches[-1] <= stretches[0]
+    assert stretches[-1] < 1.5
+
+
+def test_size_bound_eq10():
+    """|H_k| <= n^{1+1/κ} per scale, so |H| <= ceil(log Λ)·n^{1+1/κ}."""
+    g = erdos_renyi(48, 0.1, seed=6, w_range=(1.0, 4.0))
+    params = HopsetParams(kappa=2, beta=6)
+    H, report = build_hopset(g, params)
+    per_scale_bound = g.n ** (1 + 1 / params.kappa)
+    for k, count in report.per_scale_edges.items():
+        assert count <= per_scale_bound
+    assert H.size() <= len(report.scales) * per_scale_bound
+
+
+def test_determinism_bitwise():
+    g = erdos_renyi(32, 0.12, seed=7)
+    params = HopsetParams(beta=6)
+    h1, _ = build_hopset(g, params)
+    h2, _ = build_hopset(g, params)
+    e1 = [(e.u, e.v, e.weight, e.scale, e.phase, e.kind) for e in h1.edges]
+    e2 = [(e.u, e.v, e.weight, e.scale, e.phase, e.kind) for e in h2.edges]
+    assert e1 == e2
+
+
+def test_weight_normalization_roundtrip():
+    """Hopsets of G and of 10·G differ exactly by the weight factor."""
+    g = erdos_renyi(24, 0.15, seed=8, w_range=(1.0, 2.0))
+    from repro.graphs.build import reweighted
+
+    g10 = reweighted(g, 10.0)
+    h1, _ = build_hopset(g, HopsetParams(beta=6))
+    h10, _ = build_hopset(g10, HopsetParams(beta=6))
+    w1 = sorted(e.weight for e in h1.edges)
+    w10 = sorted(e.weight for e in h10.edges)
+    assert len(w1) == len(w10)
+    assert np.allclose(np.array(w10), 10.0 * np.array(w1))
+
+
+def test_work_and_depth_recorded():
+    g = erdos_renyi(24, 0.15, seed=9)
+    pram = PRAM()
+    H, report = build_hopset(g, HopsetParams(beta=4), pram)
+    assert report.work > 0 and report.depth > 0
+    assert pram.cost.work == report.work
+    assert H.meta["work"] == report.work
+
+
+def test_trivial_graphs():
+    empty = Graph(3, np.zeros(0), np.zeros(0), np.zeros(0))
+    H, report = build_hopset(empty, HopsetParams(beta=4))
+    assert H.num_records == 0 and report.scales == []
+    single = Graph(1, np.zeros(0), np.zeros(0), np.zeros(0))
+    H2, _ = build_hopset(single, HopsetParams(beta=4))
+    assert H2.num_records == 0
+
+
+def test_scale_epsilon_reduces_compounded_stretch_target():
+    g = path_graph(20, w_range=(1.0, 2.0), seed=10)
+    h_raw, _ = build_hopset(g, HopsetParams(epsilon=0.3, beta=6, scale_epsilon=False))
+    h_scaled, _ = build_hopset(g, HopsetParams(epsilon=0.3, beta=6, scale_epsilon=True))
+    assert h_scaled.meta["eps_compounded"] <= h_raw.meta["eps_compounded"]
+    assert h_scaled.meta["eps_compounded"] <= 0.3 + 1e-9

@@ -1,0 +1,77 @@
+"""Laminar center selection over the nodes forest (Appendix C.3)."""
+
+import numpy as np
+import pytest
+
+from repro.hopsets.errors import HopsetError
+from repro.hopsets.node_forest import ScaleNodes, select_centers
+
+
+def make_nodes(node_of, prev=None, scale=0):
+    node_of = np.asarray(node_of, dtype=np.int64)
+    members = [np.flatnonzero(node_of == j) for j in range(node_of.max() + 1)]
+    return select_centers(scale, node_of, members, prev)
+
+
+def test_base_scale_min_id_center_and_stars():
+    nodes = make_nodes([0, 0, 1, 0, 1])
+    assert nodes.centers[0] == 0
+    assert nodes.centers[1] == 2
+    assert np.array_equal(nodes.star_targets[0], [1, 3])
+    assert np.array_equal(nodes.star_targets[1], [4])
+
+
+def test_singleton_nodes_get_no_stars():
+    nodes = make_nodes([0, 1, 2])
+    assert all(t.size == 0 for t in nodes.star_targets)
+
+
+def test_center_inherited_from_largest_subnode():
+    prev = make_nodes([0, 0, 0, 1, 1, 2])  # sizes 3, 2, 1; centers 0, 3, 5
+    merged = make_nodes([0, 0, 0, 0, 0, 1], prev=prev, scale=1)
+    # node {0..4} = prev nodes 0 (size 3) and 1 (size 2): center from node 0
+    assert merged.centers[0] == 0
+    # star targets: members outside the winning sub-node
+    assert np.array_equal(merged.star_targets[0], [3, 4])
+    # singleton node {5} keeps its center, no new stars
+    assert merged.centers[1] == 5
+    assert merged.star_targets[1].size == 0
+
+
+def test_tie_broken_by_smallest_center_id():
+    prev = make_nodes([0, 0, 1, 1])  # two size-2 nodes, centers 0 and 2
+    merged = make_nodes([0, 0, 0, 0], prev=prev, scale=1)
+    assert merged.centers[0] == 0  # tie → smaller center id wins
+    assert np.array_equal(merged.star_targets[0], [2, 3])
+
+
+def test_star_count_bound_lemma_c1():
+    """Total stars over a full merge cascade stays <= n log n."""
+    rng = np.random.default_rng(5)
+    n = 64
+    node_of = np.arange(n)
+    prev = make_nodes(node_of)
+    total_stars = sum(t.size for t in prev.star_targets)
+    groups = n
+    scale = 1
+    while groups > 1:
+        groups = max(groups // 3, 1)
+        node_of = rng.integers(0, groups, size=n)
+        # force laminarity: merge by previous node, not by vertex
+        node_of = node_of[prev.node_of]
+        members = [np.flatnonzero(node_of == j) for j in range(groups)]
+        members = [m for m in members if m.size]
+        # re-densify
+        dense = np.full(n, -1, dtype=np.int64)
+        for j, m in enumerate(members):
+            dense[m] = j
+        cur = select_centers(scale, dense, members, prev)
+        total_stars += sum(t.size for t in cur.star_targets)
+        prev = cur
+        scale += 1
+    assert total_stars <= n * np.log2(n)
+
+
+def test_empty_node_rejected():
+    with pytest.raises(HopsetError):
+        select_centers(0, np.array([0]), [np.zeros(0, dtype=np.int64)], None)

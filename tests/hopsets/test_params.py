@@ -1,0 +1,120 @@
+"""Parameter schedules of Section 2.1 and the eq. (2) hopbound."""
+
+import math
+
+import pytest
+
+from repro.hopsets.errors import ParameterError
+from repro.hopsets.params import (
+    HopsetParams,
+    PhaseSchedule,
+    exponential_stage_end,
+    num_phases,
+    practical_beta,
+    theoretical_beta,
+)
+
+
+def test_parameter_validation():
+    with pytest.raises(ParameterError):
+        HopsetParams(epsilon=0.0)
+    with pytest.raises(ParameterError):
+        HopsetParams(epsilon=1.0)
+    with pytest.raises(ParameterError):
+        HopsetParams(kappa=0)
+    with pytest.raises(ParameterError):
+        HopsetParams(rho=0.5)
+    with pytest.raises(ParameterError):
+        HopsetParams(rho=0.0)
+    with pytest.raises(ParameterError):
+        HopsetParams(beta=0)
+
+
+def test_num_phases_formula():
+    # κ=2, ρ=0.4: κρ=0.8, ⌊log 0.8⌋=−1, ⌈3/0.8⌉=4 → ℓ=2
+    assert num_phases(2, 0.4) == 2
+    # κ=4, ρ=0.45: κρ=1.8, ⌊log 1.8⌋=0, ⌈5/1.8⌉=3 → ℓ=2
+    assert num_phases(4, 0.45) == 2
+    # never below 1
+    assert num_phases(2, 0.49) >= 1
+
+
+def test_exponential_stage_empty_when_kappa_rho_below_one():
+    assert exponential_stage_end(2, 0.4) < 0
+    assert exponential_stage_end(4, 0.3) >= 0
+
+
+def test_degree_thresholds_exponential_then_fixed():
+    p = HopsetParams(kappa=4, rho=0.45)
+    n = 256
+    i0 = p.i0
+    for i in range(p.ell + 1):
+        d = p.degree_threshold(n, i)
+        if i <= i0:
+            assert d == math.ceil(n ** (2.0**i / p.kappa))
+        else:
+            assert d == math.ceil(n**p.rho)
+
+
+def test_degree_threshold_bounds():
+    p = HopsetParams(kappa=2, rho=0.4)
+    assert p.degree_threshold(4, 0) >= 2  # floor of 2
+    with pytest.raises(ParameterError):
+        p.degree_threshold(100, p.ell + 1)
+
+
+def test_delta_schedule_hits_scale_at_penultimate_phase():
+    p = HopsetParams(epsilon=0.25, kappa=2, rho=0.4, beta=8)
+    sched = PhaseSchedule.for_scale(n=128, k=5, params=p, eps=0.25, eps_prev=0.0)
+    # δ_{ℓ−1} = 2^{k+1}: the corrected α (see params.py comment)
+    assert sched.deltas[sched.ell - 1] == pytest.approx(2.0**6)
+    assert sched.deltas[sched.ell] == pytest.approx(2.0**6 / 0.25)
+    # geometric 1/ε growth
+    for i in range(sched.ell):
+        assert sched.deltas[i + 1] / sched.deltas[i] == pytest.approx(4.0)
+
+
+def test_threshold_includes_eps_prev():
+    p = HopsetParams(epsilon=0.25, beta=8)
+    s = PhaseSchedule.for_scale(64, 4, p, eps=0.25, eps_prev=0.5)
+    assert s.threshold(0) == pytest.approx(1.5 * s.deltas[0])
+
+
+def test_radius_recurrence():
+    p = HopsetParams(epsilon=0.25, beta=8)
+    s = PhaseSchedule.for_scale(64, 4, p, eps=0.25, eps_prev=0.0)
+    log_n = math.log2(64)
+    assert s.radii[0] == 0.0
+    for i in range(s.ell):
+        expect = (2 * s.deltas[i] + 4 * s.radii[i]) * log_n + s.radii[i]
+        assert s.radii[i + 1] == pytest.approx(expect)
+
+
+def test_sigma_recurrence_eq20():
+    p = HopsetParams(epsilon=0.25, beta=8)
+    s = PhaseSchedule.for_scale(64, 4, p, eps=0.25, eps_prev=0.0)
+    log_n = math.log2(64)
+    assert s.sigmas[0] == 0.0
+    for i in range(s.ell):
+        expect = (4 * log_n + 1) * s.sigmas[i] + 2 * (2 * s.beta + 1) * log_n
+        assert s.sigmas[i + 1] == pytest.approx(expect)
+    assert s.sigma == pytest.approx(2 * s.sigmas[-1] + 2 * s.beta + 1)
+
+
+def test_theoretical_beta_is_galactic_and_monotone():
+    b_small = theoretical_beta(2**10, 2**10, 0.1, 2, 0.25)
+    b_big = theoretical_beta(2**20, 2**20, 0.1, 2, 0.25)
+    assert b_small > 1e6       # far beyond any practical budget
+    assert b_big > b_small     # grows with n
+    assert theoretical_beta(1, 10, 0.1, 2, 0.25) == 1.0
+
+
+def test_practical_beta_logarithmic():
+    assert practical_beta(2) == 4
+    assert practical_beta(1024) == 12
+    assert practical_beta(2**20) == 22
+
+
+def test_beta_for_prefers_explicit():
+    assert HopsetParams(beta=5).beta_for(10**6) == 5
+    assert HopsetParams().beta_for(1024) == practical_beta(1024)

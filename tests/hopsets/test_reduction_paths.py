@@ -1,0 +1,119 @@
+"""Appendix D: Λ-free path-reporting hopsets + SPT (Theorems D.1/D.2)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.distances import dijkstra
+from repro.graphs.generators import path_graph, wide_weight_graph
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.reduction_paths import (
+    build_reduced_path_reporting_hopset,
+    spt_hop_budget,
+)
+from repro.hopsets.verification import certify, verify_memory_paths
+from repro.sssp.spt import approximate_spt
+
+
+@pytest.fixture(scope="module")
+def wide_setup():
+    g = wide_weight_graph(36, 1e5, seed=121)
+    H, rep = build_reduced_path_reporting_hopset(g, HopsetParams(epsilon=0.25, beta=8))
+    return g, H, rep
+
+
+def test_every_edge_has_a_memory_path(wide_setup):
+    g, H, rep = wide_setup
+    assert H.num_records > 0
+    assert all(e.path is not None for e in H.edges)
+
+
+def test_memory_property_holds_across_layers(wide_setup):
+    """Paths reference only strictly-lower scale codes and weigh ≤ edge."""
+    g, H, _ = wide_setup
+    verify_memory_paths(g, H)
+
+
+def test_layer_ordering_stars_below_lifted(wide_setup):
+    g, H, rep = wide_setup
+    for k, base in rep.code_of_scale.items():
+        stars = [e for e in H.edges if e.scale == base]
+        lifted = [e for e in H.edges if base < e.scale < base + 256]
+        for e in stars:
+            assert e.kind == "star"
+        for e in lifted:
+            assert e.kind in ("supercluster", "interconnect")
+
+
+def test_hopset_is_safe(wide_setup):
+    g, H, _ = wide_setup
+    cert = certify(g, H, beta=g.n - 1, epsilon=100.0)
+    assert cert.safe
+
+
+def test_stretch_certified_at_en19_budget(wide_setup):
+    g, H, _ = wide_setup
+    cert = certify(g, H, beta=spt_hop_budget(8), epsilon=6 * 0.25)
+    assert cert.holds, f"max stretch {cert.max_stretch}"
+
+
+def test_spt_valid_on_wide_weight_graph(wide_setup):
+    g, H, _ = wide_setup
+    spt = approximate_spt(g, H, 0, hop_budget=spt_hop_budget(8))
+    exact = dijkstra(g, 0)
+    fin = np.isfinite(exact) & (exact > 0)
+    assert np.all(spt.dist[fin] >= exact[fin] - 1e-6)
+    assert float(np.max(spt.dist[fin] / exact[fin])) <= 1 + 6 * 0.25 + 1e-6
+    for v in range(g.n):
+        p = int(spt.parent[v])
+        if v == 0:
+            assert p == 0
+            continue
+        assert g.has_edge(p, v)
+        assert np.isclose(spt.dist[v], spt.dist[p] + g.edge_weight(p, v))
+
+
+def test_spt_across_sources(wide_setup):
+    g, H, _ = wide_setup
+    for s in (5, 17, 30):
+        spt = approximate_spt(g, H, s, hop_budget=spt_hop_budget(8))
+        exact = dijkstra(g, s)
+        fin = np.isfinite(exact) & (exact > 0)
+        assert float(np.max(spt.dist[fin] / exact[fin])) <= 1.6
+
+
+def test_star_edges_carry_in_node_paths(wide_setup):
+    g, H, _ = wide_setup
+    stars = [e for e in H.edges if e.kind == "star"]
+    assert stars
+    for e in stars:
+        total = 0.0
+        for a, b in zip(e.path, e.path[1:]):
+            w = g.edge_weight(int(a), int(b))
+            assert np.isfinite(w), "star paths must use original edges only"
+            total += w
+        assert total <= e.weight + 1e-6
+
+
+def test_deterministic(wide_setup):
+    g, _, _ = wide_setup
+    a, _ = build_reduced_path_reporting_hopset(g, HopsetParams(beta=8))
+    b, _ = build_reduced_path_reporting_hopset(g, HopsetParams(beta=8))
+    ka = [(e.u, e.v, e.weight, e.scale) for e in a.edges]
+    kb = [(e.u, e.v, e.weight, e.scale) for e in b.edges]
+    assert ka == kb
+
+
+def test_narrow_band_degenerates_gracefully():
+    g = path_graph(20, weight=1.0)
+    H, rep = build_reduced_path_reporting_hopset(g, HopsetParams(epsilon=0.25, beta=4))
+    verify_memory_paths(g, H)
+    spt = approximate_spt(g, H, 0, hop_budget=spt_hop_budget(4))
+    exact = dijkstra(g, 0)
+    assert np.all(spt.dist >= exact - 1e-9)
+
+
+def test_trivial_inputs():
+    from repro.graphs.build import from_edges
+
+    H, rep = build_reduced_path_reporting_hopset(from_edges(3, []), HopsetParams(beta=4))
+    assert H.num_records == 0 and rep.relevant == []

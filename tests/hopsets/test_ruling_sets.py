@@ -1,0 +1,110 @@
+"""Algorithm 4: (3, 2·log n)-ruling sets, checked against oracles."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import erdos_renyi, path_graph, random_geometric
+from repro.hopsets.clusters import Partition
+from repro.hopsets.errors import HopsetError
+from repro.hopsets.ruling_sets import ruling_set
+from repro.pram.machine import PRAM
+from repro.pram.primitives import ceil_log2
+
+from tests.hopsets.helpers import pairwise_virtual_distances, virtual_adjacency
+
+
+def check_ruling_properties(graph, partition, candidates, threshold, hops):
+    """Assert Lemma B.2 (3-separation) and Lemma B.3 (2·log n ruling)."""
+    q = ruling_set(PRAM(), graph, partition, candidates, threshold, hops)
+    assert not np.any(q & ~candidates), "Q must be a subset of the candidates"
+    adj = virtual_adjacency(graph, partition, threshold, hops)
+    vd = pairwise_virtual_distances(adj)
+    q_idx = np.flatnonzero(q)
+    # 3-separation: pairwise virtual distance >= 3 (or disconnected)
+    for i, a in enumerate(q_idx):
+        for b in q_idx[i + 1:]:
+            d = vd[a, b]
+            assert d < 0 or d >= 3, f"clusters {a},{b} at virtual distance {d}"
+    # ruling: every candidate within 2*ceil(log2 n) of some Q cluster
+    bound = 2 * ceil_log2(max(partition.n, 2))
+    for c in np.flatnonzero(candidates):
+        dmin = min((vd[c, s] for s in q_idx if vd[c, s] >= 0), default=-1)
+        assert 0 <= dmin <= bound, f"candidate {c} is not ruled (min dist {dmin})"
+    return q
+
+
+def test_path_graph_unit_threshold():
+    g = path_graph(16, weight=1.0)
+    part = Partition.singletons(16)
+    cands = np.ones(16, dtype=bool)
+    q = check_ruling_properties(g, part, cands, threshold=1.0, hops=1)
+    assert q.any()
+
+
+def test_random_graph_various_thresholds():
+    g = erdos_renyi(24, 0.12, seed=3, w_range=(1.0, 2.0))
+    part = Partition.singletons(24)
+    for threshold in (1.5, 3.0):
+        cands = np.ones(24, dtype=bool)
+        check_ruling_properties(g, part, cands, threshold, hops=2)
+
+
+def test_subset_candidates():
+    g = random_geometric(20, 0.3, seed=5)
+    part = Partition.singletons(20)
+    cands = np.zeros(20, dtype=bool)
+    cands[::2] = True
+    q = check_ruling_properties(g, part, cands, threshold=0.3, hops=2)
+    assert set(np.flatnonzero(q)) <= set(np.flatnonzero(cands))
+
+
+def test_empty_candidates_yield_empty_set():
+    g = path_graph(6)
+    part = Partition.singletons(6)
+    q = ruling_set(PRAM(), g, part, np.zeros(6, dtype=bool), 1.0, 1)
+    assert not q.any()
+
+
+def test_single_candidate_selected():
+    g = path_graph(6)
+    part = Partition.singletons(6)
+    cands = np.zeros(6, dtype=bool)
+    cands[3] = True
+    q = ruling_set(PRAM(), g, part, cands, 1.0, 1)
+    assert q[3] and q.sum() == 1
+
+
+def test_isolated_candidates_all_selected():
+    # threshold below min weight → virtual graph has no edges → everyone rules
+    g = path_graph(8, weight=2.0)
+    part = Partition.singletons(8)
+    cands = np.ones(8, dtype=bool)
+    q = ruling_set(PRAM(), g, part, cands, threshold=1.0, hops=1)
+    assert q.all()
+
+
+def test_deterministic_across_runs():
+    g = erdos_renyi(30, 0.1, seed=9)
+    part = Partition.singletons(30)
+    cands = np.ones(30, dtype=bool)
+    q1 = ruling_set(PRAM(), g, part, cands, 2.0, 2)
+    q2 = ruling_set(PRAM(), g, part, cands, 2.0, 2)
+    assert np.array_equal(q1, q2)
+
+
+def test_mask_shape_checked():
+    g = path_graph(4)
+    with pytest.raises(HopsetError):
+        ruling_set(PRAM(), g, Partition.singletons(4), np.ones(3, dtype=bool), 1.0, 1)
+
+
+def test_clique_selects_exactly_one():
+    # complete graph at unit threshold: all clusters mutually adjacent →
+    # any two selected would violate 3-separation
+    from repro.graphs.generators import complete_graph
+
+    g = complete_graph(10, seed=1, w_range=(1.0, 1.0))
+    part = Partition.singletons(10)
+    cands = np.ones(10, dtype=bool)
+    q = check_ruling_properties(g, part, cands, threshold=1.0, hops=1)
+    assert q.sum() == 1

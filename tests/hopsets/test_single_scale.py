@@ -1,0 +1,118 @@
+"""Single-scale construction: phase mechanics and edge safety."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.distances import dijkstra
+from repro.graphs.generators import erdos_renyi, path_graph
+from repro.hopsets.hopset import INTERCONNECT, SUPERCLUSTER
+from repro.hopsets.params import HopsetParams, PhaseSchedule
+from repro.hopsets.single_scale import build_single_scale
+from repro.pram.machine import PRAM
+
+
+def build(g, k, beta=6, eps=0.25, tight=True, record_paths=False):
+    p = HopsetParams(epsilon=eps, kappa=2, rho=0.4, beta=beta, tight_weights=tight)
+    sched = PhaseSchedule.for_scale(g.n, k, p, eps=eps, eps_prev=0.0)
+    return build_single_scale(
+        PRAM(), g, sched, tight_weights=tight, record_paths=record_paths
+    )
+
+
+def test_edges_never_shorten_distances():
+    """Lemmas 2.3/2.9: every hopset edge weight >= the true distance."""
+    g = erdos_renyi(30, 0.12, seed=21, w_range=(1.0, 3.0))
+    exact = {s: dijkstra(g, s) for s in range(g.n)}
+    for k in (2, 3, 4):
+        edges, _ = build(g, k)
+        for e in edges:
+            assert e.weight >= exact[e.u][e.v] - 1e-9, (e.u, e.v, e.kind)
+
+
+def test_faithful_weights_dominate_tight_weights():
+    g = path_graph(20, w_range=(1.0, 2.0), seed=22)
+    tight_edges, _ = build(g, 3, tight=True)
+    faithful_edges, _ = build(g, 3, tight=False)
+    t = {(e.u, e.v, e.kind, e.phase): e.weight for e in tight_edges}
+    f = {(e.u, e.v, e.kind, e.phase): e.weight for e in faithful_edges}
+    assert set(t) == set(f)  # same structure, different weights
+    for key in t:
+        assert f[key] >= t[key] - 1e-9
+
+
+def test_edge_endpoints_are_cluster_centers():
+    g = erdos_renyi(24, 0.15, seed=23)
+    edges, stats = build(g, 2)
+    assert all(e.u != e.v for e in edges)
+    assert all(e.kind in (SUPERCLUSTER, INTERCONNECT) for e in edges)
+
+
+def test_phase_stats_monotone_cluster_counts():
+    g = erdos_renyi(40, 0.1, seed=24)
+    edges, stats = build(g, 3)
+    for a, b in zip(stats, stats[1:]):
+        assert b.num_clusters < a.num_clusters  # superclustering shrinks P_i
+
+
+def test_supercluster_contains_deg_plus_one_lemma_2_5():
+    """Each phase's shrink factor: |P_{i+1}| <= |P_i| / (deg_i + 1)."""
+    g = erdos_renyi(50, 0.15, seed=25)
+    edges, stats = build(g, 4)
+    for a, b in zip(stats, stats[1:]):
+        # superclusters formed = |Q_i| and each absorbed >= deg_i + 1
+        # clusters of P_i, so |P_{i+1}| * (deg_i + 1) <= |P_i|
+        assert b.num_clusters * (a.degree_threshold + 1) <= a.num_clusters
+
+
+def test_popular_clusters_always_superclustered_lemma_2_4():
+    # would raise CertificationError inside the build if violated
+    for seed in (1, 2, 3, 4):
+        g = erdos_renyi(30, 0.2, seed=seed)
+        build(g, 2)
+        build(g, 4)
+
+
+def test_interconnection_edges_unique_pairs_per_phase():
+    g = erdos_renyi(30, 0.1, seed=27)
+    edges, _ = build(g, 3)
+    seen = set()
+    for e in edges:
+        if e.kind == INTERCONNECT:
+            key = (min(e.u, e.v), max(e.u, e.v), e.phase)
+            assert key not in seen, "duplicate interconnection edge"
+            seen.add(key)
+
+
+def test_no_edges_on_single_vertex_or_empty():
+    from repro.graphs.csr import Graph
+
+    g = Graph(1, np.zeros(0), np.zeros(0), np.zeros(0))
+    edges, stats = build(g, 2)
+    assert edges == [] and stats == []
+
+
+def test_scale_too_small_for_any_neighbor():
+    # threshold below min weight at k=0-ish → everything isolated: no edges
+    g = path_graph(10, weight=100.0)
+    edges, stats = build(g, 0)
+    assert edges == []
+
+
+def test_record_paths_produces_memory_paths():
+    g = erdos_renyi(25, 0.15, seed=28, w_range=(1.0, 2.0))
+    edges, _ = build(g, 3, record_paths=True)
+    assert edges, "expected some hopset edges"
+    for e in edges:
+        assert e.path is not None
+        assert e.path[0] == e.u and e.path[-1] == e.v
+        # path weight (in the base graph for scale built on G) <= edge weight
+        total = 0.0
+        ok = True
+        for a, b in zip(e.path, e.path[1:]):
+            w = g.edge_weight(int(a), int(b))
+            if not np.isfinite(w):
+                ok = False
+                break
+            total += w
+        assert ok, f"memory path of ({e.u},{e.v}) leaves the graph"
+        assert total <= e.weight + 1e-6

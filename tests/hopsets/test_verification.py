@@ -1,0 +1,89 @@
+"""The certifier itself: it must catch bad hopsets, not just bless good ones."""
+
+import numpy as np
+
+from repro.graphs.build import from_edges
+from repro.graphs.generators import erdos_renyi, path_graph
+from repro.hopsets.hopset import INTERCONNECT, Hopset, HopsetEdge
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.verification import achieved_hopbound, certify
+
+
+def test_unsafe_hopset_detected():
+    """An edge lighter than the true distance must flip `safe`."""
+    g = path_graph(5, weight=2.0)  # d(0,4) = 8
+    h = Hopset(n=5)
+    h.add([HopsetEdge(0, 4, 1.0, scale=2, phase=0, kind=INTERCONNECT)])
+    cert = certify(g, h, beta=4, epsilon=0.1)
+    assert not cert.safe
+    assert not cert.holds
+
+
+def test_empty_hopset_on_shallow_graph_certifies():
+    g = from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.5)])
+    h = Hopset(n=3)
+    cert = certify(g, h, beta=2, epsilon=0.01)
+    assert cert.safe and cert.holds
+    assert cert.max_stretch == 1.0
+
+
+def test_empty_hopset_on_deep_graph_fails_stretch():
+    g = path_graph(10, weight=1.0)
+    h = Hopset(n=10)
+    cert = certify(g, h, beta=2, epsilon=0.1)
+    assert cert.safe           # doing nothing never shortens
+    assert not cert.holds      # but far pairs exceed the budget
+    assert cert.max_stretch == float("inf")
+
+
+def test_disconnected_pairs_skipped():
+    g = from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    cert = certify(g, Hopset(n=4), beta=2, epsilon=0.1)
+    assert cert.pairs_checked == 2  # (0,1) and (2,3) only
+    assert cert.holds
+
+
+def test_no_pairs_graph():
+    g = from_edges(3, [])
+    cert = certify(g, Hopset(n=3), beta=2, epsilon=0.1)
+    assert cert.pairs_checked == 0 and cert.holds
+
+
+def test_exact_hopset_gives_stretch_one():
+    """Adding every true distance as an edge: one hop, stretch 1."""
+    from repro.graphs.distances import all_pairs_dijkstra
+
+    g = erdos_renyi(12, 0.3, seed=1)
+    mat = all_pairs_dijkstra(g)
+    h = Hopset(n=12)
+    edges = []
+    for u in range(12):
+        for v in range(u + 1, 12):
+            if np.isfinite(mat[u, v]):
+                edges.append(HopsetEdge(u, v, float(mat[u, v]), 2, 0, INTERCONNECT))
+    h.add(edges)
+    cert = certify(g, h, beta=1, epsilon=0.0)
+    assert cert.safe and cert.holds and cert.max_stretch == 1.0
+
+
+def test_achieved_hopbound_monotone_story():
+    g = path_graph(16, weight=1.0)
+    h_empty = Hopset(n=16)
+    assert achieved_hopbound(g, h_empty, epsilon=0.0) == 15
+    H, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=6))
+    hb = achieved_hopbound(g, H, epsilon=0.25)
+    assert hb < 15  # the hopset genuinely shortens hop radii
+
+
+def test_achieved_hopbound_cap():
+    g = path_graph(12, weight=1.0)
+    h = Hopset(n=12)
+    assert achieved_hopbound(g, h, epsilon=0.0, max_hops=3) == 4  # cap + 1
+
+
+def test_mean_and_p_stats_sane():
+    g = erdos_renyi(16, 0.2, seed=2)
+    H, _ = build_hopset(g, HopsetParams(beta=6))
+    cert = certify(g, H, beta=13, epsilon=0.25)
+    assert 1.0 <= cert.mean_stretch <= cert.max_stretch

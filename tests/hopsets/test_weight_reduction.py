@@ -1,0 +1,97 @@
+"""Appendix C: Klein–Sairam weight reduction."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.distances import dijkstra
+from repro.graphs.generators import path_graph, wide_weight_graph
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.verification import certify
+from repro.hopsets.weight_reduction import build_reduced_hopset, relevant_scales
+
+
+def test_relevant_scales_cover_edge_weights():
+    g = wide_weight_graph(30, 1e4, seed=1)
+    ks = relevant_scales(g, epsilon=0.25, beta=4)
+    assert ks == sorted(ks)
+    n = g.n
+    for w in g.edge_w:
+        # every edge weight must fall into some relevant scale's window
+        assert any((w > (0.25 / n) * 2**k) and (w <= 2 ** (k + 1)) for k in ks)
+
+
+def test_relevant_scales_narrow_band_graph():
+    g = path_graph(10, weight=1.0)
+    ks = relevant_scales(g, epsilon=0.25, beta=4)
+    # unit weights: relevant scales are the ones whose window contains 1
+    assert ks, "unit-weight graph must have at least one relevant scale"
+    assert all((0.25 / 10) * 2**k < 1.0 <= 2 ** (k + 1) or k >= 0 for k in ks)
+
+
+def test_relevant_scales_empty_graph():
+    from repro.graphs.build import from_edges
+
+    assert relevant_scales(from_edges(3, []), 0.25, 4) == []
+
+
+def test_star_edge_bound_lemma_c1():
+    g = wide_weight_graph(40, 1e6, seed=2)
+    H, report = build_reduced_hopset(g, HopsetParams(epsilon=0.25, beta=6))
+    assert report.star_edges <= g.n * np.log2(g.n)
+
+
+def test_reduced_hopset_is_safe():
+    g = wide_weight_graph(30, 1e5, seed=3)
+    H, _ = build_reduced_hopset(g, HopsetParams(epsilon=0.25, beta=6))
+    cert = certify(g, H, beta=g.n - 1, epsilon=100.0)
+    assert cert.safe
+
+
+def test_reduced_hopset_stretch_at_moderate_hops():
+    g = wide_weight_graph(30, 1e5, seed=4)
+    H, _ = build_reduced_hopset(g, HopsetParams(epsilon=0.25, beta=8))
+    # Lemma 4.3 of [EN19]: (1+6ε, 6β+5) — we check the measured shape
+    cert = certify(g, H, beta=6 * 8 + 5, epsilon=6 * 0.25)
+    assert cert.safe and cert.holds, f"max stretch {cert.max_stretch}"
+
+
+def test_star_weights_upper_bound_node_radius():
+    """Star edge weight < |U|·(ε/n)·2^k (the §C.3 spanning-tree bound)."""
+    g = wide_weight_graph(30, 1e4, seed=5)
+    eps = 0.25
+    H, report = build_reduced_hopset(g, HopsetParams(epsilon=eps, beta=6))
+    stars = [e for e in H.edges if e.kind == "star"]
+    for e in stars:
+        assert e.weight <= g.n * (eps / g.n) * 2.0**e.scale * g.min_weight() + 1e-9
+
+
+def test_star_edges_never_shorten():
+    g = wide_weight_graph(25, 1e4, seed=6)
+    H, _ = build_reduced_hopset(g, HopsetParams(epsilon=0.25, beta=6))
+    exact = {s: dijkstra(g, s) for s in range(g.n)}
+    for e in H.edges:
+        assert e.weight >= exact[e.u][e.v] - 1e-6
+
+
+def test_reduction_scale_count_tracks_weight_spread():
+    narrow = path_graph(20, weight=1.0)
+    wide = wide_weight_graph(20, 1e6, seed=7)
+    _, rn = build_reduced_hopset(narrow, HopsetParams(beta=4))
+    _, rw = build_reduced_hopset(wide, HopsetParams(beta=4))
+    assert len(rw.relevant) > len(rn.relevant)
+
+
+def test_empty_and_tiny_graphs():
+    from repro.graphs.build import from_edges
+
+    H, rep = build_reduced_hopset(from_edges(3, []), HopsetParams(beta=4))
+    assert H.num_records == 0 and rep.relevant == []
+
+
+def test_deterministic():
+    g = wide_weight_graph(25, 1e4, seed=8)
+    h1, _ = build_reduced_hopset(g, HopsetParams(beta=6))
+    h2, _ = build_reduced_hopset(g, HopsetParams(beta=6))
+    k1 = [(e.u, e.v, e.weight, e.scale, e.kind) for e in h1.edges]
+    k2 = [(e.u, e.v, e.weight, e.scale, e.kind) for e in h2.edges]
+    assert k1 == k2

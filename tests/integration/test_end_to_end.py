@@ -1,0 +1,101 @@
+"""Whole-pipeline integration tests across workload families."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import stretch_stats
+from repro.baselines.plain_bellman_ford import plain_sssp_budgeted
+from repro.graphs.distances import dijkstra
+from repro.graphs.generators import (
+    caterpillar,
+    erdos_renyi,
+    grid_graph,
+    layered_hop_graph,
+    preferential_attachment,
+    random_geometric,
+    wide_weight_graph,
+)
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.path_reporting import build_path_reporting_hopset
+from repro.hopsets.verification import certify
+from repro.hopsets.weight_reduction import build_reduced_hopset
+from repro.pram.machine import PRAM
+from repro.sssp.sssp import approximate_sssp_with_hopset
+from repro.sssp.spt import approximate_spt
+
+WORKLOADS = [
+    ("grid", lambda: grid_graph(6, 6, seed=1, w_range=(1.0, 2.0))),
+    ("geometric", lambda: random_geometric(36, 0.25, seed=2)),
+    ("powerlaw", lambda: preferential_attachment(36, 2, seed=3)),
+    ("caterpillar", lambda: caterpillar(12, 2, seed=4, w_range=(1.0, 2.0))),
+    ("layered", lambda: layered_hop_graph(9, 4, seed=5)),
+]
+
+
+@pytest.mark.parametrize("name,make", WORKLOADS)
+def test_hopset_certifies_on_every_workload(name, make):
+    g = make()
+    params = HopsetParams(epsilon=0.25, beta=8)
+    H, report = build_hopset(g, params)
+    cert = certify(g, H, beta=2 * 8 + 1, epsilon=0.25)
+    assert cert.safe, name
+    assert cert.holds, f"{name}: max stretch {cert.max_stretch}"
+
+
+@pytest.mark.parametrize("name,make", WORKLOADS)
+def test_sssp_beats_plain_bf_at_equal_hop_budget(name, make):
+    g = make()
+    params = HopsetParams(epsilon=0.25, beta=8)
+    H, _ = build_hopset(g, params)
+    budget = 17
+    exact = dijkstra(g, 0)
+    hop = approximate_sssp_with_hopset(g, H, 0, hop_budget=budget)
+    plain = plain_sssp_budgeted(PRAM(), g, 0, hops=budget)
+    s_hop = stretch_stats(exact, hop.dist)
+    s_plain = stretch_stats(exact, plain.dist)
+    assert not s_hop.diverged, name
+    if not s_plain.diverged:
+        assert s_hop.max <= s_plain.max + 1e-9, name
+
+
+def test_full_pipeline_distances_paths_and_reduction_agree():
+    """The three hopset variants answer the same query consistently."""
+    g = erdos_renyi(32, 0.12, seed=6, w_range=(1.0, 4.0))
+    params = HopsetParams(epsilon=0.25, beta=8)
+    exact = dijkstra(g, 0)
+    fin = np.isfinite(exact) & (exact > 0)
+
+    plain_h, _ = build_hopset(g, params)
+    d1 = approximate_sssp_with_hopset(g, plain_h, 0).dist
+
+    pr_h, _ = build_path_reporting_hopset(g, params)
+    spt = approximate_spt(g, pr_h, 0)
+
+    red_h, _ = build_reduced_hopset(g, params)
+    d3 = approximate_sssp_with_hopset(g, red_h, 0, hop_budget=6 * 8 + 5).dist
+
+    for d in (d1, spt.dist, d3):
+        assert np.all(d[fin] >= exact[fin] - 1e-9)
+        assert np.max(d[fin] / exact[fin]) <= 1.6  # all within loose (1+ε) shape
+
+
+def test_wide_weight_pipeline():
+    g = wide_weight_graph(32, 1e5, seed=7)
+    params = HopsetParams(epsilon=0.25, beta=8)
+    H, rep = build_reduced_hopset(g, params)
+    exact = dijkstra(g, 0)
+    res = approximate_sssp_with_hopset(g, H, 0, hop_budget=53)
+    s = stretch_stats(exact, res.dist)
+    assert not s.diverged
+    assert s.max <= 1 + 6 * 0.25 + 1e-6
+
+
+def test_cost_accounting_composes_across_pipeline():
+    g = erdos_renyi(24, 0.15, seed=8)
+    pram = PRAM()
+    H, report = build_hopset(g, HopsetParams(beta=6), pram)
+    snapshot = pram.snapshot()
+    approximate_sssp_with_hopset(g, H, 0, pram)
+    assert pram.cost.work > snapshot.work
+    assert pram.cost.time_on(1024) <= pram.cost.work + pram.cost.depth

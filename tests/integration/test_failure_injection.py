@@ -1,0 +1,119 @@
+"""Failure injection: the certifiers must *catch* broken artifacts.
+
+A verification layer is only trustworthy if it rejects corrupted inputs;
+these tests tamper with hopsets, memory paths, and trees and assert the
+checks fire.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import erdos_renyi, path_graph
+from repro.hopsets.errors import CertificationError, PathReportingError
+from repro.hopsets.hopset import Hopset, HopsetEdge
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.path_reporting import build_path_reporting_hopset
+from repro.hopsets.verification import certify, verify_memory_paths
+from repro.sssp.spt import approximate_spt
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(24, 0.2, seed=601, w_range=(1.0, 3.0))
+
+
+def _tamper(hopset: Hopset, factor: float) -> Hopset:
+    """Scale one edge's weight by ``factor`` (keeping everything else)."""
+    out = Hopset(n=hopset.n, beta=hopset.beta, epsilon=hopset.epsilon)
+    edges = list(hopset.edges)
+    e = edges[len(edges) // 2]
+    edges[len(edges) // 2] = HopsetEdge(
+        u=e.u, v=e.v, weight=e.weight * factor, scale=e.scale,
+        phase=e.phase, kind=e.kind, path=e.path,
+    )
+    out.add(edges)
+    return out
+
+
+def test_weight_undercut_flips_safety(graph):
+    H, _ = build_hopset(graph, HopsetParams(beta=8))
+    bad = _tamper(H, 0.01)  # far below the true distance
+    cert = certify(graph, bad, beta=17, epsilon=0.25)
+    assert not cert.safe
+
+
+def test_weight_inflation_keeps_safety(graph):
+    H, _ = build_hopset(graph, HopsetParams(beta=8))
+    inflated = _tamper(H, 100.0)
+    cert = certify(graph, inflated, beta=17, epsilon=100.0)
+    assert cert.safe  # over-estimating is safe, only stretch can suffer
+
+
+def test_memory_path_weight_violation_detected(graph):
+    H, _ = build_path_reporting_hopset(graph, HopsetParams(beta=8))
+    bad = _tamper(H, 0.01)  # now path weight > edge weight
+    with pytest.raises(CertificationError):
+        verify_memory_paths(graph, bad)
+
+
+def test_memory_path_off_graph_step_detected(graph):
+    H, _ = build_path_reporting_hopset(graph, HopsetParams(beta=8))
+    edges = list(H.edges)
+    e = edges[0]
+    # splice a vertex into the path that has no edge to its neighbors
+    far = (e.path[0] + e.path[-1]) % H.n
+    fake_path = (e.path[0], far, e.path[-1])
+    if graph.has_edge(e.path[0], far) and graph.has_edge(far, e.path[-1]):
+        pytest.skip("random vertex happened to be adjacent")
+    edges[0] = HopsetEdge(
+        u=e.u, v=e.v, weight=e.weight, scale=e.scale, phase=e.phase,
+        kind=e.kind, path=fake_path,
+    )
+    bad = Hopset(n=H.n, beta=H.beta, epsilon=H.epsilon)
+    bad.add(edges)
+    with pytest.raises(CertificationError):
+        verify_memory_paths(graph, bad)
+
+
+def test_spt_rejects_record_with_missing_path(graph):
+    H, _ = build_path_reporting_hopset(graph, HopsetParams(beta=8))
+    edges = list(H.edges)
+    e = edges[0]
+    edges[0] = HopsetEdge(u=e.u, v=e.v, weight=e.weight, scale=e.scale,
+                          phase=e.phase, kind=e.kind, path=None)
+    bad = Hopset(n=H.n, beta=H.beta, epsilon=H.epsilon)
+    bad.add(edges)
+    with pytest.raises(PathReportingError):
+        approximate_spt(graph, bad, 0)
+
+
+def test_extreme_weights_still_safe():
+    """Weights near float extremes must not break the safety invariant."""
+    g = path_graph(12, weight=1e12)
+    H, _ = build_hopset(g, HopsetParams(beta=6))
+    cert = certify(g, H, beta=11, epsilon=100.0)
+    assert cert.safe
+    g2 = path_graph(12, weight=1e-9)
+    H2, _ = build_hopset(g2, HopsetParams(beta=6))
+    cert2 = certify(g2, H2, beta=11, epsilon=100.0)
+    assert cert2.safe
+
+
+def test_tiny_epsilon_does_not_crash():
+    g = erdos_renyi(16, 0.25, seed=602)
+    H, _ = build_hopset(g, HopsetParams(epsilon=0.01, beta=6))
+    cert = certify(g, H, beta=13, epsilon=0.01)
+    assert cert.safe  # stretch may or may not hold; safety always must
+
+
+def test_mixed_magnitude_weights():
+    from repro.graphs.build import from_edges
+
+    g = from_edges(
+        6,
+        [(0, 1, 1e-6), (1, 2, 1e6), (2, 3, 1.0), (3, 4, 1e-6), (4, 5, 1e6)],
+    )
+    H, _ = build_hopset(g, HopsetParams(beta=6))
+    cert = certify(g, H, beta=5, epsilon=100.0)
+    assert cert.safe

@@ -1,0 +1,75 @@
+"""Randomized cross-builder sweep (the permanent, trimmed fuzz harness).
+
+Every trial draws a workload family and a parameter combination, builds
+all the hopset variants, and checks the invariants that must hold for
+*every* configuration: safety (no distance shortening), the memory
+property, and SPT structural validity.  The full 120-trial version of this
+sweep found the weak-hopset SPT spanning bug fixed in `spt.py`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.distances import dijkstra
+from repro.graphs.generators import (
+    erdos_renyi,
+    layered_hop_graph,
+    path_graph,
+    preferential_attachment,
+    wide_weight_graph,
+)
+from repro.hopsets import (
+    HopsetParams,
+    build_hopset,
+    build_path_reporting_hopset,
+    certify,
+    verify_memory_paths,
+)
+from repro.hopsets.weight_reduction import build_reduced_hopset
+from repro.sssp.spt import approximate_spt
+
+TRIALS = 24
+
+
+def _graph(kind: int, n: int, seed: int):
+    if kind == 0:
+        return erdos_renyi(n, 0.2, seed=seed, w_range=(0.5, 8.0))
+    if kind == 1:
+        return path_graph(n, w_range=(1.0, 5.0), seed=seed)
+    if kind == 2:
+        return layered_hop_graph(max(n // 4, 2), 3, seed=seed)
+    if kind == 3:
+        return wide_weight_graph(n, 10 ** (1 + seed % 5), seed=seed)
+    return preferential_attachment(n, 2, seed=seed)
+
+
+@pytest.mark.parametrize("trial", range(TRIALS))
+def test_invariants_under_random_configs(trial):
+    rng = np.random.default_rng(424242 + trial)
+    n = int(rng.integers(8, 36))
+    seed = int(rng.integers(0, 10**6))
+    g = _graph(trial % 5, n, seed)
+    params = HopsetParams(
+        epsilon=float(rng.choice([0.1, 0.25, 0.5])),
+        kappa=int(rng.choice([2, 3])),
+        rho=float(rng.choice([0.3, 0.4, 0.45])),
+        beta=int(rng.choice([2, 4, 8])),
+    )
+    exact = dijkstra(g, 0)
+
+    H, _ = build_hopset(g, params)
+    assert certify(g, H, beta=g.n - 1, epsilon=1e9).safe
+
+    Hp, _ = build_path_reporting_hopset(g, params)
+    verify_memory_paths(g, Hp)
+    spt = approximate_spt(g, Hp, 0)
+    for v in range(g.n):
+        p = int(spt.parent[v])
+        if v != 0 and np.isfinite(exact[v]):
+            assert p >= 0 and g.has_edge(p, v)
+            assert np.isclose(spt.dist[v], spt.dist[p] + g.edge_weight(p, v))
+    assert np.all(spt.dist >= exact - 1e-6)
+
+    if trial % 4 == 0:
+        Hr, _ = build_reduced_hopset(g, params)
+        assert certify(g, Hr, beta=g.n - 1, epsilon=1e9).safe

@@ -1,0 +1,91 @@
+"""CostModel: charging, phases, Brent scheduling."""
+
+import pytest
+
+from repro.pram.cost import CostModel, CostSnapshot
+from repro.pram.errors import InvalidStepError
+
+
+def test_charge_accumulates_work_and_depth():
+    c = CostModel()
+    c.charge(work=10, depth=2)
+    c.charge(work=5, depth=1)
+    assert c.work == 15
+    assert c.depth == 3
+
+
+def test_zero_depth_charge_allowed():
+    c = CostModel()
+    c.charge(work=7, depth=0)
+    assert c.work == 7
+    assert c.depth == 0
+
+
+def test_negative_charge_rejected():
+    c = CostModel()
+    with pytest.raises(InvalidStepError):
+        c.charge(work=-1)
+    with pytest.raises(InvalidStepError):
+        c.charge(work=1, depth=-2)
+
+
+def test_snapshot_delta():
+    c = CostModel()
+    c.charge(work=4, depth=1)
+    a = c.snapshot()
+    c.charge(work=6, depth=2)
+    delta = c.snapshot() - a
+    assert delta == CostSnapshot(work=6, depth=2)
+
+
+def test_brent_time_bound():
+    c = CostModel()
+    c.charge(work=1000, depth=10)
+    # T_p <= W/p + D
+    assert c.time_on(1) == 1010
+    assert c.time_on(100) == 20
+    assert c.time_on(10**9) == 11  # ceil(1000/1e9)=1
+
+
+def test_time_on_requires_positive_processors():
+    c = CostModel()
+    with pytest.raises(InvalidStepError):
+        c.time_on(0)
+
+
+def test_phase_attribution_is_inclusive():
+    c = CostModel()
+    with c.phase("outer"):
+        c.charge(work=5, depth=1)
+        with c.phase("inner"):
+            c.charge(work=3, depth=1)
+    assert c.phase_totals["outer"].work == 8
+    assert c.phase_totals["inner"].work == 3
+    assert c.phase_totals["outer"].depth == 2
+
+
+def test_phase_stack_unwinds_on_exception():
+    c = CostModel()
+    with pytest.raises(RuntimeError):
+        with c.phase("p"):
+            raise RuntimeError("boom")
+    c.charge(work=1)
+    # the charge after the exception is not attributed to the dead phase
+    assert c.phase_totals.get("p") is None
+
+
+def test_record_steps():
+    c = CostModel(record_steps=True)
+    c.charge(work=2, depth=1, label="a")
+    c.charge(work=3, depth=1, label="b")
+    assert [s.label for s in c.steps] == ["a", "b"]
+    assert [s.work for s in c.steps] == [2, 3]
+
+
+def test_reset_clears_everything():
+    c = CostModel(record_steps=True)
+    with c.phase("x"):
+        c.charge(work=9, depth=3)
+    c.reset()
+    assert c.work == 0 and c.depth == 0
+    assert not c.steps and not c.phase_totals

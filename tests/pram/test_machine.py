@@ -1,0 +1,68 @@
+"""The PRAM façade: primitive delegation and cost accumulation."""
+
+import numpy as np
+
+from repro.pram.cost import CostModel
+from repro.pram.machine import PRAM
+
+
+def test_machine_owns_a_cost_model_by_default():
+    p = PRAM()
+    assert isinstance(p.cost, CostModel)
+    p.charge(work=3, depth=1)
+    assert p.cost.work == 3
+
+
+def test_machine_accepts_external_cost_model():
+    c = CostModel()
+    p = PRAM(c)
+    p.broadcast(0, 5)
+    assert c.work == 5
+
+
+def test_map_reduce_roundtrip():
+    p = PRAM()
+    arr = p.broadcast(2.0, 8)
+    doubled = p.map(lambda a: a * 2, arr)
+    total = p.reduce("sum", doubled)
+    assert total == 32.0
+
+
+def test_select_compact():
+    p = PRAM()
+    arr = np.arange(6)
+    mask = arr % 2 == 0
+    assert np.array_equal(p.select(mask), [0, 2, 4])
+    assert np.array_equal(p.compact(arr, mask), [0, 2, 4])
+
+
+def test_prefix_and_sort_delegate():
+    p = PRAM()
+    assert np.array_equal(p.prefix_sum(np.array([1, 2, 3])), [1, 3, 6])
+    assert np.array_equal(p.prefix_max(np.array([1, 3, 2])), [1, 3, 3])
+    order = p.sort(np.array([2, 0, 1]))
+    assert np.array_equal(order, [1, 2, 0])
+
+
+def test_scatter_min_delegates():
+    p = PRAM()
+    t = np.full(2, 9.0)
+    p.scatter_min(t, np.array([1]), np.array([4.0]))
+    assert t[1] == 4.0
+
+
+def test_phase_scoping_via_machine():
+    p = PRAM()
+    with p.phase("build"):
+        p.charge(work=10, depth=1)
+    assert p.cost.phase_totals["build"].work == 10
+
+
+def test_snapshot_deltas_track_composed_work():
+    p = PRAM()
+    a = p.snapshot()
+    p.broadcast(0, 10)
+    p.reduce("sum", np.ones(10))
+    d = p.snapshot() - a
+    assert d.work == 20
+    assert d.depth >= 2

@@ -1,0 +1,97 @@
+"""CREWMemory: staged writes, conflict detection, round discipline."""
+
+import pytest
+
+from repro.pram.errors import InvalidStepError, WriteConflictError
+from repro.pram.memory import CREWMemory
+
+
+def test_writes_invisible_until_commit():
+    m = CREWMemory(4)
+    m.write(0, 42)
+    assert m.read(0) is None
+    m.end_round()
+    assert m.read(0) == 42
+
+
+def test_conflicting_writes_raise():
+    m = CREWMemory(4)
+    m.write(1, "a")
+    with pytest.raises(WriteConflictError) as exc:
+        m.write(1, "b")
+    assert exc.value.cell == 1
+
+
+def test_equal_concurrent_writes_allowed_by_default():
+    m = CREWMemory(4)
+    m.write(2, 7)
+    m.write(2, 7)  # COMMON rule: same value OK
+    m.end_round()
+    assert m.read(2) == 7
+
+
+def test_strict_mode_rejects_even_equal_writes():
+    m = CREWMemory(4, strict=True)
+    m.write(2, 7)
+    with pytest.raises(WriteConflictError):
+        m.write(2, 7)
+
+
+def test_writes_in_different_rounds_do_not_conflict():
+    m = CREWMemory(2)
+    m.write(0, 1)
+    m.end_round()
+    m.write(0, 2)
+    m.end_round()
+    assert m.read(0) == 2
+    assert m.rounds == 2
+
+
+def test_out_of_range_access():
+    m = CREWMemory(3)
+    with pytest.raises(InvalidStepError):
+        m.read(3)
+    with pytest.raises(InvalidStepError):
+        m.write(-1, 0)
+
+
+def test_counters():
+    m = CREWMemory(3)
+    m.write(0, 1)
+    m.end_round()
+    m.read(0)
+    m.read(1)
+    assert m.writes == 1 and m.reads == 2 and m.rounds == 1
+
+
+def test_snapshot_is_a_copy():
+    m = CREWMemory(2)
+    m.write(0, 5)
+    m.end_round()
+    snap = m.snapshot()
+    snap[0] = 99
+    assert m.read(0) == 5
+
+
+def test_negative_size_rejected():
+    with pytest.raises(InvalidStepError):
+        CREWMemory(-1)
+
+
+def test_parallel_max_reference_program():
+    """A textbook CREW max: log n rounds of pairwise compares."""
+    vals = [3, 9, 2, 7, 5, 1, 8, 4]
+    m = CREWMemory(len(vals))
+    for i, v in enumerate(vals):
+        m.write(i, v)
+    m.end_round()
+    stride = 1
+    n = len(vals)
+    while stride < n:
+        for i in range(0, n, 2 * stride):
+            if i + stride < n:
+                a, b = m.read(i), m.read(i + stride)
+                m.write(i, max(a, b))
+        m.end_round()
+        stride *= 2
+    assert m.read(0) == 9

@@ -1,0 +1,80 @@
+"""Pointer jumping (Lemma 4.3) and list ranking."""
+
+import numpy as np
+import pytest
+
+from repro.pram.cost import CostModel
+from repro.pram.errors import InvalidStepError
+from repro.pram.pointer_jumping import list_rank, pointer_jump
+
+
+def test_chain_distances():
+    c = CostModel()
+    parent = np.array([0, 0, 1, 2, 3])  # a path 0-1-2-3-4
+    w = np.array([0.0, 2.0, 3.0, 4.0, 5.0])
+    root, dist = pointer_jump(c, parent, w)
+    assert np.all(root == 0)
+    assert np.allclose(dist, [0, 2, 5, 9, 14])
+
+
+def test_forest_multiple_roots():
+    c = CostModel()
+    parent = np.array([0, 0, 2, 2, 3])
+    root, dist = pointer_jump(c, parent)
+    assert np.array_equal(root, [0, 0, 2, 2, 2])
+    assert np.allclose(dist, [0, 1, 0, 1, 2])
+
+
+def test_default_weights_count_hops():
+    c = CostModel()
+    parent = np.array([0, 0, 1, 2])
+    _, dist = pointer_jump(c, parent)
+    assert np.allclose(dist, [0, 1, 2, 3])
+
+
+def test_star_converges_in_one_round():
+    c = CostModel()
+    parent = np.zeros(100, dtype=np.int64)
+    root, dist = pointer_jump(c, parent)
+    assert np.all(root == 0)
+    assert dist[0] == 0 and np.all(dist[1:] == 1)
+
+
+def test_cycle_detected():
+    c = CostModel()
+    parent = np.array([1, 0])  # 2-cycle, no root
+    with pytest.raises(InvalidStepError):
+        pointer_jump(c, parent)
+
+
+def test_out_of_range_parent():
+    c = CostModel()
+    with pytest.raises(InvalidStepError):
+        pointer_jump(c, np.array([5]))
+
+
+def test_weight_shape_mismatch():
+    c = CostModel()
+    with pytest.raises(InvalidStepError):
+        pointer_jump(c, np.array([0, 0]), np.array([1.0]))
+
+
+def test_empty_input():
+    c = CostModel()
+    root, dist = pointer_jump(c, np.zeros(0, dtype=np.int64))
+    assert root.size == 0 and dist.size == 0
+
+
+def test_depth_is_logarithmic():
+    c = CostModel()
+    n = 1024
+    parent = np.concatenate([[0], np.arange(n - 1)])  # long chain
+    pointer_jump(c, parent)
+    assert c.depth <= 2 * (int(np.ceil(np.log2(n))) + 1)
+
+
+def test_list_rank():
+    c = CostModel()
+    nxt = np.array([1, 2, 3, 3])  # list 0→1→2→3, tail 3
+    rank = list_rank(c, nxt)
+    assert np.array_equal(rank, [3, 2, 1, 0])

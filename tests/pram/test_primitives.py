@@ -1,0 +1,120 @@
+"""Vectorized PRAM primitives: results and cost charging."""
+
+import numpy as np
+import pytest
+
+from repro.pram.cost import CostModel
+from repro.pram.errors import InvalidStepError
+from repro.pram import primitives as P
+
+
+def test_ceil_log2():
+    assert P.ceil_log2(0) == 0
+    assert P.ceil_log2(1) == 0
+    assert P.ceil_log2(2) == 1
+    assert P.ceil_log2(3) == 2
+    assert P.ceil_log2(1024) == 10
+    assert P.ceil_log2(1025) == 11
+
+
+def test_elementwise_charges_one_round():
+    c = CostModel()
+    out = P.elementwise(c, np.add, np.arange(5), np.ones(5, dtype=int))
+    assert np.array_equal(out, np.arange(1, 6))
+    assert c.depth == 1 and c.work == 5
+
+
+def test_preduce_ops():
+    c = CostModel()
+    arr = np.array([4.0, -1.0, 7.0])
+    assert P.preduce(c, "min", arr) == -1.0
+    assert P.preduce(c, "max", arr) == 7.0
+    assert P.preduce(c, "sum", arr) == 10.0
+    assert bool(P.preduce(c, "or", np.array([False, True])))
+    assert not bool(P.preduce(c, "and", np.array([False, True])))
+
+
+def test_preduce_log_depth():
+    c = CostModel()
+    P.preduce(c, "sum", np.ones(1024))
+    assert c.depth == 11  # ceil(log2 1024) + 1
+    assert c.work == 1024
+
+
+def test_preduce_rejects_bad_op_and_empty():
+    c = CostModel()
+    with pytest.raises(InvalidStepError):
+        P.preduce(c, "median", np.ones(3))
+    with pytest.raises(InvalidStepError):
+        P.preduce(c, "sum", np.zeros(0))
+
+
+def test_pbroadcast():
+    c = CostModel()
+    out = P.pbroadcast(c, 3.5, 4)
+    assert np.array_equal(out, np.full(4, 3.5))
+    assert c.depth == 1 and c.work == 4
+
+
+def test_scatter_min_basic():
+    c = CostModel()
+    t = np.full(4, 10.0)
+    P.scatter_min(c, t, np.array([0, 0, 2]), np.array([5.0, 3.0, 7.0]))
+    assert np.array_equal(t, [3.0, 10.0, 7.0, 10.0])
+
+
+def test_scatter_min_shape_mismatch():
+    c = CostModel()
+    with pytest.raises(InvalidStepError):
+        P.scatter_min(c, np.zeros(3), np.array([0]), np.array([1.0, 2.0]))
+
+
+def test_scatter_min_arg_tracks_winner():
+    c = CostModel()
+    t = np.full(3, np.inf)
+    pay = np.full(3, -1, dtype=np.int64)
+    P.scatter_min_arg(
+        c, t, pay,
+        idx=np.array([0, 0, 1]),
+        values=np.array([4.0, 2.0, 9.0]),
+        value_payload=np.array([10, 20, 30], dtype=np.int64),
+    )
+    assert t[0] == 2.0 and pay[0] == 20
+    assert t[1] == 9.0 and pay[1] == 30
+    assert pay[2] == -1
+
+
+def test_scatter_min_arg_tie_breaks_to_smaller_payload():
+    c = CostModel()
+    t = np.full(1, np.inf)
+    pay = np.full(1, -1, dtype=np.int64)
+    P.scatter_min_arg(
+        c, t, pay,
+        idx=np.array([0, 0]),
+        values=np.array([5.0, 5.0]),
+        value_payload=np.array([9, 3], dtype=np.int64),
+    )
+    assert pay[0] == 3
+
+
+def test_scatter_min_arg_no_update_on_equal():
+    """An update equal to the current value must not steal the payload."""
+    c = CostModel()
+    t = np.array([5.0])
+    pay = np.array([1], dtype=np.int64)
+    P.scatter_min_arg(c, t, pay, np.array([0]), np.array([5.0]), np.array([2], dtype=np.int64))
+    assert pay[0] == 1
+
+
+def test_pselect_and_pcompact():
+    c = CostModel()
+    mask = np.array([True, False, True, True])
+    assert np.array_equal(P.pselect(c, mask), [0, 2, 3])
+    arr = np.array([10, 20, 30, 40])
+    assert np.array_equal(P.pcompact(c, arr, mask), [10, 30, 40])
+
+
+def test_pcompact_length_mismatch():
+    c = CostModel()
+    with pytest.raises(InvalidStepError):
+        P.pcompact(c, np.arange(3), np.array([True, False]))

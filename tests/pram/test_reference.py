@@ -1,0 +1,54 @@
+"""Literal CREW programs agree with the vectorized, cost-charged versions."""
+
+import numpy as np
+
+from repro.graphs.distances import hop_limited_distances
+from repro.graphs.generators import erdos_renyi, path_graph
+from repro.pram.cost import CostModel
+from repro.pram.pointer_jumping import pointer_jump
+from repro.pram.reference import crew_bellman_ford, crew_pointer_jump, crew_prefix_sum
+from repro.pram.machine import PRAM
+from repro.sssp.bellman_ford import bellman_ford
+
+
+def test_crew_prefix_sum_matches_numpy():
+    vals = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]
+    out, rounds = crew_prefix_sum(vals)
+    assert np.allclose(out, np.cumsum(vals))
+    assert rounds <= int(np.ceil(np.log2(len(vals)))) + 2
+
+
+def test_crew_prefix_sum_singleton():
+    out, _ = crew_prefix_sum([7.0])
+    assert out == [7.0]
+
+
+def test_crew_pointer_jump_matches_vectorized():
+    parent = [0, 0, 1, 2, 2, 4]
+    weight = [0.0, 1.5, 2.0, 0.5, 3.0, 1.0]
+    roots, dists, rounds = crew_pointer_jump(parent, weight)
+    v_roots, v_dists = pointer_jump(CostModel(), np.array(parent), np.array(weight))
+    assert roots == v_roots.tolist()
+    assert np.allclose(dists, v_dists)
+    # two memory rounds per doubling step
+    assert rounds <= 2 * (int(np.ceil(np.log2(6))) + 1) + 1
+
+
+def test_crew_bellman_ford_matches_vectorized():
+    g = erdos_renyi(15, 0.25, seed=77, w_range=(1.0, 3.0))
+    for h in (1, 3, 14):
+        ref, _ = crew_bellman_ford(g, 0, h)
+        assert np.allclose(ref, hop_limited_distances(g, 0, h))
+
+
+def test_crew_bellman_ford_agrees_with_pram_machine():
+    g = path_graph(10, w_range=(1.0, 2.0), seed=78)
+    ref, _ = crew_bellman_ford(g, 0, 9)
+    mach = bellman_ford(PRAM(), g, 0, 9)
+    assert np.allclose(ref, mach.dist)
+
+
+def test_crew_bellman_ford_round_discipline_early_exit():
+    g = path_graph(5, weight=1.0)
+    _, rounds = crew_bellman_ford(g, 0, 100)
+    assert rounds <= 7  # 4 productive + fixpoint + init

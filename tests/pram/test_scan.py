@@ -1,0 +1,67 @@
+"""Prefix sums and segmented scans."""
+
+import numpy as np
+import pytest
+
+from repro.pram.cost import CostModel
+from repro.pram.errors import InvalidStepError
+from repro.pram.scan import prefix_max, prefix_sum, segment_offsets, segmented_sum
+
+
+def test_inclusive_scan_matches_cumsum():
+    c = CostModel()
+    arr = np.array([3, 1, 4, 1, 5])
+    assert np.array_equal(prefix_sum(c, arr), np.cumsum(arr))
+
+
+def test_exclusive_scan():
+    c = CostModel()
+    arr = np.array([3, 1, 4])
+    assert np.array_equal(prefix_sum(c, arr, inclusive=False), [0, 3, 4])
+
+
+def test_exclusive_scan_singleton_and_empty():
+    c = CostModel()
+    assert np.array_equal(prefix_sum(c, np.array([7]), inclusive=False), [0])
+    assert prefix_sum(c, np.zeros(0, dtype=int), inclusive=False).size == 0
+
+
+def test_scan_depth_is_logarithmic():
+    c = CostModel()
+    prefix_sum(c, np.ones(1024, dtype=int))
+    assert c.depth == 21  # 2*log2(1024) + 1
+    assert c.work == 2048
+
+
+def test_prefix_max():
+    c = CostModel()
+    arr = np.array([2, 9, 1, 9, 3])
+    assert np.array_equal(prefix_max(c, arr), [2, 9, 9, 9, 9])
+
+
+def test_segment_offsets():
+    c = CostModel()
+    ids = np.array([0, 0, 2, 2, 2, 5])
+    uniq, counts = segment_offsets(c, ids)
+    assert np.array_equal(uniq, [0, 2, 5])
+    assert np.array_equal(counts, [2, 3, 1])
+
+
+def test_segment_offsets_requires_sorted():
+    c = CostModel()
+    with pytest.raises(InvalidStepError):
+        segment_offsets(c, np.array([1, 0]))
+
+
+def test_segmented_sum_noncontiguous():
+    c = CostModel()
+    vals = np.array([1.0, 2.0, 3.0, 4.0])
+    segs = np.array([1, 0, 1, 0])
+    out = segmented_sum(c, vals, segs, num_segments=3)
+    assert np.array_equal(out, [6.0, 4.0, 0.0])
+
+
+def test_segmented_sum_shape_check():
+    c = CostModel()
+    with pytest.raises(InvalidStepError):
+        segmented_sum(c, np.ones(2), np.zeros(3, dtype=int), 1)

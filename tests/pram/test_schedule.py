@@ -1,0 +1,85 @@
+"""Per-step Brent scheduling."""
+
+import pytest
+
+from repro.pram.cost import CostModel
+from repro.pram.errors import InvalidStepError
+from repro.pram.schedule import makespan, speedup_curve
+
+
+def model(steps):
+    c = CostModel(record_steps=True)
+    for w, d in steps:
+        c.charge(work=w, depth=d)
+    return c
+
+
+def test_single_processor_is_work_dominated():
+    c = model([(100, 2), (50, 1)])
+    # step 1: 2 + ceil(100/1) − 1 = 101 ; step 2: 1 + 49 = 50
+    assert makespan(c, 1) == 151
+
+
+def test_infinite_processors_hit_critical_path():
+    c = model([(100, 2), (50, 1)])
+    assert makespan(c, 10**9) == 3  # just the depths
+
+
+def test_monotone_in_processors():
+    c = model([(64, 1), (128, 3), (1000, 2)])
+    times = [makespan(c, p) for p in (1, 2, 4, 8, 1024)]
+    assert times == sorted(times, reverse=True)
+
+
+def test_never_below_total_depth():
+    c = model([(7, 2), (0, 5)])
+    assert makespan(c, 10**9) >= 7
+
+
+def test_zero_work_steps_cost_their_depth():
+    c = model([(0, 4)])
+    assert makespan(c, 1) == 4
+    assert makespan(c, 100) == 4
+
+
+def test_speedup_curve_properties():
+    c = model([(1000, 1)] * 10)
+    pts = speedup_curve(c, [1, 2, 10, 100])
+    assert pts[0].speedup == 1.0 and pts[0].efficiency == 1.0
+    assert all(a.speedup <= b.processors for a, b in zip(pts, pts))  # speedup ≤ p
+    assert pts[1].speedup > 1.5  # near-linear regime at low p
+    assert pts[-1].efficiency <= pts[0].efficiency
+
+
+def test_requires_recorded_steps():
+    c = CostModel()  # record_steps=False
+    c.charge(work=5, depth=1)
+    with pytest.raises(InvalidStepError):
+        makespan(c, 2)
+
+
+def test_requires_positive_processors():
+    c = model([(5, 1)])
+    with pytest.raises(InvalidStepError):
+        makespan(c, 0)
+
+
+def test_tighter_than_aggregate_brent():
+    """Per-step scheduling is never more optimistic than aggregate Brent."""
+    c = model([(10, 1), (1000, 1), (10, 1)])
+    for p in (1, 3, 17):
+        assert makespan(c, p) >= c.time_on(p) - len(c.steps)
+
+
+def test_real_build_speedup_saturates():
+    from repro.graphs.generators import erdos_renyi
+    from repro.hopsets.multi_scale import build_hopset
+    from repro.hopsets.params import HopsetParams
+    from repro.pram.machine import PRAM
+
+    pram = PRAM(CostModel(record_steps=True))
+    g = erdos_renyi(32, 0.15, seed=1001)
+    build_hopset(g, HopsetParams(beta=6), pram)
+    pts = speedup_curve(pram.cost, [1, 16, 256, 10**8])
+    assert pts[1].speedup > 2  # parallelism is real
+    assert pts[-1].time >= pram.cost.depth  # critical path is the floor

@@ -1,0 +1,59 @@
+"""Parallel sort cost charging and correctness."""
+
+import numpy as np
+import pytest
+
+from repro.pram.cost import CostModel
+from repro.pram.errors import InvalidStepError
+from repro.pram.sort import parallel_lexsort, parallel_sort
+
+
+def test_sort_permutation_correct():
+    c = CostModel()
+    keys = np.array([3, 1, 2])
+    order = parallel_sort(c, keys)
+    assert np.array_equal(keys[order], [1, 2, 3])
+
+
+def test_sort_is_stable():
+    c = CostModel()
+    keys = np.array([1, 0, 1, 0])
+    order = parallel_sort(c, keys)
+    # the two zeros keep their original relative order, ditto the ones
+    assert np.array_equal(order, [1, 3, 0, 2])
+
+
+def test_aks_cost_rates():
+    c = CostModel()
+    parallel_sort(c, np.arange(256))
+    assert c.depth == 9       # log2(256) + 1
+    assert c.work == 256 * 8  # n log n
+
+
+def test_bitonic_cost_rates():
+    c = CostModel()
+    parallel_sort(c, np.arange(256), network="bitonic")
+    assert c.depth == 65      # log^2 + 1
+    assert c.work == 256 * 64
+
+
+def test_unknown_network_rejected():
+    c = CostModel()
+    with pytest.raises(InvalidStepError):
+        parallel_sort(c, np.arange(4), network="quantum")
+
+
+def test_lexsort_matches_numpy():
+    c = CostModel()
+    a = np.array([1, 1, 0, 0])
+    b = np.array([9, 3, 5, 1])
+    order = parallel_lexsort(c, (b, a))
+    assert np.array_equal(order, np.lexsort((b, a)))
+
+
+def test_lexsort_validation():
+    c = CostModel()
+    with pytest.raises(InvalidStepError):
+        parallel_lexsort(c, ())
+    with pytest.raises(InvalidStepError):
+        parallel_lexsort(c, (np.arange(2), np.arange(3)))

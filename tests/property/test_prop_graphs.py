@@ -1,0 +1,88 @@
+"""Hypothesis property tests for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.build import from_edges, union_with_edges
+from repro.graphs.components import connected_components
+from repro.graphs.distances import dijkstra, hop_limited_distances
+from repro.pram.machine import PRAM
+
+
+@st.composite
+def random_graph(draw, max_n=25):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=3 * n))
+    edges = []
+    for _ in range(m):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u == v:
+            continue
+        w = draw(st.floats(min_value=0.1, max_value=10.0))
+        edges.append((u, v, w))
+    return n, edges
+
+
+@given(random_graph())
+@settings(max_examples=40, deadline=None)
+def test_graph_dedup_keeps_min(args):
+    n, edges = args
+    g = from_edges(n, edges)
+    best: dict[tuple[int, int], float] = {}
+    for u, v, w in edges:
+        key = (min(u, v), max(u, v))
+        best[key] = min(best.get(key, np.inf), w)
+    assert g.num_edges == len(best)
+    for (u, v), w in best.items():
+        assert g.edge_weight(u, v) == w
+
+
+@given(random_graph())
+@settings(max_examples=30, deadline=None)
+def test_dijkstra_triangle_inequality(args):
+    n, edges = args
+    g = from_edges(n, edges)
+    d0 = dijkstra(g, 0)
+    for u, v, w in zip(*g.edges()):
+        # relaxed: d(0,v) <= d(0,u) + w(u,v)
+        assert d0[v] <= d0[u] + w + 1e-9
+        assert d0[u] <= d0[v] + w + 1e-9
+
+
+@given(random_graph(), st.integers(min_value=0, max_value=30))
+@settings(max_examples=30, deadline=None)
+def test_hop_limited_sandwich(args, h):
+    n, edges = args
+    g = from_edges(n, edges)
+    exact = dijkstra(g, 0)
+    lim = hop_limited_distances(g, 0, h)
+    assert np.all(lim >= exact - 1e-9)          # never better than exact
+    full = hop_limited_distances(g, 0, n - 1)
+    assert np.allclose(full, exact)              # n-1 hops suffice
+
+
+@given(random_graph())
+@settings(max_examples=30, deadline=None)
+def test_components_agree_with_reachability(args):
+    n, edges = args
+    g = from_edges(n, edges)
+    labels = connected_components(PRAM(), g)
+    for s in range(min(n, 5)):
+        reach = np.isfinite(dijkstra(g, s))
+        same = labels == labels[s]
+        assert np.array_equal(reach, same)
+
+
+@given(random_graph(), random_graph())
+@settings(max_examples=30, deadline=None)
+def test_union_never_increases_distances(a, b):
+    n = max(a[0], b[0])
+    g = from_edges(n, a[1])
+    extra = from_edges(n, b[1])
+    u, v, w = extra.edges()
+    merged = union_with_edges(g, u, v, w)
+    d_g = dijkstra(g, 0)
+    d_m = dijkstra(merged, 0)
+    assert np.all(d_m <= d_g + 1e-9)

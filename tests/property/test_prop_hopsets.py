@@ -1,0 +1,97 @@
+"""Hypothesis property tests for the hopset invariants.
+
+These are the paper's safety invariants, exercised on arbitrary connected
+random graphs: the hopset never shortens distances (eq. (1) left side), the
+ruling set is always 3-separated and ruling, and the construction is a pure
+function of its input.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.build import from_edges
+from repro.graphs.distances import dijkstra
+from repro.hopsets.clusters import Partition
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.ruling_sets import ruling_set
+from repro.pram.machine import PRAM
+from repro.pram.primitives import ceil_log2
+
+from tests.hopsets.helpers import pairwise_virtual_distances, virtual_adjacency
+
+
+@st.composite
+def connected_graph(draw, max_n=18):
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    edges = []
+    for v in range(1, n):  # random spanning tree ⇒ connected
+        u = draw(st.integers(0, v - 1))
+        w = draw(st.floats(min_value=0.5, max_value=8.0))
+        edges.append((u, v, w))
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.append((u, v, draw(st.floats(min_value=0.5, max_value=8.0))))
+    return from_edges(n, edges)
+
+
+@given(connected_graph(), st.integers(min_value=2, max_value=6))
+@settings(max_examples=25, deadline=None)
+def test_hopset_edges_never_shorten_distances(g, beta):
+    H, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=beta))
+    exact = {s: dijkstra(g, s) for s in range(g.n)}
+    for e in H.edges:
+        assert e.weight >= exact[e.u][e.v] - 1e-6
+
+
+@given(connected_graph())
+@settings(max_examples=25, deadline=None)
+def test_union_graph_preserves_exact_distances(g):
+    H, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=4))
+    union = H.union_graph(g)
+    for s in range(0, g.n, 3):
+        assert np.allclose(dijkstra(union, s), dijkstra(g, s))
+
+
+@given(connected_graph(), st.floats(min_value=0.5, max_value=6.0))
+@settings(max_examples=25, deadline=None)
+def test_ruling_set_properties_hold(g, threshold):
+    part = Partition.singletons(g.n)
+    cands = np.ones(g.n, dtype=bool)
+    q = ruling_set(PRAM(), g, part, cands, threshold, hops=2)
+    adj = virtual_adjacency(g, part, threshold, 2)
+    vd = pairwise_virtual_distances(adj)
+    q_idx = np.flatnonzero(q)
+    assert q.any()
+    for i, a in enumerate(q_idx):
+        for b in q_idx[i + 1:]:
+            assert vd[a, b] < 0 or vd[a, b] >= 3
+    bound = 2 * ceil_log2(max(g.n, 2))
+    for c in range(g.n):
+        dmin = min((vd[c, s] for s in q_idx if vd[c, s] >= 0), default=-1)
+        assert 0 <= dmin <= bound
+
+
+@given(connected_graph())
+@settings(max_examples=15, deadline=None)
+def test_construction_is_deterministic(g):
+    params = HopsetParams(epsilon=0.25, beta=4)
+    a, _ = build_hopset(g, params)
+    b, _ = build_hopset(g, params)
+    ka = [(e.u, e.v, e.weight, e.scale, e.phase) for e in a.edges]
+    kb = [(e.u, e.v, e.weight, e.scale, e.phase) for e in b.edges]
+    assert ka == kb
+
+
+@given(connected_graph(max_n=14))
+@settings(max_examples=15, deadline=None)
+def test_size_bound_per_scale(g):
+    params = HopsetParams(epsilon=0.25, kappa=2, beta=4)
+    H, report = build_hopset(g, params)
+    bound = g.n ** (1 + 1 / params.kappa)
+    for k, cnt in report.per_scale_edges.items():
+        assert cnt <= bound

@@ -1,0 +1,102 @@
+"""Hypothesis property tests for the newer subsystems.
+
+Covers serialization round trips, the distance oracle, Δ-stepping, the
+spanner construction, and zero-edge preprocessing — each against an
+independent oracle or algebraic invariant.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.delta_stepping import delta_stepping
+from repro.graphs.build import from_edges
+from repro.graphs.distances import dijkstra
+from repro.graphs.preprocess import contract_zero_edges, lift_distances
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.pram.machine import PRAM
+from repro.spanners import build_spanner, certify_spanner
+from repro.sssp.oracle import HopsetDistanceOracle
+
+
+@st.composite
+def connected_graph(draw, max_n=16, wmin=0.5, wmax=6.0):
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    edges = []
+    for v in range(1, n):
+        u = draw(st.integers(0, v - 1))
+        edges.append((u, v, draw(st.floats(min_value=wmin, max_value=wmax))))
+    for _ in range(draw(st.integers(0, n))):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.append((u, v, draw(st.floats(min_value=wmin, max_value=wmax))))
+    return from_edges(n, edges)
+
+
+@given(connected_graph(), st.floats(min_value=0.3, max_value=20.0))
+@settings(max_examples=25, deadline=None)
+def test_delta_stepping_always_exact(g, delta):
+    res = delta_stepping(PRAM(), g, 0, delta=delta)
+    assert np.allclose(res.dist, dijkstra(g, 0))
+
+
+@given(connected_graph())
+@settings(max_examples=15, deadline=None)
+def test_oracle_sandwich(g):
+    H, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=4))
+    oracle = HopsetDistanceOracle(g, H)
+    exact = dijkstra(g, 0)
+    for t in range(g.n):
+        q = oracle.query(0, t)
+        assert q >= exact[t] - 1e-9
+        assert np.isfinite(q) == np.isfinite(exact[t])
+
+
+@given(connected_graph())
+@settings(max_examples=12, deadline=None)
+def test_spanner_subgraph_and_connectivity(g):
+    s, _ = build_spanner(g, HopsetParams(epsilon=0.5, kappa=2, rho=0.4))
+    cert = certify_spanner(g, s, epsilon=0.5, kappa=2)
+    assert cert.is_subgraph
+    assert np.isfinite(cert.multiplicative)  # spanning: no pair disconnected
+
+
+@given(connected_graph())
+@settings(max_examples=12, deadline=None)
+def test_serialize_roundtrip_property(g):
+    import tempfile
+    from pathlib import Path
+
+    from repro.serialize import load_hopset, save_hopset
+
+    H, _ = build_hopset(g, HopsetParams(beta=4))
+    with tempfile.TemporaryDirectory() as d:
+        p = Path(d) / "h.npz"
+        save_hopset(p, H)
+        H2 = load_hopset(p)
+    assert [(e.u, e.v, e.weight, e.scale) for e in H.edges] == [
+        (e.u, e.v, e.weight, e.scale) for e in H2.edges
+    ]
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_zero_contraction_preserves_limit_distances(data):
+    """Distances with zero edges = limit of distances with tiny weights."""
+    n = data.draw(st.integers(min_value=3, max_value=10))
+    edges = []
+    for v in range(1, n):
+        u = data.draw(st.integers(0, v - 1))
+        w = data.draw(st.sampled_from([0.0, 1.0, 2.5]))
+        edges.append((u, v, w))
+    u_arr = np.array([e[0] for e in edges], dtype=np.int64)
+    v_arr = np.array([e[1] for e in edges], dtype=np.int64)
+    w_arr = np.array([e[2] for e in edges], dtype=np.float64)
+    zc = contract_zero_edges(PRAM(), n, u_arr, v_arr, w_arr)
+    lifted = lift_distances(zc, dijkstra(zc.graph, int(zc.node_of[0])))
+    # oracle: replace zeros by a tiny epsilon weight
+    tiny = from_edges(n, [(a, b, w if w > 0 else 1e-9) for a, b, w in edges])
+    ref = dijkstra(tiny, 0)
+    assert np.allclose(lifted, ref, atol=1e-6)

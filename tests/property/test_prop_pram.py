@@ -1,0 +1,93 @@
+"""Hypothesis property tests for the PRAM substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.pram.cost import CostModel
+from repro.pram.pointer_jumping import pointer_jump
+from repro.pram.scan import prefix_sum, segmented_sum
+from repro.pram.sort import parallel_lexsort, parallel_sort
+
+ints = st.integers(min_value=-1000, max_value=1000)
+
+
+@given(st.lists(ints, min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_prefix_sum_matches_cumsum(xs):
+    arr = np.array(xs, dtype=np.int64)
+    c = CostModel()
+    assert np.array_equal(prefix_sum(c, arr), np.cumsum(arr))
+    excl = prefix_sum(c, arr, inclusive=False)
+    assert excl[0] == 0
+    assert np.array_equal(excl[1:], np.cumsum(arr)[:-1])
+
+
+@given(st.lists(ints, min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_sort_is_a_correct_permutation(xs):
+    arr = np.array(xs, dtype=np.int64)
+    c = CostModel()
+    order = parallel_sort(c, arr)
+    assert sorted(order.tolist()) == list(range(len(xs)))
+    assert np.array_equal(arr[order], np.sort(arr, kind="stable"))
+
+
+@given(
+    st.lists(st.tuples(ints, ints), min_size=1, max_size=150),
+)
+@settings(max_examples=50, deadline=None)
+def test_lexsort_matches_numpy(pairs):
+    a = np.array([p[0] for p in pairs], dtype=np.int64)
+    b = np.array([p[1] for p in pairs], dtype=np.int64)
+    c = CostModel()
+    assert np.array_equal(parallel_lexsort(c, (a, b)), np.lexsort((a, b)))
+
+
+@given(st.data())
+@settings(max_examples=50, deadline=None)
+def test_pointer_jump_matches_sequential_walk(data):
+    n = data.draw(st.integers(min_value=1, max_value=80))
+    # random forest: parent[v] < v or parent[v] == v guarantees acyclicity
+    parent = np.array(
+        [data.draw(st.integers(min_value=0, max_value=v)) for v in range(n)],
+        dtype=np.int64,
+    )
+    weight = np.array(
+        [data.draw(st.floats(min_value=0.1, max_value=5.0)) for _ in range(n)]
+    )
+    c = CostModel()
+    root, dist = pointer_jump(c, parent, weight)
+    for v in range(n):
+        cur, total = v, 0.0
+        while parent[cur] != cur:
+            total += weight[cur]
+            cur = int(parent[cur])
+        assert root[v] == cur
+        assert abs(dist[v] - total) < 1e-6
+
+
+@given(st.data())
+@settings(max_examples=50, deadline=None)
+def test_segmented_sum_matches_loop(data):
+    n = data.draw(st.integers(min_value=1, max_value=100))
+    k = data.draw(st.integers(min_value=1, max_value=10))
+    vals = np.array([data.draw(st.floats(-10, 10)) for _ in range(n)])
+    segs = np.array([data.draw(st.integers(0, k - 1)) for _ in range(n)], dtype=np.int64)
+    c = CostModel()
+    got = segmented_sum(c, vals, segs, k)
+    expect = np.zeros(k)
+    for v, s in zip(vals, segs):
+        expect[s] += v
+    assert np.allclose(got, expect)
+
+
+@given(st.lists(st.tuples(st.integers(0, 10**6), st.integers(0, 20)), min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_cost_model_totals_are_sums(charges):
+    c = CostModel()
+    for w, d in charges:
+        c.charge(work=w, depth=d)
+    assert c.work == sum(w for w, _ in charges)
+    assert c.depth == sum(d for _, d in charges)

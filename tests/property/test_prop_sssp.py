@@ -1,0 +1,70 @@
+"""Hypothesis property tests for the SSSP/SPT applications."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.build import from_edges
+from repro.graphs.distances import dijkstra
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.path_reporting import build_path_reporting_hopset
+from repro.pram.machine import PRAM
+from repro.sssp.bellman_ford import bellman_ford
+from repro.sssp.spt import approximate_spt
+
+
+@st.composite
+def connected_graph(draw, max_n=16):
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    edges = []
+    for v in range(1, n):
+        u = draw(st.integers(0, v - 1))
+        edges.append((u, v, draw(st.floats(min_value=0.5, max_value=5.0))))
+    for _ in range(draw(st.integers(0, n))):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.append((u, v, draw(st.floats(min_value=0.5, max_value=5.0))))
+    return from_edges(n, edges)
+
+
+@given(connected_graph(), st.integers(min_value=0, max_value=15))
+@settings(max_examples=30, deadline=None)
+def test_bellman_ford_upper_bounds_and_converges(g, h):
+    src = 0
+    res = bellman_ford(PRAM(), g, src, hops=h, early_exit=False)
+    exact = dijkstra(g, src)
+    assert np.all(res.dist >= exact - 1e-9)
+    full = bellman_ford(PRAM(), g, src, hops=g.n - 1)
+    assert np.allclose(full.dist, exact)
+
+
+@given(connected_graph())
+@settings(max_examples=15, deadline=None)
+def test_spt_is_always_a_valid_tree_of_graph_edges(g):
+    H, _ = build_path_reporting_hopset(g, HopsetParams(epsilon=0.25, beta=4))
+    spt = approximate_spt(g, H, 0)
+    exact = dijkstra(g, 0)
+    seen_root = 0
+    for v in range(g.n):
+        p = int(spt.parent[v])
+        if v == 0:
+            assert p == 0
+            seen_root += 1
+            continue
+        assert g.has_edge(p, v)
+        assert np.isclose(spt.dist[v], spt.dist[p] + g.edge_weight(p, v))
+        assert spt.dist[v] >= exact[v] - 1e-9
+    assert seen_root == 1
+
+
+@given(connected_graph())
+@settings(max_examples=15, deadline=None)
+def test_spt_distances_bounded_by_bf_estimates(g):
+    """Peeling + pointer jumping never worsens the BF estimates."""
+    H, _ = build_path_reporting_hopset(g, HopsetParams(epsilon=0.25, beta=4))
+    union = H.union_graph(g)
+    budget = min(2 * H.beta + 1, g.n - 1)
+    bf = bellman_ford(PRAM(), union, 0, budget)
+    spt = approximate_spt(g, H, 0, hop_budget=budget)
+    assert np.all(spt.dist <= bf.dist + 1e-6)

@@ -1,0 +1,122 @@
+"""Near-additive spanners (the [EM19] companion, §1.2/§1.4)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    erdos_renyi,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    preferential_attachment,
+)
+from repro.hopsets.errors import CertificationError
+from repro.hopsets.params import HopsetParams
+from repro.pram.machine import PRAM
+from repro.spanners import build_spanner, certify_spanner
+
+
+PARAMS = HopsetParams(epsilon=0.5, kappa=2, rho=0.4)
+
+
+def test_spanner_is_subgraph():
+    g = erdos_renyi(50, 0.15, seed=301)
+    s, _ = build_spanner(g, PARAMS)
+    cert = certify_spanner(g, s, epsilon=0.5, kappa=2)
+    assert cert.is_subgraph
+
+
+def test_spanner_preserves_connectivity():
+    g = erdos_renyi(40, 0.2, seed=302)
+    s, _ = build_spanner(g, PARAMS)
+    from repro.graphs.properties import is_connected
+
+    assert is_connected(s)
+
+
+def test_spanner_sparsifies_dense_graphs():
+    g = erdos_renyi(60, 0.5, seed=303)  # ~885 edges
+    s, _ = build_spanner(g, PARAMS)
+    assert s.num_edges < g.num_edges / 2
+    cert = certify_spanner(g, s, epsilon=0.5, kappa=2)
+    assert s.num_edges <= 3 * cert.size_bound  # n^{1+1/2} up to log-ish slack
+
+
+def test_spanner_stretch_shape():
+    """d_S ≤ (1+ε)·d_G + β with a small measured β."""
+    for make, seed in ((lambda: erdos_renyi(48, 0.25, seed=304), 0),
+                       (lambda: hypercube_graph(5), 0),
+                       (lambda: preferential_attachment(48, 3, seed=305), 0)):
+        g = make()
+        s, _ = build_spanner(g, PARAMS)
+        cert = certify_spanner(g, s, epsilon=0.5, kappa=2)
+        assert np.isfinite(cert.additive_at_eps)
+        assert cert.holds(beta=8), (
+            f"additive error {cert.additive_at_eps} too large"
+        )
+
+
+def test_spanner_of_sparse_graph_is_everything():
+    # a tree/path has no redundancy: the spanner must keep it all to stay
+    # connected
+    g = path_graph(20)
+    s, _ = build_spanner(g, PARAMS)
+    cert = certify_spanner(g, s, epsilon=0.5, kappa=2)
+    assert cert.multiplicative == 1.0
+    assert s.num_edges == g.num_edges
+
+
+def test_spanner_deterministic():
+    g = erdos_renyi(40, 0.3, seed=306)
+    a, _ = build_spanner(g, PARAMS)
+    b, _ = build_spanner(g, PARAMS)
+    assert np.array_equal(a.edge_u, b.edge_u)
+    assert np.array_equal(a.edge_v, b.edge_v)
+
+
+def test_spanner_ignores_input_weights():
+    g1 = erdos_renyi(30, 0.3, seed=307, w_range=(1.0, 1.0))
+    g2 = erdos_renyi(30, 0.3, seed=307, w_range=(1.0, 9.0))
+    s1, _ = build_spanner(g1, PARAMS)
+    s2, _ = build_spanner(g2, PARAMS)
+    assert np.array_equal(s1.edge_u, s2.edge_u)
+    assert np.array_equal(s1.edge_v, s2.edge_v)
+
+
+def test_spanner_report_phases():
+    g = erdos_renyi(60, 0.3, seed=308)
+    _, rep = build_spanner(g, PARAMS)
+    assert rep.phases >= 1
+    assert rep.work > 0 and rep.depth > 0
+    assert rep.clusters_per_phase[0] == 60
+
+
+def test_spanner_trivial_inputs():
+    from repro.graphs.build import from_edges
+
+    s, rep = build_spanner(from_edges(3, []), PARAMS)
+    assert s.num_edges == 0 and rep.phases == 0
+
+
+def test_certify_rejects_non_subgraph():
+    g = path_graph(5)
+    from repro.graphs.build import from_edges
+
+    fake = from_edges(5, [(0, 4, 1.0)])
+    with pytest.raises(CertificationError):
+        certify_spanner(g, fake, epsilon=0.5, kappa=2)
+
+
+def test_certify_size_mismatch():
+    g = path_graph(5)
+    from repro.graphs.build import from_edges
+
+    with pytest.raises(CertificationError):
+        certify_spanner(g, from_edges(4, []), epsilon=0.5, kappa=2)
+
+
+def test_grid_spanner_quality():
+    g = grid_graph(7, 7)
+    s, _ = build_spanner(g, PARAMS)
+    cert = certify_spanner(g, s, epsilon=0.5, kappa=2)
+    assert cert.holds(beta=8)

@@ -1,0 +1,89 @@
+"""PRAM Bellman–Ford: correctness, hop budgets, parent trees, costs."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.build import from_edges
+from repro.graphs.distances import dijkstra, hop_limited_distances
+from repro.graphs.errors import VertexError
+from repro.graphs.generators import erdos_renyi, path_graph
+from repro.pram.machine import PRAM
+from repro.sssp.bellman_ford import bellman_ford
+
+
+def test_matches_dijkstra_with_full_budget():
+    g = erdos_renyi(30, 0.15, seed=41, w_range=(1.0, 3.0))
+    res = bellman_ford(PRAM(), g, 0, hops=g.n - 1)
+    assert np.allclose(res.dist, dijkstra(g, 0))
+
+
+def test_matches_reference_hop_limited():
+    g = erdos_renyi(25, 0.12, seed=42, w_range=(1.0, 3.0))
+    for h in (1, 3, 6):
+        res = bellman_ford(PRAM(), g, 3, hops=h, early_exit=False)
+        assert np.allclose(res.dist, hop_limited_distances(g, 3, h))
+
+
+def test_parent_tree_consistent():
+    g = erdos_renyi(30, 0.15, seed=43)
+    res = bellman_ford(PRAM(), g, 0, hops=g.n - 1)
+    assert res.parent[0] == 0
+    for v in range(1, g.n):
+        if np.isfinite(res.dist[v]):
+            p = int(res.parent[v])
+            assert np.isclose(res.dist[v], res.dist[p] + g.edge_weight(p, v))
+        else:
+            assert res.parent[v] == -1
+
+
+def test_early_exit_counts_rounds():
+    g = path_graph(10, weight=1.0)
+    res = bellman_ford(PRAM(), g, 0, hops=100)
+    # converges after 9 productive rounds + 1 fixpoint check round
+    assert res.rounds_used <= 10
+
+
+def test_multi_source_nearest():
+    g = path_graph(7, weight=1.0)
+    res = bellman_ford(PRAM(), g, np.array([0, 6]), hops=6)
+    assert np.allclose(res.dist, [0, 1, 2, 3, 2, 1, 0])
+    assert res.parent[2] == 1 and res.parent[4] == 5
+
+
+def test_unreachable_vertices():
+    g = from_edges(4, [(0, 1, 1.0)])
+    res = bellman_ford(PRAM(), g, 0, hops=3)
+    assert res.dist[2] == np.inf and res.parent[2] == -1
+
+
+def test_zero_hop_budget():
+    g = path_graph(4)
+    res = bellman_ford(PRAM(), g, 1, hops=0)
+    assert res.dist[1] == 0 and np.all(~np.isfinite(np.delete(res.dist, 1)))
+
+
+def test_input_validation():
+    g = path_graph(4)
+    with pytest.raises(VertexError):
+        bellman_ford(PRAM(), g, 9, hops=2)
+    with pytest.raises(VertexError):
+        bellman_ford(PRAM(), g, 0, hops=-1)
+    with pytest.raises(VertexError):
+        bellman_ford(PRAM(), g, np.zeros(0, dtype=np.int64), hops=2)
+
+
+def test_depth_scales_with_rounds_not_n():
+    pram = PRAM()
+    g = erdos_renyi(64, 0.3, seed=44)  # dense: converges in few rounds
+    res = bellman_ford(pram, g, 0, hops=63)
+    assert res.rounds_used < 10
+    # per round: O(log n) depth (scatter-min combine) + O(1) bookkeeping
+    assert pram.cost.depth <= res.rounds_used * 20 + 10
+
+
+def test_deterministic_parents_under_ties():
+    # two equal-weight parents for vertex 2: 0-1-2 and 0-3-2 all weight 1
+    g = from_edges(4, [(0, 1, 1), (1, 2, 1), (0, 3, 1), (3, 2, 1)])
+    r1 = bellman_ford(PRAM(), g, 0, hops=3)
+    r2 = bellman_ford(PRAM(), g, 0, hops=3)
+    assert r1.parent[2] == r2.parent[2] == 1  # smallest tail wins ties

@@ -1,0 +1,109 @@
+"""Decremental SSSP oracle (the §1.4 future-work direction)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.distances import dijkstra
+from repro.graphs.errors import InvalidGraphError
+from repro.graphs.generators import erdos_renyi, path_graph
+from repro.hopsets.params import HopsetParams
+from repro.sssp.dynamic import DecrementalSSSP
+
+
+@pytest.fixture
+def oracle():
+    g = erdos_renyi(30, 0.15, seed=1301, w_range=(1.0, 3.0))
+    return DecrementalSSSP(g, HopsetParams(epsilon=0.25, beta=8), rebuild_below=0.3)
+
+
+def test_initial_answers_exact_at_default_budget(oracle):
+    exact = dijkstra(oracle.graph, 0)
+    assert np.allclose(oracle.distances(0), exact)
+
+
+def test_safety_after_weight_increases(oracle):
+    rng = np.random.default_rng(5)
+    for _ in range(8):
+        u, v, w = (int(oracle.graph.edge_u[0]), int(oracle.graph.edge_v[0]),
+                   float(oracle.graph.edge_w[0]))
+        i = int(rng.integers(0, oracle.graph.num_edges))
+        u, v = int(oracle.graph.edge_u[i]), int(oracle.graph.edge_v[i])
+        w = float(oracle.graph.edge_w[i])
+        oracle.increase_weight(u, v, w * 2.0)
+        exact = dijkstra(oracle.graph, 0)
+        got = oracle.distances(0, hop_budget=17)
+        fin = np.isfinite(exact)
+        assert np.all(got[fin] >= exact[fin] - 1e-9)  # never under-estimates
+
+
+def test_exact_at_full_budget_after_updates(oracle):
+    for i in range(0, oracle.graph.num_edges, 5):
+        u, v = int(oracle.graph.edge_u[0]), int(oracle.graph.edge_v[0])
+        oracle.increase_weight(u, v, float(oracle.graph.edge_weight(u, v)) + 1.0)
+    exact = dijkstra(oracle.graph, 3)
+    assert np.allclose(oracle.distances(3), exact)
+
+
+def test_deletion_supported_and_safe():
+    g = erdos_renyi(24, 0.2, seed=1302, w_range=(1.0, 2.0))
+    oracle = DecrementalSSSP(g, HopsetParams(beta=6), rebuild_below=0.0)
+    u, v = int(g.edge_u[3]), int(g.edge_v[3])
+    oracle.delete_edge(u, v)
+    assert not oracle.graph.has_edge(u, v)
+    exact = dijkstra(oracle.graph, 0)
+    got = oracle.distances(0, hop_budget=11)
+    fin = np.isfinite(exact)
+    assert np.all(got[fin] >= exact[fin] - 1e-9)
+
+
+def test_invalidation_is_targeted():
+    """Modifying one edge must not kill unrelated hopset records."""
+    g = path_graph(40, w_range=(1.0, 2.0), seed=1303)
+    oracle = DecrementalSSSP(g, HopsetParams(epsilon=0.25, beta=8), rebuild_below=0.0)
+    total = len(oracle.hopset.edges)
+    # an edge at the far end affects only records whose paths cross it
+    oracle.increase_weight(38, 39, 100.0)
+    assert 0 < oracle.live_records() < total + 1
+    assert oracle.live_fraction > 0.3  # most of the hopset survives
+
+
+def test_weight_decrease_rejected(oracle):
+    u, v = int(oracle.graph.edge_u[0]), int(oracle.graph.edge_v[0])
+    w = float(oracle.graph.edge_weight(u, v))
+    with pytest.raises(InvalidGraphError):
+        oracle.increase_weight(u, v, w / 2)
+
+
+def test_unknown_edge_rejected(oracle):
+    # find a non-edge
+    g = oracle.graph
+    for u in range(g.n):
+        for v in range(u + 1, g.n):
+            if not g.has_edge(u, v):
+                with pytest.raises(InvalidGraphError):
+                    oracle.increase_weight(u, v, 5.0)
+                with pytest.raises(InvalidGraphError):
+                    oracle.delete_edge(u, v)
+                return
+
+
+def test_rebuild_triggers_and_restores():
+    g = path_graph(24, w_range=(1.0, 2.0), seed=1304)
+    oracle = DecrementalSSSP(g, HopsetParams(epsilon=0.25, beta=8), rebuild_below=0.9)
+    # hammer central edges until the live fraction crosses the threshold
+    for i in range(10):
+        u, v = 11, 12
+        oracle.increase_weight(u, v, float(oracle.graph.edge_weight(u, v)) + 1.0)
+    assert oracle.rebuilds >= 1
+    assert oracle.live_fraction >= 0.9  # fresh hopset after rebuild
+    exact = dijkstra(oracle.graph, 0)
+    assert np.allclose(oracle.distances(0), exact)
+
+
+def test_noop_weight_increase_changes_nothing(oracle):
+    u, v = int(oracle.graph.edge_u[0]), int(oracle.graph.edge_v[0])
+    w = float(oracle.graph.edge_weight(u, v))
+    live_before = oracle.live_records()
+    oracle.increase_weight(u, v, w)
+    assert oracle.live_records() == live_before
+    assert oracle.updates == 0

@@ -1,0 +1,61 @@
+"""aMSSD: one hopset, many sources (Theorem 3.8)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.distances import dijkstra
+from repro.graphs.errors import VertexError
+from repro.graphs.generators import erdos_renyi, layered_hop_graph
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.pram.machine import PRAM
+from repro.sssp.multi_source import approximate_mssd
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = layered_hop_graph(10, 3, seed=61)
+    H, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=8))
+    return g, H
+
+
+def test_each_row_is_a_valid_sssp(setup):
+    g, H = setup
+    sources = np.array([0, 5, 17])
+    res = approximate_mssd(g, H, sources)
+    for row, s in enumerate(sources):
+        exact = dijkstra(g, int(s))
+        fin = np.isfinite(exact) & (exact > 0)
+        assert np.all(res.dist[row][fin] / exact[fin] <= 1.25 + 1e-9)
+        assert res.dist[row][s] == 0.0
+
+
+def test_work_scales_with_sources_depth_does_not(setup):
+    g, H = setup
+    one = approximate_mssd(g, H, np.array([0]))
+    many = approximate_mssd(g, H, np.arange(8))
+    assert many.work > 4 * one.work          # work ~ |S|
+    assert many.depth <= 2 * one.depth       # depth ~ max of parallel runs
+
+
+def test_outer_pram_charged_with_composition(setup):
+    g, H = setup
+    pram = PRAM()
+    res = approximate_mssd(g, H, np.array([0, 1]), pram=pram)
+    assert pram.cost.work == res.work
+    assert pram.cost.depth == res.depth
+
+
+def test_input_validation(setup):
+    g, H = setup
+    with pytest.raises(VertexError):
+        approximate_mssd(g, H, np.zeros(0, dtype=np.int64))
+    with pytest.raises(VertexError):
+        approximate_mssd(g, H, np.array([[0, 1]]))
+
+
+def test_shapes(setup):
+    g, H = setup
+    res = approximate_mssd(g, H, np.array([2, 4]))
+    assert res.dist.shape == (2, g.n)
+    assert res.parent.shape == (2, g.n)

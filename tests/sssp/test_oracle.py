@@ -1,0 +1,77 @@
+"""Hopset-backed distance oracle."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.distances import dijkstra
+from repro.graphs.errors import VertexError
+from repro.graphs.generators import erdos_renyi
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.sssp.oracle import HopsetDistanceOracle
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = erdos_renyi(36, 0.12, seed=401, w_range=(1.0, 3.0))
+    H, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=8))
+    return g, H
+
+
+def test_queries_within_epsilon(setup):
+    g, H = setup
+    oracle = HopsetDistanceOracle(g, H)
+    for s in (0, 5):
+        exact = dijkstra(g, s)
+        for t in range(g.n):
+            if t == s:
+                assert oracle.query(s, t) == 0.0
+                continue
+            approx = oracle.query(s, t)
+            assert exact[t] - 1e-9 <= approx <= 1.25 * exact[t] + 1e-9
+
+
+def test_symmetric_query_uses_cache(setup):
+    g, H = setup
+    oracle = HopsetDistanceOracle(g, H)
+    oracle.query(3, 7)
+    before = oracle.explorations
+    # reversed query answered from the cached side
+    oracle.query(9, 3)
+    assert oracle.explorations == before
+    assert oracle.hits >= 1
+
+
+def test_lru_eviction(setup):
+    g, H = setup
+    oracle = HopsetDistanceOracle(g, H, cache_size=2)
+    oracle.distances_from(0)
+    oracle.distances_from(1)
+    oracle.distances_from(2)  # evicts 0
+    assert oracle.cache_info()["cached_sources"] == 2
+    before = oracle.explorations
+    oracle.distances_from(0)  # must recompute
+    assert oracle.explorations == before + 1
+
+
+def test_batch_matches_single(setup):
+    g, H = setup
+    oracle = HopsetDistanceOracle(g, H)
+    mat = oracle.batch(np.array([0, 4, 9]))
+    assert mat.shape == (3, g.n)
+    assert np.array_equal(mat[1], oracle.distances_from(4))
+
+
+def test_validation(setup):
+    g, H = setup
+    oracle = HopsetDistanceOracle(g, H)
+    with pytest.raises(VertexError):
+        oracle.query(0, g.n)
+    with pytest.raises(VertexError):
+        oracle.distances_from(-1)
+    with pytest.raises(VertexError):
+        HopsetDistanceOracle(g, H, cache_size=0)
+    from repro.hopsets.hopset import Hopset
+
+    with pytest.raises(VertexError):
+        HopsetDistanceOracle(g, Hopset(n=g.n + 1))

@@ -1,0 +1,68 @@
+"""End-to-end (1+ε)-SSSP (Theorem 3.8)."""
+
+import numpy as np
+
+from repro.graphs.distances import dijkstra
+from repro.graphs.generators import erdos_renyi, layered_hop_graph, path_graph
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.pram.machine import PRAM
+from repro.sssp.sssp import approximate_sssp, approximate_sssp_with_hopset
+
+
+def stretch(exact, approx):
+    fin = np.isfinite(exact) & (exact > 0)
+    return float(np.max(approx[fin] / exact[fin]))
+
+
+def test_sssp_within_epsilon_on_deep_graph():
+    g = layered_hop_graph(12, 4, seed=51)
+    res = approximate_sssp(g, 0, HopsetParams(epsilon=0.25, beta=8))
+    exact = dijkstra(g, 0)
+    assert stretch(exact, res.dist) <= 1.25 + 1e-9
+    assert np.all(res.dist >= exact - 1e-9)  # never under-estimates
+
+
+def test_sssp_on_weighted_path():
+    g = path_graph(48, w_range=(1.0, 3.0), seed=52)
+    res = approximate_sssp(g, 0, HopsetParams(epsilon=0.3, beta=8))
+    exact = dijkstra(g, 0)
+    assert stretch(exact, res.dist) <= 1.3 + 1e-6
+
+
+def test_reuse_prebuilt_hopset_across_sources():
+    g = erdos_renyi(30, 0.12, seed=53, w_range=(1.0, 3.0))
+    H, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=8))
+    for s in (0, 7, 19):
+        res = approximate_sssp_with_hopset(g, H, s)
+        exact = dijkstra(g, s)
+        assert stretch(exact, res.dist) <= 1.25 + 1e-9
+
+
+def test_query_cost_is_tiny_vs_build_cost():
+    g = erdos_renyi(40, 0.1, seed=54)
+    res = approximate_sssp(g, 0, HopsetParams(beta=6))
+    assert res.build_report is not None
+    assert res.query_cost.work < res.build_report.work / 10
+
+
+def test_rounds_bounded_by_budget():
+    g = path_graph(60, weight=1.0)
+    H, _ = build_hopset(g, HopsetParams(beta=6))
+    res = approximate_sssp_with_hopset(g, H, 0, hop_budget=13)
+    assert res.rounds_used <= 13
+
+
+def test_explicit_hop_budget_controls_accuracy():
+    g = path_graph(40, weight=1.0)
+    H, _ = build_hopset(g, HopsetParams(epsilon=0.25, beta=8))
+    exact = dijkstra(g, 0)
+    tight = approximate_sssp_with_hopset(g, H, 0, hop_budget=39)
+    loose = approximate_sssp_with_hopset(g, H, 0, hop_budget=2)
+    assert stretch(exact, tight.dist) <= stretch(exact, loose.dist) + 1e-12
+
+
+def test_source_recorded():
+    g = path_graph(10)
+    res = approximate_sssp(g, 4, HopsetParams(beta=4))
+    assert res.source == 4 and res.dist[4] == 0.0

@@ -1,0 +1,90 @@
+"""CLI: generate → build → query → certify round trips."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.serialize import load_graph, load_hopset
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    p = tmp_path / "g.npz"
+    assert main(["gen", str(p), "--family", "er", "--n", "40", "--seed", "3"]) == 0
+    return p
+
+
+def test_gen_families(tmp_path):
+    for fam in ("er", "path", "layered", "powerlaw", "wide"):
+        p = tmp_path / f"{fam}.npz"
+        assert main(["gen", str(p), "--family", fam, "--n", "24", "--seed", "1"]) == 0
+        g = load_graph(p)
+        assert g.n >= 2 and g.num_edges > 0
+
+
+def test_gen_unknown_family(tmp_path):
+    assert main(["gen", str(tmp_path / "x.npz"), "--family", "nope"]) == 2
+
+
+def test_build_and_info(tmp_path, graph_file, capsys):
+    h = tmp_path / "h.npz"
+    assert main(["build", str(graph_file), str(h), "--beta", "6"]) == 0
+    assert main(["info", str(h)]) == 0
+    out = capsys.readouterr().out
+    assert "hopset" in out and "beta=6" in out
+    assert main(["info", str(graph_file)]) == 0
+
+
+def test_build_with_paths_and_spt(tmp_path, graph_file):
+    h = tmp_path / "h.npz"
+    assert main(["build", str(graph_file), str(h), "--beta", "6", "--paths"]) == 0
+    hop = load_hopset(h)
+    assert all(e.path is not None for e in hop.edges)
+    tree = tmp_path / "t.npz"
+    assert main(["spt", str(graph_file), str(h), "--source", "0", "--out", str(tree)]) == 0
+    with np.load(tree) as data:
+        assert data["parent"].shape == (40,)
+
+
+def test_sssp_writes_distances(tmp_path, graph_file):
+    h = tmp_path / "h.npz"
+    main(["build", str(graph_file), str(h), "--beta", "8"])
+    out = tmp_path / "d.npz"
+    assert main(["sssp", str(graph_file), str(h), "--source", "0", "--out", str(out)]) == 0
+    with np.load(out) as data:
+        assert np.isfinite(data["dist"]).all()
+        assert data["dist"][0] == 0.0
+
+
+def test_certify_pass_and_fail(tmp_path, graph_file):
+    h = tmp_path / "h.npz"
+    main(["build", str(graph_file), str(h), "--beta", "8"])
+    assert main(["certify", str(graph_file), str(h), "--epsilon", "0.25"]) == 0
+    # an impossible demand (1 hop, tiny epsilon) must exit nonzero
+    assert main(
+        ["certify", str(graph_file), str(h), "--beta", "1", "--epsilon", "0.0001"]
+    ) == 1
+
+
+def test_reduced_build(tmp_path):
+    g = tmp_path / "wide.npz"
+    main(["gen", str(g), "--family", "wide", "--n", "28", "--aspect", "1e5", "--seed", "5"])
+    h = tmp_path / "h.npz"
+    assert main(["build", str(g), str(h), "--beta", "8", "--reduce"]) == 0
+    assert main(["sssp", str(g), str(h), "--source", "0"]) == 0
+
+
+def test_reduced_paths_build_and_spt(tmp_path):
+    g = tmp_path / "wide.npz"
+    main(["gen", str(g), "--family", "wide", "--n", "24", "--aspect", "1e4", "--seed", "6"])
+    h = tmp_path / "h.npz"
+    assert main(["build", str(g), str(h), "--beta", "8", "--reduce", "--paths"]) == 0
+    assert main(["spt", str(g), str(h), "--source", "0"]) == 0
+
+
+def test_edge_list_text_input(tmp_path):
+    txt = tmp_path / "g.txt"
+    txt.write_text("# comment\n0 1 1.0\n1 2 2.0\n2 3 1.5\n")
+    h = tmp_path / "h.npz"
+    assert main(["build", str(txt), str(h), "--beta", "4"]) == 0
+    assert main(["sssp", str(txt), str(h), "--source", "0"]) == 0

@@ -1,0 +1,94 @@
+"""Persistence round trips for graphs and hopsets."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import erdos_renyi
+from repro.hopsets.errors import HopsetError
+from repro.hopsets.hopset import INTERCONNECT, Hopset, HopsetEdge
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.path_reporting import build_path_reporting_hopset
+from repro.serialize import load_graph, load_hopset, save_graph, save_hopset
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(30, 0.15, seed=201, w_range=(1.0, 3.0))
+
+
+def test_graph_roundtrip(tmp_path, graph):
+    p = tmp_path / "g.npz"
+    save_graph(p, graph)
+    g2 = load_graph(p)
+    assert g2.n == graph.n
+    assert np.array_equal(g2.edge_u, graph.edge_u)
+    assert np.array_equal(g2.edge_v, graph.edge_v)
+    assert np.array_equal(g2.edge_w, graph.edge_w)
+
+
+def test_hopset_roundtrip(tmp_path, graph):
+    H, _ = build_hopset(graph, HopsetParams(beta=6))
+    p = tmp_path / "h.npz"
+    save_hopset(p, H)
+    H2 = load_hopset(p)
+    assert H2.n == H.n and H2.beta == H.beta and H2.epsilon == H.epsilon
+    a = [(e.u, e.v, e.weight, e.scale, e.phase, e.kind) for e in H.edges]
+    b = [(e.u, e.v, e.weight, e.scale, e.phase, e.kind) for e in H2.edges]
+    assert a == b
+    assert H2.meta["k0"] == H.meta["k0"]
+
+
+def test_hopset_roundtrip_with_paths(tmp_path, graph):
+    H, _ = build_path_reporting_hopset(graph, HopsetParams(beta=6))
+    p = tmp_path / "h.npz"
+    save_hopset(p, H)
+    H2 = load_hopset(p)
+    assert all(e.path is not None for e in H2.edges)
+    assert [e.path for e in H.edges] == [e.path for e in H2.edges]
+
+
+def test_loaded_hopset_answers_queries(tmp_path, graph):
+    from repro.graphs.distances import dijkstra
+    from repro.sssp.sssp import approximate_sssp_with_hopset
+
+    H, _ = build_hopset(graph, HopsetParams(epsilon=0.25, beta=8))
+    p = tmp_path / "h.npz"
+    save_hopset(p, H)
+    H2 = load_hopset(p)
+    res = approximate_sssp_with_hopset(graph, H2, 0)
+    exact = dijkstra(graph, 0)
+    fin = np.isfinite(exact) & (exact > 0)
+    assert np.max(res.dist[fin] / exact[fin]) <= 1.25 + 1e-9
+
+
+def test_empty_hopset_roundtrip(tmp_path):
+    H = Hopset(n=5, beta=3, epsilon=0.1)
+    p = tmp_path / "h.npz"
+    save_hopset(p, H)
+    H2 = load_hopset(p)
+    assert H2.num_records == 0 and H2.n == 5
+
+
+def test_partial_paths_rejected(tmp_path):
+    H = Hopset(n=4)
+    H.add(
+        [
+            HopsetEdge(0, 1, 1.0, 2, 0, INTERCONNECT, path=(0, 1)),
+            HopsetEdge(1, 2, 1.0, 2, 0, INTERCONNECT),
+        ]
+    )
+    with pytest.raises(HopsetError):
+        save_hopset(tmp_path / "h.npz", H)
+
+
+def test_kind_mismatch_rejected(tmp_path, graph):
+    p = tmp_path / "g.npz"
+    save_graph(p, graph)
+    with pytest.raises(HopsetError):
+        load_hopset(p)
+    H, _ = build_hopset(graph, HopsetParams(beta=4))
+    ph = tmp_path / "h.npz"
+    save_hopset(ph, H)
+    with pytest.raises(HopsetError):
+        load_graph(ph)
