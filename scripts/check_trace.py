@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Validate the schema of a `python -m repro trace` Chrome trace JSON.
+
+Usage::
+
+    python scripts/check_trace.py trace.json [--min-coverage 0.95]
+
+Exits non-zero (with a message per violation) if the file is not a valid
+trace as documented in docs/observability.md: Chrome trace-event envelope,
+both clock tracks present, non-negative durations, run totals, watchdog
+verdicts with finite constants, and span coverage above the threshold.
+CI runs this against a smoke trace on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def check_trace(doc: dict, min_coverage: float) -> list[str]:
+    """Return a list of schema violations (empty = valid)."""
+    errors: list[str] = []
+    for key in ("traceEvents", "displayTimeUnit", "otherData"):
+        if key not in doc:
+            errors.append(f"missing top-level key {key!r}")
+    events = doc.get("traceEvents", [])
+    x_events = [e for e in events if e.get("ph") == "X"]
+    if not x_events:
+        errors.append("no complete ('X') span events")
+    for e in x_events:
+        for key in ("name", "pid", "tid", "ts", "dur", "args"):
+            if key not in e:
+                errors.append(f"span event missing {key!r}: {e.get('name', '?')}")
+                break
+        if e.get("dur", 0) < 0 or e.get("ts", 0) < 0:
+            errors.append(f"negative ts/dur on span {e.get('name', '?')}")
+        args = e.get("args", {})
+        if "work" not in args or "depth" not in args:
+            errors.append(f"span {e.get('name', '?')} args lack work/depth")
+    pids = {e.get("pid") for e in x_events}
+    if not {0, 1} <= pids:
+        errors.append(f"expected wall-clock (0) and work-clock (1) tracks, got {pids}")
+    other = doc.get("otherData", {})
+    for key in ("total_work", "total_depth", "wall_s", "span_coverage", "watchdogs"):
+        if key not in other:
+            errors.append(f"otherData missing {key!r}")
+    if other.get("total_work", 0) <= 0:
+        errors.append("total_work must be positive")
+    coverage = other.get("span_coverage", 0.0)
+    if coverage < min_coverage:
+        errors.append(f"span coverage {coverage:.3f} below threshold {min_coverage}")
+    for w in other.get("watchdogs", []):
+        for key in ("name", "metric", "measured", "shape", "constant", "status"):
+            if key not in w:
+                errors.append(f"watchdog missing {key!r}: {w}")
+                break
+        else:
+            if not math.isfinite(w["constant"]) or w["constant"] < 0:
+                errors.append(f"watchdog {w['name']} constant not finite: {w['constant']}")
+            if w["status"] not in ("PASS", "WARN"):
+                errors.append(f"watchdog {w['name']} bad status {w['status']!r}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, check the trace, report violations."""
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace JSON written by `repro trace`")
+    ap.add_argument("--min-coverage", type=float, default=0.95)
+    args = ap.parse_args(argv)
+    doc = json.loads(Path(args.trace).read_text())
+    errors = check_trace(doc, args.min_coverage)
+    for err in errors:
+        print(f"check_trace: {err}", file=sys.stderr)
+    if not errors:
+        other = doc["otherData"]
+        constants = ", ".join(
+            f"{w['name']}={w['constant']:.3g} [{w['status']}]"
+            for w in other["watchdogs"]
+        )
+        print(
+            f"ok: {len(doc['traceEvents'])} events, "
+            f"coverage {other['span_coverage']:.1%}, {constants}"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

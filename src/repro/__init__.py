@@ -28,6 +28,7 @@ from repro.hopsets import (
     certify,
     theoretical_beta,
 )
+from repro.obs import MetricsRegistry, SpanTracer
 from repro.pram import PRAM, CostModel
 from repro.sssp import (
     approximate_mssd,
@@ -55,5 +56,7 @@ __all__ = [
     "approximate_sssp_with_hopset",
     "approximate_mssd",
     "approximate_spt",
+    "SpanTracer",
+    "MetricsRegistry",
     "__version__",
 ]

@@ -4,6 +4,16 @@ The hopset constructors label every charge with a phase path such as
 ``scale5/phase1/ruling``; this module rolls those totals up into readable
 tables (where did the work go: detection vs ruling vs superclustering vs
 interconnection) — the Lemma 3.1 accounting, measured.
+
+Two attribution columns per phase (see ``docs/model.md``):
+
+* **work/depth** — inclusive: everything charged inside the phase,
+  including nested sub-phases.  Summing inclusive rows of nested phases
+  over-reports the total, which is why :func:`cost_breakdown` lists only
+  leaves.
+* **self work/depth** — exclusive: only charges made while the phase was
+  the innermost one.  Exclusive rows always sum to ≤ the total charged
+  work, regardless of nesting.
 """
 
 from __future__ import annotations
@@ -11,9 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import render_table
-from repro.pram.cost import CostModel
+from repro.pram.cost import CostModel, CostSnapshot
 
 __all__ = ["PhaseCost", "cost_breakdown", "breakdown_table"]
+
+_ZERO = CostSnapshot(0, 0)
 
 
 @dataclass(frozen=True)
@@ -22,42 +34,57 @@ class PhaseCost:
     work: int
     depth: int
     work_share: float
+    self_work: int = 0
+    self_depth: int = 0
 
 
 def cost_breakdown(cost: CostModel, depth_level: int = 3) -> list[PhaseCost]:
     """Phase totals, truncated to ``depth_level`` path components.
 
     Phases nest (``scale5/phase1/ruling`` charges also count toward
-    ``scale5``); only the most specific recorded level is listed here, with
-    shares relative to the total charged work.
+    ``scale5``); only the most specific level *visible at* ``depth_level``
+    is listed, with inclusive shares relative to the total charged work.
+    Deeper phases (e.g. ``scale5/phase1/ruling/bit3``) stay folded into
+    their visible ancestor's inclusive totals, so the listed leaves never
+    double-count each other.
     """
-    rolled: dict[str, tuple[int, int]] = {}
-    for name, snap in cost.phase_totals.items():
-        parts = name.split("/")
-        if len(parts) > depth_level:
-            continue
-        # keep leaves only (nesting means ancestors double-count)
-        if any(
-            other != name and other.startswith(name + "/")
-            for other in cost.phase_totals
-        ):
-            continue
-        rolled[name] = (snap.work, snap.depth)
+    visible = {
+        name for name in cost.phase_totals if len(name.split("/")) <= depth_level
+    }
     total = max(cost.work, 1)
-    out = [
-        PhaseCost(phase=k, work=w, depth=d, work_share=w / total)
-        for k, (w, d) in sorted(rolled.items(), key=lambda kv: -kv[1][0])
-    ]
+    rolled: dict[str, tuple[int, int]] = {}
+    for name in visible:
+        # keep leaves only (a visible descendant means this row would
+        # double-count it)
+        if any(other.startswith(name + "/") for other in visible if other != name):
+            continue
+        snap = cost.phase_totals[name]
+        rolled[name] = (snap.work, snap.depth)
+    out = []
+    for name, (w, d) in sorted(rolled.items(), key=lambda kv: -kv[1][0]):
+        self_snap = cost.phase_self_totals.get(name, _ZERO)
+        out.append(
+            PhaseCost(
+                phase=name,
+                work=w,
+                depth=d,
+                work_share=w / total,
+                self_work=self_snap.work,
+                self_depth=self_snap.depth,
+            )
+        )
     return out
 
 
 def breakdown_table(cost: CostModel, title: str = "cost breakdown") -> str:
-    """Render the breakdown as a printable table."""
+    """Render the breakdown as a printable table (inclusive + self columns)."""
     rows = [
-        [pc.phase, pc.work, pc.depth, f"{100 * pc.work_share:.1f}%"]
+        [pc.phase, pc.work, pc.depth, pc.self_work, f"{100 * pc.work_share:.1f}%"]
         for pc in cost_breakdown(cost)
     ]
-    return render_table(title, ["phase", "work", "depth", "share"], rows)
+    return render_table(
+        title, ["phase", "work", "depth", "self work", "share"], rows
+    )
 
 
 def step_kind_breakdown(cost: CostModel) -> dict[str, tuple[int, int]]:

@@ -64,37 +64,38 @@ def delta_stepping(
     current = 0
     # upper bound on bucket index: weighted diameter / delta
     max_bucket = int(np.ceil(graph.total_weight() / delta)) + 1
-    while current <= max_bucket:
-        in_bucket = (dist >= current * delta) & (dist < (current + 1) * delta)
-        if not in_bucket.any():
-            if not np.isfinite(dist).any() or np.all(
-                ~np.isfinite(dist) | (dist < current * delta)
-            ):
-                break
-            current += 1
-            continue
-        buckets += 1
-        # light-edge phases until the bucket settles
-        for _ in range(graph.n):
-            active = in_bucket[lt]
-            if not active.any():
-                break
-            cand = dist[lt[active]] + lw[active]
-            new = dist.copy()
-            np.minimum.at(new, lh[active], cand)
-            pram.charge(work=int(active.sum()), depth=log_n, label="ds_light")
-            phases += 1
-            changed = new < dist - 1e-15
-            dist = new
+    with pram.phase("delta_stepping"):
+        while current <= max_bucket:
             in_bucket = (dist >= current * delta) & (dist < (current + 1) * delta)
-            if not changed.any():
-                break
-        # heavy edges fire once from everything settled in this bucket
-        settled = (dist >= current * delta) & (dist < (current + 1) * delta)
-        active = settled[ht]
-        if active.any():
-            cand = dist[ht[active]] + hw[active]
-            np.minimum.at(dist, hh[active], cand)
-            pram.charge(work=int(active.sum()), depth=log_n, label="ds_heavy")
-        current += 1
+            if not in_bucket.any():
+                if not np.isfinite(dist).any() or np.all(
+                    ~np.isfinite(dist) | (dist < current * delta)
+                ):
+                    break
+                current += 1
+                continue
+            buckets += 1
+            # light-edge phases until the bucket settles
+            for _ in range(graph.n):
+                active = in_bucket[lt]
+                if not active.any():
+                    break
+                cand = dist[lt[active]] + lw[active]
+                new = dist.copy()
+                np.minimum.at(new, lh[active], cand)
+                pram.charge(work=int(active.sum()), depth=log_n, label="ds_light")
+                phases += 1
+                changed = new < dist - 1e-15
+                dist = new
+                in_bucket = (dist >= current * delta) & (dist < (current + 1) * delta)
+                if not changed.any():
+                    break
+            # heavy edges fire once from everything settled in this bucket
+            settled = (dist >= current * delta) & (dist < (current + 1) * delta)
+            active = settled[ht]
+            if active.any():
+                cand = dist[ht[active]] + hw[active]
+                np.minimum.at(dist, hh[active], cand)
+                pram.charge(work=int(active.sum()), depth=log_n, label="ds_heavy")
+            current += 1
     return DeltaSteppingResult(dist=dist, buckets_processed=buckets, phases=phases, delta=delta)

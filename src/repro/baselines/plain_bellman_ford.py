@@ -20,11 +20,13 @@ __all__ = ["plain_sssp", "plain_sssp_budgeted"]
 
 def plain_sssp(pram: PRAM, graph: Graph, source: int) -> BellmanFordResult:
     """Exact SSSP: relax until a fixpoint (≤ n−1 rounds)."""
-    return bellman_ford(pram, graph, source, hops=max(graph.n - 1, 1))
+    with pram.phase("plain_sssp"):
+        return bellman_ford(pram, graph, source, hops=max(graph.n - 1, 1))
 
 
 def plain_sssp_budgeted(
     pram: PRAM, graph: Graph, source: int, hops: int
 ) -> BellmanFordResult:
     """Bellman–Ford stopped at ``hops`` rounds (possibly non-converged)."""
-    return bellman_ford(pram, graph, source, hops=hops, early_exit=False)
+    with pram.phase("plain_sssp_budgeted"):
+        return bellman_ford(pram, graph, source, hops=hops, early_exit=False)

@@ -146,9 +146,10 @@ def build_randomized_hopset(
         else:
             g_prev = scaled
         schedule = PhaseSchedule.for_scale(n, k, params, eps=eps_scale, eps_prev=eps_prev)
-        edges_k = _single_scale_randomized(
-            pram, g_prev, schedule, rng, params.tight_weights
-        )
+        with pram.phase(f"rand_scale{k}"):
+            edges_k = _single_scale_randomized(
+                pram, g_prev, schedule, rng, params.tight_weights
+            )
         hopset.add(edges_k)
         prev_edges = edges_k
         eps_prev = (1 + eps_prev) * (1 + eps_scale) - 1

@@ -8,6 +8,13 @@ Usage::
     python -m repro certify graph.npz hopset.npz [--beta B --epsilon E]
     python -m repro info    artifact.npz
     python -m repro gen     graph.npz --family er --n 100 [--seed 7 ...]
+    python -m repro trace   {build,sssp,spt} ... --trace-out trace.json [--jsonl spans.jsonl]
+
+``trace`` runs the wrapped command under the observability layer
+(``repro.obs``): it writes a Chrome trace-event JSON (loadable in
+``chrome://tracing`` / Perfetto) with per-scale/per-phase span attribution
+and per-primitive metrics, prints a flame-style report, and evaluates the
+paper's theorem bound watchdogs (measured constants, PASS/WARN).
 
 Edge-list ``.txt`` inputs (``u v w`` per line) are also accepted wherever a
 graph archive is expected.
@@ -41,6 +48,15 @@ from repro.hopsets.reduction_paths import (
 )
 from repro.hopsets.verification import certify
 from repro.hopsets.weight_reduction import build_reduced_hopset
+from repro.obs.bounds import (
+    evaluate_envelopes,
+    query_envelopes,
+    theorem_3_7_envelopes,
+    watchdog_table,
+)
+from repro.obs.export import flame_report, write_chrome_trace, write_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanTracer
 from repro.pram.machine import PRAM
 from repro.serialize import load_graph, load_hopset, save_graph, save_hopset
 from repro.sssp.spt import approximate_spt
@@ -90,10 +106,10 @@ def _add_param_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--beta", type=int, default=None)
 
 
-def cmd_build(args) -> int:
+def cmd_build(args, pram: PRAM | None = None) -> int:
     g = _read_graph(args.graph)
     params = _params(args)
-    pram = PRAM()
+    pram = pram if pram is not None else PRAM()
     if args.reduce and args.paths:
         hopset, _ = build_reduced_path_reporting_hopset(g, params, pram)
     elif args.reduce:
@@ -110,13 +126,15 @@ def cmd_build(args) -> int:
     return 0
 
 
-def cmd_sssp(args) -> int:
+def cmd_sssp(args, pram: PRAM | None = None) -> int:
     g = _read_graph(args.graph)
     hopset = load_hopset(args.hopset)
     budget = args.hops if args.hops else None
     if hopset.meta.get("reduction"):
         budget = budget or spt_hop_budget(hopset.beta)
-    res = approximate_sssp_with_hopset(g, hopset, args.source, hop_budget=budget)
+    res = approximate_sssp_with_hopset(
+        g, hopset, args.source, pram=pram, hop_budget=budget
+    )
     reached = int(np.isfinite(res.dist).sum())
     print(
         f"sssp from {args.source}: reached {reached}/{g.n} vertices in "
@@ -131,13 +149,13 @@ def cmd_sssp(args) -> int:
     return 0
 
 
-def cmd_spt(args) -> int:
+def cmd_spt(args, pram: PRAM | None = None) -> int:
     g = _read_graph(args.graph)
     hopset = load_hopset(args.hopset)
     budget = args.hops or (
         spt_hop_budget(hopset.beta) if hopset.meta.get("reduction") else None
     )
-    spt = approximate_spt(g, hopset, args.source, hop_budget=budget)
+    spt = approximate_spt(g, hopset, args.source, pram=pram, hop_budget=budget)
     print(
         f"spt rooted at {args.source}: {len(spt.tree_edges())} tree edges, "
         f"peeled {sum(spt.replacements.values())} hopset edges"
@@ -179,6 +197,56 @@ def cmd_info(args) -> int:
     return 0
 
 
+_TRACEABLE = {"build": cmd_build, "sssp": cmd_sssp, "spt": cmd_spt}
+
+
+def _trace_envelopes(args, g: Graph):
+    """Pick the theorem envelopes matching the traced subcommand."""
+    # Λ bound as used by multi_scale.scale_range: normalized weighted diameter.
+    aspect = (g.total_weight() / g.min_weight()) if g.num_edges else 2.0
+    if args.traced == "build":
+        return theorem_3_7_envelopes(g.n, g.num_edges, _params(args), aspect_ratio=aspect)
+    hopset = load_hopset(args.hopset)
+    budget = args.hops or (
+        spt_hop_budget(hopset.beta) if hopset.meta.get("reduction") else None
+    )
+    beta = budget if budget is not None else 2 * hopset.beta + 1
+    return query_envelopes(g.n, g.num_edges, hopset.num_records, beta)
+
+
+def cmd_trace(args) -> int:
+    runner = _TRACEABLE[args.traced]
+    pram = PRAM()
+    tracer = SpanTracer.attach(pram.cost, root_name=args.traced)
+    registry = MetricsRegistry.attach(pram.cost)
+    try:
+        rc = runner(args, pram)
+    finally:
+        root = tracer.finish()
+        registry.detach(pram.cost)
+    if rc != 0:
+        return rc
+    g = _read_graph(args.graph)
+    verdicts = evaluate_envelopes(root, _trace_envelopes(args, g))
+    extra = {
+        "command": args.traced,
+        "graph": {"n": g.n, "m": g.num_edges},
+        "watchdogs": [v.to_dict() for v in verdicts],
+    }
+    write_chrome_trace(args.trace_out, tracer, metrics=registry, extra=extra)
+    if args.jsonl:
+        write_jsonl(args.jsonl, tracer)
+    print(flame_report(tracer, title=f"trace: {args.traced}"))
+    print(watchdog_table(verdicts))
+    print(
+        f"span coverage: {100 * tracer.coverage():.1f}% of charged work; "
+        f"wrote {args.trace_out}"
+        + (f" and {args.jsonl}" if args.jsonl else "")
+    )
+    # WARN verdicts are advisory (tracked constants), not failures.
+    return 0
+
+
 def cmd_gen(args) -> int:
     if args.family not in _FAMILIES:
         print(f"unknown family {args.family!r}; options: {sorted(_FAMILIES)}",
@@ -190,6 +258,22 @@ def cmd_gen(args) -> int:
     return 0
 
 
+def _add_build_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("graph")
+    p.add_argument("out")
+    _add_param_flags(p)
+    p.add_argument("--paths", action="store_true", help="record memory paths (§4)")
+    p.add_argument("--reduce", action="store_true", help="Klein–Sairam reduction (App. C/D)")
+
+
+def _add_query_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("graph")
+    p.add_argument("hopset")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--hops", type=int, default=None)
+    p.add_argument("--out", default=None)
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro", description="Deterministic PRAM hopsets & approximate SSSP"
@@ -197,28 +281,33 @@ def build_parser() -> argparse.ArgumentParser:
     sub = ap.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("build", help="build a hopset for a graph")
-    p.add_argument("graph")
-    p.add_argument("out")
-    _add_param_flags(p)
-    p.add_argument("--paths", action="store_true", help="record memory paths (§4)")
-    p.add_argument("--reduce", action="store_true", help="Klein–Sairam reduction (App. C/D)")
+    _add_build_flags(p)
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("sssp", help="(1+eps)-approximate single-source distances")
-    p.add_argument("graph")
-    p.add_argument("hopset")
-    p.add_argument("--source", type=int, default=0)
-    p.add_argument("--hops", type=int, default=None)
-    p.add_argument("--out", default=None)
+    _add_query_flags(p)
     p.set_defaults(func=cmd_sssp)
 
     p = sub.add_parser("spt", help="(1+eps)-approximate shortest-path tree")
-    p.add_argument("graph")
-    p.add_argument("hopset")
-    p.add_argument("--source", type=int, default=0)
-    p.add_argument("--hops", type=int, default=None)
-    p.add_argument("--out", default=None)
+    _add_query_flags(p)
     p.set_defaults(func=cmd_spt)
+
+    p = sub.add_parser(
+        "trace", help="run build/sssp/spt under the tracer + theorem watchdogs"
+    )
+    tsub = p.add_subparsers(dest="traced", required=True)
+    for name, adder in (
+        ("build", _add_build_flags),
+        ("sssp", _add_query_flags),
+        ("spt", _add_query_flags),
+    ):
+        tp = tsub.add_parser(name, help=f"traced {name}")
+        adder(tp)
+        tp.add_argument(
+            "--trace-out", required=True, help="Chrome trace-event JSON output path"
+        )
+        tp.add_argument("--jsonl", default=None, help="also write one span per line")
+        tp.set_defaults(func=cmd_trace, traced=name)
 
     p = sub.add_parser("certify", help="verify eq. (1) exhaustively")
     p.add_argument("graph")

@@ -64,23 +64,25 @@ def ruling_set(
         members_by_cluster if members_by_cluster is not None else partition.members_by_cluster()
     )
     for h in range(bits):
-        bit = (ids >> h) & 1
-        b0 = alive & (bit == 0)
-        b1 = alive & (bit == 1)
-        pram.charge(work=ncl, depth=1, label="ruling_split")
-        if not (b0.any() and b1.any()):
-            continue
-        bfs = bfs_from_clusters(
-            pram,
-            graph,
-            partition,
-            source_mask=b0,
-            threshold=threshold,
-            hops=hops,
-            max_pulses=2,
-            members_by_cluster=members,
-        )
-        knocked = b1 & bfs.detected()
-        alive &= ~knocked
-        pram.charge(work=ncl, depth=1, label="ruling_knockout")
+        # one span per ID-bit level of the divide-and-conquer recursion
+        with pram.subphase(f"bit{h}"):
+            bit = (ids >> h) & 1
+            b0 = alive & (bit == 0)
+            b1 = alive & (bit == 1)
+            pram.charge(work=ncl, depth=1, label="ruling_split")
+            if not (b0.any() and b1.any()):
+                continue
+            bfs = bfs_from_clusters(
+                pram,
+                graph,
+                partition,
+                source_mask=b0,
+                threshold=threshold,
+                hops=hops,
+                max_pulses=2,
+                members_by_cluster=members,
+            )
+            knocked = b1 & bfs.detected()
+            alive &= ~knocked
+            pram.charge(work=ncl, depth=1, label="ruling_knockout")
     return alive

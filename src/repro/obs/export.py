@@ -1,0 +1,160 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL, and flame-style text.
+
+Chrome trace output loads directly in ``chrome://tracing`` or
+https://ui.perfetto.dev.  Two process tracks are emitted:
+
+* **wall-clock** (pid 0) — span timestamps/durations in real microseconds
+  of the simulator's execution (engineering view);
+* **work-clock** (pid 1) — the same spans on a timeline where one
+  microsecond equals one unit of charged PRAM work, so span *widths are
+  proportional to the model cost* they account for (the view that matches
+  the paper's accounting; depth is attached as an argument).
+
+Every span event carries ``args`` with inclusive/self work and depth, so
+Perfetto's selection panel shows the model figures directly.  The JSONL
+exporter writes one span per line (``Span.to_dict``) for ad-hoc analytics,
+and :func:`flame_report` renders an indented plain-text tree through
+``repro.analysis.tables``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.tables import render_table
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, SpanTracer
+
+__all__ = [
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "flame_report",
+]
+
+_SourceT = Union[Span, SpanTracer]
+
+
+def _root_of(source: _SourceT) -> Span:
+    return source.root if isinstance(source, SpanTracer) else source
+
+
+def chrome_trace_events(source: _SourceT) -> list[dict]:
+    """Flatten a span tree into Chrome trace-event dicts (``ph: "X"``)."""
+    root = _root_of(source)
+    events: list[dict] = [
+        {"ph": "M", "pid": 0, "name": "process_name", "args": {"name": "wall-clock"}},
+        {"ph": "M", "pid": 1, "name": "process_name", "args": {"name": "work-clock"}},
+    ]
+    t0 = root.wall_start
+    for span in root.walk():
+        args = {
+            "work": span.work,
+            "depth": span.depth,
+            "self_work": span.self_work,
+            "self_depth": span.self_depth,
+            "charges": span.charges,
+        }
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "pid": 0,
+                "tid": 0,
+                "ts": (span.wall_start - t0) * 1e6,
+                "dur": span.wall * 1e6,
+                "args": args,
+            }
+        )
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "pid": 1,
+                "tid": 0,
+                "ts": float(span.work_start - root.work_start),
+                "dur": float(span.work),
+                "args": args,
+            }
+        )
+    return events
+
+
+def to_chrome_trace(
+    source: _SourceT,
+    metrics: MetricsRegistry | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """The full Chrome trace JSON object for a finished trace."""
+    root = _root_of(source)
+    other: dict = {
+        "total_work": root.work,
+        "total_depth": root.depth,
+        "wall_s": root.wall,
+    }
+    if isinstance(source, SpanTracer):
+        other["span_coverage"] = source.coverage()
+    if metrics is not None:
+        other["metrics"] = metrics.snapshot()
+    if extra:
+        other.update(extra)
+    return {
+        "traceEvents": chrome_trace_events(root),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    source: _SourceT,
+    metrics: MetricsRegistry | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(source, metrics, extra), indent=1))
+    return path
+
+
+def write_jsonl(path: str | Path, source: _SourceT) -> Path:
+    """One JSON object per span (pre-order), one per line."""
+    path = Path(path)
+    root = _root_of(source)
+    with path.open("w") as fh:
+        for span in root.walk():
+            fh.write(json.dumps(span.to_dict()) + "\n")
+    return path
+
+
+def flame_report(source: _SourceT, title: str = "trace report") -> str:
+    """Indented flame-style text table of the span tree.
+
+    Columns: inclusive work/depth, exclusive (self) work, share of the root
+    work, and wall-clock milliseconds.  Indentation shows nesting; span
+    names keep only their last path component (the ancestry is the
+    indentation).
+    """
+    root = _root_of(source)
+    total = max(root.work, 1)
+    rows = []
+    for span in root.walk():
+        short = span.name.rsplit("/", 1)[-1]
+        rows.append(
+            [
+                "  " * span.level + short,
+                span.work,
+                span.depth,
+                span.self_work,
+                f"{100.0 * span.work / total:.1f}%",
+                f"{span.wall * 1e3:.2f}",
+            ]
+        )
+    return render_table(
+        title,
+        ["span", "work", "depth", "self work", "share", "wall ms"],
+        rows,
+    )

@@ -1,0 +1,178 @@
+"""Counter/gauge/histogram registry for per-primitive PRAM metrics.
+
+A :class:`MetricsRegistry` subscribes to a
+:class:`~repro.pram.cost.CostModel` and aggregates, per primitive label:
+
+* ``primitive.<label>.calls``          — invocations,
+* ``primitive.<label>.elements``       — items processed,
+* ``primitive.<label>.cells_read``     — CREW shared-memory cells read,
+* ``primitive.<label>.cells_written``  — cells written,
+* ``primitive.<label>.work`` / ``.depth`` — charged resources,
+
+plus run-level totals (``cost.work``, ``cost.depth``, ``cost.charges``,
+``cost.phases``) and a log₂-bucketed size histogram per primitive
+(``primitive.<label>.size``).  The traffic figures are *model-level*
+(derived from each primitive's CREW charging convention, see
+``docs/model.md``) — they describe the simulated machine, not CPython.
+
+Metric names are plain dotted strings; :meth:`MetricsRegistry.snapshot`
+returns one JSON-friendly dict for export next to a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pram.cost import CostHook, CostModel
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """Monotone counter."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Log₂-bucketed non-negative value distribution.
+
+    Bucket ``b`` counts observations ``v`` with ``2^(b-1) < v <= 2^b``
+    (bucket 0 holds v in {0, 1}).  Tracks count/sum/min/max exactly;
+    quantiles can be approximated from the buckets.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name} takes non-negative values")
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        bucket = max(int(value) - 1, 0).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "log2_buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry(CostHook):
+    """Named metrics, plus the CostModel subscription that feeds them."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- registry ------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def attach(cls, cost: CostModel) -> "MetricsRegistry":
+        """Create a registry and subscribe it to ``cost`` in one step."""
+        registry = cls()
+        cost.subscribe(registry)
+        return registry
+
+    def detach(self, cost: CostModel) -> None:
+        cost.unsubscribe(self)
+
+    # -- CostHook callbacks --------------------------------------------------
+
+    def on_charge(self, work: int, depth: int, label: str) -> None:
+        self.counter("cost.charges").inc()
+        self.counter("cost.work").inc(work)
+        self.counter("cost.depth").inc(depth)
+        if label:
+            self.counter(f"primitive.{label}.work").inc(work)
+            self.counter(f"primitive.{label}.depth").inc(depth)
+
+    def on_traffic(
+        self, label: str, calls: int, elements: int, reads: int, writes: int
+    ) -> None:
+        prefix = f"primitive.{label}"
+        self.counter(f"{prefix}.calls").inc(calls)
+        self.counter(f"{prefix}.elements").inc(elements)
+        self.counter(f"{prefix}.cells_read").inc(reads)
+        self.counter(f"{prefix}.cells_written").inc(writes)
+        self.histogram(f"{prefix}.size").observe(elements)
+
+    def on_phase_enter(self, name: str) -> None:
+        self.counter("cost.phases").inc()
+
+    # -- export --------------------------------------------------------------
+
+    def primitive_labels(self) -> list[str]:
+        """All labels that reported traffic, sorted."""
+        suffix = ".calls"
+        return sorted(
+            name[len("primitive."):-len(suffix)]
+            for name in self.counters
+            if name.startswith("primitive.") and name.endswith(suffix)
+        )
+
+    def snapshot(self) -> dict:
+        """One JSON-friendly dict of every metric's current value."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {
+                k: h.to_dict() for k, h in sorted(self.histograms.items())
+            },
+        }

@@ -1,0 +1,228 @@
+"""Span-based tracing of PRAM executions.
+
+A :class:`SpanTracer` subscribes to a :class:`~repro.pram.cost.CostModel`
+and mirrors its phase stack as a tree of :class:`Span` objects.  Each span
+records:
+
+* the **inclusive** work/depth charged while it was open (from cost-model
+  snapshots at open/close),
+* the **self** (exclusive) work/depth charged while it was the *innermost*
+  open span,
+* wall-clock time (``time.perf_counter``), and
+* per-label operation stats (calls, work, depth, elements, CREW cells
+  read/written) fed by ``charge``/``traffic`` events.
+
+The tracer replaces ad-hoc inspection of ``CostModel.phase_totals`` for
+attribution questions: the span tree is structural (no name-prefix
+heuristics), survives duplicate phase names, and carries enough data for
+the Chrome-trace / flame-report exporters in :mod:`repro.obs.export`.
+
+Usage::
+
+    pram = PRAM()
+    tracer = SpanTracer.attach(pram.cost)
+    build_hopset(g, params, pram)
+    root = tracer.finish()          # detaches; root spans the whole run
+    print(root.work, root.self_work, [c.name for c in root.children])
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.pram.cost import CostHook, CostModel
+
+__all__ = ["OpStats", "Span", "SpanTracer"]
+
+
+@dataclass
+class OpStats:
+    """Aggregated per-label primitive statistics within one span."""
+
+    calls: int = 0
+    work: int = 0
+    depth: int = 0
+    elements: int = 0
+    reads: int = 0
+    writes: int = 0
+
+
+@dataclass
+class Span:
+    """One node of the trace tree (a phase execution, or the root)."""
+
+    name: str
+    level: int
+    work_start: int
+    depth_start: int
+    wall_start: float
+    work_end: int = -1
+    depth_end: int = -1
+    wall_end: float = -1.0
+    self_work: int = 0
+    self_depth: int = 0
+    charges: int = 0
+    ops: dict[str, OpStats] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        return self.work_end >= 0
+
+    @property
+    def work(self) -> int:
+        """Inclusive work charged while the span was open."""
+        return (self.work_end if self.closed else self.work_start) - self.work_start
+
+    @property
+    def depth(self) -> int:
+        """Inclusive depth charged while the span was open."""
+        return (self.depth_end if self.closed else self.depth_start) - self.depth_start
+
+    @property
+    def wall(self) -> float:
+        """Wall-clock seconds the span was open."""
+        return max(self.wall_end - self.wall_start, 0.0) if self.closed else 0.0
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order traversal of the subtree rooted at this span."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (used by the JSONL exporter)."""
+        return {
+            "name": self.name,
+            "level": self.level,
+            "work": self.work,
+            "depth": self.depth,
+            "self_work": self.self_work,
+            "self_depth": self.self_depth,
+            "wall_s": self.wall,
+            "charges": self.charges,
+            "ops": {
+                label: {
+                    "calls": s.calls,
+                    "work": s.work,
+                    "depth": s.depth,
+                    "elements": s.elements,
+                    "cells_read": s.reads,
+                    "cells_written": s.writes,
+                }
+                for label, s in sorted(self.ops.items())
+            },
+            "children": [c.name for c in self.children],
+        }
+
+
+class SpanTracer(CostHook):
+    """A cost-model subscriber that builds the span tree of a run.
+
+    Attach with :meth:`attach` (or construct and ``cost.subscribe``
+    manually), run the instrumented code, then call :meth:`finish` to close
+    the root span and detach.  The tracer is reusable only for one run.
+    """
+
+    def __init__(
+        self,
+        cost: CostModel,
+        clock: Callable[[], float] | None = None,
+        root_name: str = "trace",
+    ) -> None:
+        self.cost = cost
+        self.clock = clock if clock is not None else time.perf_counter
+        self.root = Span(
+            name=root_name,
+            level=0,
+            work_start=cost.work,
+            depth_start=cost.depth,
+            wall_start=self.clock(),
+        )
+        self._stack: list[Span] = [self.root]
+        self._finished = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def attach(cls, cost: CostModel, **kwargs) -> "SpanTracer":
+        """Create a tracer and subscribe it to ``cost`` in one step."""
+        tracer = cls(cost, **kwargs)
+        cost.subscribe(tracer)
+        return tracer
+
+    def finish(self) -> Span:
+        """Close all open spans (root last), detach, and return the root."""
+        if not self._finished:
+            while self._stack:
+                self._close(self._stack.pop())
+            self.cost.unsubscribe(self)
+            self._finished = True
+        return self.root
+
+    def _close(self, span: Span) -> None:
+        span.work_end = self.cost.work
+        span.depth_end = self.cost.depth
+        span.wall_end = self.clock()
+
+    # -- CostHook callbacks --------------------------------------------------
+
+    def on_charge(self, work: int, depth: int, label: str) -> None:
+        span = self._stack[-1]
+        span.self_work += work
+        span.self_depth += depth
+        span.charges += 1
+        stats = span.ops.get(label)
+        if stats is None:
+            stats = span.ops[label] = OpStats()
+        stats.calls += 1
+        stats.work += work
+        stats.depth += depth
+
+    def on_traffic(
+        self, label: str, calls: int, elements: int, reads: int, writes: int
+    ) -> None:
+        span = self._stack[-1]
+        stats = span.ops.get(label)
+        if stats is None:
+            stats = span.ops[label] = OpStats()
+        stats.elements += elements
+        stats.reads += reads
+        stats.writes += writes
+
+    def on_phase_enter(self, name: str) -> None:
+        parent = self._stack[-1]
+        span = Span(
+            name=name,
+            level=parent.level + 1,
+            work_start=self.cost.work,
+            depth_start=self.cost.depth,
+            wall_start=self.clock(),
+        )
+        parent.children.append(span)
+        self._stack.append(span)
+
+    def on_phase_exit(self, name: str) -> None:
+        if len(self._stack) <= 1:
+            return  # phase opened before the tracer attached; nothing to close
+        self._close(self._stack.pop())
+
+    # -- queries -------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """All spans, pre-order (root first)."""
+        return list(self.root.walk())
+
+    def coverage(self) -> float:
+        """Fraction of the root's charged work inside *named* child spans.
+
+        The acceptance metric for instrumentation completeness: work
+        charged outside any phase is visible only as root ``self_work``,
+        so ``coverage = 1 - root.self_work / root.work``.
+        """
+        total = self.root.work
+        if total <= 0:
+            return 1.0
+        return 1.0 - self.root.self_work / total

@@ -6,7 +6,7 @@ This package is the hardware substitution for the paper's abstract machine
 quantities the paper's theorems bound.
 """
 
-from repro.pram.cost import CostModel, CostSnapshot, StepRecord
+from repro.pram.cost import CostHook, CostModel, CostSnapshot, StepRecord
 from repro.pram.errors import (
     InvalidStepError,
     PRAMError,
@@ -20,6 +20,7 @@ from repro.pram.schedule import SchedulePoint, makespan, speedup_curve
 __all__ = [
     "PRAM",
     "CostModel",
+    "CostHook",
     "CostSnapshot",
     "StepRecord",
     "CREWMemory",

@@ -13,7 +13,22 @@ benchmark harness; Brent's scheduling theorem (``T_p <= W/p + D``) converts
 them into a running-time estimate for any concrete processor count.
 
 Charges may be grouped into named *phases* (nested), so that experiments can
-attribute work to e.g. ``superclustering`` vs ``interconnection``.
+attribute work to e.g. ``superclustering`` vs ``interconnection``.  Phase
+accounting keeps two views per phase name:
+
+* ``phase_totals`` — **inclusive**: a charge counts toward every enclosing
+  phase, so a phase row reads as "everything that happened inside this
+  block".  Summing inclusive rows of *nested* phases over-reports the
+  total; sum only sibling leaves (``repro.analysis.breakdown`` does).
+* ``phase_self_totals`` — **exclusive (self)**: a charge counts only toward
+  the innermost open phase.  Exclusive rows partition the phased work, so
+  they always sum to ≤ the total charged work.
+
+Observability subscribers (``repro.obs``) may attach via
+:meth:`CostModel.subscribe`.  The hook dispatch is gated on a single list
+truthiness check, so an un-instrumented run pays no allocation and no
+indirect calls — the *zero-overhead-when-disabled* contract that the
+hot-loop benchmarks (E10) guard.
 """
 
 from __future__ import annotations
@@ -25,16 +40,23 @@ from typing import Iterator
 
 from repro.pram.errors import InvalidStepError
 
-__all__ = ["StepRecord", "CostModel", "CostSnapshot"]
+__all__ = ["StepRecord", "CostModel", "CostSnapshot", "CostHook"]
 
 
 @dataclass(frozen=True)
 class StepRecord:
-    """One charged parallel step (or batch of identical steps)."""
+    """One charged parallel step (or batch of identical steps).
+
+    ``phases`` preserves the phase stack open at charge time (outermost
+    first), so a labeled step recorded inside ``scale3/phase1/ruling``
+    keeps both its own ``label`` and the phase context — traces can group
+    steps by either.
+    """
 
     label: str
     work: int
     depth: int
+    phases: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -48,6 +70,30 @@ class CostSnapshot:
         return CostSnapshot(self.work - other.work, self.depth - other.depth)
 
 
+class CostHook:
+    """No-op base class for :class:`CostModel` subscribers.
+
+    Subclasses (see :mod:`repro.obs`) override any subset of the callbacks.
+    All callbacks must be cheap and must not mutate the cost model.
+    """
+
+    __slots__ = ()
+
+    def on_charge(self, work: int, depth: int, label: str) -> None:
+        """One :meth:`CostModel.charge` call (after totals were updated)."""
+
+    def on_traffic(
+        self, label: str, calls: int, elements: int, reads: int, writes: int
+    ) -> None:
+        """CREW memory-traffic report from one primitive invocation."""
+
+    def on_phase_enter(self, name: str) -> None:
+        """A ``with cost.phase(name)`` block was entered."""
+
+    def on_phase_exit(self, name: str) -> None:
+        """The matching phase block was exited (also on exceptions)."""
+
+
 @dataclass
 class CostModel:
     """Accumulates the work and depth of a simulated PRAM execution.
@@ -58,6 +104,12 @@ class CostModel:
         Total operations charged so far.
     depth:
         Total synchronous rounds charged so far.
+    phase_totals:
+        Inclusive per-phase totals (a charge counts toward every enclosing
+        phase).
+    phase_self_totals:
+        Exclusive per-phase totals (a charge counts only toward the
+        innermost open phase).
     """
 
     work: int = 0
@@ -65,7 +117,9 @@ class CostModel:
     record_steps: bool = False
     steps: list[StepRecord] = field(default_factory=list)
     phase_totals: dict[str, CostSnapshot] = field(default_factory=dict)
-    _phase_stack: list[str] = field(default_factory=list)
+    phase_self_totals: dict[str, CostSnapshot] = field(default_factory=dict)
+    _phase_stack: list[str] = field(default_factory=list, repr=False)
+    _subscribers: list[CostHook] = field(default_factory=list, repr=False)
 
     def charge(self, work: int, depth: int = 1, label: str = "") -> None:
         """Charge ``work`` operations spread over ``depth`` rounds.
@@ -80,11 +134,64 @@ class CostModel:
             )
         self.work += int(work)
         self.depth += int(depth)
+        stack = self._phase_stack
         if self.record_steps:
-            self.steps.append(StepRecord(label or self._current_phase(), work, depth))
-        for phase in self._phase_stack:
-            prev = self.phase_totals.get(phase, CostSnapshot(0, 0))
-            self.phase_totals[phase] = CostSnapshot(prev.work + work, prev.depth + depth)
+            self.steps.append(
+                StepRecord(
+                    label or (stack[-1] if stack else ""), work, depth, tuple(stack)
+                )
+            )
+        if stack:
+            for phase in stack:
+                prev = self.phase_totals.get(phase, _ZERO)
+                self.phase_totals[phase] = CostSnapshot(
+                    prev.work + work, prev.depth + depth
+                )
+            leaf = stack[-1]
+            prev = self.phase_self_totals.get(leaf, _ZERO)
+            self.phase_self_totals[leaf] = CostSnapshot(
+                prev.work + work, prev.depth + depth
+            )
+        if self._subscribers:
+            for hook in self._subscribers:
+                hook.on_charge(work, depth, label)
+
+    def traffic(
+        self,
+        label: str,
+        *,
+        calls: int = 1,
+        elements: int = 0,
+        reads: int = 0,
+        writes: int = 0,
+    ) -> None:
+        """Report model-level CREW memory traffic for one primitive call.
+
+        ``reads``/``writes`` count shared-memory cells touched under the
+        primitive's charging convention (see ``docs/model.md``).  This is a
+        pure observability event: it never affects ``work``/``depth`` and
+        is a no-op unless a subscriber is attached.
+        """
+        if not self._subscribers:
+            return
+        for hook in self._subscribers:
+            hook.on_traffic(label, calls, elements, reads, writes)
+
+    # -- observability hooks -------------------------------------------------
+
+    def subscribe(self, hook: CostHook) -> CostHook:
+        """Attach an observability hook; returns it for chaining."""
+        self._subscribers.append(hook)
+        return hook
+
+    def unsubscribe(self, hook: CostHook) -> None:
+        """Detach a hook previously attached with :meth:`subscribe`."""
+        if hook in self._subscribers:
+            self._subscribers.remove(hook)
+
+    @property
+    def has_subscribers(self) -> bool:
+        return bool(self._subscribers)
 
     def snapshot(self) -> CostSnapshot:
         """Return the current (work, depth) totals as an immutable value."""
@@ -105,24 +212,52 @@ class CostModel:
         """Attribute all charges inside the ``with`` block to ``name``.
 
         Phases nest; a charge inside nested phases is attributed to each
-        enclosing phase (so phase totals are inclusive).
+        enclosing phase in ``phase_totals`` (inclusive) and to the
+        innermost phase only in ``phase_self_totals`` (exclusive).
         """
         self._phase_stack.append(name)
+        if self._subscribers:
+            for hook in self._subscribers:
+                hook.on_phase_enter(name)
         try:
             yield
         finally:
             self._phase_stack.pop()
+            if self._subscribers:
+                for hook in self._subscribers:
+                    hook.on_phase_exit(name)
+
+    def subphase(self, name: str):
+        """A phase named *under* the innermost open phase, path-style.
+
+        ``with cost.phase("scale3/phase1/ruling"): with cost.subphase("bit4")``
+        opens the phase ``scale3/phase1/ruling/bit4``.  Library code uses
+        this to add finer spans without knowing its enclosing phase name,
+        while keeping the ``a/b/c`` naming convention that
+        :func:`repro.analysis.breakdown.cost_breakdown` relies on to
+        identify leaves.
+        """
+        parent = self._phase_stack[-1] if self._phase_stack else ""
+        return self.phase(f"{parent}/{name}" if parent else name)
+
+    def current_phase_path(self) -> tuple[str, ...]:
+        """The currently open phase stack, outermost first."""
+        return tuple(self._phase_stack)
 
     def _current_phase(self) -> str:
         return self._phase_stack[-1] if self._phase_stack else ""
 
     def reset(self) -> None:
-        """Zero all counters and recorded steps."""
+        """Zero all counters and recorded steps (subscribers stay attached)."""
         self.work = 0
         self.depth = 0
         self.steps.clear()
         self.phase_totals.clear()
+        self.phase_self_totals.clear()
         self._phase_stack.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CostModel(work={self.work}, depth={self.depth})"
+
+
+_ZERO = CostSnapshot(0, 0)

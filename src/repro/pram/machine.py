@@ -43,6 +43,10 @@ class PRAM:
     def phase(self, name: str):
         return self.cost.phase(name)
 
+    def subphase(self, name: str):
+        """Phase nested path-style under the innermost open phase."""
+        return self.cost.subphase(name)
+
     # -- primitives ---------------------------------------------------------
 
     def map(self, fn, *arrays: np.ndarray, label: str = "map") -> np.ndarray:

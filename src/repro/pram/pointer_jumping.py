@@ -67,6 +67,8 @@ def pointer_jump(
         d = d + d[q]
         q = q[q]
         cost.charge(work=2 * n, depth=2, label=label)
+        # per element and round: read q(v), d(q(v)); write q'(v), d'(v)
+        cost.traffic(label, elements=n, reads=4 * n, writes=2 * n)
         if np.array_equal(q, q[q]):
             break
     if not np.array_equal(q, q[q]):

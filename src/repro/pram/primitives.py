@@ -18,6 +18,11 @@ primitive                       work                    depth
 not allowed, so colliding updates are combined by a balanced min-tree per
 cell — hence the O(log n) depth charge.  This is exactly how the paper's
 Algorithm 2 merges exploration entries arriving at one vertex.
+
+Besides charging work/depth, every primitive reports its model-level CREW
+memory traffic (cells read/written under the charging convention above)
+through :meth:`CostModel.traffic` — a no-op unless an observability
+subscriber (``repro.obs``) is attached.
 """
 
 from __future__ import annotations
@@ -56,6 +61,7 @@ def elementwise(
     out = fn(*arrays)
     n = max((int(np.size(a)) for a in arrays), default=0)
     cost.charge(work=n, depth=1, label=label)
+    cost.traffic(label, elements=n, reads=n * max(len(arrays), 1), writes=n)
     return out
 
 
@@ -76,6 +82,8 @@ def preduce(
     if n == 0:
         raise InvalidStepError("cannot reduce an empty array")
     cost.charge(work=n, depth=ceil_log2(n) + 1, label=label)
+    # combine tree: 2(n-1) reads, n-1 internal writes, 1 result write
+    cost.traffic(label, elements=n, reads=2 * max(n - 1, 0), writes=n)
     return reducers[op](arr)
 
 
@@ -84,6 +92,7 @@ def pbroadcast(cost: CostModel, value, n: int, dtype=None, label: str = "broadca
     if n < 0:
         raise InvalidStepError(f"broadcast size must be non-negative, got {n}")
     cost.charge(work=n, depth=1, label=label)
+    cost.traffic(label, elements=n, reads=n, writes=n)
     return np.full(n, value, dtype=dtype)
 
 
@@ -104,6 +113,7 @@ def scatter_min(
     np.minimum.at(target, idx, values)
     n = int(idx.size)
     cost.charge(work=n, depth=ceil_log2(max(n, 1)) + 1, label=label)
+    cost.traffic(label, elements=n, reads=2 * n, writes=n)
     return target
 
 
@@ -129,6 +139,7 @@ def scatter_min_arg(
     n = int(idx.size)
     if n == 0:
         cost.charge(work=0, depth=1, label=label)
+        cost.traffic(label)
         return target, payload
     # Sort updates by (cell, value, payload); the first update per cell is
     # the deterministic winner.  Charged as one parallel sort round below.
@@ -143,6 +154,10 @@ def scatter_min_arg(
     target[win_cells[improve]] = win_vals[improve]
     payload[win_cells[improve]] = win_pay[improve]
     cost.charge(work=n * max(1, ceil_log2(n)), depth=ceil_log2(n) + 2, label=label)
+    # sort-network traffic plus the winner read-compare-write per cell
+    cost.traffic(
+        label, elements=n, reads=n * max(1, ceil_log2(n)) + 2 * n, writes=2 * n
+    )
     return target, payload
 
 
@@ -151,6 +166,7 @@ def pselect(cost: CostModel, mask: np.ndarray, label: str = "select") -> np.ndar
     out = np.flatnonzero(mask)
     n = int(mask.size)
     cost.charge(work=n, depth=ceil_log2(max(n, 1)) + 1, label=label)
+    cost.traffic(label, elements=n, reads=n, writes=int(out.size))
     return out
 
 
@@ -163,4 +179,5 @@ def pcompact(
     out = arr[mask]
     n = int(mask.size)
     cost.charge(work=n, depth=ceil_log2(max(n, 1)) + 1, label=label)
+    cost.traffic(label, elements=n, reads=2 * n, writes=int(out.shape[0]))
     return out

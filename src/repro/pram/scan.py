@@ -21,6 +21,8 @@ __all__ = ["prefix_sum", "prefix_max", "segmented_sum", "segment_offsets"]
 def _charge_scan(cost: CostModel, n: int, label: str) -> None:
     # Blelloch up-sweep + down-sweep: 2n work, 2*ceil(log n) rounds.
     cost.charge(work=2 * n, depth=2 * ceil_log2(max(n, 1)) + 1, label=label)
+    # both sweeps read two children / write one parent per tree node
+    cost.traffic(label, elements=n, reads=4 * max(n - 1, 0), writes=2 * n)
 
 
 def prefix_sum(
@@ -52,6 +54,7 @@ def segment_offsets(cost: CostModel, segment_ids: np.ndarray) -> tuple[np.ndarra
     n = int(segment_ids.size)
     if n == 0:
         cost.charge(work=0, depth=1, label="segments")
+        cost.traffic("segments")
         return segment_ids[:0], np.zeros(0, dtype=np.int64)
     if np.any(segment_ids[1:] < segment_ids[:-1]):
         raise InvalidStepError("segment_offsets requires sorted segment ids")
@@ -74,4 +77,5 @@ def segmented_sum(
     np.add.at(out, segment_ids, values)
     n = int(values.size)
     cost.charge(work=n, depth=ceil_log2(max(n, 1)) + 1, label="segmented_sum")
+    cost.traffic("segmented_sum", elements=n, reads=2 * n, writes=num_segments)
     return out

@@ -27,6 +27,9 @@ def _charge_sort(cost: CostModel, n: int, network: str, label: str) -> None:
         cost.charge(work=n * lg * lg, depth=lg * lg + 1, label=label)
     else:
         raise InvalidStepError(f"unknown sorting network {network!r}")
+    # each comparator reads two cells and writes two cells
+    comparators = n * (lg if network == "aks" else lg * lg)
+    cost.traffic(label, elements=n, reads=2 * comparators, writes=2 * comparators)
 
 
 def parallel_sort(

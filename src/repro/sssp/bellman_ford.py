@@ -63,17 +63,18 @@ def bellman_ford(
     if src.min() < 0 or src.max() >= graph.n:
         raise VertexError("source vertex out of range")
 
-    dist = pram.broadcast(np.inf, graph.n, dtype=np.float64, label="bf_init")
-    parent = pram.broadcast(-1, graph.n, dtype=np.int64, label="bf_init")
-    dist[src] = 0.0
-    parent[src] = src
-    tails, heads, w = graph.arcs()
-    rounds = 0
-    for _ in range(hops):
-        cand = dist[tails] + w
-        prev = dist.copy()
-        pram.scatter_min_arg(dist, parent, heads, cand, tails, label="bf_relax")
-        rounds += 1
-        if early_exit and np.array_equal(prev, dist):
-            break
+    with pram.subphase("bellman_ford"):
+        dist = pram.broadcast(np.inf, graph.n, dtype=np.float64, label="bf_init")
+        parent = pram.broadcast(-1, graph.n, dtype=np.int64, label="bf_init")
+        dist[src] = 0.0
+        parent[src] = src
+        tails, heads, w = graph.arcs()
+        rounds = 0
+        for _ in range(hops):
+            cand = dist[tails] + w
+            prev = dist.copy()
+            pram.scatter_min_arg(dist, parent, heads, cand, tails, label="bf_relax")
+            rounds += 1
+            if early_exit and np.array_equal(prev, dist):
+                break
     return BellmanFordResult(dist=dist, parent=parent, rounds_used=rounds, hop_budget=hops)

@@ -68,7 +68,8 @@ def approximate_mssd(
         total_work += local.cost.work
         max_depth = max(max_depth, local.cost.depth)
     if pram is not None:
-        pram.charge(work=total_work, depth=max_depth, label="mssd")
+        with pram.phase("mssd"):
+            pram.charge(work=total_work, depth=max_depth, label="mssd")
     return MultiSourceResult(
         sources=src, dist=dists, parent=parents, work=total_work, depth=max_depth
     )

@@ -96,7 +96,8 @@ def approximate_spt(
 
     union = hopset.union_graph(graph)
     budget = hop_budget if hop_budget is not None else max(n - 1, 1)
-    bf = bellman_ford(pram, union, source, budget)
+    with pram.phase("spt_explore"):
+        bf = bellman_ford(pram, union, source, budget)
     parent = bf.parent.copy()
     dist = bf.dist.copy()
 
@@ -191,7 +192,8 @@ def approximate_spt(
     scale_order = sorted(hopset.scales(), reverse=True)
     for _ in range(len(scale_order) + 2):
         for k in scale_order:
-            peeled = peel_scale(k)
+            with pram.phase(f"spt_peel/scale{k}"):
+                peeled = peel_scale(k)
             if peeled:
                 replacements[k] = replacements.get(k, 0) + peeled
         if not has_hopset_tree_edge():
@@ -214,7 +216,8 @@ def approximate_spt(
     q = parent.copy()
     unreached = q < 0
     q[unreached] = np.flatnonzero(unreached)
-    root, tree_dist = pram.pointer_jump(q, edge_w)
+    with pram.phase("spt_rank"):
+        root, tree_dist = pram.pointer_jump(q, edge_w)
     del root
     tree_dist[unreached] = np.inf
     return SPTResult(

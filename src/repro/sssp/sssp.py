@@ -75,7 +75,8 @@ def approximate_sssp_with_hopset(
     union = hopset.union_graph(graph)
     budget = hop_budget if hop_budget is not None else min(2 * hopset.beta + 1, max(graph.n - 1, 1))
     before = pram.snapshot()
-    bf: BellmanFordResult = bellman_ford(pram, union, source, budget)
+    with pram.phase("sssp_query"):
+        bf: BellmanFordResult = bellman_ford(pram, union, source, budget)
     cost = pram.snapshot() - before
     return SSSPResult(
         source=source,

@@ -1,0 +1,93 @@
+"""Watchdog envelopes: shapes, verdicts, and real-build evaluation."""
+
+import pytest
+
+from repro.graphs.generators import erdos_renyi
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.obs.bounds import (
+    Envelope,
+    WatchdogVerdict,
+    evaluate_envelopes,
+    query_envelopes,
+    theorem_3_7_envelopes,
+    watchdog_table,
+)
+from repro.pram.cost import CostSnapshot
+from repro.pram.machine import PRAM
+from repro.sssp.sssp import approximate_sssp_with_hopset
+
+
+def test_envelope_validation():
+    with pytest.raises(ValueError):
+        Envelope("x", "wall", 1.0, "f", 1.0)
+    with pytest.raises(ValueError):
+        Envelope("x", "work", 0.0, "f", 1.0)
+    with pytest.raises(ValueError):
+        Envelope("x", "work", float("inf"), "f", 1.0)
+
+
+def test_verdict_status_threshold():
+    v = WatchdogVerdict("e", "work", 10, 10.0, 1.0, 1.0, "f")
+    assert v.status == "PASS" and v.passed
+    v = WatchdogVerdict("e", "work", 20, 10.0, 2.0, 1.0, "f")
+    assert v.status == "WARN" and not v.passed
+    assert v.to_dict()["status"] == "WARN"
+
+
+def test_theorem_3_7_envelopes_shapes():
+    envs = theorem_3_7_envelopes(256, 1024, HopsetParams(kappa=2, rho=0.4))
+    by_name = {e.name: e for e in envs}
+    assert set(by_name) == {"thm3.7-depth", "thm3.7-work"}
+    assert by_name["thm3.7-depth"].metric == "depth"
+    assert by_name["thm3.7-work"].metric == "work"
+    # work shape grows with m and with the aspect ratio
+    bigger_m = theorem_3_7_envelopes(256, 4096, HopsetParams(kappa=2, rho=0.4))
+    assert bigger_m[1].shape > by_name["thm3.7-work"].shape
+    wider = theorem_3_7_envelopes(
+        256, 1024, HopsetParams(kappa=2, rho=0.4), aspect_ratio=1e6
+    )
+    assert wider[1].shape > by_name["thm3.7-work"].shape
+
+
+def test_query_envelopes_scale_with_beta_and_arcs():
+    a = query_envelopes(100, 400, 50, beta=4)
+    b = query_envelopes(100, 400, 50, beta=8)
+    assert b[0].shape == 2 * a[0].shape
+    assert b[1].shape == 2 * a[1].shape
+
+
+def test_evaluate_accepts_snapshot_like_values():
+    envs = [Envelope("e", "work", 100.0, "f", warn_at=2.0)]
+    verdicts = evaluate_envelopes(CostSnapshot(work=150, depth=3), envs)
+    assert verdicts[0].constant == pytest.approx(1.5)
+    assert verdicts[0].passed
+
+
+def test_build_run_stays_inside_calibrated_envelopes():
+    g = erdos_renyi(96, 0.08, seed=21)
+    pram = PRAM()
+    params = HopsetParams(beta=8)
+    build_hopset(g, params, pram)
+    aspect = g.total_weight() / g.min_weight()
+    envs = theorem_3_7_envelopes(g.n, g.num_edges, params, aspect_ratio=aspect)
+    verdicts = evaluate_envelopes(pram.cost, envs)
+    assert all(v.passed for v in verdicts), [v.to_dict() for v in verdicts]
+    assert all(v.constant > 0 for v in verdicts)
+
+
+def test_query_run_stays_inside_envelopes():
+    g = erdos_renyi(80, 0.1, seed=5)
+    build_pram = PRAM()
+    hopset, _ = build_hopset(g, HopsetParams(beta=8), build_pram)
+    pram = PRAM()
+    approximate_sssp_with_hopset(g, hopset, 0, pram=pram)
+    envs = query_envelopes(g.n, g.num_edges, hopset.num_records, 2 * hopset.beta + 1)
+    verdicts = evaluate_envelopes(pram.cost, envs)
+    assert all(v.passed for v in verdicts), [v.to_dict() for v in verdicts]
+
+
+def test_watchdog_table_renders():
+    v = WatchdogVerdict("thm", "depth", 5, 10.0, 0.5, 1.0, "β·log n")
+    table = watchdog_table([v])
+    assert "thm" in table and "PASS" in table

@@ -1,0 +1,100 @@
+"""Exporters: Chrome trace events, JSONL, flame report."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace_events,
+    flame_report,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanTracer
+from repro.pram.cost import CostModel
+
+
+def _traced_run():
+    c = CostModel()
+    tracer = SpanTracer.attach(c)
+    with c.phase("alpha"):
+        c.charge(work=10, depth=2, label="scan")
+        with c.phase("alpha/beta"):
+            c.charge(work=6, depth=1, label="sort")
+    tracer.finish()
+    return tracer
+
+
+def test_chrome_events_have_both_tracks():
+    tracer = _traced_run()
+    events = chrome_trace_events(tracer)
+    x = [e for e in events if e["ph"] == "X"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(meta) == 2
+    # every span appears once per track (wall pid 0, work pid 1)
+    assert len(x) == 2 * len(tracer.spans())
+    assert {e["pid"] for e in x} == {0, 1}
+
+
+def test_work_clock_durations_equal_span_work():
+    tracer = _traced_run()
+    by_name = {
+        e["name"]: e
+        for e in chrome_trace_events(tracer)
+        if e["ph"] == "X" and e["pid"] == 1
+    }
+    assert by_name["alpha"]["dur"] == 16.0
+    assert by_name["alpha/beta"]["dur"] == 6.0
+    # child starts inside the parent on the work timeline
+    assert by_name["alpha/beta"]["ts"] >= by_name["alpha"]["ts"]
+
+
+def test_event_args_carry_model_costs():
+    tracer = _traced_run()
+    ev = next(
+        e
+        for e in chrome_trace_events(tracer)
+        if e["ph"] == "X" and e["name"] == "alpha" and e["pid"] == 0
+    )
+    assert ev["args"]["work"] == 16
+    assert ev["args"]["self_work"] == 10
+    assert ev["args"]["depth"] == 3
+
+
+def test_to_chrome_trace_other_data():
+    tracer = _traced_run()
+    c = CostModel()
+    metrics = MetricsRegistry.attach(c)
+    doc = to_chrome_trace(tracer, metrics=metrics, extra={"command": "test"})
+    assert doc["displayTimeUnit"] == "ms"
+    other = doc["otherData"]
+    assert other["total_work"] == 16
+    assert other["span_coverage"] == 1.0
+    assert other["command"] == "test"
+    assert "counters" in other["metrics"]
+
+
+def test_write_chrome_trace_and_jsonl_round_trip(tmp_path):
+    tracer = _traced_run()
+    tp = write_chrome_trace(tmp_path / "t.json", tracer)
+    doc = json.loads(tp.read_text())
+    assert doc["traceEvents"]
+    jp = write_jsonl(tmp_path / "t.jsonl", tracer)
+    lines = [json.loads(line) for line in jp.read_text().splitlines()]
+    assert [d["name"] for d in lines] == ["trace", "alpha", "alpha/beta"]
+    assert lines[1]["work"] == 16 and lines[1]["self_work"] == 10
+
+
+def test_flame_report_indents_and_shortens_names():
+    report = flame_report(_traced_run())
+    assert "alpha" in report
+    # nested span shows only its last path component, indented
+    assert "    beta" in report
+    assert "alpha/beta" not in report
+
+
+def test_exporters_accept_a_bare_span():
+    root = _traced_run().root
+    assert chrome_trace_events(root)
+    assert "span_coverage" not in to_chrome_trace(root)["otherData"]
+    assert flame_report(root)

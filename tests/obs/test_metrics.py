@@ -1,0 +1,103 @@
+"""MetricsRegistry: counters, histograms, and per-primitive aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.pram.cost import CostModel
+from repro.pram.machine import PRAM
+
+
+def test_counter_is_monotone():
+    c = Counter("x")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_histogram_log2_buckets():
+    h = Histogram("sizes")
+    for v in (0, 1, 2, 3, 4, 1000):
+        h.observe(v)
+    # {0,1} -> bucket 0; 2 -> 1; {3,4} -> 2; 1000 -> 10
+    assert h.buckets == {0: 2, 1: 1, 2: 2, 10: 1}
+    assert h.count == 6
+    assert h.min == 0 and h.max == 1000
+    assert h.mean == pytest.approx(1010 / 6)
+    with pytest.raises(ValueError):
+        h.observe(-1)
+
+
+def test_histogram_to_dict_empty():
+    d = Histogram("e").to_dict()
+    assert d["count"] == 0 and d["min"] is None and d["max"] is None
+
+
+def test_registry_getters_are_idempotent():
+    r = MetricsRegistry()
+    assert r.counter("a") is r.counter("a")
+    assert r.gauge("g") is r.gauge("g")
+    assert r.histogram("h") is r.histogram("h")
+
+
+def test_on_charge_feeds_cost_and_primitive_counters():
+    c = CostModel()
+    r = MetricsRegistry.attach(c)
+    c.charge(work=10, depth=2, label="scan")
+    c.charge(work=5, depth=1)  # unlabeled: run totals only
+    r.detach(c)
+    assert r.counter("cost.charges").value == 2
+    assert r.counter("cost.work").value == 15
+    assert r.counter("cost.depth").value == 3
+    assert r.counter("primitive.scan.work").value == 10
+    assert "primitive..work" not in r.counters
+
+
+def test_on_traffic_feeds_cells_and_size_histogram():
+    c = CostModel()
+    r = MetricsRegistry.attach(c)
+    c.traffic("scan", elements=8, reads=16, writes=8)
+    c.traffic("scan", elements=4, reads=8, writes=4)
+    r.detach(c)
+    assert r.counter("primitive.scan.calls").value == 2
+    assert r.counter("primitive.scan.elements").value == 12
+    assert r.counter("primitive.scan.cells_read").value == 24
+    assert r.counter("primitive.scan.cells_written").value == 12
+    assert r.histogram("primitive.scan.size").count == 2
+
+
+def test_phase_counter():
+    c = CostModel()
+    r = MetricsRegistry.attach(c)
+    with c.phase("a"):
+        with c.phase("b"):
+            pass
+    assert r.counter("cost.phases").value == 2
+
+
+def test_primitives_report_traffic_through_pram():
+    pram = PRAM()
+    r = MetricsRegistry.attach(pram.cost)
+    pram.prefix_sum(np.ones(16))
+    pram.sort(np.arange(8)[::-1].copy())
+    pram.pointer_jump(np.concatenate([[0], np.arange(7)]))
+    labels = r.primitive_labels()
+    assert "scan" in labels and "sort" in labels and "pointer_jump" in labels
+    assert r.counter("primitive.scan.cells_read").value > 0
+    assert r.counter("primitive.sort.cells_written").value > 0
+    # metrics totals agree with the cost model
+    assert r.counter("cost.work").value == pram.cost.work
+    assert r.counter("cost.depth").value == pram.cost.depth
+
+
+def test_snapshot_shape():
+    c = CostModel()
+    r = MetricsRegistry.attach(c)
+    c.charge(work=3, depth=1, label="x")
+    c.traffic("x", elements=3, reads=3, writes=3)
+    snap = r.snapshot()
+    assert set(snap) == {"counters", "gauges", "histograms"}
+    assert snap["counters"]["primitive.x.calls"] == 1
+    assert snap["histograms"]["primitive.x.size"]["count"] == 1

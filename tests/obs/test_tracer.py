@@ -1,0 +1,160 @@
+"""SpanTracer: span tree construction, inclusive/self accounting, coverage."""
+
+from repro.graphs.generators import erdos_renyi
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.obs.tracer import SpanTracer
+from repro.pram.cost import CostModel
+from repro.pram.machine import PRAM
+
+
+def _fake_clock():
+    t = [0.0]
+
+    def tick():
+        t[0] += 1.0
+        return t[0]
+
+    return tick
+
+
+def test_span_tree_mirrors_phase_nesting():
+    c = CostModel()
+    tracer = SpanTracer.attach(c)
+    with c.phase("outer"):
+        c.charge(work=5, depth=1)
+        with c.phase("inner"):
+            c.charge(work=3, depth=1)
+    root = tracer.finish()
+    assert [s.name for s in root.walk()] == ["trace", "outer", "inner"]
+    outer, inner = root.children[0], root.children[0].children[0]
+    assert (outer.work, outer.depth) == (8, 2)  # inclusive
+    assert (outer.self_work, outer.self_depth) == (5, 1)  # exclusive
+    assert (inner.work, inner.self_work) == (3, 3)
+    assert outer.level == 1 and inner.level == 2
+
+
+def test_root_absorbs_unphased_charges():
+    c = CostModel()
+    tracer = SpanTracer.attach(c)
+    c.charge(work=10, depth=1)
+    with c.phase("p"):
+        c.charge(work=30, depth=1)
+    root = tracer.finish()
+    assert root.work == 40
+    assert root.self_work == 10
+    assert tracer.coverage() == 0.75
+
+
+def test_coverage_is_one_when_everything_is_phased():
+    c = CostModel()
+    tracer = SpanTracer.attach(c)
+    with c.phase("p"):
+        c.charge(work=30, depth=1)
+    assert tracer.finish().work == 30
+    assert tracer.coverage() == 1.0
+
+
+def test_coverage_of_empty_trace_is_one():
+    c = CostModel()
+    tracer = SpanTracer.attach(c)
+    tracer.finish()
+    assert tracer.coverage() == 1.0
+
+
+def test_finish_closes_open_spans_and_detaches():
+    c = CostModel()
+    tracer = SpanTracer.attach(c)
+    cm = c.phase("left-open")
+    cm.__enter__()
+    c.charge(work=2, depth=1)
+    root = tracer.finish()
+    assert all(s.closed for s in root.walk())
+    assert not c.has_subscribers
+    # post-finish charges do not disturb the frozen tree
+    c.charge(work=100, depth=1)
+    assert root.work == 2
+    cm.__exit__(None, None, None)
+
+
+def test_finish_is_idempotent():
+    c = CostModel()
+    tracer = SpanTracer.attach(c)
+    c.charge(work=1, depth=1)
+    assert tracer.finish() is tracer.finish()
+
+
+def test_phase_opened_before_attach_is_ignored_on_exit():
+    c = CostModel()
+    with c.phase("pre-existing"):
+        tracer = SpanTracer.attach(c)
+        c.charge(work=4, depth=1)
+    # the exit of "pre-existing" must not pop the tracer's root
+    root = tracer.finish()
+    assert root.name == "trace"
+    assert root.self_work == 4
+
+
+def test_ops_aggregate_charges_and_traffic():
+    c = CostModel()
+    tracer = SpanTracer.attach(c)
+    c.charge(work=6, depth=1, label="scan")
+    c.charge(work=4, depth=1, label="scan")
+    c.traffic("scan", elements=10, reads=20, writes=10)
+    root = tracer.finish()
+    stats = root.ops["scan"]
+    assert (stats.calls, stats.work, stats.depth) == (2, 10, 2)
+    assert (stats.elements, stats.reads, stats.writes) == (10, 20, 10)
+
+
+def test_wall_clock_uses_injected_clock():
+    c = CostModel()
+    tracer = SpanTracer.attach(c, clock=_fake_clock())
+    with c.phase("p"):
+        c.charge(work=1, depth=1)
+    root = tracer.finish()
+    assert root.wall > 0
+    assert root.children[0].wall > 0
+
+
+def test_real_build_trace_covers_all_work_with_scale_spans():
+    g = erdos_renyi(48, 0.1, seed=11)
+    pram = PRAM()
+    tracer = SpanTracer.attach(pram.cost)
+    build_hopset(g, HopsetParams(beta=6), pram)
+    root = tracer.finish()
+    assert root.work == pram.cost.work
+    assert tracer.coverage() >= 0.95
+    scale_spans = [s for s in root.children if s.name.startswith("scale")]
+    assert scale_spans, [s.name for s in root.children]
+    # per-scale spans carry the detect/ruling/... children of single_scale
+    assert any(span.children for span in scale_spans)
+
+
+def test_tracing_never_perturbs_accounting():
+    """Observability guard: the same run charges identical work/depth with
+    and without a tracer attached, and leaves no residue after finish()."""
+    g = erdos_renyi(32, 0.15, seed=2)
+    plain = PRAM()
+    build_hopset(g, HopsetParams(beta=6), plain)
+    traced = PRAM()
+    tracer = SpanTracer.attach(traced.cost)
+    build_hopset(g, HopsetParams(beta=6), traced)
+    tracer.finish()
+    assert traced.cost.work == plain.cost.work
+    assert traced.cost.depth == plain.cost.depth
+    assert not plain.cost.steps and not traced.cost.steps
+    assert not traced.cost.has_subscribers
+
+
+def test_span_to_dict_is_json_friendly():
+    import json
+
+    c = CostModel()
+    tracer = SpanTracer.attach(c)
+    with c.phase("p"):
+        c.charge(work=2, depth=1, label="x")
+        c.traffic("x", elements=2, reads=4, writes=2)
+    root = tracer.finish()
+    blob = json.dumps([s.to_dict() for s in root.walk()])
+    assert "cells_read" in blob and '"p"' in blob

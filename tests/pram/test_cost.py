@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.pram.cost import CostModel, CostSnapshot
+from repro.pram.cost import CostHook, CostModel, CostSnapshot
 from repro.pram.errors import InvalidStepError
 
 
@@ -89,3 +89,129 @@ def test_reset_clears_everything():
     c.reset()
     assert c.work == 0 and c.depth == 0
     assert not c.steps and not c.phase_totals
+    assert not c.phase_self_totals
+
+
+def test_phase_self_totals_are_exclusive():
+    c = CostModel()
+    with c.phase("outer"):
+        c.charge(work=5, depth=1)
+        with c.phase("inner"):
+            c.charge(work=3, depth=1)
+        c.charge(work=2, depth=1)
+    assert c.phase_self_totals["outer"] == CostSnapshot(7, 2)
+    assert c.phase_self_totals["inner"] == CostSnapshot(3, 1)
+    # exclusive rows partition the phased work
+    total_self = sum(s.work for s in c.phase_self_totals.values())
+    assert total_self == c.work
+
+
+def test_step_records_keep_phase_context():
+    c = CostModel(record_steps=True)
+    with c.phase("a"):
+        with c.phase("b"):
+            c.charge(work=1, depth=1, label="scan")
+    c.charge(work=1, depth=1, label="free")
+    assert c.steps[0].label == "scan"
+    assert c.steps[0].phases == ("a", "b")
+    assert c.steps[1].phases == ()
+
+
+def test_unlabeled_step_records_fall_back_to_innermost_phase():
+    c = CostModel(record_steps=True)
+    with c.phase("p"):
+        c.charge(work=1, depth=1)
+    assert c.steps[0].label == "p"
+
+
+def test_subphase_nests_path_style():
+    c = CostModel()
+    with c.phase("scale3/phase1/ruling"):
+        with c.subphase("bit4"):
+            c.charge(work=2, depth=1)
+    assert c.phase_totals["scale3/phase1/ruling/bit4"].work == 2
+    # a subphase with no enclosing phase is just a phase
+    with c.subphase("solo"):
+        c.charge(work=1, depth=1)
+    assert c.phase_totals["solo"].work == 1
+
+
+def test_current_phase_path():
+    c = CostModel()
+    assert c.current_phase_path() == ()
+    with c.phase("a"):
+        with c.phase("b"):
+            assert c.current_phase_path() == ("a", "b")
+
+
+class _RecordingHook(CostHook):
+    def __init__(self):
+        self.events = []
+
+    def on_charge(self, work, depth, label):
+        self.events.append(("charge", work, depth, label))
+
+    def on_traffic(self, label, calls, elements, reads, writes):
+        self.events.append(("traffic", label, calls, elements, reads, writes))
+
+    def on_phase_enter(self, name):
+        self.events.append(("enter", name))
+
+    def on_phase_exit(self, name):
+        self.events.append(("exit", name))
+
+
+class _ExplodingHook(CostHook):
+    """Fails the test if any callback fires (fast-path guard)."""
+
+    def on_charge(self, work, depth, label):
+        raise AssertionError("hook dispatched with no subscription")
+
+    on_traffic = on_phase_enter = on_phase_exit = on_charge
+
+
+def test_subscribers_receive_all_events_in_order():
+    c = CostModel()
+    hook = c.subscribe(_RecordingHook())
+    with c.phase("p"):
+        c.charge(work=4, depth=1, label="scan")
+        c.traffic("scan", elements=4, reads=8, writes=4)
+    assert hook.events == [
+        ("enter", "p"),
+        ("charge", 4, 1, "scan"),
+        ("traffic", "scan", 1, 4, 8, 4),
+        ("exit", "p"),
+    ]
+
+
+def test_phase_exit_notified_on_exception():
+    c = CostModel()
+    hook = c.subscribe(_RecordingHook())
+    with pytest.raises(RuntimeError):
+        with c.phase("p"):
+            raise RuntimeError("boom")
+    assert hook.events == [("enter", "p"), ("exit", "p")]
+
+
+def test_unsubscribed_hook_never_fires():
+    c = CostModel()
+    hook = c.subscribe(_ExplodingHook())
+    c.unsubscribe(hook)
+    c.unsubscribe(hook)  # double-unsubscribe is a no-op
+    assert not c.has_subscribers
+    with c.phase("p"):
+        c.charge(work=1, depth=1)
+        c.traffic("x", elements=1)
+    # accounting still happened normally
+    assert c.work == 1
+
+
+def test_disabled_path_records_nothing():
+    """The zero-overhead contract: no subscribers, no step recording →
+    charge/traffic leave no observability residue."""
+    c = CostModel()
+    c.charge(work=5, depth=1, label="scan")
+    c.traffic("scan", elements=5, reads=10, writes=5)
+    assert c.steps == []
+    assert not c.has_subscribers
+    assert c.work == 5 and c.depth == 1

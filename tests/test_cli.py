@@ -82,6 +82,61 @@ def test_reduced_paths_build_and_spt(tmp_path):
     assert main(["spt", str(g), str(h), "--source", "0"]) == 0
 
 
+@pytest.mark.parametrize("family", ["er", "grid"])
+def test_trace_build_two_families(tmp_path, family, capsys):
+    """Acceptance: traced build emits a valid Chrome trace with ≥95% span
+    coverage and finite Theorem 3.7 watchdog constants on two families."""
+    import json
+
+    g = tmp_path / "g.npz"
+    assert main(["gen", str(g), "--family", family, "--n", "49", "--seed", "9"]) == 0
+    h = tmp_path / "h.npz"
+    trace = tmp_path / "trace.json"
+    jsonl = tmp_path / "spans.jsonl"
+    assert main(
+        [
+            "trace", "build", str(g), str(h), "--beta", "6",
+            "--trace-out", str(trace), "--jsonl", str(jsonl),
+        ]
+    ) == 0
+    # the wrapped build still produced its artifact
+    assert load_hopset(h).num_records >= 0
+    doc = json.loads(trace.read_text())
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    x_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert x_events and all(e["dur"] >= 0 for e in x_events)
+    other = doc["otherData"]
+    assert other["span_coverage"] >= 0.95
+    assert other["total_work"] > 0
+    assert other["graph"]["n"] == 49
+    watchdogs = {w["name"]: w for w in other["watchdogs"]}
+    assert set(watchdogs) == {"thm3.7-depth", "thm3.7-work"}
+    for w in watchdogs.values():
+        assert w["constant"] > 0 and w["shape"] > 0
+    # per-scale attribution is visible on the trace
+    assert any(e["name"].startswith("scale") for e in x_events)
+    assert "metrics" in other and other["metrics"]["counters"]["cost.work"] > 0
+    assert len(jsonl.read_text().splitlines()) >= 2
+    out = capsys.readouterr().out
+    assert "theorem watchdogs" in out and "span coverage" in out
+
+
+def test_trace_sssp_reports_query_watchdogs(tmp_path, graph_file, capsys):
+    import json
+
+    h = tmp_path / "h.npz"
+    main(["build", str(graph_file), str(h), "--beta", "8"])
+    trace = tmp_path / "q.json"
+    assert main(
+        ["trace", "sssp", str(graph_file), str(h), "--source", "0",
+         "--trace-out", str(trace)]
+    ) == 0
+    doc = json.loads(trace.read_text())
+    names = {w["name"] for w in doc["otherData"]["watchdogs"]}
+    assert names == {"thm3.8-query-depth", "thm3.8-query-work"}
+    assert doc["otherData"]["command"] == "sssp"
+
+
 def test_edge_list_text_input(tmp_path):
     txt = tmp_path / "g.txt"
     txt.write_text("# comment\n0 1 1.0\n1 2 2.0\n2 3 1.5\n")
