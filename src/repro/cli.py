@@ -9,12 +9,18 @@ Usage::
     python -m repro info    artifact.npz
     python -m repro gen     graph.npz --family er --n 100 [--seed 7 ...]
     python -m repro trace   {build,sssp,spt} ... --trace-out trace.json [--jsonl spans.jsonl]
+    python -m repro conformance [--strict] [--seed N] [--n N] [--families er,grid] [--trace-out t.json]
 
 ``trace`` runs the wrapped command under the observability layer
 (``repro.obs``): it writes a Chrome trace-event JSON (loadable in
 ``chrome://tracing`` / Perfetto) with per-scale/per-phase span attribution
 and per-primitive metrics, prints a flame-style report, and evaluates the
 paper's theorem bound watchdogs (measured constants, PASS/WARN).
+
+``conformance`` diffs every vectorized primitive against a literal CREW
+program and sweeps the E-family smoke graphs under the shadow race
+detector (``repro.conformance``, docs/conformance.md); exit status 0 iff
+everything matches bit-exactly with zero race findings.
 
 Edge-list ``.txt`` inputs (``u v w`` per line) are also accepted wherever a
 graph archive is expected.
@@ -247,6 +253,73 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_conformance(args) -> int:
+    from repro.conformance import (
+        SMOKE_FAMILIES,
+        ShadowCREW,
+        all_clean,
+        conformance_summary,
+        graph_table,
+        primitive_table,
+        run_graph_conformance,
+        run_primitive_diffs,
+    )
+
+    families = (
+        tuple(f.strip() for f in args.families.split(",") if f.strip())
+        if args.families
+        else tuple(SMOKE_FAMILIES)
+    )
+    unknown = [f for f in families if f not in SMOKE_FAMILIES]
+    if unknown:
+        print(f"unknown families {unknown}; options: {sorted(SMOKE_FAMILIES)}",
+              file=sys.stderr)
+        return 2
+
+    prim_outcomes = run_primitive_diffs(seed=args.seed, strict=args.strict)
+
+    # the graph sweep runs on one traced, metered, shadowed machine so the
+    # flame report (and optional trace export) attributes the conformance
+    # work and any race findings per family
+    pram = PRAM()
+    tracer = SpanTracer.attach(pram.cost, root_name="conformance")
+    registry = MetricsRegistry.attach(pram.cost)
+    shadow = ShadowCREW.attach(pram.cost, strict=args.strict)
+    try:
+        graph_outcomes = run_graph_conformance(
+            n=args.n, seed=args.seed, strict=args.strict,
+            families=families, pram=pram, shadow=shadow,
+        )
+    finally:
+        shadow.detach(pram.cost)
+        tracer.finish()
+        registry.detach(pram.cost)
+
+    print(primitive_table(prim_outcomes))
+    print()
+    print(graph_table(graph_outcomes))
+    print()
+    mode = "strict" if args.strict else "common"
+    print(flame_report(tracer, title=f"conformance sweep ({mode} rule)"))
+    summary = conformance_summary(prim_outcomes, graph_outcomes, shadow)
+    if args.trace_out:
+        write_chrome_trace(
+            args.trace_out, tracer, metrics=registry,
+            extra={"conformance": summary},
+        )
+        print(f"wrote {args.trace_out}")
+    ok = all_clean(prim_outcomes, graph_outcomes)
+    print(
+        f"conformance ({mode}): "
+        f"{summary['primitives']['passed']}/{summary['primitives']['cases']} "
+        f"primitive cases, {sum(1 for r in graph_outcomes if r.ok)}/"
+        f"{len(graph_outcomes)} graph families, "
+        f"{len(shadow.findings)} race findings -> "
+        + ("PASS" if ok else "FAIL")
+    )
+    return 0 if ok else 1
+
+
 def cmd_gen(args) -> int:
     if args.family not in _FAMILIES:
         print(f"unknown family {args.family!r}; options: {sorted(_FAMILIES)}",
@@ -308,6 +381,21 @@ def build_parser() -> argparse.ArgumentParser:
         )
         tp.add_argument("--jsonl", default=None, help="also write one span per line")
         tp.set_defaults(func=cmd_trace, traced=name)
+
+    p = sub.add_parser(
+        "conformance",
+        help="diff vectorized primitives vs literal CREW + shadow race scan",
+    )
+    p.add_argument("--strict", action="store_true",
+                   help="reject equal-valued double writes too (strict CREW)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--n", type=int, default=32,
+                   help="smoke graph size for the E-family sweep")
+    p.add_argument("--families", default=None,
+                   help="comma-separated subset of the smoke families")
+    p.add_argument("--trace-out", default=None,
+                   help="also write a Chrome trace with the conformance summary")
+    p.set_defaults(func=cmd_conformance)
 
     p = sub.add_parser("certify", help="verify eq. (1) exhaustively")
     p.add_argument("graph")

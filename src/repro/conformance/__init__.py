@@ -1,0 +1,52 @@
+"""CREW conformance harness: shadow race detection + differential execution.
+
+Two complementary checks keep the vectorized PRAM machine honest against
+the literal CREW model of Section 1.5.1:
+
+* :class:`ShadowCREW` (see :mod:`repro.conformance.shadow`) subscribes to
+  a cost model and validates every primitive's declared per-round write
+  footprint against the CREW discipline — the ``CREWMemory.end_round``
+  check, applied to the fast path.
+* :mod:`repro.conformance.diff` runs each primitive vectorized *and* as a
+  literal staged-memory program on the same adversarial inputs, asserting
+  bit-exact outputs and consistent round counts, and sweeps the E-family
+  smoke graphs end-to-end (literal Bellman–Ford SSSP diff + a shadowed
+  hopset build).
+
+``python -m repro conformance [--strict]`` drives both and prints the
+pass/fail tables; see ``docs/conformance.md``.
+"""
+
+from repro.conformance.diff import (
+    PRIMITIVE_CASES,
+    SMOKE_FAMILIES,
+    DiffOutcome,
+    GraphOutcome,
+    diff_sssp,
+    run_graph_conformance,
+    run_primitive_diffs,
+)
+from repro.conformance.report import (
+    all_clean,
+    conformance_summary,
+    graph_table,
+    primitive_table,
+)
+from repro.conformance.shadow import RaceFinding, ShadowCREW, shadowed
+
+__all__ = [
+    "ShadowCREW",
+    "RaceFinding",
+    "shadowed",
+    "DiffOutcome",
+    "GraphOutcome",
+    "PRIMITIVE_CASES",
+    "SMOKE_FAMILIES",
+    "run_primitive_diffs",
+    "run_graph_conformance",
+    "diff_sssp",
+    "primitive_table",
+    "graph_table",
+    "conformance_summary",
+    "all_clean",
+]

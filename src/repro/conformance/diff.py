@@ -1,0 +1,591 @@
+"""The differential executor: vectorized primitives vs literal CREW.
+
+Every public primitive of the :class:`~repro.pram.machine.PRAM` machine is
+run twice on the same inputs — once vectorized (under a
+:class:`~repro.conformance.shadow.ShadowCREW` race detector) and once as a
+literal program on the staged :class:`~repro.pram.memory.CREWMemory` — and
+the harness asserts:
+
+* **bit-exact outputs** (value inputs are integer-valued doubles, so even
+  re-associated float sums are exact);
+* **consistent round counts**: each side stays within its documented depth
+  envelope, and the envelopes are tied to each other where the networks
+  match (the literal side pays explicit load rounds; the literal sort is
+  an odd–even transposition network, so it has its own O(n) envelope);
+* **zero race findings** from the shadow detector.
+
+The adversarial input family per primitive: ``empty``, ``singleton``,
+``duplicate-index`` (every update colliding on a few cells), ``all-ties``
+(equal keys everywhere — the COMMON-rule stress case), and
+``adversarial-stride`` (strided collisions with descending values), plus a
+seeded ``random`` case.  No test-time randomness: the seed is an input.
+
+:func:`run_graph_conformance` lifts the same discipline to whole
+executions on the E-family smoke graphs: hopset-free SSSP is diffed
+against the literal :func:`~repro.pram.reference.crew_sssp` bit-exactly,
+and a full hopset construction runs under the shadow detector as a
+race scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.graphs.generators import (
+    erdos_renyi,
+    grid_graph,
+    layered_hop_graph,
+    path_graph,
+    preferential_attachment,
+    random_geometric,
+    wide_weight_graph,
+)
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.pram import pointer_jumping, primitives, reference, scan, sort
+from repro.pram.cost import CostModel
+from repro.pram.errors import InvalidStepError, WriteConflictError
+from repro.pram.machine import PRAM
+from repro.pram.primitives import ceil_log2
+from repro.sssp.bellman_ford import bellman_ford
+
+from repro.conformance.shadow import ShadowCREW
+
+__all__ = [
+    "DiffOutcome",
+    "GraphOutcome",
+    "PRIMITIVE_CASES",
+    "SMOKE_FAMILIES",
+    "run_primitive_diffs",
+    "diff_sssp",
+    "run_graph_conformance",
+]
+
+#: The adversarial input family every primitive is diffed across.
+PRIMITIVE_CASES = (
+    "empty",
+    "singleton",
+    "duplicate-index",
+    "all-ties",
+    "adversarial-stride",
+    "random",
+)
+
+_N = 24  # default per-case input size (kept small: the literal side is slow)
+
+
+@dataclass(frozen=True)
+class DiffOutcome:
+    """One (primitive, input-case) differential run."""
+
+    primitive: str
+    case: str
+    n: int
+    outputs_equal: bool
+    rounds_ok: bool
+    races: int
+    vec_depth: int
+    lit_rounds: int
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.outputs_equal and self.rounds_ok and self.races == 0
+
+
+@dataclass(frozen=True)
+class GraphOutcome:
+    """One E-family smoke graph swept by the conformance harness."""
+
+    family: str
+    n: int
+    m: int
+    dist_equal: bool
+    rounds_ok: bool
+    races: int
+    vec_rounds: int
+    lit_rounds: int
+
+    @property
+    def ok(self) -> bool:
+        return self.dist_equal and self.rounds_ok and self.races == 0
+
+
+# -- input construction ------------------------------------------------------
+
+
+def _values(case: str, seed: int, n: int = _N) -> np.ndarray:
+    """Integer-valued doubles per case (exact under any summation order)."""
+    rng = np.random.default_rng(seed)
+    if case == "empty":
+        return np.zeros(0)
+    if case == "singleton":
+        return np.asarray([5.0])
+    if case == "all-ties":
+        return np.full(n, 3.0)
+    if case == "duplicate-index":
+        # few distinct values, heavily repeated
+        return rng.integers(0, 3, size=n).astype(np.float64)
+    if case == "adversarial-stride":
+        return np.asarray([float(n - ((7 * i) % n)) for i in range(n)])
+    return rng.integers(-50, 50, size=n).astype(np.float64)
+
+
+def _scatter_inputs(
+    case: str, seed: int, size: int = 8, m: int = _N
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(target, idx, values) per case; idx patterns drive the collisions."""
+    rng = np.random.default_rng(seed)
+    target = np.full(size, 100.0)
+    if case == "empty":
+        return target, np.zeros(0, dtype=np.int64), np.zeros(0)
+    if case == "singleton":
+        return target, np.asarray([2], dtype=np.int64), np.asarray([7.0])
+    if case == "duplicate-index":
+        idx = np.full(m, 3, dtype=np.int64)
+        vals = rng.integers(0, 40, size=m).astype(np.float64)
+        return target, idx, vals
+    if case == "all-ties":
+        idx = np.asarray([i % 3 for i in range(m)], dtype=np.int64)
+        return target, idx, np.full(m, 9.0)
+    if case == "adversarial-stride":
+        idx = np.asarray([(5 * i) % size for i in range(m)], dtype=np.int64)
+        vals = np.asarray([float(m - i) for i in range(m)])
+        return target, idx, vals
+    idx = rng.integers(0, size, size=m).astype(np.int64)
+    vals = rng.integers(0, 60, size=m).astype(np.float64)
+    return target, idx, vals
+
+
+def _parent_forest(case: str, seed: int, n: int = _N) -> np.ndarray:
+    """Acyclic parent arrays (parent[v] <= v) per case."""
+    rng = np.random.default_rng(seed)
+    if case == "empty":
+        return np.zeros(0, dtype=np.int64)
+    if case == "singleton":
+        return np.zeros(1, dtype=np.int64)
+    if case == "duplicate-index":  # star: everyone points at the root
+        return np.zeros(n, dtype=np.int64)
+    if case == "all-ties":  # path: maximal pointer-jumping depth
+        return np.maximum(np.arange(n) - 1, 0).astype(np.int64)
+    if case == "adversarial-stride":
+        return np.asarray([max(v - 3, 0) for v in range(n)], dtype=np.int64)
+    return np.asarray(
+        [int(rng.integers(0, v + 1)) for v in range(n)], dtype=np.int64
+    )
+
+
+# -- the harness -------------------------------------------------------------
+
+
+def _shadowed_run(fn: Callable[[CostModel], object], strict: bool):
+    """Run ``fn`` on a fresh cost model under a shadow detector."""
+    cost = CostModel()
+    shadow = ShadowCREW.attach(cost, strict=strict)
+    try:
+        out = fn(cost)
+    finally:
+        shadow.detach(cost)
+    return out, cost, shadow
+
+
+def _outcome(
+    primitive: str,
+    case: str,
+    n: int,
+    equal: bool,
+    cost: CostModel,
+    shadow: ShadowCREW,
+    lit_rounds: int,
+    rounds_ok: bool,
+    detail: str = "",
+) -> DiffOutcome:
+    return DiffOutcome(
+        primitive=primitive,
+        case=case,
+        n=n,
+        outputs_equal=bool(equal),
+        rounds_ok=bool(rounds_ok),
+        races=len(shadow.findings),
+        vec_depth=cost.depth,
+        lit_rounds=lit_rounds,
+        detail=detail or ("" if equal else "outputs differ"),
+    )
+
+
+def _diff_map(case, seed, strict):
+    arr = _values(case, seed)
+    fn = lambda a: 2 * a + 1  # noqa: E731
+    out, cost, shadow = _shadowed_run(
+        lambda c: primitives.elementwise(c, fn, arr), strict
+    )
+    lit, rounds = reference.crew_map(arr.tolist(), lambda x: 2 * x + 1)
+    equal = np.array_equal(out, np.asarray(lit))
+    return _outcome("map", case, arr.size, equal, cost, shadow, rounds,
+                    cost.depth == 1 and rounds <= 2)
+
+
+def _diff_reduce(case, seed, strict):
+    arr = _values(case, seed)
+    if case == "empty":
+        vec_raises = lit_raises = False
+        try:
+            primitives.preduce(CostModel(), "min", arr)
+        except InvalidStepError:
+            vec_raises = True
+        try:
+            reference.crew_reduce("min", arr.tolist())
+        except InvalidStepError:
+            lit_raises = True
+        cost = CostModel()
+        return _outcome("reduce", case, 0, vec_raises and lit_raises, cost,
+                        ShadowCREW(), 0, True, "both reject empty input")
+    op = "sum" if case == "random" else "min"
+    out, cost, shadow = _shadowed_run(
+        lambda c: primitives.preduce(c, op, arr), strict
+    )
+    lit, rounds = reference.crew_reduce(op, arr.tolist())
+    bound = ceil_log2(arr.size) + 1
+    return _outcome("reduce", case, arr.size, out == lit, cost, shadow, rounds,
+                    cost.depth == bound and rounds <= bound)
+
+
+def _diff_broadcast(case, seed, strict):
+    n = {"empty": 0, "singleton": 1}.get(case, _N)
+    out, cost, shadow = _shadowed_run(
+        lambda c: primitives.pbroadcast(c, 4.0, n), strict
+    )
+    lit, rounds = reference.crew_broadcast(4.0, n)
+    equal = np.array_equal(out, np.asarray(lit))
+    return _outcome("broadcast", case, n, equal, cost, shadow, rounds,
+                    cost.depth == 1 and rounds == 2)
+
+
+def _diff_scatter(case, seed, strict):
+    target, idx, vals = _scatter_inputs(case, seed)
+    if case in ("duplicate-index", "adversarial-stride", "random"):
+        # exclusive scatter is only CREW-legal on conflict-free updates:
+        # deduplicate (keep the first update per cell, like a routed permute)
+        _, keep = np.unique(idx, return_index=True)
+        idx, vals = idx[np.sort(keep)], vals[np.sort(keep)]
+    if case == "all-ties" and strict:
+        # equal double writes: COMMON-legal, but strict must reject on BOTH
+        # sides — rejection parity is the differential here
+        lit_raised = False
+        try:
+            reference.crew_scatter(
+                target.tolist(), idx.tolist(), vals.tolist(), strict=True
+            )
+        except WriteConflictError:
+            lit_raised = True
+        out, cost, shadow = _shadowed_run(
+            lambda c: primitives.pscatter(c, target.copy(), idx, vals), True
+        )
+        flagged = any(f.kind == "strict-double-write" for f in shadow.findings)
+        unexpected = sum(
+            1 for f in shadow.findings if f.kind != "strict-double-write"
+        )
+        return DiffOutcome(
+            primitive="scatter", case=case, n=int(idx.size),
+            outputs_equal=lit_raised and flagged, rounds_ok=cost.depth == 1,
+            races=unexpected, vec_depth=cost.depth, lit_rounds=0,
+            detail="strict: equal double-write rejected on both sides",
+        )
+    out, cost, shadow = _shadowed_run(
+        lambda c: primitives.pscatter(c, target.copy(), idx, vals), strict
+    )
+    lit, rounds = reference.crew_scatter(
+        target.tolist(), idx.tolist(), vals.tolist(), strict=strict
+    )
+    equal = np.array_equal(out, np.asarray(lit))
+    return _outcome("scatter", case, idx.size, equal, cost, shadow, rounds,
+                    cost.depth == 1 and rounds == 2)
+
+
+def _diff_scatter_min(case, seed, strict):
+    target, idx, vals = _scatter_inputs(case, seed)
+    out, cost, shadow = _shadowed_run(
+        lambda c: primitives.scatter_min(c, target.copy(), idx, vals), strict
+    )
+    lit, rounds = reference.crew_scatter_min(
+        target.tolist(), idx.tolist(), vals.tolist()
+    )
+    equal = np.array_equal(out, np.asarray(lit))
+    # literal pays 2 load rounds; its combine tree height <= the charge
+    return _outcome("scatter_min", case, idx.size, equal, cost, shadow, rounds,
+                    rounds <= cost.depth + 2)
+
+
+def _diff_scatter_min_arg(case, seed, strict):
+    target, idx, vals = _scatter_inputs(case, seed)
+    payload = np.full(target.size, -1, dtype=np.int64)
+    pay_vals = np.arange(idx.size, dtype=np.int64)[::-1].copy()
+    out, cost, shadow = _shadowed_run(
+        lambda c: primitives.scatter_min_arg(
+            c, target.copy(), payload.copy(), idx, vals, pay_vals
+        ),
+        strict,
+    )
+    lit_t, lit_p, rounds = reference.crew_scatter_min_arg(
+        target.tolist(), payload.tolist(), idx.tolist(), vals.tolist(),
+        pay_vals.tolist(),
+    )
+    equal = np.array_equal(out[0], np.asarray(lit_t)) and np.array_equal(
+        out[1], np.asarray(lit_p)
+    )
+    return _outcome("scatter_min_arg", case, idx.size, equal, cost, shadow,
+                    rounds, rounds <= cost.depth + 2)
+
+
+def _mask_for(case, seed):
+    vals = _values(case, seed)
+    if case == "all-ties":
+        return np.ones(vals.size, dtype=bool)
+    return vals > np.median(vals) if vals.size else np.zeros(0, dtype=bool)
+
+
+def _diff_select(case, seed, strict):
+    mask = _mask_for(case, seed)
+    out, cost, shadow = _shadowed_run(
+        lambda c: primitives.pselect(c, mask), strict
+    )
+    lit, rounds = reference.crew_select(mask.tolist())
+    equal = np.array_equal(out, np.asarray(lit))
+    return _outcome("select", case, mask.size, equal, cost, shadow, rounds,
+                    rounds <= cost.depth + 1)
+
+
+def _diff_compact(case, seed, strict):
+    mask = _mask_for(case, seed)
+    arr = _values(case, seed + 1)[: mask.size]
+    out, cost, shadow = _shadowed_run(
+        lambda c: primitives.pcompact(c, arr, mask), strict
+    )
+    lit, rounds = reference.crew_compact(arr.tolist(), mask.tolist())
+    equal = np.array_equal(out, np.asarray(lit))
+    return _outcome("compact", case, mask.size, equal, cost, shadow, rounds,
+                    rounds <= cost.depth + 1)
+
+
+def _diff_prefix_sum(case, seed, strict, inclusive=True):
+    arr = _values(case, seed)
+    out, cost, shadow = _shadowed_run(
+        lambda c: scan.prefix_sum(c, arr, inclusive=inclusive), strict
+    )
+    lit, rounds = reference.crew_prefix_sum(arr.tolist(), inclusive=inclusive)
+    equal = np.array_equal(out, np.asarray(lit))
+    name = "prefix_sum" if inclusive else "prefix_sum_excl"
+    return _outcome(name, case, arr.size, equal, cost, shadow, rounds,
+                    rounds <= cost.depth + 1)
+
+
+def _diff_prefix_sum_excl(case, seed, strict):
+    return _diff_prefix_sum(case, seed, strict, inclusive=False)
+
+
+def _diff_prefix_max(case, seed, strict):
+    arr = _values(case, seed)
+    out, cost, shadow = _shadowed_run(lambda c: scan.prefix_max(c, arr), strict)
+    lit, rounds = reference.crew_prefix_max(arr.tolist())
+    equal = np.array_equal(out, np.asarray(lit))
+    return _outcome("prefix_max", case, arr.size, equal, cost, shadow, rounds,
+                    rounds <= cost.depth + 1)
+
+
+def _diff_segmented_sum(case, seed, strict):
+    _, idx, vals = _scatter_inputs(case, seed)
+    k = 8
+    out, cost, shadow = _shadowed_run(
+        lambda c: scan.segmented_sum(c, vals, idx, k), strict
+    )
+    lit, rounds = reference.crew_segmented_sum(vals.tolist(), idx.tolist(), k)
+    equal = np.array_equal(out, np.asarray(lit))
+    return _outcome("segmented_sum", case, idx.size, equal, cost, shadow,
+                    rounds, rounds <= cost.depth + 2)
+
+
+def _diff_sort(case, seed, strict):
+    arr = _values(case, seed)
+    out, cost, shadow = _shadowed_run(lambda c: sort.parallel_sort(c, arr), strict)
+    lit, rounds = reference.crew_sort(arr.tolist())
+    equal = np.array_equal(out, np.asarray(lit))
+    # the literal network is odd-even transposition: its own O(n) envelope
+    return _outcome("sort", case, arr.size, equal, cost, shadow, rounds,
+                    rounds <= arr.size + 1,
+                    detail="literal = odd-even network" if equal else "")
+
+
+def _diff_lexsort(case, seed, strict):
+    a = _values(case, seed)
+    b = _values(case, seed + 1)[: a.size]
+    out, cost, shadow = _shadowed_run(
+        lambda c: sort.parallel_lexsort(c, (a, b)), strict
+    )
+    lit, rounds = reference.crew_lexsort((a.tolist(), b.tolist()))
+    equal = np.array_equal(out, np.asarray(lit))
+    return _outcome("lexsort", case, a.size, equal, cost, shadow, rounds,
+                    rounds <= a.size + 1,
+                    detail="literal = odd-even network" if equal else "")
+
+
+def _diff_pointer_jump(case, seed, strict):
+    parent = _parent_forest(case, seed)
+    n = parent.size
+    rng = np.random.default_rng(seed + 2)
+    weight = rng.integers(1, 6, size=n).astype(np.float64)
+    out, cost, shadow = _shadowed_run(
+        lambda c: pointer_jumping.pointer_jump(c, parent, weight), strict
+    )
+    lit_r, lit_d, rounds = reference.crew_pointer_jump(
+        parent.tolist(), weight.tolist()
+    )
+    equal = np.array_equal(out[0], np.asarray(lit_r)) and np.array_equal(
+        out[1], np.asarray(lit_d)
+    )
+    bound = 2 * (ceil_log2(max(n, 2)) + 1) + 1
+    return _outcome("pointer_jump", case, n, equal, cost, shadow, rounds,
+                    cost.depth <= bound and rounds <= bound)
+
+
+def _diff_list_rank(case, seed, strict):
+    parent = _parent_forest(case, seed)
+    n = parent.size
+    out, cost, shadow = _shadowed_run(
+        lambda c: pointer_jumping.list_rank(c, parent), strict
+    )
+    lit, rounds = reference.crew_list_rank(parent.tolist())
+    equal = np.array_equal(out, np.asarray(lit))
+    bound = 2 * (ceil_log2(max(n, 2)) + 1) + 1
+    return _outcome("list_rank", case, n, equal, cost, shadow, rounds,
+                    cost.depth <= bound and rounds <= bound)
+
+
+#: primitive name -> differential runner(case, seed, strict)
+PRIMITIVE_DIFFS: dict[str, Callable[[str, int, bool], DiffOutcome]] = {
+    "map": _diff_map,
+    "reduce": _diff_reduce,
+    "broadcast": _diff_broadcast,
+    "scatter": _diff_scatter,
+    "scatter_min": _diff_scatter_min,
+    "scatter_min_arg": _diff_scatter_min_arg,
+    "select": _diff_select,
+    "compact": _diff_compact,
+    "prefix_sum": _diff_prefix_sum,
+    "prefix_sum_excl": _diff_prefix_sum_excl,
+    "prefix_max": _diff_prefix_max,
+    "segmented_sum": _diff_segmented_sum,
+    "sort": _diff_sort,
+    "lexsort": _diff_lexsort,
+    "pointer_jump": _diff_pointer_jump,
+    "list_rank": _diff_list_rank,
+}
+
+
+def run_primitive_diffs(
+    seed: int = 0,
+    strict: bool = False,
+    primitives_subset: tuple[str, ...] | None = None,
+    cases: tuple[str, ...] = PRIMITIVE_CASES,
+) -> list[DiffOutcome]:
+    """Run the full primitive × case differential matrix."""
+    names = primitives_subset or tuple(PRIMITIVE_DIFFS)
+    outcomes = []
+    for name in names:
+        runner = PRIMITIVE_DIFFS[name]
+        for case in cases:
+            outcomes.append(runner(case, seed, strict))
+    return outcomes
+
+
+# -- whole-execution conformance on the E-family smoke graphs ----------------
+
+#: The generator families the experiment suite (E1–E20) sweeps, at smoke size.
+SMOKE_FAMILIES: dict[str, Callable[[int, int], Graph]] = {
+    "er": lambda n, s: erdos_renyi(n, 0.15, seed=s, w_range=(1.0, 4.0)),
+    "grid": lambda n, s: grid_graph(
+        max(int(n**0.5), 2), max(int(n**0.5), 2), seed=s, w_range=(1.0, 2.0)
+    ),
+    "path": lambda n, s: path_graph(n, seed=s, w_range=(1.0, 3.0)),
+    "layered": lambda n, s: layered_hop_graph(max(n // 4, 2), 4, seed=s),
+    "geometric": lambda n, s: random_geometric(n, 0.3, seed=s),
+    "powerlaw": lambda n, s: preferential_attachment(n, 2, seed=s),
+    "wide": lambda n, s: wide_weight_graph(n, 1e4, seed=s),
+}
+
+_SMOKE_PARAMS = HopsetParams(epsilon=0.25, kappa=2, rho=0.4, beta=8)
+
+
+def diff_sssp(
+    graph: Graph, source: int, pram: PRAM
+) -> tuple[bool, bool, int, int]:
+    """Vectorized vs literal-CREW SSSP on one graph.
+
+    Returns ``(dist_equal, rounds_ok, vec_rounds, lit_rounds)``.  Both
+    sides relax the same candidate set per round with identical float
+    operations, so distances must be **bit-exact**; the literal memory
+    commits exactly one extra (load) round: ``lit_rounds == vec_rounds+1``.
+    """
+    hops = max(graph.n - 1, 1)
+    res = bellman_ford(pram, graph, source, hops)
+    lit, lit_rounds = reference.crew_sssp(graph, source)
+    dist_equal = np.array_equal(res.dist, np.asarray(lit))
+    rounds_ok = lit_rounds == res.rounds_used + 1
+    return dist_equal, rounds_ok, res.rounds_used, lit_rounds
+
+
+def run_graph_conformance(
+    n: int = 32,
+    seed: int = 7,
+    strict: bool = False,
+    families: tuple[str, ...] | None = None,
+    pram: PRAM | None = None,
+    shadow: ShadowCREW | None = None,
+) -> list[GraphOutcome]:
+    """Sweep the E-family smoke graphs: SSSP diff + hopset-build race scan.
+
+    When ``pram``/``shadow`` are supplied (the CLI passes ones wired to a
+    span tracer and metrics registry), the sweep runs on them, one phase
+    per family, so the obs flame report attributes the conformance work;
+    otherwise a private pair is created and detached afterwards.
+    """
+    own = pram is None
+    pram = pram if pram is not None else PRAM()
+    if shadow is None:
+        shadow = ShadowCREW.attach(pram.cost, strict=strict)
+        own_shadow = True
+    else:
+        own_shadow = False
+    names = families or tuple(SMOKE_FAMILIES)
+    rows: list[GraphOutcome] = []
+    try:
+        for name in names:
+            g = SMOKE_FAMILIES[name](n, seed)
+            before = len(shadow.findings)
+            with pram.cost.phase(name):
+                with pram.cost.subphase("sssp_diff"):
+                    dist_equal, rounds_ok, vec_rounds, lit_rounds = diff_sssp(
+                        g, 0, pram
+                    )
+                with pram.cost.subphase("hopset_race_scan"):
+                    build_hopset(g, _SMOKE_PARAMS, pram)
+            rows.append(
+                GraphOutcome(
+                    family=name,
+                    n=g.n,
+                    m=g.num_edges,
+                    dist_equal=dist_equal,
+                    rounds_ok=rounds_ok,
+                    races=len(shadow.findings) - before,
+                    vec_rounds=vec_rounds,
+                    lit_rounds=lit_rounds,
+                )
+            )
+    finally:
+        if own_shadow:
+            shadow.detach(pram.cost)
+        del own
+    return rows

@@ -1,0 +1,127 @@
+"""Pass/fail reporting for the conformance harness.
+
+Primitive-level outcomes are grouped one row per primitive (the case
+matrix collapses to counts); graph-level outcomes print one row per
+E-family smoke graph.  Both tables go through
+:func:`repro.analysis.tables.render_table` so the CLI output matches the
+rest of the bench harness, and :func:`conformance_summary` packs the same
+information as JSON for the ``extra`` block of a Chrome trace export.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.analysis.tables import render_table
+
+from repro.conformance.diff import DiffOutcome, GraphOutcome
+from repro.conformance.shadow import ShadowCREW
+
+__all__ = [
+    "primitive_table",
+    "graph_table",
+    "conformance_summary",
+    "all_clean",
+]
+
+
+def primitive_table(outcomes: list[DiffOutcome]) -> str:
+    """One row per primitive: cases run/passed, race count, worst failure."""
+    grouped: "OrderedDict[str, list[DiffOutcome]]" = OrderedDict()
+    for o in outcomes:
+        grouped.setdefault(o.primitive, []).append(o)
+    rows = []
+    for name, outs in grouped.items():
+        failed = [o for o in outs if not o.ok]
+        races = sum(o.races for o in outs)
+        worst = failed[0] if failed else None
+        rows.append(
+            [
+                name,
+                len(outs),
+                len(outs) - len(failed),
+                races,
+                not failed,
+                f"{worst.case}: {worst.detail or 'mismatch'}" if worst else "",
+            ]
+        )
+    return render_table(
+        "conformance: vectorized vs literal CREW (primitive differential)",
+        ["primitive", "cases", "passed", "races", "ok", "first failure"],
+        rows,
+    )
+
+
+def graph_table(rows: list[GraphOutcome]) -> str:
+    """One row per E-family smoke graph swept by the harness."""
+    table_rows = [
+        [
+            r.family,
+            r.n,
+            r.m,
+            r.dist_equal,
+            r.rounds_ok,
+            r.vec_rounds,
+            r.lit_rounds,
+            r.races,
+            r.ok,
+        ]
+        for r in rows
+    ]
+    return render_table(
+        "conformance: E-family smoke graphs (SSSP diff + hopset race scan)",
+        ["family", "n", "m", "dist=", "rounds", "vec rds", "lit rds", "races", "ok"],
+        table_rows,
+    )
+
+
+def all_clean(
+    primitive_outcomes: list[DiffOutcome], graph_outcomes: list[GraphOutcome]
+) -> bool:
+    """True iff every primitive case and every graph family passed."""
+    return all(o.ok for o in primitive_outcomes) and all(
+        r.ok for r in graph_outcomes
+    )
+
+
+def conformance_summary(
+    primitive_outcomes: list[DiffOutcome],
+    graph_outcomes: list[GraphOutcome],
+    shadow: ShadowCREW | None = None,
+) -> dict:
+    """JSON-friendly digest (shipped in the Chrome trace ``extra`` block)."""
+    summary = {
+        "primitives": {
+            "cases": len(primitive_outcomes),
+            "passed": sum(1 for o in primitive_outcomes if o.ok),
+            "races": sum(o.races for o in primitive_outcomes),
+            "failures": [
+                {
+                    "primitive": o.primitive,
+                    "case": o.case,
+                    "outputs_equal": o.outputs_equal,
+                    "rounds_ok": o.rounds_ok,
+                    "races": o.races,
+                    "detail": o.detail,
+                }
+                for o in primitive_outcomes
+                if not o.ok
+            ],
+        },
+        "graphs": [
+            {
+                "family": r.family,
+                "n": r.n,
+                "m": r.m,
+                "dist_equal": r.dist_equal,
+                "rounds_ok": r.rounds_ok,
+                "races": r.races,
+                "ok": r.ok,
+            }
+            for r in graph_outcomes
+        ],
+        "clean": all_clean(primitive_outcomes, graph_outcomes),
+    }
+    if shadow is not None:
+        summary["shadow"] = shadow.summary()
+    return summary

@@ -1,0 +1,283 @@
+"""The shadow CREW race detector for the vectorized PRAM machine.
+
+The production algorithms never touch the literal
+:class:`~repro.pram.memory.CREWMemory` — they run on vectorized NumPy
+primitives whose CREW-validity used to be asserted in docstrings only.
+:class:`ShadowCREW` turns those assertions into machinery: it subscribes to
+a :class:`~repro.pram.cost.CostModel` as a footprint-consuming
+:class:`~repro.pram.cost.CostHook`, mirrors every primitive's declared
+per-round write-set into a staged shadow write-set, and validates the CREW
+discipline at each round commit — exactly the check ``CREWMemory.end_round``
+performs for the literal reference programs, applied to the vectorized
+execution.
+
+Write rules (see ``WRITE_RULES`` in ``pram/cost.py``):
+
+``exclusive``
+    Raw CREW writes.  Two writes to one cell with differing values are a
+    conflict in every mode; equal-valued duplicates commit under the
+    COMMON relaxation, unless ``strict=True`` (mirroring
+    ``CREWMemory(strict=True)``), in which case any duplicate conflicts.
+
+``common``
+    A declared tie-set (e.g. the min-achieving updates of
+    ``scatter_min_arg``): duplicates are expected and carry equal values by
+    construction, so they are legal *even in strict mode* — the combine
+    stage serializes them.  Differing values still conflict in every mode.
+
+``combine``
+    Colliding updates merged by a balanced combine tree (``scatter_min``,
+    ``segmented_sum``).  Any value multiset per cell is legal, but the
+    primitive must have charged enough depth to pay for the tallest
+    per-cell tree: the shadow checks
+    ``charged_depth >= ceil_log2(max collision multiplicity) + 1`` and
+    reports a ``combine-depth`` finding otherwise — a primitive that
+    collides without paying for combining is cheating the model.
+
+Reads are not mirrored at cell granularity: concurrent reads are
+unconditionally legal on CREW, so cell-level read tracking could never
+produce a finding (read *counts* are already reported through the
+``traffic`` event stream and land in ``repro.obs`` metrics).
+
+Every finding is also reported through ``cost.traffic`` under the
+``RACE_TRAFFIC_PREFIX`` label, so an attached span tracer or metrics
+registry (``repro.obs``) records it with zero extra plumbing — the obs
+trace of a shadowed run carries its race findings.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.pram.cost import RACE_TRAFFIC_PREFIX, CostHook, CostModel
+from repro.pram.errors import ShadowRaceError
+from repro.pram.machine import PRAM
+from repro.pram.primitives import ceil_log2
+
+__all__ = ["RaceFinding", "ShadowCREW", "shadowed"]
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One CREW-discipline violation caught by the shadow detector.
+
+    ``kind`` is one of:
+
+    * ``write-conflict``     — two differing values written to one cell;
+    * ``strict-double-write``— duplicate write rejected by strict mode
+      (equal values, which COMMON would have allowed);
+    * ``combine-depth``      — a combining primitive's charged depth does
+      not cover its worst per-cell collision multiplicity.
+    """
+
+    label: str
+    space: str
+    cell: int
+    kind: str
+    values: tuple
+    round_index: int
+
+    def describe(self) -> str:
+        return (
+            f"[{self.kind}] {self.label}: {self.space}[{self.cell}] "
+            f"values={self.values!r} (round {self.round_index})"
+        )
+
+
+class ShadowCREW(CostHook):
+    """Shadow-execution CREW checker, installable on any :class:`PRAM`.
+
+    Parameters
+    ----------
+    strict:
+        When ``True``, duplicate *exclusive* writes conflict even with
+        equal values (the strict ``CREWMemory`` rule).  Declared tie-sets
+        (``common``) and combine-tree updates stay legal — they are how
+        the model legalizes collisions.
+    mode:
+        ``"record"`` collects findings in :attr:`findings`; ``"raise"``
+        additionally raises :class:`~repro.pram.errors.ShadowRaceError` at
+        the offending round commit.
+    """
+
+    wants_footprints = True
+
+    def __init__(self, strict: bool = False, mode: str = "record") -> None:
+        if mode not in ("record", "raise"):
+            raise ValueError(f"mode must be 'record' or 'raise', got {mode!r}")
+        self.strict = strict
+        self.mode = mode
+        self.findings: list[RaceFinding] = []
+        self.rounds_checked = 0
+        self.writes_checked = 0
+        self.cells_checked = 0
+        self._cost: CostModel | None = None
+        # per-space staged chunks for the round in flight: space -> list of
+        # (cells, values-or-None, rule)
+        self._staged: dict[str, list[tuple[np.ndarray, np.ndarray | None, str]]] = {}
+        self._last_charge_depth: dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def attach(cls, cost: CostModel, strict: bool = False, mode: str = "record") -> "ShadowCREW":
+        """Create a detector and subscribe it to ``cost`` in one step."""
+        shadow = cls(strict=strict, mode=mode)
+        shadow._cost = cost
+        cost.subscribe(shadow)
+        return shadow
+
+    def detach(self, cost: CostModel | None = None) -> None:
+        """Unsubscribe (flushing any round left open by an aborted primitive)."""
+        cost = cost if cost is not None else self._cost
+        if self._staged:
+            self.on_round_commit("<detach>")
+        if cost is not None:
+            cost.unsubscribe(self)
+
+    # -- CostHook callbacks --------------------------------------------------
+
+    def on_charge(self, work: int, depth: int, label: str) -> None:
+        # remembered for the combine-depth check at the next round commit
+        self._last_charge_depth[label] = depth
+
+    def on_footprint(self, label: str, space: str, cells, values, rule: str) -> None:
+        cells = np.asarray(cells)
+        if values is not None:
+            values = np.asarray(values)
+            if values.shape != cells.shape:
+                raise ShadowRaceError(label, space, -1, ("footprint shape mismatch",))
+        self._staged.setdefault(space, []).append((cells, values, rule))
+
+    def on_round_commit(self, label: str) -> None:
+        staged, self._staged = self._staged, {}
+        self.rounds_checked += 1
+        for space, chunks in staged.items():
+            self._check_space(label, space, chunks)
+
+    # -- the actual race check -----------------------------------------------
+
+    def _check_space(
+        self,
+        label: str,
+        space: str,
+        chunks: list[tuple[np.ndarray, np.ndarray | None, str]],
+    ) -> None:
+        cells = np.concatenate([c for c, _, _ in chunks]) if len(chunks) > 1 else chunks[0][0]
+        if cells.size == 0:
+            return
+        rules = {rule for _, _, rule in chunks}
+        if len(rules) > 1:
+            # mixed-rule writes to one space in one round: fall back to the
+            # strictest interpretation (exclusive)
+            rule = "exclusive"
+        else:
+            (rule,) = rules
+        has_values = all(v is not None for _, v, _ in chunks)
+        values: np.ndarray | None = None
+        if has_values:
+            vals = [np.asarray(v) for _, v, _ in chunks]
+            values = np.concatenate(vals) if len(vals) > 1 else vals[0]
+
+        self.writes_checked += int(cells.size)
+        order = np.argsort(cells, kind="stable")
+        cs = cells[order]
+        vs = values[order] if values is not None else None
+        first = np.ones(cs.size, dtype=bool)
+        first[1:] = cs[1:] != cs[:-1]
+        self.cells_checked += int(first.sum())
+
+        if rule == "combine":
+            # collisions are legal; charged depth must cover the tallest tree
+            counts = np.diff(np.flatnonzero(np.append(first, True)))
+            max_mult = int(counts.max()) if counts.size else 1
+            required = ceil_log2(max_mult) + 1 if max_mult > 1 else 0
+            charged = self._last_charge_depth.get(label, 0)
+            if charged < required:
+                dup_start = int(np.argmax(counts)) if counts.size else 0
+                cell = int(cs[np.flatnonzero(first)[dup_start]])
+                self._record(
+                    label, space, cell, "combine-depth",
+                    (f"multiplicity {max_mult}", f"charged depth {charged}"),
+                )
+            return
+
+        dup_positions = np.flatnonzero(~first)
+        if dup_positions.size == 0:
+            return
+        for pos in dup_positions:
+            cell = int(cs[pos])
+            if vs is None:
+                # opaque values cannot satisfy COMMON — any duplicate conflicts
+                self._record(label, space, cell, "write-conflict", ("<opaque>",) * 2)
+                continue
+            prev, cur = vs[pos - 1], vs[pos]
+            equal = bool(prev == cur)
+            if not equal:
+                self._record(label, space, cell, "write-conflict",
+                             (_pyval(prev), _pyval(cur)))
+            elif self.strict and rule == "exclusive":
+                self._record(label, space, cell, "strict-double-write",
+                             (_pyval(prev), _pyval(cur)))
+            # equal under COMMON (or a declared common tie-set): legal
+
+    def _record(
+        self, label: str, space: str, cell: int, kind: str, values: tuple
+    ) -> None:
+        finding = RaceFinding(
+            label=label,
+            space=space,
+            cell=cell,
+            kind=kind,
+            values=values,
+            round_index=self.rounds_checked,
+        )
+        self.findings.append(finding)
+        if self._cost is not None:
+            # surfaces in any attached obs sink (metrics counter / span op)
+            self._cost.traffic(RACE_TRAFFIC_PREFIX + label, calls=1)
+        if self.mode == "raise":
+            raise ShadowRaceError(label, space, cell, values)
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> dict:
+        """JSON-friendly digest for export next to a trace."""
+        return {
+            "strict": self.strict,
+            "rounds_checked": self.rounds_checked,
+            "writes_checked": self.writes_checked,
+            "cells_checked": self.cells_checked,
+            "findings": [f.describe() for f in self.findings],
+            "clean": self.clean,
+        }
+
+
+def _pyval(v):
+    """Plain-Python scalar for finding payloads (keeps reprs readable)."""
+    return v.item() if isinstance(v, np.generic) else v
+
+
+@contextmanager
+def shadowed(
+    pram: PRAM, strict: bool = False, mode: str = "raise"
+) -> Iterator[ShadowCREW]:
+    """Run a block with a :class:`ShadowCREW` installed on ``pram``.
+
+    ``with shadowed(pram) as shadow: ...`` — by default violations raise
+    :class:`~repro.pram.errors.ShadowRaceError` at the offending primitive;
+    pass ``mode="record"`` to collect them in ``shadow.findings`` instead.
+    """
+    shadow = ShadowCREW.attach(pram.cost, strict=strict, mode=mode)
+    try:
+        yield shadow
+    finally:
+        shadow.detach(pram.cost)

@@ -26,6 +26,7 @@ from typing import Union
 from repro.analysis.tables import render_table
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Span, SpanTracer
+from repro.pram.cost import RACE_TRAFFIC_PREFIX
 
 __all__ = [
     "chrome_trace_events",
@@ -136,25 +137,38 @@ def flame_report(source: _SourceT, title: str = "trace report") -> str:
     Columns: inclusive work/depth, exclusive (self) work, share of the root
     work, and wall-clock milliseconds.  Indentation shows nesting; span
     names keep only their last path component (the ancestry is the
-    indentation).
+    indentation).  If a shadow race detector reported findings during the
+    trace (``crew_race:*`` traffic labels, see ``repro.conformance``), a
+    ``races`` column appears attributing them to the offending span.
     """
     root = _root_of(source)
     total = max(root.work, 1)
+    races = [_span_races(span) for span in root.walk()]
+    with_races = any(races)
     rows = []
-    for span in root.walk():
+    for span, n_races in zip(root.walk(), races):
         short = span.name.rsplit("/", 1)[-1]
-        rows.append(
-            [
-                "  " * span.level + short,
-                span.work,
-                span.depth,
-                span.self_work,
-                f"{100.0 * span.work / total:.1f}%",
-                f"{span.wall * 1e3:.2f}",
-            ]
-        )
-    return render_table(
-        title,
-        ["span", "work", "depth", "self work", "share", "wall ms"],
-        rows,
+        row = [
+            "  " * span.level + short,
+            span.work,
+            span.depth,
+            span.self_work,
+            f"{100.0 * span.work / total:.1f}%",
+            f"{span.wall * 1e3:.2f}",
+        ]
+        if with_races:
+            row.append(n_races)
+        rows.append(row)
+    headers = ["span", "work", "depth", "self work", "share", "wall ms"]
+    if with_races:
+        headers.append("races")
+    return render_table(title, headers, rows)
+
+
+def _span_races(span: Span) -> int:
+    """Race findings a shadow detector attributed to this span (self only)."""
+    return sum(
+        s.calls
+        for label, s in span.ops.items()
+        if label.startswith(RACE_TRAFFIC_PREFIX)
     )

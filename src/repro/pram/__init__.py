@@ -6,11 +6,19 @@ This package is the hardware substitution for the paper's abstract machine
 quantities the paper's theorems bound.
 """
 
-from repro.pram.cost import CostHook, CostModel, CostSnapshot, StepRecord
+from repro.pram.cost import (
+    RACE_TRAFFIC_PREFIX,
+    WRITE_RULES,
+    CostHook,
+    CostModel,
+    CostSnapshot,
+    StepRecord,
+)
 from repro.pram.errors import (
     InvalidStepError,
     PRAMError,
     ProcessorBudgetError,
+    ShadowRaceError,
     WriteConflictError,
 )
 from repro.pram.machine import PRAM
@@ -29,6 +37,9 @@ __all__ = [
     "SchedulePoint",
     "PRAMError",
     "WriteConflictError",
+    "ShadowRaceError",
     "ProcessorBudgetError",
     "InvalidStepError",
+    "RACE_TRAFFIC_PREFIX",
+    "WRITE_RULES",
 ]

@@ -29,6 +29,16 @@ Observability subscribers (``repro.obs``) may attach via
 truthiness check, so an un-instrumented run pays no allocation and no
 indirect calls — the *zero-overhead-when-disabled* contract that the
 hot-loop benchmarks (E10) guard.
+
+Conformance subscribers (``repro.conformance``) additionally receive
+**write-footprint** events: each primitive declares, per synchronous round,
+the set of shared-memory cells it writes together with the values and the
+CREW legality *rule* the writes claim (see :meth:`CostModel.footprint`).
+Footprints can be expensive to materialize, so they are double-gated: a
+hook must opt in with ``wants_footprints = True``, and primitives only
+build the footprint arrays when :attr:`CostModel.wants_footprints` is
+true.  A plain observability run (tracer/metrics) therefore never pays
+for them.
 """
 
 from __future__ import annotations
@@ -40,7 +50,34 @@ from typing import Iterator
 
 from repro.pram.errors import InvalidStepError
 
-__all__ = ["StepRecord", "CostModel", "CostSnapshot", "CostHook"]
+__all__ = [
+    "StepRecord",
+    "CostModel",
+    "CostSnapshot",
+    "CostHook",
+    "RACE_TRAFFIC_PREFIX",
+    "WRITE_RULES",
+]
+
+#: Traffic label prefix under which race detectors report findings, so that
+#: existing observability sinks (metrics counters, span op stats) record
+#: them without new plumbing: a finding against primitive ``L`` surfaces as
+#: one ``traffic`` call labeled ``f"{RACE_TRAFFIC_PREFIX}{L}"``.
+RACE_TRAFFIC_PREFIX = "crew_race:"
+
+#: The CREW legality rules a write-footprint may claim (docs/conformance.md):
+#:
+#: * ``"exclusive"`` — raw CREW writes: at most one write per cell per round;
+#:   equal-valued duplicates commit under the COMMON relaxation unless the
+#:   checker runs in strict mode (mirrors ``CREWMemory``).
+#: * ``"common"``    — a declared tie-set: duplicate writes carry equal
+#:   values by construction (e.g. the min-achieving updates of a combining
+#:   scatter); equal duplicates are legal even in strict mode, differing
+#:   values are a conflict in every mode.
+#: * ``"combine"``   — colliding updates are merged by a balanced combine
+#:   tree (the primitive charged the tree's depth); any value multiset per
+#:   cell is legal, but the charged depth must cover the tallest tree.
+WRITE_RULES = ("exclusive", "common", "combine")
 
 
 @dataclass(frozen=True)
@@ -75,9 +112,18 @@ class CostHook:
 
     Subclasses (see :mod:`repro.obs`) override any subset of the callbacks.
     All callbacks must be cheap and must not mutate the cost model.
+
+    Hooks that set the class attribute ``wants_footprints = True`` (see
+    :class:`repro.conformance.ShadowCREW`) additionally receive the
+    write-footprint stream (:meth:`on_footprint` / :meth:`on_round_commit`);
+    their presence flips :attr:`CostModel.wants_footprints`, which is what
+    primitives consult before materializing footprint arrays.
     """
 
     __slots__ = ()
+
+    #: Opt-in flag for the write-footprint event stream.
+    wants_footprints = False
 
     def on_charge(self, work: int, depth: int, label: str) -> None:
         """One :meth:`CostModel.charge` call (after totals were updated)."""
@@ -86,6 +132,24 @@ class CostHook:
         self, label: str, calls: int, elements: int, reads: int, writes: int
     ) -> None:
         """CREW memory-traffic report from one primitive invocation."""
+
+    def on_footprint(self, label: str, space: str, cells, values, rule: str) -> None:
+        """A primitive declared part of its per-round write-set.
+
+        ``cells`` is an integer array of written cells in the named address
+        ``space`` (one primitive may write several spaces, e.g. ``target``
+        and ``payload``); ``values`` is a parallel array of written values,
+        or ``None`` for opaque writes; ``rule`` is one of :data:`WRITE_RULES`.
+        Only delivered to hooks with ``wants_footprints = True``.
+        """
+
+    def on_round_commit(self, label: str) -> None:
+        """The declaring primitive ended one synchronous round.
+
+        All footprints declared since the previous commit belong to the
+        round being committed — the granularity at which CREW exclusivity
+        is defined (and at which ``CREWMemory.end_round`` checks it).
+        """
 
     def on_phase_enter(self, name: str) -> None:
         """A ``with cost.phase(name)`` block was entered."""
@@ -120,6 +184,7 @@ class CostModel:
     phase_self_totals: dict[str, CostSnapshot] = field(default_factory=dict)
     _phase_stack: list[str] = field(default_factory=list, repr=False)
     _subscribers: list[CostHook] = field(default_factory=list, repr=False)
+    _footprint_hooks: list[CostHook] = field(default_factory=list, repr=False)
 
     def charge(self, work: int, depth: int = 1, label: str = "") -> None:
         """Charge ``work`` operations spread over ``depth`` rounds.
@@ -177,17 +242,61 @@ class CostModel:
         for hook in self._subscribers:
             hook.on_traffic(label, calls, elements, reads, writes)
 
+    # -- write footprints (conformance) --------------------------------------
+
+    @property
+    def wants_footprints(self) -> bool:
+        """True when a footprint-consuming hook (a race detector) is attached.
+
+        Primitives gate the *construction* of footprint arrays on this flag,
+        so un-shadowed runs never pay for them.
+        """
+        return bool(self._footprint_hooks)
+
+    def footprint(
+        self, label: str, space: str, cells, values=None, rule: str = "exclusive"
+    ) -> None:
+        """Declare part of the current round's write-set of one primitive.
+
+        ``cells``/``values`` are parallel arrays of written cells in the
+        address ``space`` and the values written there (``values=None`` for
+        opaque writes that cannot be compared for the COMMON rule).  ``rule``
+        is one of :data:`WRITE_RULES`.  A no-op without footprint hooks.
+        """
+        if not self._footprint_hooks:
+            return
+        if rule not in WRITE_RULES:
+            raise InvalidStepError(f"unknown write rule {rule!r}")
+        for hook in self._footprint_hooks:
+            hook.on_footprint(label, space, cells, values, rule)
+
+    def commit_round(self, label: str = "") -> None:
+        """Close the declaring primitive's current round of footprints.
+
+        Analogous to ``CREWMemory.end_round``: everything declared via
+        :meth:`footprint` since the last commit is one synchronous round.
+        A no-op without footprint hooks.
+        """
+        if not self._footprint_hooks:
+            return
+        for hook in self._footprint_hooks:
+            hook.on_round_commit(label)
+
     # -- observability hooks -------------------------------------------------
 
     def subscribe(self, hook: CostHook) -> CostHook:
         """Attach an observability hook; returns it for chaining."""
         self._subscribers.append(hook)
+        if getattr(hook, "wants_footprints", False):
+            self._footprint_hooks.append(hook)
         return hook
 
     def unsubscribe(self, hook: CostHook) -> None:
         """Detach a hook previously attached with :meth:`subscribe`."""
         if hook in self._subscribers:
             self._subscribers.remove(hook)
+        if hook in self._footprint_hooks:
+            self._footprint_hooks.remove(hook)
 
     @property
     def has_subscribers(self) -> bool:

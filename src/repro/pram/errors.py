@@ -25,6 +25,29 @@ class WriteConflictError(PRAMError):
         )
 
 
+class ShadowRaceError(WriteConflictError):
+    """The shadow race detector caught a CREW violation in a primitive.
+
+    Raised (in ``raise`` mode) or recorded (in ``record`` mode) by
+    :class:`repro.conformance.ShadowCREW` when a vectorized primitive's
+    declared per-round write footprint would commit two conflicting writes
+    to one cell — the shadow-execution counterpart of the literal
+    :class:`~repro.pram.memory.CREWMemory` raising
+    :class:`WriteConflictError` at ``end_round``.
+    """
+
+    def __init__(self, label: str, space: str, cell: int, values: tuple) -> None:
+        self.label = label
+        self.space = space
+        self.cell = cell
+        self.values = values
+        Exception.__init__(
+            self,
+            f"CREW race in {label!r}: {space}[{cell}] written concurrently "
+            f"with conflicting values {values!r}"
+        )
+
+
 class ProcessorBudgetError(PRAMError):
     """An algorithm requested more processors than the machine allows."""
 

@@ -58,6 +58,10 @@ class PRAM:
     def broadcast(self, value, n: int, dtype=None, label: str = "broadcast") -> np.ndarray:
         return primitives.pbroadcast(self.cost, value, n, dtype=dtype, label=label)
 
+    def scatter(self, target, idx, values, label: str = "scatter") -> np.ndarray:
+        """Exclusive-write scatter (CREW-legal only for conflict-free idx)."""
+        return primitives.pscatter(self.cost, target, idx, values, label=label)
+
     def scatter_min(self, target, idx, values, label: str = "scatter_min") -> np.ndarray:
         return primitives.scatter_min(self.cost, target, idx, values, label=label)
 

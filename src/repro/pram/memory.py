@@ -50,6 +50,22 @@ class CREWMemory:
         self.reads: int = 0
         self.writes: int = 0
 
+    @classmethod
+    def from_values(
+        cls, values, extra_cells: int = 0, strict: bool = False
+    ) -> "CREWMemory":
+        """Memory pre-loaded with ``values`` (committed in one write round).
+
+        ``extra_cells`` appends scratch cells after the loaded prefix — the
+        reference programs use them for staging areas and outputs.
+        """
+        values = list(values)
+        mem = cls(len(values) + extra_cells, strict=strict)
+        for i, v in enumerate(values):
+            mem.write(i, v)
+        mem.end_round()
+        return mem
+
     def __len__(self) -> int:
         return len(self._cells)
 

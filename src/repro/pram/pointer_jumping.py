@@ -63,12 +63,18 @@ def pointer_jump(
         d = weight.astype(np.float64).copy()
     d[q == np.arange(n)] = 0.0
     rounds = ceil_log2(n) + 1
+    cells = np.arange(n)
     for _ in range(rounds):
         d = d + d[q]
         q = q[q]
+        if cost.wants_footprints:
+            # each element rewrites only its own q/d cells per doubling round
+            cost.footprint(label, "q", cells, q, rule="exclusive")
+            cost.footprint(label, "d", cells, d, rule="exclusive")
         cost.charge(work=2 * n, depth=2, label=label)
         # per element and round: read q(v), d(q(v)); write q'(v), d'(v)
         cost.traffic(label, elements=n, reads=4 * n, writes=2 * n)
+        cost.commit_round(label)
         if np.array_equal(q, q[q]):
             break
     if not np.array_equal(q, q[q]):

@@ -23,6 +23,15 @@ Besides charging work/depth, every primitive reports its model-level CREW
 memory traffic (cells read/written under the charging convention above)
 through :meth:`CostModel.traffic` — a no-op unless an observability
 subscriber (``repro.obs``) is attached.
+
+When a race detector is attached (:class:`repro.conformance.ShadowCREW`,
+flagged by ``cost.wants_footprints``), every primitive additionally
+*declares* its per-round write-set through :meth:`CostModel.footprint` and
+closes each synchronous round with :meth:`CostModel.commit_round`.  The
+declarations carry the CREW legality rule the writes claim (``exclusive``,
+``common`` tie-set, or ``combine`` tree — see ``WRITE_RULES`` in
+``pram/cost.py``), which is what the shadow checker enforces.  Footprint
+construction is skipped entirely when no detector is attached.
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ __all__ = [
     "elementwise",
     "preduce",
     "pbroadcast",
+    "pscatter",
     "scatter_min",
     "scatter_min_arg",
     "pselect",
@@ -60,8 +70,12 @@ def elementwise(
     """Apply a vectorized function elementwise; one round, linear work."""
     out = fn(*arrays)
     n = max((int(np.size(a)) for a in arrays), default=0)
+    if cost.wants_footprints:
+        flat = np.ravel(np.asarray(out))
+        cost.footprint(label, "out", np.arange(flat.size), flat, rule="exclusive")
     cost.charge(work=n, depth=1, label=label)
     cost.traffic(label, elements=n, reads=n * max(len(arrays), 1), writes=n)
+    cost.commit_round(label)
     return out
 
 
@@ -81,19 +95,60 @@ def preduce(
     n = int(arr.size)
     if n == 0:
         raise InvalidStepError("cannot reduce an empty array")
+    out = reducers[op](arr)
+    if cost.wants_footprints:
+        # the combine tree's internal writes collapse to one result cell;
+        # the tree itself is covered by the "combine" depth charge below
+        cost.footprint(label, "out", np.zeros(1, dtype=np.int64),
+                       np.asarray([out]), rule="exclusive")
     cost.charge(work=n, depth=ceil_log2(n) + 1, label=label)
     # combine tree: 2(n-1) reads, n-1 internal writes, 1 result write
     cost.traffic(label, elements=n, reads=2 * max(n - 1, 0), writes=n)
-    return reducers[op](arr)
+    cost.commit_round(label)
+    return out
 
 
 def pbroadcast(cost: CostModel, value, n: int, dtype=None, label: str = "broadcast") -> np.ndarray:
     """Broadcast one value to ``n`` cells (one concurrent-read round)."""
     if n < 0:
         raise InvalidStepError(f"broadcast size must be non-negative, got {n}")
+    out = np.full(n, value, dtype=dtype)
+    if cost.wants_footprints:
+        cost.footprint(label, "out", np.arange(n), out, rule="exclusive")
     cost.charge(work=n, depth=1, label=label)
     cost.traffic(label, elements=n, reads=n, writes=n)
-    return np.full(n, value, dtype=dtype)
+    cost.commit_round(label)
+    return out
+
+
+def pscatter(
+    cost: CostModel,
+    target: np.ndarray,
+    idx: np.ndarray,
+    values: np.ndarray,
+    label: str = "scatter",
+) -> np.ndarray:
+    """Exclusive-write scatter: ``target[idx[i]] = values[i]``, in place.
+
+    One round, linear work — but CREW-legal **only** when no two updates
+    address one cell with differing values (equal-valued duplicates follow
+    the COMMON rule, like :class:`~repro.pram.memory.CREWMemory`).  The
+    vectorized execution uses NumPy fancy assignment, whose behavior on
+    duplicate indices is "last update wins" — i.e. a conflicting update set
+    silently commits *some* value.  This function does not check for
+    conflicts itself; attach :class:`repro.conformance.ShadowCREW` to catch
+    them, or run the literal :func:`repro.pram.reference.crew_scatter`.
+    """
+    if idx.shape != values.shape:
+        raise InvalidStepError("pscatter: idx and values must have equal shape")
+    n = int(idx.size)
+    if cost.wants_footprints:
+        cost.footprint(label, "target", idx, values, rule="exclusive")
+    target[idx] = values
+    cost.charge(work=n, depth=1, label=label)
+    cost.traffic(label, elements=n, reads=2 * n, writes=n)
+    cost.commit_round(label)
+    return target
 
 
 def scatter_min(
@@ -110,10 +165,14 @@ def scatter_min(
     """
     if idx.shape != values.shape:
         raise InvalidStepError("scatter_min: idx and values must have equal shape")
-    np.minimum.at(target, idx, values)
     n = int(idx.size)
+    if cost.wants_footprints:
+        # raw colliding updates, declared legal via the charged combine tree
+        cost.footprint(label, "target", idx, values, rule="combine")
+    np.minimum.at(target, idx, values)
     cost.charge(work=n, depth=ceil_log2(max(n, 1)) + 1, label=label)
     cost.traffic(label, elements=n, reads=2 * n, writes=n)
+    cost.commit_round(label)
     return target
 
 
@@ -130,9 +189,18 @@ def scatter_min_arg(
 
     Like :func:`scatter_min`, but additionally writes ``value_payload[i]``
     into ``payload[idx[i]]`` whenever ``values[i]`` strictly improves the
-    cell.  Ties are broken deterministically toward the smallest payload, so
-    repeated runs produce identical results (a requirement for the
-    determinism experiments).
+    cell.
+
+    **Tie-breaking (deterministic, lowest index wins).**  Among concurrent
+    updates to one cell that tie at the minimum value, the one with the
+    smallest ``value_payload`` wins the payload write — payloads are vertex
+    indices everywhere this is used, so "lowest index wins".  An incumbent
+    value already in ``target`` is kept unless strictly improved (its
+    payload is *not* rewritten on an equal-value update).  Both rules are
+    order-independent, so repeated runs produce bit-identical results (a
+    requirement for the determinism experiments, E5), and the race detector
+    (:class:`repro.conformance.ShadowCREW`) treats the equal-valued tie-set
+    as COMMON-rule writes rather than conflicts.
     """
     if not (idx.shape == values.shape == value_payload.shape):
         raise InvalidStepError("scatter_min_arg: inputs must have equal shape")
@@ -140,6 +208,7 @@ def scatter_min_arg(
     if n == 0:
         cost.charge(work=0, depth=1, label=label)
         cost.traffic(label)
+        cost.commit_round(label)
         return target, payload
     # Sort updates by (cell, value, payload); the first update per cell is
     # the deterministic winner.  Charged as one parallel sort round below.
@@ -151,6 +220,19 @@ def scatter_min_arg(
     win_vals = values[order][first]
     win_pay = value_payload[order][first]
     improve = win_vals < target[win_cells]
+    if cost.wants_footprints:
+        # target: all min-achieving updates per cell — an equal-valued
+        # tie-set, serialized by the combine stage (COMMON-legal even in
+        # strict mode).  payload: exactly one tie-broken winner per
+        # improved cell — a raw exclusive write (any duplicate here would
+        # mean the tie-breaking is broken, and the shadow flags it).
+        vals_s = values[order]
+        run_min = win_vals[np.cumsum(first) - 1]
+        achieving = vals_s == run_min
+        cost.footprint(label, "target", idx_s[achieving], vals_s[achieving],
+                       rule="common")
+        cost.footprint(label, "payload", win_cells[improve], win_pay[improve],
+                       rule="exclusive")
     target[win_cells[improve]] = win_vals[improve]
     payload[win_cells[improve]] = win_pay[improve]
     cost.charge(work=n * max(1, ceil_log2(n)), depth=ceil_log2(n) + 2, label=label)
@@ -158,6 +240,7 @@ def scatter_min_arg(
     cost.traffic(
         label, elements=n, reads=n * max(1, ceil_log2(n)) + 2 * n, writes=2 * n
     )
+    cost.commit_round(label)
     return target, payload
 
 
@@ -165,8 +248,12 @@ def pselect(cost: CostModel, mask: np.ndarray, label: str = "select") -> np.ndar
     """Indices where ``mask`` holds (compaction via prefix sums)."""
     out = np.flatnonzero(mask)
     n = int(mask.size)
+    if cost.wants_footprints:
+        # the prefix sum assigns each survivor a distinct output slot
+        cost.footprint(label, "out", np.arange(out.size), out, rule="exclusive")
     cost.charge(work=n, depth=ceil_log2(max(n, 1)) + 1, label=label)
     cost.traffic(label, elements=n, reads=n, writes=int(out.size))
+    cost.commit_round(label)
     return out
 
 
@@ -178,6 +265,12 @@ def pcompact(
         raise InvalidStepError("pcompact: arr and mask must have equal length")
     out = arr[mask]
     n = int(mask.size)
+    if cost.wants_footprints:
+        # rows of a 2-D arr are opaque writes (values=None): distinct slots
+        # still get exclusivity-checked, values are not COMMON-comparable
+        vals = out if out.ndim == 1 else None
+        cost.footprint(label, "out", np.arange(out.shape[0]), vals, rule="exclusive")
     cost.charge(work=n, depth=ceil_log2(max(n, 1)) + 1, label=label)
     cost.traffic(label, elements=n, reads=2 * n, writes=int(out.shape[0]))
+    cost.commit_round(label)
     return out

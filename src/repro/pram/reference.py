@@ -3,41 +3,348 @@
 These run the paper's model *for real*: every read/write goes through the
 staged shared memory with write-conflict detection, and the round counter
 is the actual depth.  They exist to validate the vectorized, cost-charged
-implementations — the test-suite runs both and asserts identical results
-and consistent round counts.  They are small and slow by design.
+implementations — the differential harness (:mod:`repro.conformance.diff`)
+runs both sides on the same inputs and asserts identical results and
+consistent round counts.  They are small and slow by design.
+
+Every public primitive of :class:`~repro.pram.machine.PRAM` has a literal
+counterpart here.  Conventions shared by all of them:
+
+* each returns ``(result, rounds)`` where ``rounds`` is the CREW memory's
+  committed round count, *including* the initial load round(s) — the
+  differential harness knows each primitive's load overhead;
+* "processor-local" state (loop indices, a processor's own input flag, the
+  grouping of update slots by cell) lives in Python variables, exactly as
+  a PRAM processor holds registers; everything shared goes through the
+  memory with staged writes and conflict detection;
+* combining primitives (``crew_scatter_min``, ``crew_segmented_sum``, …)
+  run a literal balanced combine tree over staging cells, so their round
+  counts certify the ``ceil(log2(max collision multiplicity))`` depth the
+  vectorized versions charge;
+* the literal sort is an **odd–even transposition network** (O(n) rounds)
+  rather than AKS — same output permutation as any correct stable sort,
+  different (practical) network; the harness checks each side against its
+  own documented round envelope.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.graphs.csr import Graph
+from repro.pram.errors import InvalidStepError
 from repro.pram.memory import CREWMemory
 from repro.pram.primitives import ceil_log2
 
-__all__ = ["crew_prefix_sum", "crew_pointer_jump", "crew_bellman_ford"]
+__all__ = [
+    "crew_map",
+    "crew_broadcast",
+    "crew_reduce",
+    "crew_scatter",
+    "crew_scatter_min",
+    "crew_scatter_min_arg",
+    "crew_select",
+    "crew_compact",
+    "crew_prefix_sum",
+    "crew_prefix_max",
+    "crew_segmented_sum",
+    "crew_sort",
+    "crew_lexsort",
+    "crew_pointer_jump",
+    "crew_list_rank",
+    "crew_bellman_ford",
+    "crew_sssp",
+]
 
 
-def crew_prefix_sum(values: list[float]) -> tuple[list[float], int]:
-    """Hillis–Steele inclusive scan on a CREW memory.
-
-    One processor per cell; in round j, cell i reads cell i − 2^j (a
-    concurrent-read) and adds.  Returns (prefix sums, rounds used).
-    """
-    n = len(values)
-    mem = CREWMemory(n)
-    for i, x in enumerate(values):
-        mem.write(i, float(x))
+def crew_map(values: list, fn: Callable) -> tuple[list, int]:
+    """Elementwise map: each processor reads its own cell, rewrites it."""
+    mem = CREWMemory.from_values(values)
+    n = len(mem)
+    updates = {i: fn(mem.read(i)) for i in range(n)}
+    for i, v in updates.items():
+        mem.write(i, v)
     mem.end_round()
+    return [mem.read(i) for i in range(n)], mem.rounds
+
+
+def crew_broadcast(value, n: int) -> tuple[list, int]:
+    """One writer publishes a cell; n processors concurrently read it."""
+    mem = CREWMemory(n + 1)
+    mem.write(n, value)
+    mem.end_round()
+    for i in range(n):
+        mem.write(i, mem.read(n))
+    mem.end_round()
+    return [mem.read(i) for i in range(n)], mem.rounds
+
+
+_REDUCERS: dict[str, Callable] = {
+    "min": min,
+    "max": max,
+    "sum": lambda a, b: a + b,
+    "or": lambda a, b: bool(a) or bool(b),
+    "and": lambda a, b: bool(a) and bool(b),
+}
+
+
+def crew_reduce(op: str, values: list) -> tuple[object, int]:
+    """Balanced combine tree: round j halves the live prefix."""
+    if op not in _REDUCERS:
+        raise InvalidStepError(f"unknown reduction op {op!r}")
+    if not values:
+        raise InvalidStepError("cannot reduce an empty array")
+    combine = _REDUCERS[op]
+    mem = CREWMemory.from_values(values)
+    width = len(mem)
+    while width > 1:
+        half = (width + 1) // 2
+        updates = {}
+        for i in range(half):
+            j = i + half
+            if j < width:
+                updates[i] = combine(mem.read(i), mem.read(j))
+        for i, v in updates.items():
+            mem.write(i, v)
+        mem.end_round()
+        width = half
+    return mem.read(0), mem.rounds
+
+
+def crew_scatter(
+    target: list, idx: list[int], values: list, strict: bool = False
+) -> tuple[list, int]:
+    """Raw exclusive-write scatter — the literal counterpart of ``pscatter``.
+
+    All updates are staged in **one** round, so ``CREWMemory`` itself
+    raises :class:`~repro.pram.errors.WriteConflictError` when two updates
+    address one cell with differing values (or, in strict mode, at all) —
+    this is the reference behavior the shadow detector mirrors for the
+    vectorized machine.
+    """
+    mem = CREWMemory.from_values(target, strict=strict)
+    for j, c in enumerate(idx):
+        mem.write(int(c), values[j])
+    mem.end_round()
+    return [mem.read(i) for i in range(len(target))], mem.rounds
+
+
+def _crew_scatter_combine(
+    target: list, idx: list[int], slot_values: list, combine: Callable
+) -> tuple[CREWMemory, int]:
+    """Shared skeleton of the combining scatters: a literal combine tree.
+
+    Loads ``target`` and one staging slot per update, then repeatedly
+    pairs up each cell's surviving slots (one combine round per level —
+    ``ceil(log2(max multiplicity))`` rounds total) and finally merges each
+    cell's single survivor into the target with one exclusive write round.
+    Returns the memory (target prefix updated) and its round count.
+    """
+    n, m = len(target), len(idx)
+    mem = CREWMemory.from_values(target, extra_cells=m)
+    for j in range(m):
+        mem.write(n + j, slot_values[j])
+    mem.end_round()
+    groups: dict[int, list[int]] = {}
+    for j, c in enumerate(idx):
+        groups.setdefault(int(c), []).append(n + j)
+    while any(len(slots) > 1 for slots in groups.values()):
+        updates = {}
+        for c, slots in groups.items():
+            if len(slots) == 1:
+                continue
+            survivors = []
+            for a, b in zip(slots[0::2], slots[1::2]):
+                updates[a] = combine(mem.read(a), mem.read(b))
+                survivors.append(a)
+            if len(slots) % 2:
+                survivors.append(slots[-1])
+            groups[c] = survivors
+        for cell, v in updates.items():
+            mem.write(cell, v)
+        mem.end_round()
+    updates = {
+        c: combine(mem.read(c), mem.read(slots[0])) for c, slots in groups.items()
+    }
+    for c, v in updates.items():
+        mem.write(c, v)
+    mem.end_round()
+    return mem, mem.rounds
+
+
+def crew_scatter_min(
+    target: list, idx: list[int], values: list
+) -> tuple[list, int]:
+    """Literal combining scatter-min (per-cell balanced min tree)."""
+    mem, rounds = _crew_scatter_combine(list(target), idx, list(values), min)
+    return [mem.read(i) for i in range(len(target))], rounds
+
+
+def crew_scatter_min_arg(
+    target: list, payload: list, idx: list[int], values: list, value_payload: list
+) -> tuple[list, list, int]:
+    """Literal scatter-min-arg with the documented deterministic tie rule.
+
+    Slots hold ``(value, payload)`` pairs combined by lexicographic min, so
+    among updates tying at the minimum value the **lowest payload index
+    wins** — and the incumbent ``(target, payload)`` pair is rewritten only
+    on strict value improvement, exactly like the vectorized
+    :func:`repro.pram.primitives.scatter_min_arg`.
+    """
+    n, m = len(target), len(idx)
+    pairs = [(values[j], value_payload[j]) for j in range(m)]
+    mem = CREWMemory.from_values(
+        [(target[i], payload[i]) for i in range(n)], extra_cells=m
+    )
+    for j in range(m):
+        mem.write(n + j, pairs[j])
+    mem.end_round()
+    groups: dict[int, list[int]] = {}
+    for j, c in enumerate(idx):
+        groups.setdefault(int(c), []).append(n + j)
+    while any(len(slots) > 1 for slots in groups.values()):
+        updates = {}
+        for c, slots in groups.items():
+            if len(slots) == 1:
+                continue
+            survivors = []
+            for a, b in zip(slots[0::2], slots[1::2]):
+                updates[a] = min(mem.read(a), mem.read(b))
+                survivors.append(a)
+            if len(slots) % 2:
+                survivors.append(slots[-1])
+            groups[c] = survivors
+        for cell, v in updates.items():
+            mem.write(cell, v)
+        mem.end_round()
+    updates = {}
+    for c, slots in groups.items():
+        win_val, win_pay = mem.read(slots[0])
+        cur_val, cur_pay = mem.read(c)
+        if win_val < cur_val:  # strict improvement only — incumbent keeps ties
+            updates[c] = (win_val, win_pay)
+    for c, v in updates.items():
+        mem.write(c, v)
+    mem.end_round()
+    out = [mem.read(i) for i in range(n)]
+    return [v for v, _ in out], [p for _, p in out], mem.rounds
+
+
+def _crew_scan(mem: CREWMemory, n: int, combine: Callable) -> None:
+    """In-place Hillis–Steele scan over cells ``0..n-1`` of ``mem``."""
     stride = 1
     while stride < n:
-        updates = {}
-        for i in range(n):
-            if i >= stride:
-                updates[i] = mem.read(i) + mem.read(i - stride)
+        updates = {
+            i: combine(mem.read(i - stride), mem.read(i)) for i in range(stride, n)
+        }
         for i, val in updates.items():
             mem.write(i, val)
         mem.end_round()
         stride *= 2
+
+
+def crew_prefix_sum(
+    values: list[float], inclusive: bool = True
+) -> tuple[list[float], int]:
+    """Hillis–Steele scan on a CREW memory.
+
+    One processor per cell; in round j, cell i reads cell i − 2^j (a
+    concurrent-read) and adds.  Exclusive scans append one shift round.
+    Returns (prefix sums, rounds used).
+    """
+    n = len(values)
+    mem = CREWMemory.from_values(list(values))
+    _crew_scan(mem, n, lambda a, b: a + b)
+    if not inclusive:
+        zero = values[0] * 0 if n else 0
+        updates = {i: (mem.read(i - 1) if i else zero) for i in range(n)}
+        for i, val in updates.items():
+            mem.write(i, val)
+        mem.end_round()
     return [mem.read(i) for i in range(n)], mem.rounds
+
+
+def crew_prefix_max(values: list[float]) -> tuple[list[float], int]:
+    """Inclusive prefix maxima via the same scan network."""
+    n = len(values)
+    mem = CREWMemory.from_values(list(values))
+    _crew_scan(mem, n, max)
+    return [mem.read(i) for i in range(n)], mem.rounds
+
+
+def crew_select(mask: list) -> tuple[list[int], int]:
+    """Indices where ``mask`` holds: scan the flags, scatter the survivors.
+
+    The prefix sum assigns each flagged processor a distinct output slot,
+    so the final scatter round is exclusive by construction.
+    """
+    n = len(mask)
+    mem = CREWMemory.from_values([1 if m else 0 for m in mask], extra_cells=n)
+    _crew_scan(mem, n, lambda a, b: a + b)
+    count = mem.read(n - 1) if n else 0
+    for i in range(n):
+        if mask[i]:
+            mem.write(n + mem.read(i) - 1, i)
+    if n:
+        mem.end_round()
+    return [mem.read(n + j) for j in range(count)], mem.rounds
+
+
+def crew_compact(values: list, mask: list) -> tuple[list, int]:
+    """Order-preserving compaction of ``values`` by ``mask``."""
+    if len(values) != len(mask):
+        raise InvalidStepError("crew_compact: values and mask must have equal length")
+    kept, rounds = crew_select(mask)
+    return [values[i] for i in kept], rounds
+
+
+def crew_segmented_sum(
+    values: list, segment_ids: list[int], num_segments: int
+) -> tuple[list, int]:
+    """Per-segment sums via a literal combining scatter-add tree."""
+    if len(values) != len(segment_ids):
+        raise InvalidStepError("crew_segmented_sum: values and segment_ids must match")
+    zero = values[0] * 0 if values else 0
+    mem, rounds = _crew_scatter_combine(
+        [zero] * num_segments, segment_ids, list(values), lambda a, b: a + b
+    )
+    return [mem.read(i) for i in range(num_segments)], rounds
+
+
+def _odd_even_sort(keys: list) -> tuple[list[int], int]:
+    """Stable argsort via an odd–even transposition network (O(n) rounds)."""
+    n = len(keys)
+    if n == 0:
+        return [], 0
+    mem = CREWMemory.from_values([(keys[i], i) for i in range(n)])
+    for rnd in range(n):
+        updates = {}
+        for i in range(rnd % 2, n - 1, 2):
+            a, b = mem.read(i), mem.read(i + 1)
+            if b < a:
+                updates[i], updates[i + 1] = b, a
+        for c, v in updates.items():
+            mem.write(c, v)
+        mem.end_round()
+    return [mem.read(i)[1] for i in range(n)], mem.rounds
+
+
+def crew_sort(keys: list) -> tuple[list[int], int]:
+    """Stable argsort of ``keys``; pairing with the index makes the
+    comparison network's output the unique stable permutation."""
+    return _odd_even_sort(list(keys))
+
+
+def crew_lexsort(keys: tuple) -> tuple[list[int], int]:
+    """Stable lexicographic argsort; last key primary (NumPy convention)."""
+    if not keys:
+        raise InvalidStepError("crew_lexsort needs at least one key array")
+    n = len(keys[0])
+    for k in keys:
+        if len(k) != n:
+            raise InvalidStepError("crew_lexsort: key arrays must have equal length")
+    composite = [tuple(keys[j][i] for j in reversed(range(len(keys)))) for i in range(n)]
+    return _odd_even_sort(composite)
 
 
 def crew_pointer_jump(parent: list[int], weight: list[float]) -> tuple[list[int], list[float], int]:
@@ -67,6 +374,12 @@ def crew_pointer_jump(parent: list[int], weight: list[float]) -> tuple[list[int]
     roots = [mem.read(v) for v in range(n)]
     dists = [mem.read(n + v) for v in range(n)]
     return roots, dists, mem.rounds
+
+
+def crew_list_rank(nxt: list[int]) -> tuple[list[int], int]:
+    """Link-distance to each list's tail, via literal pointer jumping."""
+    _, dists, rounds = crew_pointer_jump(list(nxt), [1.0] * len(nxt))
+    return [int(d) for d in dists], rounds
 
 
 def crew_bellman_ford(graph: Graph, source: int, hops: int) -> tuple[list[float], int]:
@@ -102,3 +415,15 @@ def crew_bellman_ford(graph: Graph, source: int, hops: int) -> tuple[list[float]
         if not changed:
             break
     return [mem.read(v) for v in range(n)], mem.rounds
+
+
+def crew_sssp(graph: Graph, source: int) -> tuple[list[float], int]:
+    """Exact reference SSSP on the literal CREW machine — no Dijkstra.
+
+    ``n − 1`` rounds of Bellman–Ford relaxation (with early exit) suffice
+    for exact distances on non-negative weights, so this needs nothing
+    beyond the round-disciplined relaxation above.  It is the ground truth
+    the differential harness compares the vectorized hopset-free
+    exploration against.
+    """
+    return crew_bellman_ford(graph, source, max(graph.n - 1, 1))

@@ -30,19 +30,28 @@ def prefix_sum(
 ) -> np.ndarray:
     """Prefix sums of ``arr``; exclusive scans start at 0."""
     n = int(arr.size)
-    _charge_scan(cost, n, label)
     if inclusive:
-        return np.cumsum(arr)
-    out = np.zeros_like(arr)
-    if n > 1:
-        np.cumsum(arr[:-1], out=out[1:])
+        out = np.cumsum(arr)
+    else:
+        out = np.zeros_like(arr)
+        if n > 1:
+            np.cumsum(arr[:-1], out=out[1:])
+    if cost.wants_footprints:
+        # Blelloch tree: every output cell is written by exactly one node
+        cost.footprint(label, "out", np.arange(n), out, rule="exclusive")
+    _charge_scan(cost, n, label)
+    cost.commit_round(label)
     return out
 
 
 def prefix_max(cost: CostModel, arr: np.ndarray, label: str = "scan_max") -> np.ndarray:
     """Inclusive prefix maxima of ``arr``."""
+    out = np.maximum.accumulate(arr)
+    if cost.wants_footprints:
+        cost.footprint(label, "out", np.arange(out.size), out, rule="exclusive")
     _charge_scan(cost, int(arr.size), label)
-    return np.maximum.accumulate(arr)
+    cost.commit_round(label)
+    return out
 
 
 def segment_offsets(cost: CostModel, segment_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -59,7 +68,12 @@ def segment_offsets(cost: CostModel, segment_ids: np.ndarray) -> tuple[np.ndarra
     if np.any(segment_ids[1:] < segment_ids[:-1]):
         raise InvalidStepError("segment_offsets requires sorted segment ids")
     uniq, counts = np.unique(segment_ids, return_counts=True)
+    if cost.wants_footprints:
+        slots = np.arange(uniq.size)
+        cost.footprint("segments", "out_ids", slots, uniq, rule="exclusive")
+        cost.footprint("segments", "out_counts", slots, counts, rule="exclusive")
     _charge_scan(cost, n, "segments")
+    cost.commit_round("segments")
     return uniq, counts
 
 
@@ -76,6 +90,10 @@ def segmented_sum(
     out = np.zeros(num_segments, dtype=values.dtype)
     np.add.at(out, segment_ids, values)
     n = int(values.size)
+    if cost.wants_footprints:
+        # colliding per-segment adds, legal via the charged combine tree
+        cost.footprint("segmented_sum", "out", segment_ids, values, rule="combine")
     cost.charge(work=n, depth=ceil_log2(max(n, 1)) + 1, label="segmented_sum")
     cost.traffic("segmented_sum", elements=n, reads=2 * n, writes=num_segments)
+    cost.commit_round("segmented_sum")
     return out

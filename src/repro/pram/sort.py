@@ -40,7 +40,11 @@ def parallel_sort(
 ) -> np.ndarray:
     """Stable argsort of ``keys``; returns the permutation."""
     order = np.argsort(keys, kind="stable")
+    if cost.wants_footprints:
+        # the network routes each input to a distinct output position
+        cost.footprint(label, "out", np.arange(order.size), order, rule="exclusive")
     _charge_sort(cost, int(keys.size), network, label)
+    cost.commit_round(label)
     return order
 
 
@@ -62,5 +66,8 @@ def parallel_lexsort(
         if int(k.size) != n:
             raise InvalidStepError("parallel_lexsort: key arrays must have equal length")
     order = np.lexsort(keys)
+    if cost.wants_footprints:
+        cost.footprint(label, "out", np.arange(order.size), order, rule="exclusive")
     _charge_sort(cost, n, network, label)
+    cost.commit_round(label)
     return order

@@ -1,0 +1,34 @@
+"""End-to-end CLI: ``python -m repro conformance`` sweeps and reports."""
+
+import json
+
+from repro.cli import main
+
+
+def test_conformance_cli_passes_strict(tmp_path, capsys):
+    trace = tmp_path / "conf.json"
+    rc = main([
+        "conformance", "--strict", "--seed", "7", "--n", "16",
+        "--families", "er,path", "--trace-out", str(trace),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "PASS" in out
+    assert "primitive differential" in out
+    assert "smoke graphs" in out
+    payload = json.loads(trace.read_text())
+    conf = payload["otherData"]["conformance"]
+    assert conf["clean"] is True
+    assert conf["primitives"]["passed"] == conf["primitives"]["cases"]
+    assert {g["family"] for g in conf["graphs"]} == {"er", "path"}
+    assert conf["shadow"]["strict"] is True
+
+
+def test_conformance_cli_default_common_mode(capsys):
+    rc = main(["conformance", "--n", "12", "--families", "er"])
+    assert rc == 0
+    assert "(common)" in capsys.readouterr().out
+
+
+def test_conformance_cli_unknown_family(capsys):
+    assert main(["conformance", "--families", "nope"]) == 2

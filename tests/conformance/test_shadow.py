@@ -1,0 +1,178 @@
+"""The shadow detector itself: a deliberately racy program is rejected by
+BOTH the literal ``CREWMemory`` and the vectorized machine under
+``ShadowCREW``, and the finding lands in the obs trace/metrics."""
+
+import numpy as np
+import pytest
+
+from repro.conformance.shadow import RaceFinding, ShadowCREW, shadowed
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanTracer
+from repro.pram.cost import RACE_TRAFFIC_PREFIX, CostModel
+from repro.pram.errors import ShadowRaceError, WriteConflictError
+from repro.pram.machine import PRAM
+from repro.pram.memory import CREWMemory
+from repro.pram.primitives import pscatter, scatter_min, scatter_min_arg
+from repro.pram.reference import crew_scatter
+from repro.pram.scan import prefix_sum
+
+
+def _racy_pscatter(cost):
+    """Two differing writes to target[3] in one round: the canonical race."""
+    target = np.zeros(8)
+    idx = np.asarray([3, 3], dtype=np.int64)
+    vals = np.asarray([1.0, 2.0])
+    return pscatter(cost, target, idx, vals)
+
+
+# -- the regression pair: literal memory and shadow agree on rejection -------
+
+
+def test_literal_memory_rejects_racy_program():
+    with pytest.raises(WriteConflictError):
+        crew_scatter([0.0] * 8, [3, 3], [1.0, 2.0])
+
+
+def test_literal_memory_rejects_direct_double_write():
+    mem = CREWMemory(4)
+    mem.write(1, "a")
+    with pytest.raises(WriteConflictError):
+        mem.write(1, "b")
+
+
+def test_shadow_raises_on_racy_program():
+    pram = PRAM()
+    with pytest.raises(ShadowRaceError, match=r"target\[3\]"):
+        with shadowed(pram):
+            _racy_pscatter(pram.cost)
+
+
+def test_shadow_records_racy_program():
+    cost = CostModel()
+    shadow = ShadowCREW.attach(cost, mode="record")
+    _racy_pscatter(cost)
+    shadow.detach(cost)
+    assert not shadow.clean
+    (finding,) = shadow.findings
+    assert isinstance(finding, RaceFinding)
+    assert finding.kind == "write-conflict"
+    assert finding.space == "target" and finding.cell == 3
+    assert finding.values == (1.0, 2.0)
+    assert "target[3]" in finding.describe()
+
+
+def test_shadow_race_lands_in_obs_metrics_and_trace():
+    # the finding must be visible to the observability layer: a
+    # primitive.crew_race:* counter and an op on the enclosing span
+    cost = CostModel()
+    tracer = SpanTracer.attach(cost, root_name="racy")
+    registry = MetricsRegistry.attach(cost)
+    shadow = ShadowCREW.attach(cost, mode="record")
+    with cost.phase("racy_phase"):
+        _racy_pscatter(cost)
+    shadow.detach(cost)
+    root = tracer.finish()
+    registry.detach(cost)
+
+    race_label = RACE_TRAFFIC_PREFIX + "scatter"
+    assert registry.counters[f"primitive.{race_label}.calls"].value >= 1
+    span_labels = {
+        label for span in root.walk() for label in span.ops
+    }
+    assert race_label in span_labels
+
+
+# -- mode semantics ----------------------------------------------------------
+
+
+def test_common_rule_tolerates_equal_writes_strict_rejects():
+    idx = np.asarray([3, 3], dtype=np.int64)
+    vals = np.asarray([5.0, 5.0])
+    cost = CostModel()
+    shadow = ShadowCREW.attach(cost, strict=False, mode="record")
+    pscatter(cost, np.zeros(8), idx, vals)
+    shadow.detach(cost)
+    assert shadow.clean  # COMMON: equal concurrent writes commit
+
+    cost = CostModel()
+    shadow = ShadowCREW.attach(cost, strict=True, mode="record")
+    pscatter(cost, np.zeros(8), idx, vals)
+    shadow.detach(cost)
+    assert [f.kind for f in shadow.findings] == ["strict-double-write"]
+
+
+def test_strict_memory_matches_strict_shadow_on_equal_writes():
+    # CREWMemory(strict=True) and ShadowCREW(strict=True) agree
+    with pytest.raises(WriteConflictError):
+        crew_scatter([0.0] * 8, [3, 3], [5.0, 5.0], strict=True)
+
+
+def test_combining_primitives_stay_clean_in_strict_mode():
+    idx = np.asarray([0, 0, 0, 1], dtype=np.int64)
+    vals = np.asarray([3.0, 1.0, 2.0, 9.0])
+    pram = PRAM()
+    with shadowed(pram, strict=True) as shadow:
+        scatter_min(pram.cost, np.full(4, 10.0), idx, vals)
+        scatter_min_arg(
+            pram.cost, np.full(4, 10.0), np.full(4, -1, dtype=np.int64),
+            idx, vals, np.arange(4, dtype=np.int64),
+        )
+        prefix_sum(pram.cost, vals)
+    assert shadow.clean
+
+
+def test_scatter_min_arg_equal_key_ties_are_common_rule():
+    # all updates tie at the minimum: the tie-set is declared "common", so
+    # even strict mode accepts it (the satellite's tie-breaking contract)
+    idx = np.full(6, 2, dtype=np.int64)
+    vals = np.full(6, 1.0)
+    payload_vals = np.asarray([9, 4, 7, 5, 8, 6], dtype=np.int64)
+    pram = PRAM()
+    with shadowed(pram, strict=True) as shadow:
+        target, payload = scatter_min_arg(
+            pram.cost, np.full(4, 10.0), np.full(4, -1, dtype=np.int64),
+            idx, vals, payload_vals,
+        )
+    assert shadow.clean
+    assert target[2] == 1.0
+    assert payload[2] == 4  # lowest payload among the tied winners
+
+
+def test_combine_depth_finding_on_undercharged_collision():
+    # a fake primitive that collides 8 writes on one cell but charges depth
+    # 1: the combine rule must flag it
+    cost = CostModel()
+    shadow = ShadowCREW.attach(cost, mode="record")
+    cells = np.zeros(8, dtype=np.int64)
+    cost.footprint("cheat", "out", cells, np.arange(8.0), rule="combine")
+    cost.charge(work=8, depth=1, label="cheat")
+    cost.commit_round("cheat")
+    shadow.detach(cost)
+    assert [f.kind for f in shadow.findings] == ["combine-depth"]
+
+
+def test_detach_flushes_open_round():
+    cost = CostModel()
+    shadow = ShadowCREW.attach(cost, mode="record")
+    cost.footprint("aborted", "t", np.asarray([1, 1]), np.asarray([1.0, 2.0]))
+    shadow.detach(cost)  # no commit_round reached: detach must still check
+    assert [f.kind for f in shadow.findings] == ["write-conflict"]
+
+
+def test_summary_counts():
+    cost = CostModel()
+    shadow = ShadowCREW.attach(cost, strict=True, mode="record")
+    prefix_sum(cost, np.arange(16.0))
+    shadow.detach(cost)
+    s = shadow.summary()
+    assert s["clean"] and s["strict"]
+    assert s["rounds_checked"] >= 1 and s["writes_checked"] >= 16
+
+
+def test_no_footprint_overhead_without_detector():
+    cost = CostModel()
+    assert not cost.wants_footprints
+    shadow = ShadowCREW.attach(cost)
+    assert cost.wants_footprints
+    shadow.detach(cost)
+    assert not cost.wants_footprints

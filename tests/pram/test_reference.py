@@ -52,3 +52,115 @@ def test_crew_bellman_ford_round_discipline_early_exit():
     g = path_graph(5, weight=1.0)
     _, rounds = crew_bellman_ford(g, 0, 100)
     assert rounds <= 7  # 4 productive + fixpoint + init
+
+
+# -- literal versions of the remaining core primitives (conformance PR) ------
+
+
+def test_crew_map_and_broadcast():
+    from repro.pram.reference import crew_broadcast, crew_map
+
+    out, rounds = crew_map([1.0, 2.0, 3.0], lambda x: x * x)
+    assert out == [1.0, 4.0, 9.0] and rounds == 2
+    out, rounds = crew_broadcast(7.5, 4)
+    assert out == [7.5] * 4 and rounds == 2
+
+
+def test_crew_reduce_ops():
+    from repro.pram.reference import crew_reduce
+
+    vals = [3.0, 1.0, 4.0, 1.0, 5.0]
+    assert crew_reduce("min", vals)[0] == 1.0
+    assert crew_reduce("max", vals)[0] == 5.0
+    assert crew_reduce("sum", vals)[0] == 14.0
+    assert crew_reduce("or", [0, 0, 2])[0] is True
+    assert crew_reduce("and", [1, 0, 2])[0] is False
+    _, rounds = crew_reduce("sum", vals)
+    assert rounds <= int(np.ceil(np.log2(5))) + 1
+
+
+def test_crew_scatter_min_collisions_resolve_to_minimum():
+    from repro.pram.reference import crew_scatter_min
+
+    out, _ = crew_scatter_min(
+        [10.0, 10.0, 10.0], [0, 0, 2, 0, 2], [5.0, 3.0, 7.0, 4.0, 12.0]
+    )
+    assert out == [3.0, 10.0, 7.0]
+
+
+def test_crew_scatter_min_arg_lowest_payload_wins_ties():
+    from repro.pram.primitives import scatter_min_arg
+    from repro.pram.reference import crew_scatter_min_arg
+
+    idx = [1, 1, 1]
+    vals = [2.0, 2.0, 2.0]
+    pays = [7, 4, 9]
+    t, p, _ = crew_scatter_min_arg([9.0, 9.0], [-1, -1], idx, vals, pays)
+    assert t == [9.0, 2.0] and p == [-1, 4]
+    vt, vp = scatter_min_arg(
+        CostModel(), np.array([9.0, 9.0]), np.array([-1, -1]),
+        np.array(idx), np.array(vals), np.array(pays),
+    )
+    assert vt.tolist() == t and vp.tolist() == p
+
+
+def test_crew_scatter_min_arg_keeps_incumbent_on_equal_value():
+    from repro.pram.reference import crew_scatter_min_arg
+
+    # an update equal to the current cell value must NOT steal the payload
+    t, p, _ = crew_scatter_min_arg([2.0], [5], [0], [2.0], [1])
+    assert t == [2.0] and p == [5]
+
+
+def test_crew_select_and_compact():
+    from repro.pram.reference import crew_compact, crew_select
+
+    sel, _ = crew_select([True, False, True, True, False])
+    assert sel == [0, 2, 3]
+    comp, _ = crew_compact([9.0, 8.0, 7.0, 6.0], [False, True, False, True])
+    assert comp == [8.0, 6.0]
+    assert crew_select([])[0] == []
+
+
+def test_crew_prefix_variants():
+    from repro.pram.reference import crew_prefix_max, crew_prefix_sum
+
+    excl, _ = crew_prefix_sum([2.0, 3.0, 4.0], inclusive=False)
+    assert excl == [0.0, 2.0, 5.0]
+    pmax, _ = crew_prefix_max([1.0, 5.0, 2.0, 7.0])
+    assert pmax == [1.0, 5.0, 5.0, 7.0]
+
+
+def test_crew_segmented_sum_matches_loop():
+    from repro.pram.reference import crew_segmented_sum
+
+    out, _ = crew_segmented_sum([1.0, 2.0, 3.0, 4.0], [0, 2, 0, 2], 3)
+    assert out == [4.0, 0.0, 6.0]
+
+
+def test_crew_sort_is_stable_argsort():
+    from repro.pram.reference import crew_lexsort, crew_sort
+
+    keys = [3.0, 1.0, 3.0, 1.0]
+    order, rounds = crew_sort(keys)
+    assert order == np.argsort(keys, kind="stable").tolist()
+    assert rounds <= len(keys) + 1  # odd-even transposition network
+    a, b = [1, 0, 1, 0], [2, 2, 1, 1]
+    assert crew_lexsort((a, b))[0] == np.lexsort((a, b)).tolist()
+
+
+def test_crew_list_rank_path():
+    from repro.pram.reference import crew_list_rank
+
+    nxt = [0, 0, 1, 2]  # chain 3 -> 2 -> 1 -> 0
+    ranks, _ = crew_list_rank(nxt)
+    assert ranks == [0, 1, 2, 3]
+
+
+def test_crew_sssp_is_exact(small_er):
+    from repro.graphs.distances import hop_limited_distances
+    from repro.pram.reference import crew_sssp
+
+    dist, _ = crew_sssp(small_er, 0)
+    exact = hop_limited_distances(small_er, 0, small_er.n - 1)
+    assert np.array_equal(np.asarray(dist), exact)

@@ -91,3 +91,92 @@ def test_cost_model_totals_are_sums(charges):
         c.charge(work=w, depth=d)
     assert c.work == sum(w for w, _ in charges)
     assert c.depth == sum(d for _, d in charges)
+
+
+# -- randomized conformance properties (derandomized: fixed example stream) --
+#
+# Every draw runs the vectorized primitive under a strict ShadowCREW and
+# diffs it against the literal CREW reference program from
+# repro.pram.reference — bit-exactly, since inputs are integer-valued.
+
+from repro.conformance.shadow import ShadowCREW  # noqa: E402
+from repro.pram import reference  # noqa: E402
+from repro.pram.primitives import pscatter, scatter_min  # noqa: E402
+
+conformance_settings = settings(
+    max_examples=30, deadline=None, derandomize=True
+)
+
+
+def _strict_shadowed(fn):
+    c = CostModel()
+    shadow = ShadowCREW.attach(c, strict=True, mode="record")
+    out = fn(c)
+    shadow.detach(c)
+    return out, shadow
+
+
+@given(st.lists(ints, min_size=0, max_size=120))
+@conformance_settings
+def test_scan_conforms_to_literal_crew(xs):
+    arr = np.array(xs, dtype=np.float64)
+    for inclusive in (True, False):
+        out, shadow = _strict_shadowed(
+            lambda c: prefix_sum(c, arr, inclusive=inclusive)
+        )
+        lit, _ = reference.crew_prefix_sum(arr.tolist(), inclusive=inclusive)
+        assert np.array_equal(out, np.asarray(lit))
+        assert shadow.clean
+
+
+@given(st.lists(ints, min_size=0, max_size=80))
+@conformance_settings
+def test_sort_conforms_to_literal_crew(xs):
+    arr = np.array(xs, dtype=np.int64)
+    out, shadow = _strict_shadowed(lambda c: parallel_sort(c, arr))
+    lit, _ = reference.crew_sort(arr.tolist())
+    assert np.array_equal(out, np.asarray(lit, dtype=np.int64).reshape(out.shape))
+    assert shadow.clean
+
+
+@given(st.data())
+@conformance_settings
+def test_scatter_conforms_to_literal_crew(data):
+    size = data.draw(st.integers(min_value=1, max_value=30))
+    # conflict-free update set: a sampled subset of distinct cells
+    cells = data.draw(
+        st.lists(st.integers(0, size - 1), unique=True, max_size=size)
+    )
+    idx = np.array(cells, dtype=np.int64)
+    vals = np.array(
+        [data.draw(ints) for _ in cells], dtype=np.float64
+    )
+    target = np.zeros(size)
+    out, shadow = _strict_shadowed(
+        lambda c: pscatter(c, target.copy(), idx, vals)
+    )
+    lit, _ = reference.crew_scatter(
+        target.tolist(), idx.tolist(), vals.tolist(), strict=True
+    )
+    assert np.array_equal(out, np.asarray(lit))
+    assert shadow.clean
+
+
+@given(st.data())
+@conformance_settings
+def test_scatter_min_conforms_to_literal_crew(data):
+    size = data.draw(st.integers(min_value=1, max_value=20))
+    m = data.draw(st.integers(min_value=0, max_value=60))
+    idx = np.array(
+        [data.draw(st.integers(0, size - 1)) for _ in range(m)], dtype=np.int64
+    )
+    vals = np.array([data.draw(ints) for _ in range(m)], dtype=np.float64)
+    target = np.full(size, 1e9)
+    out, shadow = _strict_shadowed(
+        lambda c: scatter_min(c, target.copy(), idx, vals)
+    )
+    lit, _ = reference.crew_scatter_min(
+        target.tolist(), idx.tolist(), vals.tolist()
+    )
+    assert np.array_equal(out, np.asarray(lit))
+    assert shadow.clean  # collisions are combine-rule: legal even in strict
