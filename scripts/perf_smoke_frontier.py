@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""CI perf smoke: the sparse engine must not out-charge dense on E4.
+
+Runs full-budget single-source Bellman–Ford on the E4 workload graph
+(``layered_hop_graph(48, 3, seed=4001)``) with the dense and the forced
+sparse-frontier engines, and exits non-zero if the sparse run charges
+more work than the dense one or the outputs diverge.  The forced engine
+is checked (not ``auto``) because auto's charged mode decision can add
+overhead on graphs where it always picks dense — the dominance guarantee
+is stated for ``engine="sparse"`` (see docs/frontier.md).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.graphs.generators import layered_hop_graph
+from repro.pram.machine import PRAM
+from repro.sssp.bellman_ford import bellman_ford
+
+
+def main() -> int:
+    g = layered_hop_graph(48, 3, seed=4001)
+    runs = {}
+    for engine in ("dense", "sparse"):
+        pram = PRAM()
+        res = bellman_ford(pram, g, 0, hops=g.n - 1, engine=engine)
+        runs[engine] = (res, pram.cost.work)
+    dense, dense_work = runs["dense"]
+    sparse, sparse_work = runs["sparse"]
+    print(
+        f"E4 graph n={g.n} m={g.num_edges}: "
+        f"work dense={dense_work} sparse={sparse_work} "
+        f"(ratio {dense_work / max(sparse_work, 1):.2f}x)"
+    )
+    ok = True
+    if not (
+        np.array_equal(dense.dist, sparse.dist)
+        and np.array_equal(dense.parent, sparse.parent)
+        and dense.rounds_used == sparse.rounds_used
+    ):
+        print("FAIL: sparse engine output diverges from dense", file=sys.stderr)
+        ok = False
+    if sparse_work > dense_work:
+        print("FAIL: sparse engine charged more work than dense", file=sys.stderr)
+        ok = False
+    if ok:
+        print("perf smoke OK: sparse <= dense work, bit-exact outputs")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

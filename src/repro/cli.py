@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro build   graph.npz hopset.npz [--epsilon E --kappa K --rho R --beta B --paths --reduce]
-    python -m repro sssp    graph.npz hopset.npz --source S [--out dist.npz]
+    python -m repro sssp    graph.npz hopset.npz --source S [--out dist.npz] [--engine {dense,sparse,auto}]
     python -m repro spt     graph.npz hopset.npz --source S [--out tree.npz]
     python -m repro certify graph.npz hopset.npz [--beta B --epsilon E]
     python -m repro info    artifact.npz
@@ -63,6 +63,7 @@ from repro.obs.bounds import (
 from repro.obs.export import flame_report, write_chrome_trace, write_jsonl
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import SpanTracer
+from repro.pram.frontier import ENGINES
 from repro.pram.machine import PRAM
 from repro.serialize import load_graph, load_hopset, save_graph, save_hopset
 from repro.sssp.spt import approximate_spt
@@ -139,7 +140,7 @@ def cmd_sssp(args, pram: PRAM | None = None) -> int:
     if hopset.meta.get("reduction"):
         budget = budget or spt_hop_budget(hopset.beta)
     res = approximate_sssp_with_hopset(
-        g, hopset, args.source, pram=pram, hop_budget=budget
+        g, hopset, args.source, pram=pram, hop_budget=budget, engine=args.engine
     )
     reached = int(np.isfinite(res.dist).sum())
     print(
@@ -345,6 +346,11 @@ def _add_query_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--source", type=int, default=0)
     p.add_argument("--hops", type=int, default=None)
     p.add_argument("--out", default=None)
+    p.add_argument(
+        "--engine", choices=ENGINES, default="auto",
+        help="relaxation schedule: dense, sparse-frontier, or auto-switch "
+             "(docs/frontier.md; sssp only)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:

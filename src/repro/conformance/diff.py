@@ -432,6 +432,54 @@ def _diff_lexsort(case, seed, strict):
                     detail="literal = odd-even network" if equal else "")
 
 
+def _gather_inputs(case: str, seed: int, n: int = 8) -> tuple[np.ndarray, np.ndarray]:
+    """(indptr, frontier) per case; degree/frontier patterns drive the runs.
+
+    ``duplicate-index`` repeats one vertex in every frontier slot (legal —
+    the hopset tables gather one vertex once per entry), ``all-ties`` puts
+    every vertex on the frontier with equal degrees, ``adversarial-stride``
+    mixes zero-degree vertices with a strided frontier.
+    """
+    rng = np.random.default_rng(seed)
+    if case == "empty":
+        deg = np.asarray([2, 0, 3, 1], dtype=np.int64)
+        frontier = np.zeros(0, dtype=np.int64)
+    elif case == "singleton":
+        deg = np.asarray([3], dtype=np.int64)
+        frontier = np.asarray([0], dtype=np.int64)
+    elif case == "duplicate-index":
+        deg = rng.integers(0, 4, size=n).astype(np.int64)
+        frontier = np.full(_N, n // 2, dtype=np.int64)
+    elif case == "all-ties":
+        deg = np.full(n, 3, dtype=np.int64)
+        frontier = np.arange(n, dtype=np.int64)
+    elif case == "adversarial-stride":
+        deg = np.asarray([(7 * i) % 4 for i in range(n)], dtype=np.int64)
+        frontier = np.asarray([(5 * i) % n for i in range(_N)], dtype=np.int64)
+    else:
+        deg = rng.integers(0, 5, size=n).astype(np.int64)
+        frontier = rng.integers(0, n, size=_N).astype(np.int64)
+    indptr = np.zeros(deg.size + 1, dtype=np.int64)
+    np.cumsum(deg, out=indptr[1:])
+    return indptr, frontier
+
+
+def _diff_gather_csr(case, seed, strict):
+    indptr, frontier = _gather_inputs(case, seed)
+    out, cost, shadow = _shadowed_run(
+        lambda c: primitives.pgather_csr(c, indptr, frontier), strict
+    )
+    (lit_slots, lit_arcs), rounds = reference.crew_frontier_gather(
+        indptr.tolist(), frontier.tolist()
+    )
+    equal = np.array_equal(out[0], np.asarray(lit_slots)) and np.array_equal(
+        out[1], np.asarray(lit_arcs)
+    )
+    # literal pays one load round on top of the scan + write schedule
+    return _outcome("gather_csr", case, frontier.size, equal, cost, shadow,
+                    rounds, rounds <= cost.depth + 1)
+
+
 def _diff_pointer_jump(case, seed, strict):
     parent = _parent_forest(case, seed)
     n = parent.size
@@ -478,6 +526,7 @@ PRIMITIVE_DIFFS: dict[str, Callable[[str, int, bool], DiffOutcome]] = {
     "prefix_sum_excl": _diff_prefix_sum_excl,
     "prefix_max": _diff_prefix_max,
     "segmented_sum": _diff_segmented_sum,
+    "gather_csr": _diff_gather_csr,
     "sort": _diff_sort,
     "lexsort": _diff_lexsort,
     "pointer_jump": _diff_pointer_jump,
@@ -520,20 +569,32 @@ _SMOKE_PARAMS = HopsetParams(epsilon=0.25, kappa=2, rho=0.4, beta=8)
 
 
 def diff_sssp(
-    graph: Graph, source: int, pram: PRAM
+    graph: Graph,
+    source: int,
+    pram: PRAM,
+    engines: tuple[str, ...] = ("dense", "sparse", "auto"),
 ) -> tuple[bool, bool, int, int]:
-    """Vectorized vs literal-CREW SSSP on one graph.
+    """Vectorized vs literal-CREW SSSP on one graph, across all engines.
 
-    Returns ``(dist_equal, rounds_ok, vec_rounds, lit_rounds)``.  Both
-    sides relax the same candidate set per round with identical float
-    operations, so distances must be **bit-exact**; the literal memory
-    commits exactly one extra (load) round: ``lit_rounds == vec_rounds+1``.
+    Returns ``(dist_equal, rounds_ok, vec_rounds, lit_rounds)``.  Every
+    relaxation engine (dense, sparse frontier, auto-switching — see
+    :mod:`repro.pram.frontier`) relaxes a candidate set whose winners are
+    identical with identical float operations, so distances must be
+    **bit-exact** across engines and against the literal program, and all
+    engines must report the same round count; the literal memory commits
+    exactly one extra (load) round: ``lit_rounds == vec_rounds + 1``.
     """
     hops = max(graph.n - 1, 1)
-    res = bellman_ford(pram, graph, source, hops)
+    results = [bellman_ford(pram, graph, source, hops, engine=e) for e in engines]
+    res = results[0]
     lit, lit_rounds = reference.crew_sssp(graph, source)
-    dist_equal = np.array_equal(res.dist, np.asarray(lit))
-    rounds_ok = lit_rounds == res.rounds_used + 1
+    dist_equal = np.array_equal(res.dist, np.asarray(lit)) and all(
+        np.array_equal(res.dist, r.dist) and np.array_equal(res.parent, r.parent)
+        for r in results[1:]
+    )
+    rounds_ok = lit_rounds == res.rounds_used + 1 and all(
+        r.rounds_used == res.rounds_used for r in results[1:]
+    )
     return dist_equal, rounds_ok, res.rounds_used, lit_rounds
 
 

@@ -203,21 +203,22 @@ def _propagate(
     threshold: float,
     x: int,
 ) -> EntryTable:
-    """Propagation part: ``rounds`` rounds of threshold-pruned relaxation."""
+    """Propagation part: ``rounds`` rounds of threshold-pruned relaxation.
+
+    The per-round arc expansion runs through the shared CSR frontier-gather
+    primitive (each table entry is one frontier slot; entries of one vertex
+    gather its out-arcs once per entry), so the gather's prefix-sum depth is
+    charged honestly and its write-set is declared to the race detector.
+    """
     indptr, indices, weights = graph.indptr, graph.indices, graph.weights
-    outdeg = np.diff(indptr)
     table = _dedup_and_prune(table, x, pram)
     for _ in range(rounds):
         if table.size == 0:
             break
-        deg_e = outdeg[table.vert]
-        total = int(deg_e.sum())
+        rep, arc = pram.gather_csr(indptr, table.vert, label="relax_gather")
+        total = int(arc.size)
         if total == 0:
             break
-        rep = np.repeat(np.arange(table.size, dtype=np.int64), deg_e)
-        run_start = np.concatenate([[0], np.cumsum(deg_e)[:-1]])
-        offsets = np.arange(total, dtype=np.int64) - run_start[rep]
-        arc = indptr[table.vert][rep] + offsets
         cand_dist = table.dist[rep] + weights[arc]
         keep = cand_dist <= threshold + _EPS_PAD
         pram.charge(work=total, depth=1, label="relax")

@@ -21,12 +21,16 @@ from repro.pram.errors import (
     ShadowRaceError,
     WriteConflictError,
 )
+from repro.pram.frontier import ENGINES, FrontierStats, frontier_relax
 from repro.pram.machine import PRAM
 from repro.pram.memory import CREWMemory
 from repro.pram.schedule import SchedulePoint, makespan, speedup_curve
 
 __all__ = [
     "PRAM",
+    "ENGINES",
+    "FrontierStats",
+    "frontier_relax",
     "CostModel",
     "CostHook",
     "CostSnapshot",

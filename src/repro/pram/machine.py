@@ -72,6 +72,16 @@ class PRAM:
             self.cost, target, payload, idx, values, value_payload, label=label
         )
 
+    def gather_csr(
+        self, indptr: np.ndarray, frontier: np.ndarray, label: str = "gather_csr"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gather the CSR out-arc ranges of the frontier vertices.
+
+        Returns ``(slots, arcs)``: per gathered arc, its frontier slot and
+        its index into the CSR ``indices``/``weights`` arrays.
+        """
+        return primitives.pgather_csr(self.cost, indptr, frontier, label=label)
+
     def select(self, mask: np.ndarray, label: str = "select") -> np.ndarray:
         return primitives.pselect(self.cost, mask, label=label)
 

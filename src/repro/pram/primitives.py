@@ -54,6 +54,7 @@ __all__ = [
     "scatter_min_arg",
     "pselect",
     "pcompact",
+    "pgather_csr",
 ]
 
 
@@ -242,6 +243,68 @@ def scatter_min_arg(
     )
     cost.commit_round(label)
     return target, payload
+
+
+def pgather_csr(
+    cost: CostModel,
+    indptr: np.ndarray,
+    frontier: np.ndarray,
+    label: str = "gather_csr",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather the CSR arc ranges of the ``frontier`` vertices.
+
+    Given a CSR row-pointer array ``indptr`` (length ``n + 1``) and a set of
+    ``f`` frontier vertices, produce the flattened list of their out-arcs:
+
+    * ``slots[j]`` — which frontier *slot* (position in ``frontier``) arc
+      ``j`` belongs to, so callers recover tails as ``frontier[slots]``;
+    * ``arcs[j]`` — the arc's index into the CSR ``indices``/``weights``
+      arrays, so heads are ``indices[arcs]`` and weights ``weights[arcs]``.
+
+    The PRAM schedule is: read the two row pointers of every frontier vertex
+    (one concurrent-read round), exclusive-prefix-sum the degrees to assign
+    each vertex a contiguous output run (the ``O(log f)`` depth term), then
+    have one processor per output arc compute its ``(slot, arc)`` pair and
+    write it to its own distinct cell — an EXCLUSIVE-rule round, since the
+    prefix sum hands every arc a unique output slot.  Work is
+    ``O(f + Σ deg)``, depth ``O(log f)``.
+
+    The literal CREW program for this schedule is
+    :func:`repro.pram.reference.crew_frontier_gather`; the differential
+    executor pins this vectorized version against it bit-exactly.
+    """
+    frontier = np.asarray(frontier, dtype=np.int64)
+    n = int(indptr.size) - 1
+    f = int(frontier.size)
+    if f and (frontier.min() < 0 or frontier.max() >= n):
+        raise InvalidStepError("pgather_csr: frontier vertex out of range")
+    if f == 0:
+        slots = np.zeros(0, dtype=np.int64)
+        arcs = np.zeros(0, dtype=np.int64)
+        if cost.wants_footprints:
+            cost.footprint(label, "slots", slots, slots, rule="exclusive")
+            cost.footprint(label, "arcs", arcs, arcs, rule="exclusive")
+        cost.charge(work=0, depth=1, label=label)
+        cost.traffic(label)
+        cost.commit_round(label)
+        return slots, arcs
+    starts = np.asarray(indptr[frontier], dtype=np.int64)
+    deg = np.asarray(indptr[frontier + 1], dtype=np.int64) - starts
+    total = int(deg.sum())
+    slots = np.repeat(np.arange(f, dtype=np.int64), deg)
+    run_start = np.concatenate(([0], np.cumsum(deg)[:-1]))
+    offsets = np.arange(total, dtype=np.int64) - run_start[slots]
+    arcs = starts[slots] + offsets
+    if cost.wants_footprints:
+        out_slots = np.arange(total, dtype=np.int64)
+        cost.footprint(label, "slots", out_slots, slots, rule="exclusive")
+        cost.footprint(label, "arcs", out_slots, arcs, rule="exclusive")
+    cost.charge(work=f + total, depth=ceil_log2(f) + 1, label=label)
+    # 2 row-pointer reads per frontier vertex, then each output arc reads its
+    # run start + offset and writes its (slot, arc) pair
+    cost.traffic(label, elements=total, reads=2 * f + 2 * total, writes=2 * total)
+    cost.commit_round(label)
+    return slots, arcs
 
 
 def pselect(cost: CostModel, mask: np.ndarray, label: str = "select") -> np.ndarray:

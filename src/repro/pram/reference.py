@@ -52,6 +52,7 @@ __all__ = [
     "crew_lexsort",
     "crew_pointer_jump",
     "crew_list_rank",
+    "crew_frontier_gather",
     "crew_bellman_ford",
     "crew_sssp",
 ]
@@ -380,6 +381,49 @@ def crew_list_rank(nxt: list[int]) -> tuple[list[int], int]:
     """Link-distance to each list's tail, via literal pointer jumping."""
     _, dists, rounds = crew_pointer_jump(list(nxt), [1.0] * len(nxt))
     return [int(d) for d in dists], rounds
+
+
+def crew_frontier_gather(
+    indptr: list[int], frontier: list[int]
+) -> tuple[tuple[list[int], list[int]], int]:
+    """Literal CSR frontier gather — the counterpart of ``pgather_csr``.
+
+    Round schedule: one load round commits the frontier degrees (each slot
+    processor reads its vertex's two row pointers from the read-only CSR
+    input, exactly like the relaxation programs read the graph directly);
+    a Hillis–Steele scan assigns every slot a contiguous output run; then
+    one processor per output arc reads its run start (a concurrent read of
+    the scan cell) and exclusively writes its ``(slot, arc)`` pair into its
+    own two output cells.  The per-arc slot assignment is processor-local
+    bookkeeping, as the module conventions allow.  Returns
+    ``((slots, arcs), rounds)``.
+    """
+    f = len(frontier)
+    n = len(indptr) - 1
+    for v in frontier:
+        if not 0 <= v < n:
+            raise InvalidStepError("crew_frontier_gather: frontier vertex out of range")
+    deg = [int(indptr[v + 1]) - int(indptr[v]) for v in frontier]
+    total = sum(deg)
+    mem = CREWMemory.from_values(deg, extra_cells=2 * total)
+    if f == 0:
+        return ([], []), mem.rounds
+    _crew_scan(mem, f, lambda a, b: a + b)
+    updates = {}
+    j = 0
+    for s in range(f):
+        run_start = mem.read(s - 1) if s else 0
+        assert run_start == j  # the scan's slot assignment is exactly j
+        for off in range(deg[s]):
+            updates[f + 2 * j] = s
+            updates[f + 2 * j + 1] = int(indptr[frontier[s]]) + off
+            j += 1
+    for c, v in updates.items():
+        mem.write(c, v)
+    mem.end_round()
+    slots = [mem.read(f + 2 * k) for k in range(total)]
+    arcs = [mem.read(f + 2 * k + 1) for k in range(total)]
+    return (slots, arcs), mem.rounds
 
 
 def crew_bellman_ford(graph: Graph, source: int, hops: int) -> tuple[list[float], int]:

@@ -45,11 +45,14 @@ def approximate_mssd(
     sources: np.ndarray,
     pram: PRAM | None = None,
     hop_budget: int | None = None,
+    engine: str = "auto",
 ) -> MultiSourceResult:
     """Run one β-hop exploration per source over G ∪ H.
 
     The outer ``pram`` (if given) is charged with the composed cost:
-    sum-of-work, max-of-depth.
+    sum-of-work, max-of-depth.  ``engine`` selects the per-exploration
+    relaxation schedule (see :mod:`repro.pram.frontier`); the result is
+    bit-exact regardless.
     """
     src = np.asarray(sources, dtype=np.int64)
     if src.ndim != 1 or src.size == 0:
@@ -62,7 +65,7 @@ def approximate_mssd(
     max_depth = 0
     for row, s in enumerate(src):
         local = PRAM(CostModel())
-        bf = bellman_ford(local, union, int(s), budget)
+        bf = bellman_ford(local, union, int(s), budget, engine=engine)
         dists[row] = bf.dist
         parents[row] = bf.parent
         total_work += local.cost.work

@@ -1,0 +1,123 @@
+"""Unit tests for the CSR frontier gather and the relaxation engine."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import erdos_renyi, path_graph
+from repro.pram.cost import CostHook, CostModel
+from repro.pram.errors import InvalidStepError
+from repro.pram.frontier import ENGINES, frontier_relax
+from repro.pram.machine import PRAM
+from repro.pram.primitives import pgather_csr
+from repro.pram.reference import crew_frontier_gather
+
+
+def test_gather_csr_flattens_frontier_arcs():
+    indptr = np.array([0, 2, 2, 5], dtype=np.int64)  # degrees [2, 0, 3]
+    slots, arcs = pgather_csr(CostModel(), indptr, np.array([2, 0]))
+    assert slots.tolist() == [0, 0, 0, 1, 1]
+    assert arcs.tolist() == [2, 3, 4, 0, 1]
+
+
+def test_gather_csr_duplicate_frontier_entries():
+    # the hopset tables gather one vertex once per table entry
+    indptr = np.array([0, 2], dtype=np.int64)
+    slots, arcs = pgather_csr(CostModel(), indptr, np.array([0, 0]))
+    assert slots.tolist() == [0, 0, 1, 1]
+    assert arcs.tolist() == [0, 1, 0, 1]
+
+
+def test_gather_csr_empty_frontier_and_zero_degrees():
+    indptr = np.array([0, 2, 2], dtype=np.int64)
+    slots, arcs = pgather_csr(CostModel(), indptr, np.zeros(0, dtype=np.int64))
+    assert slots.size == 0 and arcs.size == 0
+    slots, arcs = pgather_csr(CostModel(), indptr, np.array([1]))
+    assert slots.size == 0 and arcs.size == 0
+
+
+def test_gather_csr_rejects_out_of_range():
+    indptr = np.array([0, 2], dtype=np.int64)
+    with pytest.raises(InvalidStepError):
+        pgather_csr(CostModel(), indptr, np.array([1]))
+    with pytest.raises(InvalidStepError):
+        pgather_csr(CostModel(), indptr, np.array([-1]))
+
+
+def test_gather_csr_work_scales_with_frontier_not_graph():
+    deg = np.full(100, 4, dtype=np.int64)
+    indptr = np.zeros(101, dtype=np.int64)
+    np.cumsum(deg, out=indptr[1:])
+    cost = CostModel()
+    pgather_csr(cost, indptr, np.array([7]))
+    assert cost.work == 1 + 4  # |F| + gathered arcs, independent of n=100
+
+
+def test_gather_csr_matches_literal_reference():
+    indptr = np.array([0, 3, 3, 4, 9], dtype=np.int64)
+    frontier = np.array([3, 0, 3, 1], dtype=np.int64)
+    slots, arcs = pgather_csr(CostModel(), indptr, frontier)
+    (lit_slots, lit_arcs), _ = crew_frontier_gather(
+        indptr.tolist(), frontier.tolist()
+    )
+    assert slots.tolist() == lit_slots
+    assert arcs.tolist() == lit_arcs
+
+
+def _init(g, src):
+    dist = np.full(g.n, np.inf)
+    parent = np.full(g.n, -1, dtype=np.int64)
+    dist[src] = 0.0
+    parent[src] = src
+    return dist, parent
+
+
+def test_engine_and_threshold_validation():
+    g = path_graph(4, weight=1.0)
+    pram = PRAM()
+    dist, parent = _init(g, 0)
+    with pytest.raises(InvalidStepError):
+        frontier_relax(pram, g, dist, parent, np.array([0]), 2, engine="bogus")
+    with pytest.raises(InvalidStepError):
+        frontier_relax(
+            pram, g, dist, parent, np.array([0]), 2, engine="auto", threshold_k=0
+        )
+    assert set(ENGINES) == {"dense", "sparse", "auto"}
+
+
+def test_idle_rounds_pad_fixed_budgets():
+    g = path_graph(4, weight=1.0)
+    pram = PRAM()
+    dist, parent = _init(g, 0)
+    stats = frontier_relax(
+        pram, g, dist, parent, np.array([0]), 10, engine="sparse", early_exit=False
+    )
+    assert stats.rounds == 10
+    assert stats.idle_rounds > 0
+    assert stats.sparse_rounds + stats.dense_rounds + stats.idle_rounds == 10
+    # idle rounds are synchronization-only: depth yes, work no
+    assert np.isfinite(dist).all()
+
+
+class _Capture(CostHook):
+    """Collects traffic events (label, elements)."""
+
+    def __init__(self):
+        self.traffic = []
+
+    def on_traffic(self, label, calls, elements, reads, writes):
+        self.traffic.append((label, elements))
+
+
+def test_frontier_size_and_mode_switch_events():
+    g = erdos_renyi(64, 0.3, seed=44, w_range=(1.0, 4.0))
+    pram = PRAM()
+    hook = _Capture()
+    pram.cost.subscribe(hook)
+    dist, parent = _init(g, 0)
+    stats = frontier_relax(pram, g, dist, parent, np.array([0]), 63, engine="auto")
+    sizes = [e for lbl, e in hook.traffic if lbl == "frontier.size"]
+    switches = [e for lbl, e in hook.traffic if lbl == "frontier.switch"]
+    assert len(sizes) == stats.sparse_rounds + stats.dense_rounds
+    assert len(switches) == stats.mode_switches
+    assert stats.sparse_rounds >= 1 and stats.dense_rounds >= 1  # it switched
+    assert max(sizes) == stats.peak_frontier

@@ -1,0 +1,75 @@
+"""Derandomized Hypothesis properties for the frontier relaxation engine.
+
+Random connected graphs with integer weights (so every float sum is exact
+under any association order) and random source sets: the sparse/auto
+engines must agree bit-exactly with the dense engine and with the literal
+CREW exact-SSSP reference, and never trip the strict ShadowCREW race
+detector.  The profile is derandomized (fixed example stream), matching
+the other conformance properties in this directory.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conformance.shadow import ShadowCREW
+from repro.graphs.build import from_edges
+from repro.pram import reference
+from repro.pram.machine import PRAM
+from repro.sssp.bellman_ford import bellman_ford
+
+conformance_settings = settings(max_examples=30, deadline=None, derandomize=True)
+
+
+@st.composite
+def connected_graph(draw, max_n=16):
+    """Spanning-tree + extra edges; integer weights keep float sums exact."""
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    edges = []
+    for v in range(1, n):
+        u = draw(st.integers(0, v - 1))
+        edges.append((u, v, float(draw(st.integers(1, 6)))))
+    for _ in range(draw(st.integers(0, n))):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.append((u, v, float(draw(st.integers(1, 6)))))
+    return from_edges(n, edges)
+
+
+def _strict_shadowed_bf(g, sources, hops, engine, early_exit=True):
+    pram = PRAM()
+    shadow = ShadowCREW.attach(pram.cost, strict=True, mode="record")
+    res = bellman_ford(
+        pram, g, sources, hops, early_exit=early_exit, engine=engine
+    )
+    shadow.detach(pram.cost)
+    return res, shadow
+
+
+@given(connected_graph(), st.integers(min_value=0, max_value=10**9))
+@conformance_settings
+def test_sparse_engine_matches_literal_exact_sssp(g, pick):
+    src = pick % g.n
+    res, shadow = _strict_shadowed_bf(g, src, max(g.n - 1, 1), "sparse")
+    lit, _ = reference.crew_sssp(g, src)
+    assert np.array_equal(res.dist, np.asarray(lit))
+    assert shadow.clean, [f.kind for f in shadow.findings]
+
+
+@given(connected_graph(), st.data())
+@conformance_settings
+def test_engines_agree_on_random_source_sets(g, data):
+    k = data.draw(st.integers(min_value=1, max_value=min(4, g.n)))
+    sources = np.array(
+        [data.draw(st.integers(0, g.n - 1)) for _ in range(k)], dtype=np.int64
+    )  # duplicates allowed: the engine must tolerate them
+    hops = data.draw(st.integers(min_value=0, max_value=g.n))
+    early_exit = data.draw(st.booleans())
+    dense, _ = _strict_shadowed_bf(g, sources, hops, "dense", early_exit)
+    for engine in ("sparse", "auto"):
+        res, shadow = _strict_shadowed_bf(g, sources, hops, engine, early_exit)
+        assert np.array_equal(dense.dist, res.dist), engine
+        assert np.array_equal(dense.parent, res.parent), engine
+        assert dense.rounds_used == res.rounds_used, engine
+        assert shadow.clean, (engine, [f.kind for f in shadow.findings])

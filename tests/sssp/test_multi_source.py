@@ -35,7 +35,10 @@ def test_work_scales_with_sources_depth_does_not(setup):
     one = approximate_mssd(g, H, np.array([0]))
     many = approximate_mssd(g, H, np.arange(8))
     assert many.work > 4 * one.work          # work ~ |S|
-    assert many.depth <= 2 * one.depth       # depth ~ max of parallel runs
+    # depth ~ max of parallel runs, not the |S|-fold sum; the slack covers
+    # explorations converging after different round counts (the frontier
+    # engine charges per executed round, see docs/frontier.md)
+    assert many.depth <= 3 * one.depth
 
 
 def test_outer_pram_charged_with_composition(setup):
