@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""CI perf smoke: the fused fast path must not be slower than unfused on E4.
+
+Runs full-budget single-source Bellman–Ford on the E4 workload graph
+(``layered_hop_graph(48, 3, seed=4001)``) with the fused relaxation
+kernel + pooled buffers and with the unfused primitive sequence, taking
+the best of a few repeats, and exits non-zero if the fused run is slower
+or anything observable diverges (dist/parent/rounds, charged work/depth).
+The dense engine is checked because that is where ``prelax_arcs`` does
+the round's whole gather+min in one pass (see docs/frontier.md).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.graphs.generators import layered_hop_graph
+from repro.pram.cost import CostModel
+from repro.pram.machine import PRAM
+from repro.pram.workspace import Workspace
+from repro.sssp.bellman_ford import bellman_ford
+
+_REPEATS = 3
+
+
+def _best_of(fn, repeats=_REPEATS):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return out, best
+
+
+def main() -> int:
+    g = layered_hop_graph(48, 3, seed=4001)
+
+    def run(fused):
+        def go():
+            pram = PRAM(CostModel(), workspace=Workspace(poison=False))
+            res = bellman_ford(
+                pram, g, 0, hops=g.n - 1,
+                early_exit=False, engine="dense", fused=fused,
+            )
+            return res, pram.cost.work, pram.cost.depth
+
+        return _best_of(go)
+
+    (unfused, u_work, u_depth), u_wall = run(fused=False)
+    (fused, f_work, f_depth), f_wall = run(fused=True)
+    speedup = u_wall / max(f_wall, 1e-12)
+    print(
+        f"E4 graph n={g.n} m={g.num_edges}: "
+        f"wall unfused={u_wall * 1e3:.1f}ms fused={f_wall * 1e3:.1f}ms "
+        f"(speedup {speedup:.2f}x)"
+    )
+    ok = True
+    if not (
+        np.array_equal(unfused.dist, fused.dist)
+        and np.array_equal(unfused.parent, fused.parent)
+        and unfused.rounds_used == fused.rounds_used
+    ):
+        print("FAIL: fused output diverges from unfused", file=sys.stderr)
+        ok = False
+    if (f_work, f_depth) != (u_work, u_depth):
+        print(
+            f"FAIL: fused charged cost differs: "
+            f"fused=({f_work}, {f_depth}) unfused=({u_work}, {u_depth})",
+            file=sys.stderr,
+        )
+        ok = False
+    if f_wall > u_wall:
+        print("FAIL: fused fast path is slower than unfused", file=sys.stderr)
+        ok = False
+    if ok:
+        print("perf smoke OK: fused >= unfused speed, bit-exact, cost-identical")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ EXPERIMENTS: tuple[Experiment, ...] = (
     Experiment("E19", "simulator wall-clock scaling", "engineering", "test_e19_simulator_scale"),
     Experiment("E20", "decremental SSSP via memory-path invalidation", "§1.4 future work", "test_e20_decremental"),
     Experiment("E21", "sparse-frontier vs dense relaxation engines", "engineering, docs/frontier.md", "test_e21_frontier"),
+    Experiment("E22", "wall-clock fast path: fused kernels + pooling", "engineering, docs/frontier.md", "test_e22_wallclock"),
 )
 
 

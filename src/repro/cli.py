@@ -60,7 +60,7 @@ from repro.obs.bounds import (
     theorem_3_7_envelopes,
     watchdog_table,
 )
-from repro.obs.export import flame_report, write_chrome_trace, write_jsonl
+from repro.obs.export import flame_report, op_wall_report, write_chrome_trace, write_jsonl
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import SpanTracer
 from repro.pram.frontier import ENGINES
@@ -244,6 +244,7 @@ def cmd_trace(args) -> int:
     if args.jsonl:
         write_jsonl(args.jsonl, tracer)
     print(flame_report(tracer, title=f"trace: {args.traced}"))
+    print(op_wall_report(tracer, title=f"where real time goes: {args.traced}"))
     print(watchdog_table(verdicts))
     print(
         f"span coverage: {100 * tracer.coverage():.1f}% of charged work; "

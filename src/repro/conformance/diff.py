@@ -51,6 +51,7 @@ from repro.pram.cost import CostModel
 from repro.pram.errors import InvalidStepError, WriteConflictError
 from repro.pram.machine import PRAM
 from repro.pram.primitives import ceil_log2
+from repro.pram.workspace import Workspace
 from repro.sssp.bellman_ford import bellman_ford
 
 from repro.conformance.shadow import ShadowCREW
@@ -480,6 +481,54 @@ def _diff_gather_csr(case, seed, strict):
                     rounds, rounds <= cost.depth + 1)
 
 
+def _relax_inputs(
+    case: str, seed: int, size: int = 8
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(dist, parent, tails, heads, weights) per case.
+
+    Heads reuse the scatter collision patterns (the combining-min stress
+    cases); tails come from an independent draw of the same pattern, and
+    weights are folded small so a real mix of improving / stale / tied
+    candidates hits every cell.
+    """
+    _, heads, vals = _scatter_inputs(case, seed)
+    _, tails, _ = _scatter_inputs(case, seed + 1)
+    dist = np.asarray([float((13 * i) % 23) for i in range(size)])
+    parent = np.full(size, -1, dtype=np.int64)
+    weights = np.mod(vals, 7.0)
+    return dist, parent, tails, heads, weights
+
+
+def _diff_relax_arcs(case, seed, strict):
+    dist, parent, tails, heads, weights = _relax_inputs(case, seed)
+    ws = Workspace(poison=True)  # poisoned pool: stale reuse would surface
+    plan = (
+        primitives.build_relax_plan(tails, heads, weights, n_cells=dist.size)
+        if case in ("adversarial-stride", "random")
+        else None
+    )
+    dist0, parent0 = dist.copy(), parent.copy()
+    out, cost, shadow = _shadowed_run(
+        lambda c: primitives.prelax_arcs(
+            c, dist, parent, tails, heads, weights,
+            plan=plan, workspace=ws, changed="frontier",
+        ),
+        strict,
+    )
+    lit_d, lit_p, lit_changed, rounds = reference.crew_relax_arcs(
+        dist0.tolist(), parent0.tolist(),
+        tails.tolist(), heads.tolist(), weights.tolist(),
+    )
+    equal = (
+        np.array_equal(dist, np.asarray(lit_d))
+        and np.array_equal(parent, np.asarray(lit_p))
+        and np.array_equal(out, np.asarray(lit_changed, dtype=np.int64))
+    )
+    # literal pays load + merge + flag rounds on top of the combine tree
+    return _outcome("relax_arcs", case, tails.size, equal, cost, shadow,
+                    rounds, rounds <= cost.depth + 4)
+
+
 def _diff_pointer_jump(case, seed, strict):
     parent = _parent_forest(case, seed)
     n = parent.size
@@ -527,6 +576,7 @@ PRIMITIVE_DIFFS: dict[str, Callable[[str, int, bool], DiffOutcome]] = {
     "prefix_max": _diff_prefix_max,
     "segmented_sum": _diff_segmented_sum,
     "gather_csr": _diff_gather_csr,
+    "relax_arcs": _diff_relax_arcs,
     "sort": _diff_sort,
     "lexsort": _diff_lexsort,
     "pointer_jump": _diff_pointer_jump,

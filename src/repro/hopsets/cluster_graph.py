@@ -35,6 +35,7 @@ from repro.hopsets.clusters import ClusterMemory, Partition
 from repro.hopsets.errors import HopsetError
 from repro.pram.machine import PRAM
 from repro.pram.primitives import ceil_log2
+from repro.pram.workspace import fused_default
 
 __all__ = ["EntryTable", "ClusterTables", "BFSResult", "neighbor_tables", "bfs_from_clusters"]
 
@@ -211,22 +212,35 @@ def _propagate(
     charged honestly and its write-set is declared to the race detector.
     """
     indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    use_fused = fused_default()
     table = _dedup_and_prune(table, x, pram)
     for _ in range(rounds):
         if table.size == 0:
             break
-        rep, arc = pram.gather_csr(indptr, table.vert, label="relax_gather")
-        total = int(arc.size)
-        if total == 0:
-            break
-        cand_dist = table.dist[rep] + weights[arc]
+        if use_fused:
+            # Fused gather + candidate add: one pass, pooled temporaries,
+            # charged identically to the gather_csr + raw-add sequence below.
+            rep, head, cand_dist = pram.gather_add(
+                indptr, indices, weights, table.vert, table.dist,
+                label="relax_gather", add_label="relax",
+            )
+            if head.size == 0:
+                break
+        else:
+            rep, arc = pram.gather_csr(indptr, table.vert, label="relax_gather")
+            total = int(arc.size)
+            if total == 0:
+                break
+            head = indices[arc]
+            cand_dist = table.dist[rep] + weights[arc]
+            pram.charge(work=total, depth=1, label="relax")
         keep = cand_dist <= threshold + _EPS_PAD
-        pram.charge(work=total, depth=1, label="relax")
         rep_k = rep[keep]
         if rep_k.size == 0:
             break
+        head_k = head[keep]
         cand = EntryTable(
-            vert=indices[arc[keep]],
+            vert=head_k,
             src=table.src[rep_k],
             dist=cand_dist[keep],
             seed=table.seed[rep_k],
@@ -235,7 +249,7 @@ def _propagate(
                 if table.paths is None
                 else [
                     table.paths[int(i)] + (int(h),)
-                    for i, h in zip(rep_k, indices[arc[keep]])
+                    for i, h in zip(rep_k, head_k)
                 ]
             ),
         )

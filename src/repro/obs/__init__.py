@@ -29,6 +29,7 @@ from repro.obs.bounds import (
 from repro.obs.export import (
     chrome_trace_events,
     flame_report,
+    op_wall_report,
     to_chrome_trace,
     write_chrome_trace,
     write_jsonl,
@@ -48,6 +49,7 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "flame_report",
+    "op_wall_report",
     "Envelope",
     "WatchdogVerdict",
     "theorem_3_7_envelopes",

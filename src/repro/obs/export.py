@@ -34,6 +34,7 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "flame_report",
+    "op_wall_report",
 ]
 
 _SourceT = Union[Span, SpanTracer]
@@ -162,6 +163,44 @@ def flame_report(source: _SourceT, title: str = "trace report") -> str:
     headers = ["span", "work", "depth", "self work", "share", "wall ms"]
     if with_races:
         headers.append("races")
+    return render_table(title, headers, rows)
+
+
+def op_wall_report(
+    source: _SourceT, title: str = "where real time goes", top: int = 20
+) -> str:
+    """Per-primitive *measured* wall time vs charged work, tree-wide.
+
+    Aggregates every span's per-label :class:`~repro.obs.tracer.OpStats`
+    and ranks labels by attributed host nanoseconds (delta timing, see
+    ``OpStats.wall_ns``).  Columns: calls, charged work, wall
+    milliseconds, microseconds per call, and the label's share of all
+    attributed wall time — the table that answers "the model charges X,
+    but where does the *real* time go?".
+    """
+    root = _root_of(source)
+    agg: dict[str, list[int]] = {}  # label -> [calls, work, wall_ns]
+    for span in root.walk():
+        for label, s in span.ops.items():
+            row = agg.setdefault(label, [0, 0, 0])
+            row[0] += s.calls
+            row[1] += s.work
+            row[2] += s.wall_ns
+    total_ns = max(sum(r[2] for r in agg.values()), 1)
+    ranked = sorted(agg.items(), key=lambda kv: kv[1][2], reverse=True)[:top]
+    rows = []
+    for label, (calls, work, wall_ns) in ranked:
+        rows.append(
+            [
+                label,
+                calls,
+                work,
+                f"{wall_ns / 1e6:.2f}",
+                f"{wall_ns / 1e3 / max(calls, 1):.1f}",
+                f"{100.0 * wall_ns / total_ns:.1f}%",
+            ]
+        )
+    headers = ["op", "calls", "work", "wall ms", "us/call", "share"]
     return render_table(title, headers, rows)
 
 

@@ -8,6 +8,10 @@ A :class:`MetricsRegistry` subscribes to a
 * ``primitive.<label>.cells_read``     — CREW shared-memory cells read,
 * ``primitive.<label>.cells_written``  — cells written,
 * ``primitive.<label>.work`` / ``.depth`` — charged resources,
+* ``primitive.<label>.wall_ns``        — *measured* host nanoseconds,
+  attributed by delta timing (each traffic event claims the time elapsed
+  since the previous one; primitives report traffic once, at the end of
+  their execution) — the one engineering figure next to the model ones,
 
 plus run-level totals (``cost.work``, ``cost.depth``, ``cost.charges``,
 ``cost.phases``) and a log₂-bucketed size histogram per primitive
@@ -21,7 +25,9 @@ returns one JSON-friendly dict for export next to a trace.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.pram.cost import CostHook, CostModel
 
@@ -96,10 +102,12 @@ class Histogram:
 class MetricsRegistry(CostHook):
     """Named metrics, plus the CostModel subscription that feeds them."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock_ns: Callable[[], int] | None = None) -> None:
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._clock_ns = clock_ns if clock_ns is not None else time.perf_counter_ns
+        self._last_ns = self._clock_ns()
 
     # -- registry ------------------------------------------------------------
 
@@ -124,9 +132,9 @@ class MetricsRegistry(CostHook):
     # -- lifecycle -----------------------------------------------------------
 
     @classmethod
-    def attach(cls, cost: CostModel) -> "MetricsRegistry":
+    def attach(cls, cost: CostModel, **kwargs) -> "MetricsRegistry":
         """Create a registry and subscribe it to ``cost`` in one step."""
-        registry = cls()
+        registry = cls(**kwargs)
         cost.subscribe(registry)
         return registry
 
@@ -151,10 +159,16 @@ class MetricsRegistry(CostHook):
         self.counter(f"{prefix}.elements").inc(elements)
         self.counter(f"{prefix}.cells_read").inc(reads)
         self.counter(f"{prefix}.cells_written").inc(writes)
+        now_ns = self._clock_ns()
+        self.counter(f"{prefix}.wall_ns").inc(max(now_ns - self._last_ns, 0))
+        self._last_ns = now_ns
         self.histogram(f"{prefix}.size").observe(elements)
 
     def on_phase_enter(self, name: str) -> None:
         self.counter("cost.phases").inc()
+        # Phase boundaries reset the delta clock (see module docstring):
+        # setup time outside primitives is not pinned on the next op.
+        self._last_ns = self._clock_ns()
 
     # -- export --------------------------------------------------------------
 

@@ -39,7 +39,15 @@ __all__ = ["OpStats", "Span", "SpanTracer"]
 
 @dataclass
 class OpStats:
-    """Aggregated per-label primitive statistics within one span."""
+    """Aggregated per-label primitive statistics within one span.
+
+    ``wall_ns`` is *measured* host time attributed to the label by delta
+    timing: each traffic event claims the nanoseconds elapsed since the
+    previous traffic event (primitives report traffic once, at the end of
+    their execution, so the delta covers that primitive's compute plus the
+    caller glue leading into it).  It is an engineering figure — where real
+    time goes — not a model quantity like ``work``/``depth``.
+    """
 
     calls: int = 0
     work: int = 0
@@ -47,6 +55,7 @@ class OpStats:
     elements: int = 0
     reads: int = 0
     writes: int = 0
+    wall_ns: int = 0
 
 
 @dataclass
@@ -111,6 +120,7 @@ class Span:
                     "elements": s.elements,
                     "cells_read": s.reads,
                     "cells_written": s.writes,
+                    "wall_ns": s.wall_ns,
                 }
                 for label, s in sorted(self.ops.items())
             },
@@ -142,6 +152,7 @@ class SpanTracer(CostHook):
             wall_start=self.clock(),
         )
         self._stack: list[Span] = [self.root]
+        self._last_ns = int(self.root.wall_start * 1e9)
         self._finished = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -191,6 +202,9 @@ class SpanTracer(CostHook):
         stats.elements += elements
         stats.reads += reads
         stats.writes += writes
+        now_ns = int(self.clock() * 1e9)
+        stats.wall_ns += max(now_ns - self._last_ns, 0)
+        self._last_ns = now_ns
 
     def on_phase_enter(self, name: str) -> None:
         parent = self._stack[-1]
@@ -201,6 +215,10 @@ class SpanTracer(CostHook):
             depth_start=self.cost.depth,
             wall_start=self.clock(),
         )
+        # Phase boundaries reset the delta clock: time spent outside any
+        # primitive (graph loading, caller glue) is not pinned on the first
+        # op that happens to report traffic inside the new phase.
+        self._last_ns = int(span.wall_start * 1e9)
         parent.children.append(span)
         self._stack.append(span)
 

@@ -18,11 +18,24 @@ accounting keeps two views per phase name:
 
 * ``phase_totals`` — **inclusive**: a charge counts toward every enclosing
   phase, so a phase row reads as "everything that happened inside this
-  block".  Summing inclusive rows of *nested* phases over-reports the
-  total; sum only sibling leaves (``repro.analysis.breakdown`` does).
+  block".  A re-entrant phase (the same name open twice on the stack)
+  counts each charge **once**, not once per occurrence.  Summing inclusive
+  rows of *nested* phases over-reports the total; sum only sibling leaves
+  (``repro.analysis.breakdown`` does).
 * ``phase_self_totals`` — **exclusive (self)**: a charge counts only toward
   the innermost open phase.  Exclusive rows partition the phased work, so
   they always sum to ≤ the total charged work.
+
+Both views are computed from **phase-exit deltas**: :meth:`CostModel.charge`
+itself only bumps the two integer totals (plus optional step recording and
+hook dispatch), and the per-phase dictionaries are updated once per
+``with cost.phase(...)`` block from the (work, depth) delta between enter
+and exit.  This is the wall-clock fast path — a charge in the hot loop is a
+bounds check and two integer adds, no per-charge dict churn — and it is
+also what makes the once-per-distinct-name rule exact: only the outermost
+open occurrence of a name folds its delta into ``phase_totals``.  The
+dictionaries are therefore fully populated only once the phases have
+exited (mid-phase readers should snapshot ``work``/``depth`` instead).
 
 Observability subscribers (``repro.obs``) may attach via
 :meth:`CostModel.subscribe`.  The hook dispatch is gated on a single list
@@ -158,6 +171,23 @@ class CostHook:
         """The matching phase block was exited (also on exceptions)."""
 
 
+class _PhaseFrame:
+    """Bookkeeping for one open ``with cost.phase(...)`` block."""
+
+    __slots__ = ("name", "work0", "depth0", "outermost", "child_work", "child_depth")
+
+    def __init__(self, name: str, work0: int, depth0: int, outermost: bool) -> None:
+        self.name = name
+        self.work0 = work0
+        self.depth0 = depth0
+        #: True when no enclosing frame carries the same name — only the
+        #: outermost occurrence folds its delta into the inclusive totals,
+        #: so a re-entrant phase counts each charge exactly once.
+        self.outermost = outermost
+        self.child_work = 0
+        self.child_depth = 0
+
+
 @dataclass
 class CostModel:
     """Accumulates the work and depth of a simulated PRAM execution.
@@ -170,10 +200,10 @@ class CostModel:
         Total synchronous rounds charged so far.
     phase_totals:
         Inclusive per-phase totals (a charge counts toward every enclosing
-        phase).
+        phase, each distinct name once).  Updated on phase exit.
     phase_self_totals:
         Exclusive per-phase totals (a charge counts only toward the
-        innermost open phase).
+        innermost open phase).  Updated on phase exit.
     """
 
     work: int = 0
@@ -183,6 +213,8 @@ class CostModel:
     phase_totals: dict[str, CostSnapshot] = field(default_factory=dict)
     phase_self_totals: dict[str, CostSnapshot] = field(default_factory=dict)
     _phase_stack: list[str] = field(default_factory=list, repr=False)
+    _frames: list[_PhaseFrame] = field(default_factory=list, repr=False)
+    _open_counts: dict[str, int] = field(default_factory=dict, repr=False)
     _subscribers: list[CostHook] = field(default_factory=list, repr=False)
     _footprint_hooks: list[CostHook] = field(default_factory=list, repr=False)
 
@@ -192,6 +224,10 @@ class CostModel:
         ``depth`` may be 0 for pure bookkeeping work folded into an
         already-charged round; ``work`` may be 0 for synchronization-only
         rounds.  Negative charges are rejected.
+
+        This is the simulator's hottest call: with no step recording and no
+        subscribers it is two integer adds.  Phase attribution happens on
+        phase *exit* (see :meth:`phase`), never here.
         """
         if work < 0 or depth < 0:
             raise InvalidStepError(
@@ -199,23 +235,12 @@ class CostModel:
             )
         self.work += int(work)
         self.depth += int(depth)
-        stack = self._phase_stack
         if self.record_steps:
+            stack = self._phase_stack
             self.steps.append(
                 StepRecord(
                     label or (stack[-1] if stack else ""), work, depth, tuple(stack)
                 )
-            )
-        if stack:
-            for phase in stack:
-                prev = self.phase_totals.get(phase, _ZERO)
-                self.phase_totals[phase] = CostSnapshot(
-                    prev.work + work, prev.depth + depth
-                )
-            leaf = stack[-1]
-            prev = self.phase_self_totals.get(leaf, _ZERO)
-            self.phase_self_totals[leaf] = CostSnapshot(
-                prev.work + work, prev.depth + depth
             )
         if self._subscribers:
             for hook in self._subscribers:
@@ -321,10 +346,19 @@ class CostModel:
         """Attribute all charges inside the ``with`` block to ``name``.
 
         Phases nest; a charge inside nested phases is attributed to each
-        enclosing phase in ``phase_totals`` (inclusive) and to the
-        innermost phase only in ``phase_self_totals`` (exclusive).
+        enclosing phase in ``phase_totals`` (inclusive, each distinct name
+        once even when re-entered) and to the innermost phase only in
+        ``phase_self_totals`` (exclusive).  Attribution is computed from
+        the (work, depth) delta between enter and exit, so the charge hot
+        path stays dictionary-free; a block that charged nothing leaves no
+        totals entry.
         """
+        frame = _PhaseFrame(
+            name, self.work, self.depth, self._open_counts.get(name, 0) == 0
+        )
+        self._open_counts[name] = self._open_counts.get(name, 0) + 1
         self._phase_stack.append(name)
+        self._frames.append(frame)
         if self._subscribers:
             for hook in self._subscribers:
                 hook.on_phase_enter(name)
@@ -332,6 +366,28 @@ class CostModel:
             yield
         finally:
             self._phase_stack.pop()
+            self._frames.pop()
+            left = self._open_counts[name] - 1
+            if left:
+                self._open_counts[name] = left
+            else:
+                del self._open_counts[name]
+            dw = self.work - frame.work0
+            dd = self.depth - frame.depth0
+            if frame.outermost and (dw or dd):
+                prev = self.phase_totals.get(name, _ZERO)
+                self.phase_totals[name] = CostSnapshot(prev.work + dw, prev.depth + dd)
+            sw = dw - frame.child_work
+            sd = dd - frame.child_depth
+            if sw or sd:
+                prev = self.phase_self_totals.get(name, _ZERO)
+                self.phase_self_totals[name] = CostSnapshot(
+                    prev.work + sw, prev.depth + sd
+                )
+            if self._frames:
+                parent = self._frames[-1]
+                parent.child_work += dw
+                parent.child_depth += dd
             if self._subscribers:
                 for hook in self._subscribers:
                     hook.on_phase_exit(name)
@@ -364,6 +420,8 @@ class CostModel:
         self.phase_totals.clear()
         self.phase_self_totals.clear()
         self._phase_stack.clear()
+        self._frames.clear()
+        self._open_counts.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CostModel(work={self.work}, depth={self.depth})"

@@ -46,6 +46,19 @@ Observability: each round reports the frontier size through the
 labels into counters + a size histogram automatically) and every
 sparse↔dense transition emits a ``frontier.switch`` traffic event, so
 mode switches are visible in Chrome traces and metric dumps.
+
+**Fused fast path.**  By default every relaxation round runs through the
+fused :func:`~repro.pram.primitives.prelax_arcs` kernel (gather + add +
+combining min + changed mask in one pass, drawing its temporaries from
+the machine's :class:`~repro.pram.workspace.Workspace` pool and — on
+dense rounds — reusing a per-graph :class:`~repro.pram.primitives.RelaxPlan`
+so nothing is re-sorted per round).  The fused path is charged
+*identically* to the primitive sequence it replaces and produces
+bit-equal ``dist``/``parent``/round counts — only wall-clock changes.
+``fused=False`` (or ``REPRO_FUSED=0``) keeps the original
+primitive-by-primitive execution, which the wall-clock benchmarks use as
+the baseline; the strict-shadow differential matrix pins the two paths
+against each other.
 """
 
 from __future__ import annotations
@@ -57,6 +70,7 @@ import numpy as np
 from repro.graphs.csr import Graph
 from repro.pram.errors import InvalidStepError
 from repro.pram.machine import PRAM
+from repro.pram.workspace import fused_default
 
 __all__ = ["ENGINES", "DEFAULT_THRESHOLD_K", "FrontierStats", "frontier_relax"]
 
@@ -98,6 +112,7 @@ def frontier_relax(
     early_exit: bool = True,
     threshold_k: int = DEFAULT_THRESHOLD_K,
     label: str = "bf",
+    fused: bool | None = None,
 ) -> FrontierStats:
     """Run ``hops`` relaxation rounds on ``dist``/``parent`` in place.
 
@@ -105,15 +120,25 @@ def frontier_relax(
     sources, +inf / −1 elsewhere); ``sources`` seeds the first frontier.
     ``label`` prefixes every charged step (``{label}_relax``,
     ``{label}_gather``, …) so callers keep their established cost-step
-    names.  Returns the :class:`FrontierStats` of the exploration.
+    names.  ``fused`` selects the fused relaxation kernel (default: the
+    ``REPRO_FUSED`` environment default, normally on) — bit-exact outputs
+    and bit-identical charged cost either way, only wall-clock differs.
+    Returns the :class:`FrontierStats` of the exploration.
     """
     if engine not in ENGINES:
         raise InvalidStepError(f"unknown engine {engine!r}, expected one of {ENGINES}")
     if threshold_k < 1:
         raise InvalidStepError(f"threshold_k must be >= 1, got {threshold_k}")
+    use_fused = fused_default() if fused is None else bool(fused)
+    ws = pram.workspace
+    plan = None  # per-graph RelaxPlan, fetched on the first fused dense round
     stats = FrontierStats(engine=engine)
-    tails, heads, w = graph.arcs()
-    arcs_total = int(tails.size)
+    if use_fused:
+        tails = heads = w = None
+        arcs_total = int(graph.indices.size)
+    else:
+        tails, heads, w = graph.arcs()
+        arcs_total = int(tails.size)
     indptr = graph.indptr
     indices = graph.indices
     weights = graph.weights
@@ -148,6 +173,48 @@ def frontier_relax(
             stats.mode_switches += 1
             pram.cost.traffic("frontier.switch", elements=int(frontier.size))
         mode_prev = mode
+
+        if use_fused:
+            if mode == "sparse":
+                slots, arcs = pram.gather_csr(indptr, frontier, label=f"{label}_gather")
+                a = int(arcs.size)
+                f_tails = ws.take("frontier.tails", a, np.int64)
+                np.take(frontier, slots, out=f_tails)
+                f_heads = ws.take("frontier.heads", a, np.int64)
+                np.take(indices, arcs, out=f_heads)
+                f_w = ws.take("frontier.w", a, np.float64)
+                np.take(weights, arcs, out=f_w)
+                stats.sparse_rounds += 1
+                stats.gathered_arcs += a
+                stats.rounds += 1
+                frontier = pram.relax_arcs(
+                    dist, parent, f_tails, f_heads, f_w,
+                    changed="frontier", label=f"{label}_relax",
+                    changed_label=f"{label}_converged",
+                    frontier_label=f"{label}_frontier",
+                )
+            else:
+                if plan is None:
+                    plan = ws.relax_plan(graph)
+                stats.dense_rounds += 1
+                stats.rounds += 1
+                if engine == "dense":
+                    out = pram.relax_arcs(
+                        dist, parent, tails, heads, w, plan=plan,
+                        changed="any" if early_exit else "skip",
+                        label=f"{label}_relax",
+                        changed_label=f"{label}_converged",
+                    )
+                    if early_exit and not out:
+                        break
+                else:
+                    frontier = pram.relax_arcs(
+                        dist, parent, tails, heads, w, plan=plan,
+                        changed="frontier", label=f"{label}_relax",
+                        changed_label=f"{label}_converged",
+                        frontier_label=f"{label}_frontier",
+                    )
+            continue
 
         prev = dist.copy()
         if mode == "sparse":

@@ -21,15 +21,26 @@ import numpy as np
 
 from repro.pram import pointer_jumping, primitives, scan, sort
 from repro.pram.cost import CostModel, CostSnapshot
+from repro.pram.workspace import Workspace
 
 __all__ = ["PRAM"]
 
 
 class PRAM:
-    """A simulated CREW PRAM: vectorized execution + work/depth metering."""
+    """A simulated CREW PRAM: vectorized execution + work/depth metering.
 
-    def __init__(self, cost: CostModel | None = None) -> None:
+    ``workspace`` is the machine's scratch-buffer pool (see
+    :mod:`repro.pram.workspace`): the fused fast-path kernels draw their
+    per-round temporaries from it, so repeated rounds reallocate nothing.
+    Pass a shared :class:`~repro.pram.workspace.Workspace` to let several
+    machines (e.g. the per-source explorations of aMSSD) reuse one pool.
+    """
+
+    def __init__(
+        self, cost: CostModel | None = None, workspace: Workspace | None = None
+    ) -> None:
         self.cost = cost if cost is not None else CostModel()
+        self.workspace = workspace if workspace is not None else Workspace()
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -81,6 +92,42 @@ class PRAM:
         its index into the CSR ``indices``/``weights`` arrays.
         """
         return primitives.pgather_csr(self.cost, indptr, frontier, label=label)
+
+    def gather_add(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        frontier: np.ndarray,
+        base: np.ndarray,
+        label: str = "gather_csr",
+        add_label: str = "relax",
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fused CSR gather + candidate add (see ``primitives.pgather_add``)."""
+        return primitives.pgather_add(
+            self.cost, indptr, indices, weights, frontier, base,
+            workspace=self.workspace, label=label, add_label=add_label,
+        )
+
+    def relax_arcs(
+        self,
+        dist: np.ndarray,
+        parent: np.ndarray,
+        tails: np.ndarray,
+        heads: np.ndarray,
+        weights: np.ndarray,
+        plan: primitives.RelaxPlan | None = None,
+        changed: str = "frontier",
+        label: str = "relax",
+        changed_label: str = "converged",
+        frontier_label: str = "frontier",
+    ):
+        """One fused relaxation round (see ``primitives.prelax_arcs``)."""
+        return primitives.prelax_arcs(
+            self.cost, dist, parent, tails, heads, weights,
+            plan=plan, workspace=self.workspace, changed=changed, label=label,
+            changed_label=changed_label, frontier_label=frontier_label,
+        )
 
     def select(self, mask: np.ndarray, label: str = "select") -> np.ndarray:
         return primitives.pselect(self.cost, mask, label=label)

@@ -43,6 +43,9 @@ import numpy as np
 
 from repro.pram.cost import CostModel
 from repro.pram.errors import InvalidStepError
+from repro.pram.workspace import INT_POISON
+
+_INT64_MAX = np.iinfo(np.int64).max  # "no achieving tail" sentinel, hoisted
 
 __all__ = [
     "ceil_log2",
@@ -55,6 +58,10 @@ __all__ = [
     "pselect",
     "pcompact",
     "pgather_csr",
+    "pgather_add",
+    "RelaxPlan",
+    "build_relax_plan",
+    "prelax_arcs",
 ]
 
 
@@ -305,6 +312,318 @@ def pgather_csr(
     cost.traffic(label, elements=total, reads=2 * f + 2 * total, writes=2 * total)
     cost.commit_round(label)
     return slots, arcs
+
+
+def pgather_add(
+    cost: CostModel,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    frontier: np.ndarray,
+    base: np.ndarray,
+    workspace=None,
+    label: str = "gather_csr",
+    add_label: str = "relax",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused CSR frontier gather + per-arc candidate add.
+
+    Performs :func:`pgather_csr` and immediately computes, for every
+    gathered arc ``j``, the head vertex ``heads[j] = indices[arcs[j]]`` and
+    the candidate value ``cand[j] = base[slots[j]] + weights[arcs[j]]``
+    (``base`` is indexed by frontier *slot* — e.g. the per-entry distances
+    of a hopset exploration table).  Charged exactly like the unfused
+    sequence it replaces: the :func:`pgather_csr` charge under ``label``
+    plus one ``(work=total, depth=1)`` charge under ``add_label`` for the
+    adds (skipped when no arcs were gathered, matching callers that break
+    before charging).  Returns ``(slots, heads, cand)``; when a
+    :class:`~repro.pram.workspace.Workspace` is supplied, ``heads`` and
+    ``cand`` are pooled scratch views valid until its next round.
+    """
+    frontier = np.asarray(frontier, dtype=np.int64)
+    n = int(indptr.size) - 1
+    f = int(frontier.size)
+    if f and (frontier.min() < 0 or frontier.max() >= n):
+        raise InvalidStepError("pgather_add: frontier vertex out of range")
+    if f == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        if cost.wants_footprints:
+            cost.footprint(label, "slots", empty, empty, rule="exclusive")
+            cost.footprint(label, "arcs", empty, empty, rule="exclusive")
+        cost.charge(work=0, depth=1, label=label)
+        cost.traffic(label)
+        cost.commit_round(label)
+        return empty, empty, np.zeros(0)
+    starts = np.asarray(indptr[frontier], dtype=np.int64)
+    deg = np.asarray(indptr[frontier + 1], dtype=np.int64) - starts
+    total = int(deg.sum())
+    slots = np.repeat(np.arange(f, dtype=np.int64), deg)
+    run_start = np.concatenate(([0], np.cumsum(deg)[:-1]))
+    offsets = np.arange(total, dtype=np.int64) - run_start[slots]
+    arcs = starts[slots] + offsets
+    if cost.wants_footprints:
+        out_slots = np.arange(total, dtype=np.int64)
+        cost.footprint(label, "slots", out_slots, slots, rule="exclusive")
+        cost.footprint(label, "arcs", out_slots, arcs, rule="exclusive")
+    cost.charge(work=f + total, depth=ceil_log2(f) + 1, label=label)
+    cost.traffic(label, elements=total, reads=2 * f + 2 * total, writes=2 * total)
+    cost.commit_round(label)
+    if total == 0:
+        return slots, np.zeros(0, dtype=np.int64), np.zeros(0)
+    if workspace is not None:
+        heads = workspace.take("gather.heads", total, np.int64)
+        cand = workspace.take("gather.cand", total, np.float64)
+        wbuf = workspace.take("gather.w", total, np.float64)
+    else:
+        heads = np.empty(total, dtype=np.int64)
+        cand = np.empty(total)
+        wbuf = np.empty(total)
+    indices.take(arcs, out=heads)
+    base.take(slots, out=cand)
+    weights.take(arcs, out=wbuf)
+    cand += wbuf
+    cost.charge(work=total, depth=1, label=add_label)
+    return slots, heads, cand
+
+
+class RelaxPlan:
+    """Precomputed arcs-sorted-by-head layout for :func:`prelax_arcs`.
+
+    Built once per graph (see ``Workspace.relax_plan``); lets the fused
+    dense relaxation skip the per-round sort entirely — per round it is
+    one gather, one add, and two ``minimum.reduceat`` passes.  The plan
+    also carries its round-scratch bundle (``scratch``, sizes are fixed by
+    the arc layout), so a pooled round performs zero allocations and a
+    single attribute load instead of one pool lookup per temporary.
+    """
+
+    __slots__ = (
+        "n_arcs", "n_cells", "tails_s", "weights_s", "heads_s",
+        "cells", "seg_start", "seg_id", "scratch",
+    )
+
+    def __init__(self, n_arcs, n_cells, tails_s, weights_s, heads_s,
+                 cells, seg_start, seg_id) -> None:
+        self.n_arcs = n_arcs
+        self.n_cells = n_cells
+        self.tails_s = tails_s
+        self.weights_s = weights_s
+        self.heads_s = heads_s
+        self.cells = cells
+        self.seg_start = seg_start
+        self.seg_id = seg_id
+        self.scratch: dict[str, np.ndarray] | None = None
+
+
+def build_relax_plan(
+    tails: np.ndarray, heads: np.ndarray, weights: np.ndarray, n_cells: int
+) -> RelaxPlan:
+    """Sort an arc list by head once and precompute its segment layout."""
+    n = int(heads.size)
+    order = np.argsort(heads, kind="stable")
+    heads_s = heads[order]
+    first = np.ones(n, dtype=bool)
+    if n:
+        first[1:] = heads_s[1:] != heads_s[:-1]
+    seg_start = np.flatnonzero(first)
+    return RelaxPlan(
+        n_arcs=n,
+        n_cells=int(n_cells),
+        tails_s=tails[order],
+        weights_s=weights[order],
+        heads_s=heads_s,
+        cells=heads_s[seg_start],
+        seg_start=seg_start,
+        seg_id=np.cumsum(first) - 1,
+    )
+
+
+def prelax_arcs(
+    cost: CostModel,
+    dist: np.ndarray,
+    parent: np.ndarray,
+    tails: np.ndarray,
+    heads: np.ndarray,
+    weights: np.ndarray,
+    *,
+    plan: RelaxPlan | None = None,
+    workspace=None,
+    changed: str = "frontier",
+    label: str = "relax",
+    changed_label: str = "converged",
+    frontier_label: str = "frontier",
+):
+    """One fused Bellman–Ford relaxation round: gather + add + combining
+    min + changed mask in a single pass.
+
+    Semantically identical to the unfused sequence it replaces::
+
+        cand = dist[tails] + weights                      # gather + add
+        scatter_min_arg(dist, parent, heads, cand, tails) # combining min
+        changed = map(!=, prev, dist); select(changed)    # changed mask
+
+    and **charged identically** to it: one :func:`scatter_min_arg`-rate
+    charge under ``label``, then (``changed="frontier"``) one map charge
+    under ``changed_label`` plus one select charge under
+    ``frontier_label``, or (``changed="any"``) one map + one OR-reduce
+    charge both under ``changed_label``, or (``changed="skip"``) nothing —
+    the exact traffic and write-footprint streams included, so shadow
+    detectors and metrics see the same machine.  The payload written to
+    ``parent`` is the winning arc's tail (the only payload the call sites
+    use), with the same deterministic tie rule as ``scatter_min_arg``:
+    per cell the minimum ``(value, tail)`` pair wins, and an incumbent is
+    only replaced on strict improvement.
+
+    Execution differs only in wall-clock: arcs are processed sorted by
+    head (``np.minimum.reduceat`` per contiguous head segment), either
+    re-sorted per call or via a precomputed :class:`RelaxPlan`
+    (``plan=``, which also carries pre-permuted tails/weights — then
+    ``tails``/``heads``/``weights`` are ignored).  Scratch arrays come
+    from the optional ``workspace`` pool.
+
+    Float min is order-independent, so the per-cell winning value is
+    bit-equal to the lexsort-based :func:`scatter_min_arg`; the winning
+    payload is the minimum tail among value-achieving updates — the same
+    winner the ``(value, payload)`` lexicographic rule picks.
+
+    Returns the changed-cell array (``changed="frontier"``: sorted unique
+    vertex ids, bit-equal to ``select(prev != dist)``), a bool
+    (``changed="any"``), or the changed cells uncharged (``"skip"``).
+    """
+    if changed not in ("frontier", "any", "skip"):
+        raise InvalidStepError(f"prelax_arcs: unknown changed mode {changed!r}")
+    n = int(plan.n_arcs if plan is not None else tails.size)
+    n_cells = int(dist.size)
+    ws = workspace
+
+    def take(name, size, dtype):
+        if ws is not None:
+            return ws.take(name, size, dtype)
+        return np.empty(size, dtype=dtype)
+
+    if n == 0:
+        improved_cells = np.zeros(0, dtype=np.int64)
+        cost.charge(work=0, depth=1, label=label)
+        cost.traffic(label)
+        cost.commit_round(label)
+    else:
+        if plan is not None:
+            tails_s = plan.tails_s
+            weights_s = plan.weights_s
+            heads_s = plan.heads_s
+            cells = plan.cells
+            seg_start = plan.seg_start
+            seg_id = plan.seg_id
+            if ws is not None:
+                # fixed-size scratch bundle cached on the plan: zero pool
+                # lookups per round (poisoned wholesale in debug mode)
+                sc = plan.scratch
+                if sc is None:
+                    k0 = int(cells.size)
+                    sc = plan.scratch = {
+                        "relax.cand": np.empty(n),
+                        "relax.segmin": np.empty(k0),
+                        "relax.incumbent": np.empty(k0),
+                        "relax.improve": np.empty(k0, dtype=bool),
+                        "relax.minrep": np.empty(n),
+                        "relax.achieving": np.empty(n, dtype=bool),
+                        "relax.maskpay": np.empty(n, dtype=np.int64),
+                        "relax.winpay": np.empty(k0, dtype=np.int64),
+                        "relax.changed": np.empty(n_cells, dtype=bool),
+                    }
+                if ws.poison:
+                    for buf in sc.values():
+                        buf.fill(True if buf.dtype.kind == "b" else (
+                            np.nan if buf.dtype.kind == "f" else INT_POISON))
+                take = lambda name, size, dtype: sc[name]  # noqa: E731
+        else:
+            order = np.argsort(heads, kind="stable")
+            tails_s = take("relax.tails_s", n, np.int64)
+            tails.take(order, out=tails_s)
+            weights_s = take("relax.weights_s", n, np.float64)
+            weights.take(order, out=weights_s)
+            heads_s = take("relax.heads_s", n, np.int64)
+            heads.take(order, out=heads_s)
+            first = take("relax.first", n, bool)
+            first[0] = True
+            np.not_equal(heads_s[1:], heads_s[:-1], out=first[1:])
+            seg_start = np.flatnonzero(first)
+            cells = heads_s[seg_start]
+            seg_id = take("relax.seg_id", n, np.int64)
+            np.cumsum(first, out=seg_id)
+            seg_id -= 1
+        k = int(cells.size)
+        cand = take("relax.cand", n, np.float64)
+        dist.take(tails_s, out=cand)
+        cand += weights_s
+        segmin = take("relax.segmin", k, np.float64)
+        np.minimum.reduceat(cand, seg_start, out=segmin)
+        incumbent = take("relax.incumbent", k, np.float64)
+        dist.take(cells, out=incumbent)
+        improve = take("relax.improve", k, bool)
+        np.less(segmin, incumbent, out=improve)
+        improved_cells = cells[improve]
+        win_vals = segmin[improve]
+        # payload = min tail among the value-achieving updates of each cell
+        minrep = take("relax.minrep", n, np.float64)
+        segmin.take(seg_id, out=minrep)
+        achieving = take("relax.achieving", n, bool)
+        np.equal(cand, minrep, out=achieving)
+        maskpay = take("relax.maskpay", n, np.int64)
+        maskpay.fill(_INT64_MAX)
+        np.copyto(maskpay, tails_s, where=achieving)
+        winpay = take("relax.winpay", k, np.int64)
+        np.minimum.reduceat(maskpay, seg_start, out=winpay)
+        win_pays = winpay[improve]
+        if cost.wants_footprints:
+            cost.footprint(label, "target", heads_s[achieving], cand[achieving],
+                           rule="common")
+            cost.footprint(label, "payload", improved_cells, win_pays,
+                           rule="exclusive")
+        dist[improved_cells] = win_vals
+        parent[improved_cells] = win_pays
+        cost.charge(work=n * max(1, ceil_log2(n)), depth=ceil_log2(n) + 2, label=label)
+        cost.traffic(
+            label, elements=n, reads=n * max(1, ceil_log2(n)) + 2 * n, writes=2 * n
+        )
+        cost.commit_round(label)
+
+    if changed == "skip":
+        return improved_cells
+    # the changed mask: map(!=, prev, dist) — improved_cells IS that mask
+    if cost.wants_footprints:
+        changed_arr = take("relax.changed", n_cells, bool)
+        changed_arr.fill(False)
+        changed_arr[improved_cells] = True
+        cost.footprint(changed_label, "out", np.arange(n_cells), changed_arr,
+                       rule="exclusive")
+    cost.charge(work=n_cells, depth=1, label=changed_label)
+    cost.traffic(changed_label, elements=n_cells, reads=2 * n_cells, writes=n_cells)
+    cost.commit_round(changed_label)
+    if changed == "any":
+        any_changed = bool(improved_cells.size)
+        if cost.wants_footprints:
+            cost.footprint(changed_label, "out", np.zeros(1, dtype=np.int64),
+                           np.asarray([any_changed]), rule="exclusive")
+        cost.charge(work=n_cells, depth=ceil_log2(n_cells) + 1, label=changed_label)
+        cost.traffic(
+            changed_label, elements=n_cells,
+            reads=2 * max(n_cells - 1, 0), writes=n_cells,
+        )
+        cost.commit_round(changed_label)
+        return any_changed
+    if cost.wants_footprints:
+        cost.footprint(frontier_label, "out",
+                       np.arange(improved_cells.size), improved_cells,
+                       rule="exclusive")
+    cost.charge(
+        work=n_cells, depth=ceil_log2(max(n_cells, 1)) + 1, label=frontier_label
+    )
+    cost.traffic(
+        frontier_label, elements=n_cells, reads=n_cells,
+        writes=int(improved_cells.size),
+    )
+    cost.commit_round(frontier_label)
+    return improved_cells
 
 
 def pselect(cost: CostModel, mask: np.ndarray, label: str = "select") -> np.ndarray:

@@ -53,6 +53,7 @@ __all__ = [
     "crew_pointer_jump",
     "crew_list_rank",
     "crew_frontier_gather",
+    "crew_relax_arcs",
     "crew_bellman_ford",
     "crew_sssp",
 ]
@@ -424,6 +425,83 @@ def crew_frontier_gather(
     slots = [mem.read(f + 2 * k) for k in range(total)]
     arcs = [mem.read(f + 2 * k + 1) for k in range(total)]
     return (slots, arcs), mem.rounds
+
+
+def crew_relax_arcs(
+    dist: list[float],
+    parent: list[int],
+    tails: list[int],
+    heads: list[int],
+    weights: list[float],
+) -> tuple[list[float], list[int], list[int], int]:
+    """Literal fused relaxation round — the counterpart of ``prelax_arcs``.
+
+    Round schedule: one **load** round where each arc processor reads its
+    tail's distance (concurrent reads of popular tails are CREW-legal) and
+    writes ``(dist[tail] + w, tail)`` into its own staging slot; a literal
+    balanced **combine tree** per head cell over the staged pairs under
+    lexicographic min (so equal-value ties resolve to the lowest tail,
+    exactly the vectorized tie rule); one **merge** round writing each
+    cell's surviving pair on strict improvement only; one **flag** round
+    where each vertex processor compares its cell against the value it
+    remembered before the merge (a processor-local register, as the module
+    conventions allow) and writes its changed flag — the load round of the
+    second memory, on which the literal scan-based :func:`crew_select`
+    compacts the flags into the changed-vertex list.  Returns
+    ``(dist', parent', changed, rounds)`` with ``rounds`` summed over both
+    memories.
+    """
+    n, m = len(dist), len(tails)
+    mem = CREWMemory.from_values(
+        [(dist[i], parent[i]) for i in range(n)], extra_cells=m
+    )
+    old = [mem.read(v)[0] for v in range(n)]  # per-processor registers
+    if m:
+        updates = {}
+        for j in range(m):
+            d, _ = mem.read(int(tails[j]))
+            updates[n + j] = (d + float(weights[j]), int(tails[j]))
+        for c, v in updates.items():
+            mem.write(c, v)
+        mem.end_round()
+        groups: dict[int, list[int]] = {}
+        for j, c in enumerate(heads):
+            groups.setdefault(int(c), []).append(n + j)
+        while any(len(slots) > 1 for slots in groups.values()):
+            updates = {}
+            for c, slots in groups.items():
+                if len(slots) == 1:
+                    continue
+                survivors = []
+                for a, b in zip(slots[0::2], slots[1::2]):
+                    updates[a] = min(mem.read(a), mem.read(b))
+                    survivors.append(a)
+                if len(slots) % 2:
+                    survivors.append(slots[-1])
+                groups[c] = survivors
+            for cell, v in updates.items():
+                mem.write(cell, v)
+            mem.end_round()
+        updates = {}
+        for c, slots in groups.items():
+            win_val, win_pay = mem.read(slots[0])
+            cur_val, _ = mem.read(c)
+            if win_val < cur_val:  # strict improvement only
+                updates[c] = (win_val, win_pay)
+        for c, v in updates.items():
+            mem.write(c, v)
+        mem.end_round()
+    flags = []
+    for v in range(n):
+        flags.append(1 if mem.read(v)[0] != old[v] else 0)
+    changed, sel_rounds = crew_select(flags)
+    out = [mem.read(v) for v in range(n)]
+    return (
+        [d for d, _ in out],
+        [p for _, p in out],
+        changed,
+        mem.rounds + sel_rounds,
+    )
 
 
 def crew_bellman_ford(graph: Graph, source: int, hops: int) -> tuple[list[float], int]:

@@ -52,6 +52,7 @@ def bellman_ford(
     hops: int,
     early_exit: bool = True,
     engine: str = "auto",
+    fused: bool | None = None,
 ) -> BellmanFordResult:
     """``hops`` rounds of parallel edge relaxation from ``sources``.
 
@@ -69,6 +70,9 @@ def bellman_ford(
     ``engine`` selects the relaxation schedule — ``"dense"`` (all arcs
     every round), ``"sparse"`` (frontier-driven), or ``"auto"`` (per-round
     Ligra-style switch, the default); see :mod:`repro.pram.frontier`.
+    ``fused`` toggles the fused relaxation kernel (default: the
+    ``REPRO_FUSED`` environment default) — same outputs and charged cost,
+    different wall-clock.
     """
     if hops < 0:
         raise VertexError(f"hop budget must be non-negative, got {hops}")
@@ -95,6 +99,7 @@ def bellman_ford(
             engine=engine,
             early_exit=early_exit,
             label="bf",
+            fused=fused,
         )
     return BellmanFordResult(
         dist=dist,

@@ -20,6 +20,7 @@ from repro.graphs.errors import VertexError
 from repro.hopsets.hopset import Hopset
 from repro.pram.cost import CostModel, CostSnapshot
 from repro.pram.machine import PRAM
+from repro.pram.workspace import Workspace
 from repro.sssp.bellman_ford import bellman_ford
 
 __all__ = ["MultiSourceResult", "approximate_mssd"]
@@ -46,13 +47,17 @@ def approximate_mssd(
     pram: PRAM | None = None,
     hop_budget: int | None = None,
     engine: str = "auto",
+    fused: bool | None = None,
 ) -> MultiSourceResult:
     """Run one β-hop exploration per source over G ∪ H.
 
     The outer ``pram`` (if given) is charged with the composed cost:
     sum-of-work, max-of-depth.  ``engine`` selects the per-exploration
     relaxation schedule (see :mod:`repro.pram.frontier`); the result is
-    bit-exact regardless.
+    bit-exact regardless.  All explorations share one scratch
+    :class:`~repro.pram.workspace.Workspace` (the outer machine's, if
+    given), so the fused fast path allocates its round buffers once for
+    the whole sweep.
     """
     src = np.asarray(sources, dtype=np.int64)
     if src.ndim != 1 or src.size == 0:
@@ -63,9 +68,10 @@ def approximate_mssd(
     parents = np.empty((src.size, graph.n), dtype=np.int64)
     total_work = 0
     max_depth = 0
+    shared_ws = pram.workspace if pram is not None else Workspace()
     for row, s in enumerate(src):
-        local = PRAM(CostModel())
-        bf = bellman_ford(local, union, int(s), budget, engine=engine)
+        local = PRAM(CostModel(), workspace=shared_ws)
+        bf = bellman_ford(local, union, int(s), budget, engine=engine, fused=fused)
         dists[row] = bf.dist
         parents[row] = bf.parent
         total_work += local.cost.work

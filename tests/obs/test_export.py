@@ -5,6 +5,7 @@ import json
 from repro.obs.export import (
     chrome_trace_events,
     flame_report,
+    op_wall_report,
     to_chrome_trace,
     write_chrome_trace,
     write_jsonl,
@@ -98,3 +99,18 @@ def test_exporters_accept_a_bare_span():
     assert chrome_trace_events(root)
     assert "span_coverage" not in to_chrome_trace(root)["otherData"]
     assert flame_report(root)
+
+
+def test_op_wall_report_ranks_by_wall_time():
+    c = CostModel()
+    tracer = SpanTracer.attach(c)
+    with c.phase("alpha"):
+        c.charge(work=10, depth=2, label="scan")
+        c.traffic("scan", elements=10, reads=10, writes=10)
+        c.charge(work=6, depth=1, label="sort")
+        c.traffic("sort", elements=6, reads=6, writes=6)
+    tracer.finish()
+    report = op_wall_report(tracer)
+    assert "where real time goes" in report
+    assert "scan" in report and "sort" in report
+    assert "us/call" in report

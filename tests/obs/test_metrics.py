@@ -101,3 +101,25 @@ def test_snapshot_shape():
     assert set(snap) == {"counters", "gauges", "histograms"}
     assert snap["counters"]["primitive.x.calls"] == 1
     assert snap["histograms"]["primitive.x.size"]["count"] == 1
+
+
+def test_wall_ns_delta_attribution_with_injected_clock():
+    ticks = iter(range(0, 1000, 10))  # 0, 10, 20, ... ns
+    c = CostModel()
+    r = MetricsRegistry.attach(c, clock_ns=lambda: next(ticks))
+    c.traffic("a", elements=1, reads=1, writes=1)  # claims 10ns since init
+    c.traffic("b", elements=1, reads=1, writes=1)  # claims the next 10ns
+    c.traffic("a", elements=1, reads=1, writes=1)
+    r.detach(c)
+    assert r.counter("primitive.a.wall_ns").value == 20
+    assert r.counter("primitive.b.wall_ns").value == 10
+
+
+def test_wall_ns_resets_at_phase_boundaries():
+    ticks = iter([0, 100, 105, 200])  # attach, phase-enter, traffic, (unused)
+    c = CostModel()
+    r = MetricsRegistry.attach(c, clock_ns=lambda: next(ticks))
+    with c.phase("p"):
+        c.traffic("a", elements=1, reads=0, writes=0)
+    # only the 5ns since phase entry, not the 105ns since attach
+    assert r.counter("primitive.a.wall_ns").value == 5

@@ -158,3 +158,17 @@ def test_span_to_dict_is_json_friendly():
     root = tracer.finish()
     blob = json.dumps([s.to_dict() for s in root.walk()])
     assert "cells_read" in blob and '"p"' in blob
+
+
+def test_op_wall_ns_delta_attribution():
+    c = CostModel()
+    tracer = SpanTracer.attach(c, clock=_fake_clock())  # ticks 1s at a time
+    with c.phase("p"):
+        c.traffic("a", elements=1, reads=0, writes=0)
+        c.traffic("b", elements=1, reads=0, writes=0)
+    root = tracer.finish()
+    span = root.children[0]
+    # each traffic event claims the 1s tick since the previous event
+    assert span.ops["a"].wall_ns == 10**9
+    assert span.ops["b"].wall_ns == 10**9
+    assert span.to_dict()["ops"]["a"]["wall_ns"] == 10**9

@@ -92,6 +92,30 @@ def test_reset_clears_everything():
     assert not c.phase_self_totals
 
 
+def test_reentrant_phase_name_counts_once():
+    # A phase name open twice on the stack (a/b/a) must attribute each
+    # charge to its inclusive total exactly once, not once per occurrence.
+    c = CostModel()
+    with c.phase("a"):
+        with c.phase("b"):
+            with c.phase("a"):
+                c.charge(work=5, depth=2)
+    assert c.phase_totals["a"] == CostSnapshot(5, 2)
+    assert c.phase_totals["b"] == CostSnapshot(5, 2)
+
+
+def test_reentrant_phase_self_totals_attribute_to_inner():
+    c = CostModel()
+    with c.phase("a"):
+        c.charge(work=1, depth=1)
+        with c.phase("a"):
+            c.charge(work=3, depth=1)
+    assert c.phase_totals["a"] == CostSnapshot(4, 2)
+    # self rows: outer keeps its own charge, inner occurrence's charge
+    # folds into the same name's exclusive row
+    assert c.phase_self_totals["a"] == CostSnapshot(4, 2)
+
+
 def test_phase_self_totals_are_exclusive():
     c = CostModel()
     with c.phase("outer"):

@@ -118,3 +118,153 @@ def test_pcompact_length_mismatch():
     c = CostModel()
     with pytest.raises(InvalidStepError):
         P.pcompact(c, np.arange(3), np.array([True, False]))
+
+
+# -- fused relaxation kernels -------------------------------------------------
+
+
+def _random_relax_case(seed, n=16, m=48):
+    rng = np.random.default_rng(seed)
+    dist = np.where(
+        rng.random(n) < 0.3, np.inf, rng.integers(0, 20, size=n).astype(np.float64)
+    )
+    parent = np.where(np.isfinite(dist), rng.integers(0, n, size=n), -1).astype(np.int64)
+    tails = rng.integers(0, n, size=m).astype(np.int64)
+    heads = rng.integers(0, n, size=m).astype(np.int64)
+    weights = rng.integers(1, 9, size=m).astype(np.float64)
+    return dist, parent, tails, heads, weights
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("use_plan", [False, True])
+def test_prelax_arcs_matches_unfused_sequence(seed, use_plan):
+    from repro.pram.workspace import Workspace
+
+    dist, parent, tails, heads, weights = _random_relax_case(seed)
+    plan = P.build_relax_plan(tails, heads, weights, n_cells=dist.size) if use_plan else None
+
+    fd, fp = dist.copy(), parent.copy()
+    cf = CostModel(record_steps=True)
+    frontier = P.prelax_arcs(
+        cf, fd, fp, tails, heads, weights,
+        plan=plan, workspace=Workspace(poison=True), changed="frontier",
+        label="relax", changed_label="converged", frontier_label="frontier",
+    )
+
+    ud, up = dist.copy(), parent.copy()
+    cu = CostModel(record_steps=True)
+    prev = ud.copy()
+    cand = ud[tails] + weights
+    P.scatter_min_arg(cu, ud, up, heads, cand, tails, label="relax")
+    ch = P.elementwise(cu, np.not_equal, prev, ud, label="converged")
+    uf = P.pselect(cu, ch, label="frontier")
+
+    assert np.array_equal(fd, ud)
+    assert np.array_equal(fp, up)
+    assert np.array_equal(frontier, uf)
+    # charged identically: same step stream (work, depth, label)
+    assert [(s.work, s.depth, s.label) for s in cf.steps] == [
+        (s.work, s.depth, s.label) for s in cu.steps
+    ]
+    assert (cf.work, cf.depth) == (cu.work, cu.depth)
+
+
+def test_prelax_arcs_changed_any_matches_unfused():
+    dist, parent, tails, heads, weights = _random_relax_case(7)
+    fd, fp = dist.copy(), parent.copy()
+    cf = CostModel()
+    out = P.prelax_arcs(cf, fd, fp, tails, heads, weights, changed="any")
+    ud, up = dist.copy(), parent.copy()
+    cu = CostModel()
+    prev = ud.copy()
+    cand = ud[tails] + weights
+    P.scatter_min_arg(cu, ud, up, heads, cand, tails, label="relax")
+    ch = P.elementwise(cu, np.not_equal, prev, ud, label="converged")
+    any_changed = bool(P.preduce(cu, "or", ch, label="converged"))
+    assert out == any_changed
+    assert np.array_equal(fd, ud) and np.array_equal(fp, up)
+    assert (cf.work, cf.depth) == (cu.work, cu.depth)
+
+
+def test_prelax_arcs_changed_skip_charges_relax_only():
+    dist, parent, tails, heads, weights = _random_relax_case(9)
+    cf = CostModel(record_steps=True)
+    out = P.prelax_arcs(cf, dist, parent, tails, heads, weights, changed="skip")
+    assert {s.label for s in cf.steps} == {"relax"}
+    assert out.dtype == np.int64  # the improved cells, sorted
+
+
+def test_prelax_arcs_empty_arcs():
+    dist = np.array([0.0, np.inf])
+    parent = np.array([0, -1], dtype=np.int64)
+    c = CostModel()
+    out = P.prelax_arcs(
+        c, dist, parent,
+        np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), np.zeros(0),
+        changed="frontier",
+    )
+    assert out.size == 0
+    assert c.depth >= 1  # the synchronization round is still charged
+
+
+def test_prelax_arcs_tie_breaks_to_smaller_tail():
+    # two arcs offer the same improving value to cell 2: tail 1 must win
+    dist = np.array([0.0, 0.0, 10.0])
+    parent = np.array([0, 1, -1], dtype=np.int64)
+    tails = np.array([1, 0], dtype=np.int64)
+    heads = np.array([2, 2], dtype=np.int64)
+    weights = np.array([4.0, 4.0])
+    c = CostModel()
+    P.prelax_arcs(c, dist, parent, tails, heads, weights, changed="skip")
+    assert dist[2] == 4.0 and parent[2] == 0
+
+
+def test_prelax_arcs_rejects_bad_changed_mode():
+    dist, parent, tails, heads, weights = _random_relax_case(5)
+    with pytest.raises(InvalidStepError):
+        P.prelax_arcs(CostModel(), dist, parent, tails, heads, weights, changed="bogus")
+
+
+def test_pgather_add_matches_gather_plus_add():
+    rng = np.random.default_rng(11)
+    n = 8
+    deg = rng.integers(0, 4, size=n).astype(np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(deg, out=indptr[1:])
+    m = int(indptr[-1])
+    indices = rng.integers(0, n, size=m).astype(np.int64)
+    weights = rng.integers(1, 6, size=m).astype(np.float64)
+    frontier = rng.integers(0, n, size=5).astype(np.int64)
+    base = rng.integers(0, 9, size=frontier.size).astype(np.float64)
+
+    cf = CostModel(record_steps=True)
+    slots_f, heads_f, cand_f = P.pgather_add(
+        cf, indptr, indices, weights, frontier, base
+    )
+
+    cu = CostModel(record_steps=True)
+    slots_u, arcs_u = P.pgather_csr(cu, indptr, frontier, label="gather_csr")
+    cand_u = base[slots_u] + weights[arcs_u]
+    cu.charge(work=int(arcs_u.size), depth=1, label="relax")
+
+    assert np.array_equal(slots_f, slots_u)
+    assert np.array_equal(heads_f, indices[arcs_u])
+    assert np.array_equal(cand_f, cand_u)
+    assert [(s.work, s.depth, s.label) for s in cf.steps] == [
+        (s.work, s.depth, s.label) for s in cu.steps
+    ]
+
+
+def test_pgather_add_empty_frontier_matches_gather_csr_charge():
+    indptr = np.array([0, 2, 3], dtype=np.int64)
+    cf = CostModel(record_steps=True)
+    slots, heads, cand = P.pgather_add(
+        cf, indptr, np.array([1, 0, 1], dtype=np.int64), np.ones(3),
+        np.zeros(0, dtype=np.int64), np.zeros(0),
+    )
+    assert slots.size == 0 and heads.size == 0 and cand.size == 0
+    cu = CostModel(record_steps=True)
+    P.pgather_csr(cu, indptr, np.zeros(0, dtype=np.int64), label="gather_csr")
+    assert [(s.work, s.depth, s.label) for s in cf.steps] == [
+        (s.work, s.depth, s.label) for s in cu.steps
+    ]
