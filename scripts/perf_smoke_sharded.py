@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""CI perf smoke: the sharded backend must not slow eligible workloads down.
+
+Two checks (docs/backends.md):
+
+* **No-slower guarantee on E4.**  The E4 workload graph's rounds sit far
+  below the production ``min_arcs`` threshold, so a sharded machine must
+  route every round through the in-process kernel — the guard that keeps
+  small graphs from paying IPC.  The sharded run must stay within 1.3×
+  of the serial wall-clock (headroom for timer noise on loaded runners),
+  bit-exact and charge-identical.
+
+* **Informational large-round run.**  A ≥10⁵-arc dense round with
+  ``min_arcs=1`` reports the actual sharded-vs-serial kernel wall so the
+  CI log shows where IPC crosses over; it never fails the job (scaling
+  is asserted by ``benchmarks/test_e23_sharded.py``, which documents the
+  host's core budget).
+
+On single-core hosts the whole smoke **skips cleanly** (exit 0): with
+one core the sharded path cannot demonstrate anything but scheduler
+noise.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.graphs.generators import erdos_renyi, layered_hop_graph
+from repro.pram.backends import SerialBackend, ShardedBackend
+from repro.pram.cost import CostModel
+from repro.pram.machine import PRAM
+from repro.pram.workspace import Workspace
+from repro.sssp.bellman_ford import bellman_ford
+
+_REPEATS = 3
+_SLOWDOWN_BUDGET = 1.3
+
+
+def _best_of(fn, repeats=_REPEATS):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return out, best
+
+
+def _run(g, backend):
+    def go():
+        pram = PRAM(CostModel(), workspace=Workspace(poison=False), backend=backend)
+        res = bellman_ford(
+            pram, g, 0, hops=min(g.n - 1, 24), early_exit=False, engine="dense"
+        )
+        return res, pram.cost.work, pram.cost.depth
+
+    return _best_of(go)
+
+
+def main() -> int:
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        print(f"perf smoke SKIP: host exposes {cpus} core(s); "
+              "sharded scaling needs at least 2")
+        return 0
+
+    ok = True
+
+    # -- E4: min_arcs guard keeps small rounds in-process, no slowdown ------
+    g = layered_hop_graph(48, 3, seed=4001)
+    (serial, s_work, s_depth), s_wall = _run(g, SerialBackend())
+    be = ShardedBackend(workers=2)  # production min_arcs threshold
+    try:
+        (sharded, h_work, h_depth), h_wall = _run(g, be)
+        ratio = h_wall / max(s_wall, 1e-12)
+        print(
+            f"E4 graph n={g.n} m={g.num_edges}: wall serial={s_wall * 1e3:.1f}ms "
+            f"sharded:2={h_wall * 1e3:.1f}ms (ratio {ratio:.2f}x, "
+            f"{be.sharded_rounds} sharded / {be.serial_rounds} in-process rounds)"
+        )
+        if not (
+            np.array_equal(serial.dist, sharded.dist)
+            and np.array_equal(serial.parent, sharded.parent)
+        ):
+            print("FAIL: sharded output diverges from serial", file=sys.stderr)
+            ok = False
+        if (h_work, h_depth) != (s_work, s_depth):
+            print(
+                f"FAIL: sharded charged cost differs: "
+                f"sharded=({h_work}, {h_depth}) serial=({s_work}, {s_depth})",
+                file=sys.stderr,
+            )
+            ok = False
+        if be.sharded_rounds:
+            print(
+                "FAIL: sub-threshold rounds crossed the process boundary",
+                file=sys.stderr,
+            )
+            ok = False
+        if ratio > _SLOWDOWN_BUDGET:
+            print(
+                f"FAIL: sharded machine is {ratio:.2f}x serial on E4 "
+                f"(budget {_SLOWDOWN_BUDGET}x)",
+                file=sys.stderr,
+            )
+            ok = False
+    finally:
+        be.close()
+
+    # -- informational: a genuinely large round through the pool ------------
+    big = erdos_renyi(1600, 0.045, seed=2301, w_range=(1.0, 4.0))
+    (ref, b_work, b_depth), b_wall = _run(big, SerialBackend())
+    be = ShardedBackend(workers=2, min_arcs=1)
+    try:
+        (res, r_work, r_depth), r_wall = _run(big, be)
+        exact = (
+            np.array_equal(ref.dist, res.dist)
+            and (r_work, r_depth) == (b_work, b_depth)
+        )
+        print(
+            f"large round ({big.indices.size} arcs): serial={b_wall * 1e3:.1f}ms "
+            f"sharded:2={r_wall * 1e3:.1f}ms "
+            f"(speedup {b_wall / max(r_wall, 1e-12):.2f}x, informational) "
+            f"bit-exact+cost-equal={exact}"
+        )
+        if not exact:
+            print("FAIL: large sharded round diverges", file=sys.stderr)
+            ok = False
+    finally:
+        be.close()
+
+    if ok:
+        print("perf smoke OK: min_arcs guard holds, sharded bit-exact, "
+              "cost-identical")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

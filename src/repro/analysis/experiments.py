@@ -1,4 +1,4 @@
-"""The experiment registry: machine-readable index of E1–E19.
+"""The experiment registry: machine-readable index of E1–E23.
 
 A single source of truth connecting DESIGN.md §4's experiment table, the
 benchmark modules, and the paper claims they reproduce.  Tests assert the
@@ -46,6 +46,7 @@ EXPERIMENTS: tuple[Experiment, ...] = (
     Experiment("E20", "decremental SSSP via memory-path invalidation", "§1.4 future work", "test_e20_decremental"),
     Experiment("E21", "sparse-frontier vs dense relaxation engines", "engineering, docs/frontier.md", "test_e21_frontier"),
     Experiment("E22", "wall-clock fast path: fused kernels + pooling", "engineering, docs/frontier.md", "test_e22_wallclock"),
+    Experiment("E23", "sharded backend scaling vs Brent's T_p ≤ W/p + D", "engineering, docs/backends.md", "test_e23_sharded"),
 )
 
 

@@ -5,6 +5,7 @@ Usage::
     python -m repro build   graph.npz hopset.npz [--epsilon E --kappa K --rho R --beta B --paths --reduce]
     python -m repro sssp    graph.npz hopset.npz --source S [--out dist.npz] [--engine {dense,sparse,auto}]
     python -m repro spt     graph.npz hopset.npz --source S [--out tree.npz]
+    python -m repro oracle  graph.npz hopset.npz [--query U V ...] [--batch S1,S2,...]
     python -m repro certify graph.npz hopset.npz [--beta B --epsilon E]
     python -m repro info    artifact.npz
     python -m repro gen     graph.npz --family er --n 100 [--seed 7 ...]
@@ -22,6 +23,16 @@ program and sweeps the E-family smoke graphs under the shadow race
 detector (``repro.conformance``, docs/conformance.md); exit status 0 iff
 everything matches bit-exactly with zero race findings.
 
+``oracle`` loads a graph plus a saved hopset into a
+:class:`~repro.sssp.oracle.HopsetDistanceOracle` and answers point
+(``--query U V``, repeatable) or batch (``--batch S1,S2,...``) distance
+queries; with neither flag it reads ``query U V`` / ``stats`` / ``quit``
+lines from stdin.  Cache hit statistics are printed on exit.
+
+Query-side commands (``sssp``/``spt``/``oracle`` and their traced forms)
+accept ``--backend serial|sharded[:W]`` to pick the execution backend
+(docs/backends.md); the default follows ``REPRO_BACKEND``.
+
 Edge-list ``.txt`` inputs (``u v w`` per line) are also accepted wherever a
 graph archive is expected.
 """
@@ -36,6 +47,7 @@ import numpy as np
 
 from repro.graphs.build import from_edges
 from repro.graphs.csr import Graph
+from repro.graphs.errors import VertexError
 from repro.graphs.generators import (
     erdos_renyi,
     grid_graph,
@@ -66,6 +78,7 @@ from repro.obs.tracer import SpanTracer
 from repro.pram.frontier import ENGINES
 from repro.pram.machine import PRAM
 from repro.serialize import load_graph, load_hopset, save_graph, save_hopset
+from repro.sssp.oracle import HopsetDistanceOracle
 from repro.sssp.spt import approximate_spt
 from repro.sssp.sssp import approximate_sssp_with_hopset
 
@@ -133,9 +146,17 @@ def cmd_build(args, pram: PRAM | None = None) -> int:
     return 0
 
 
+def _query_pram(args, pram: PRAM | None) -> PRAM:
+    """The machine a query command runs on, honouring ``--backend``."""
+    if pram is not None:
+        return pram
+    return PRAM(backend=getattr(args, "backend", None))
+
+
 def cmd_sssp(args, pram: PRAM | None = None) -> int:
     g = _read_graph(args.graph)
     hopset = load_hopset(args.hopset)
+    pram = _query_pram(args, pram)
     budget = args.hops if args.hops else None
     if hopset.meta.get("reduction"):
         budget = budget or spt_hop_budget(hopset.beta)
@@ -159,6 +180,7 @@ def cmd_sssp(args, pram: PRAM | None = None) -> int:
 def cmd_spt(args, pram: PRAM | None = None) -> int:
     g = _read_graph(args.graph)
     hopset = load_hopset(args.hopset)
+    pram = _query_pram(args, pram)
     budget = args.hops or (
         spt_hop_budget(hopset.beta) if hopset.meta.get("reduction") else None
     )
@@ -204,6 +226,59 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_oracle(args, pram: PRAM | None = None) -> int:
+    g = _read_graph(args.graph)
+    hopset = load_hopset(args.hopset)
+    budget = args.hops or (
+        spt_hop_budget(hopset.beta) if hopset.meta.get("reduction") else None
+    )
+    oracle = HopsetDistanceOracle(
+        g, hopset, hop_budget=budget, cache_size=args.cache_size,
+        pram=_query_pram(args, pram),
+    )
+    ran = False
+    for u, v in args.query or ():
+        print(f"dist({u}, {v}) ≈ {oracle.query(u, v):.6g}")
+        ran = True
+    if args.batch:
+        sources = np.array(
+            [int(s) for s in args.batch.split(",") if s.strip()], dtype=np.int64
+        )
+        mat = oracle.batch(sources)
+        if args.out:
+            np.savez_compressed(args.out, sources=sources, dist=mat)
+            print(f"wrote {args.out}")
+        else:
+            for s, row in zip(sources, mat):
+                print(f"source {int(s)}: reached {int(np.isfinite(row).sum())}/{g.n}")
+        ran = True
+    if not ran:
+        # interactive: one `query U V` / `stats` / `quit` command per line
+        for line in sys.stdin:
+            parts = line.split()
+            if not parts:
+                continue
+            try:
+                if parts[0] in ("quit", "exit"):
+                    break
+                elif parts[0] == "stats":
+                    print(oracle.cache_info())
+                elif parts[0] == "query" and len(parts) == 3:
+                    print(f"dist({parts[1]}, {parts[2]}) ≈ "
+                          f"{oracle.query(int(parts[1]), int(parts[2])):.6g}")
+                else:
+                    print(f"? unrecognized: {line.strip()!r} "
+                          "(try: query U V | stats | quit)")
+            except (ValueError, VertexError) as exc:
+                print(f"error: {exc}")
+    info = oracle.cache_info()
+    print(
+        f"oracle stats: {info['explorations']} explorations, "
+        f"{info['hits']} cache hits, {info['cached_sources']} sources cached"
+    )
+    return 0
+
+
 _TRACEABLE = {"build": cmd_build, "sssp": cmd_sssp, "spt": cmd_spt}
 
 
@@ -223,7 +298,7 @@ def _trace_envelopes(args, g: Graph):
 
 def cmd_trace(args) -> int:
     runner = _TRACEABLE[args.traced]
-    pram = PRAM()
+    pram = _query_pram(args, None)
     tracer = SpanTracer.attach(pram.cost, root_name=args.traced)
     registry = MetricsRegistry.attach(pram.cost)
     try:
@@ -352,6 +427,15 @@ def _add_query_flags(p: argparse.ArgumentParser) -> None:
         help="relaxation schedule: dense, sparse-frontier, or auto-switch "
              "(docs/frontier.md; sssp only)",
     )
+    _add_backend_flag(p)
+
+
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend", default=None, metavar="SPEC",
+        help="execution backend: serial or sharded[:W] (docs/backends.md; "
+             "default follows REPRO_BACKEND)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -371,6 +455,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("spt", help="(1+eps)-approximate shortest-path tree")
     _add_query_flags(p)
     p.set_defaults(func=cmd_spt)
+
+    p = sub.add_parser(
+        "oracle", help="answer pair/batch distance queries from a saved hopset"
+    )
+    p.add_argument("graph")
+    p.add_argument("hopset")
+    p.add_argument(
+        "--query", nargs=2, type=int, action="append", metavar=("U", "V"),
+        help="approximate U-V distance (repeatable)",
+    )
+    p.add_argument(
+        "--batch", default=None, metavar="S1,S2,...",
+        help="comma-separated sources; full distance rows (aMSSD)",
+    )
+    p.add_argument("--hops", type=int, default=None)
+    p.add_argument("--cache-size", type=int, default=32,
+                   help="LRU source-vector cache size")
+    p.add_argument("--out", default=None,
+                   help="write the --batch matrix to this .npz")
+    _add_backend_flag(p)
+    p.set_defaults(func=cmd_oracle)
 
     p = sub.add_parser(
         "trace", help="run build/sssp/spt under the tracer + theorem watchdogs"

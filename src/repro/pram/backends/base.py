@@ -1,0 +1,210 @@
+"""Execution backends: where the simulator's numeric kernels actually run.
+
+The cost model charges *model* resources (work, depth, CREW traffic);
+an :class:`ExecutionBackend` decides which host resources execute the
+underlying NumPy kernels.  Two backends ship:
+
+* :class:`SerialBackend` — today's path: every kernel runs in-process on
+  one core.  This is the reference implementation the primitives in
+  :mod:`repro.pram.primitives` delegate to.
+* :class:`~repro.pram.backends.sharded.ShardedBackend` — a persistent
+  pool of worker processes holding ``multiprocessing.shared_memory``
+  views of the graph's relaxation plan; each dense relaxation round runs
+  per-shard ``reduceat`` segment minima in the workers and a
+  fixed-shard-order tree min-combine in the parent (``docs/backends.md``).
+
+The backend contract is strict: **a backend may only change wall-clock.**
+The charged cost stream (labels, work, depth, write footprints) is
+emitted by the primitives themselves, identically for every backend, and
+outputs must be bit-equal — min over float64 is exact and associative,
+which is what makes the sharded combine legal.  The differential matrix
+in ``tests/conformance/test_backend_diff.py`` pins this.
+
+Backends are selected per :class:`~repro.pram.machine.PRAM` via its
+``backend=`` argument, defaulting to the ``REPRO_BACKEND`` environment
+variable (``serial`` | ``sharded`` | ``sharded:W``); named specs resolve
+to process-wide singletons so every machine shares one worker pool.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.pram.errors import InvalidStepError
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "parse_backend_spec",
+    "resolve_backend",
+    "backend_default",
+    "serial_gather_csr",
+    "serial_segmin",
+]
+
+_INT64_MAX = np.iinfo(np.int64).max  # "no achieving tail" payload sentinel
+
+
+def serial_gather_csr(
+    indptr: np.ndarray, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Numeric core of :func:`repro.pram.primitives.pgather_csr`.
+
+    Returns ``(slots, arcs)`` for the flattened out-arc list of the
+    (validated, non-empty) ``frontier``; cost charging stays with the
+    calling primitive.
+    """
+    starts = np.asarray(indptr[frontier], dtype=np.int64)
+    deg = np.asarray(indptr[frontier + 1], dtype=np.int64) - starts
+    total = int(deg.sum())
+    slots = np.repeat(np.arange(frontier.size, dtype=np.int64), deg)
+    run_start = np.concatenate(([0], np.cumsum(deg)[:-1]))
+    offsets = np.arange(total, dtype=np.int64) - run_start[slots]
+    arcs = starts[slots] + offsets
+    return slots, arcs
+
+
+def serial_segmin(
+    dist: np.ndarray,
+    tails_s: np.ndarray,
+    weights_s: np.ndarray,
+    seg_start: np.ndarray,
+    seg_id: np.ndarray,
+    take,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-head-segment (min candidate, min achieving tail) — in process.
+
+    The numeric core of the fused dense relaxation: candidates
+    ``dist[tails_s] + weights_s``, one ``minimum.reduceat`` per head
+    segment for the winning value, and a second masked ``reduceat`` for
+    the deterministic payload (the minimum tail among value-achieving
+    arcs).  Scratch arrays come from ``take(name, size, dtype)``.
+    Returns ``(cand, segmin, winpay, achieving)`` — the per-arc arrays are
+    what the write-footprint declarations of ``prelax_arcs`` consume.
+    """
+    n = int(tails_s.size)
+    k = int(seg_start.size)
+    cand = take("relax.cand", n, np.float64)
+    dist.take(tails_s, out=cand)
+    cand += weights_s
+    segmin = take("relax.segmin", k, np.float64)
+    np.minimum.reduceat(cand, seg_start, out=segmin)
+    minrep = take("relax.minrep", n, np.float64)
+    segmin.take(seg_id, out=minrep)
+    achieving = take("relax.achieving", n, bool)
+    np.equal(cand, minrep, out=achieving)
+    maskpay = take("relax.maskpay", n, np.int64)
+    maskpay.fill(_INT64_MAX)
+    np.copyto(maskpay, tails_s, where=achieving)
+    winpay = take("relax.winpay", k, np.int64)
+    np.minimum.reduceat(maskpay, seg_start, out=winpay)
+    return cand, segmin, winpay, achieving
+
+
+class ExecutionBackend:
+    """Where the numeric kernels of the simulated machine execute.
+
+    The base class *is* the serial semantics: subclasses may override
+    :meth:`relax_segmin` / :meth:`gather_csr` with a faster execution of
+    the same math, but must return bit-identical arrays.  Backends never
+    charge the cost model — the ``cost`` handle they receive is for
+    observability traffic only (worker wall times, shard sizes).
+    """
+
+    #: Human-readable backend kind (``"serial"`` / ``"sharded"``).
+    name = "base"
+    #: Host workers the backend executes on (1 for in-process).
+    workers = 1
+
+    def gather_csr(
+        self, indptr: np.ndarray, frontier: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened CSR out-arc gather of a non-empty frontier."""
+        return serial_gather_csr(indptr, frontier)
+
+    def relax_segmin(
+        self, plan, dist: np.ndarray, take, cost=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-segment ``(segmin, winpay)`` of one dense relaxation round.
+
+        ``plan`` is a :class:`~repro.pram.primitives.RelaxPlan`; the
+        returned arrays have one entry per ``plan.cells`` segment.
+        """
+        _, segmin, winpay, _ = serial_segmin(
+            dist, plan.tails_s, plan.weights_s, plan.seg_start, plan.seg_id, take
+        )
+        return segmin, winpay
+
+    def close(self) -> None:
+        """Release any host resources (worker processes, shared memory)."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+class SerialBackend(ExecutionBackend):
+    """The in-process NumPy path — today's execution, behind the interface."""
+
+    name = "serial"
+
+
+def parse_backend_spec(spec: str) -> tuple[str, int | None]:
+    """Parse a ``REPRO_BACKEND`` value into ``(kind, workers)``.
+
+    Accepted: ``serial`` (or empty), ``sharded``, ``sharded:W`` with
+    ``W >= 1``.  Raises :class:`InvalidStepError` otherwise.
+    """
+    s = (spec or "").strip().lower()
+    if s in ("", "serial"):
+        return "serial", None
+    if s == "sharded":
+        return "sharded", None
+    if s.startswith("sharded:"):
+        raw = s.split(":", 1)[1]
+        try:
+            w = int(raw)
+        except ValueError:
+            raise InvalidStepError(f"invalid sharded worker count {raw!r}") from None
+        if w < 1:
+            raise InvalidStepError(f"sharded worker count must be >= 1, got {w}")
+        return "sharded", w
+    raise InvalidStepError(
+        f"unknown backend spec {spec!r}; expected serial | sharded[:W]"
+    )
+
+
+_SINGLETONS: dict[str, ExecutionBackend] = {}
+
+
+def resolve_backend(spec=None) -> ExecutionBackend:
+    """Resolve a backend argument to a live :class:`ExecutionBackend`.
+
+    ``spec`` may be an instance (returned as-is), a spec string, or
+    ``None`` — which reads ``REPRO_BACKEND`` (default ``serial``).
+    String specs resolve to process-wide singletons, so every ``PRAM()``
+    under ``REPRO_BACKEND=sharded:4`` shares one worker pool.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get("REPRO_BACKEND", "serial")
+    kind, w = parse_backend_spec(spec)
+    key = kind if w is None else f"{kind}:{w}"
+    hit = _SINGLETONS.get(key)
+    if hit is not None:
+        return hit
+    if kind == "serial":
+        backend: ExecutionBackend = SerialBackend()
+    else:
+        from repro.pram.backends.sharded import ShardedBackend
+
+        backend = ShardedBackend(workers=w)
+    _SINGLETONS[key] = backend
+    return backend
+
+
+def backend_default() -> ExecutionBackend:
+    """The environment-selected backend (``REPRO_BACKEND``, default serial)."""
+    return resolve_backend(None)

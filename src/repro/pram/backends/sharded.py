@@ -1,0 +1,539 @@
+"""Sharded multi-process execution backend.
+
+The simulator's dense relaxation round — per head segment, the minimum
+candidate ``dist[tail] + w`` and the minimum value-achieving tail — is a
+flat ``reduceat`` over the arc array, which the GIL pins to one core.
+This backend distributes it over a persistent pool of **worker
+processes** in the partition-then-combine style of the distributed
+SSSP lines of work (Cao–Fineman–Russell, Forster–Nanongkai):
+
+* **Shared-memory plan registration.**  On first use of a
+  :class:`~repro.pram.primitives.RelaxPlan`, the head-sorted arc arrays
+  (``tails_s``, ``weights_s``) and a ``dist`` mirror are placed in
+  ``multiprocessing.shared_memory`` blocks; the arc array is cut into
+  ``W`` contiguous, arc-balanced shards, and each worker attaches the
+  blocks once and keeps per-shard segment layout (local ``reduceat``
+  offsets) for the plan's lifetime.  Per round, the parent only refreshes
+  the shared ``dist`` mirror and posts one message per worker.
+
+* **Per-shard segmin in the workers.**  Each worker runs the same two
+  ``minimum.reduceat`` passes the serial kernel runs, over its arc range
+  only, writing its partial ``(segmin, winpay)`` into its own slice of a
+  shared output block (exclusive writes — the sharding is itself CREW).
+
+* **Deterministic fixed-shard-order tree min-combine.**  A head segment
+  that straddles a shard boundary has partial minima in two shards; the
+  parent merges the shard results pairwise in fixed shard order (an
+  all-reduce in miniature).  The combine rule per overlapping cell is
+  ``(min value, min tail among value-achievers)`` — associative and
+  exact over float64/int64, so the result is **bit-equal** to the serial
+  kernel for any shard count.  See ``docs/backends.md`` for the argument.
+
+The charged cost stream is untouched: `prelax_arcs` charges work/depth/
+traffic/footprints identically for every backend — only wall-clock
+changes.  When a race detector wants write footprints, the per-arc
+arrays must be materialized centrally anyway, so shadowed rounds run the
+in-process kernel (charged the same; see docs).
+
+**Graceful degradation.**  Rounds smaller than ``min_arcs`` never leave
+the process (IPC would dominate).  A worker death, round timeout, or
+registration failure permanently trips the backend: the pool is torn
+down, the event is logged and reported as ``backend.fallback`` traffic,
+and every subsequent round runs the serial kernel — same answers,
+serial wall-clock.  The fault-injection test kills a worker mid-run and
+asserts the final distances are still bit-correct.
+
+Observability: each sharded round reports ``backend.round`` (arcs),
+``backend.shard`` (per-shard arc counts — the metrics registry's size
+histogram records the shard balance), ``backend.worker_wall_ns``
+(per-worker compute nanoseconds, measured inside the worker), and
+``backend.combine`` (cells combined, bytes moved) traffic events.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import os
+import time
+
+import numpy as np
+
+from repro.pram.backends.base import ExecutionBackend, serial_segmin
+from repro.pram.errors import InvalidStepError
+
+__all__ = ["ShardedBackend", "shard_bounds", "tree_min_combine"]
+
+log = logging.getLogger("repro.backends")
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+#: Rounds with fewer arcs than this run in-process (IPC would dominate).
+DEFAULT_MIN_ARCS = 4096
+
+#: Seconds the parent waits for one worker's round before tripping fallback.
+DEFAULT_ROUND_TIMEOUT = 30.0
+
+
+def shard_bounds(n_arcs: int, shards: int) -> list[tuple[int, int]]:
+    """Cut ``[0, n_arcs)`` into up to ``shards`` non-empty balanced ranges."""
+    if n_arcs <= 0:
+        return []
+    shards = max(1, min(int(shards), n_arcs))
+    cuts = [round(i * n_arcs / shards) for i in range(shards + 1)]
+    return [(cuts[i], cuts[i + 1]) for i in range(shards) if cuts[i] < cuts[i + 1]]
+
+
+def _merge(a, b):
+    """Combine two adjacent shard results (contiguous global segment runs).
+
+    Each operand is ``(seg_lo, segmin, winpay)``; ``b`` starts either at
+    ``a``'s end (disjoint) or one segment earlier (the boundary segment
+    straddles the arc cut).  The straddling cell combines as
+    ``(min value, min tail among achievers)`` — exact and associative.
+    """
+    a_lo, a_mn, a_py = a
+    b_lo, b_mn, b_py = b
+    a_hi = a_lo + a_mn.size
+    if b_lo == a_hi:  # no straddling segment
+        return a_lo, np.concatenate((a_mn, b_mn)), np.concatenate((a_py, b_py))
+    if b_lo != a_hi - 1:
+        raise InvalidStepError(
+            f"non-adjacent shard results: [{a_lo},{a_hi}) then {b_lo}"
+        )
+    av = a_mn[-1]
+    bv = b_mn[0]
+    if bv < av:
+        v, p = bv, b_py[0]
+    elif av < bv:
+        v, p = av, a_py[-1]
+    else:
+        v, p = av, min(int(a_py[-1]), int(b_py[0]))
+    mn = np.concatenate((a_mn[:-1], np.array([v], dtype=a_mn.dtype), b_mn[1:]))
+    py = np.concatenate((a_py[:-1], np.array([p], dtype=a_py.dtype), b_py[1:]))
+    return a_lo, mn, py
+
+
+def tree_min_combine(parts):
+    """Fixed-shard-order binary-tree combine of per-shard partial results.
+
+    ``parts`` is the ascending shard-order list of ``(seg_lo, segmin,
+    winpay)`` partials; returns the combined ``(seg_lo, segmin, winpay)``
+    covering the union.  The tree mirrors a ``ceil(log2 W)``-round
+    all-reduce; because the per-cell rule is associative and exact, any
+    combine order gives bit-identical output — the fixed order keeps the
+    execution canonical anyway.
+    """
+    if not parts:
+        raise InvalidStepError("tree_min_combine: no shard results")
+    if len(parts) == 1:
+        lo, mn, py = parts[0]
+        return lo, mn.copy(), py.copy()  # never hand out shared-memory views
+    level = list(parts)
+    while len(level) > 1:
+        nxt = [
+            _merge(level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def _attach_shm(name: str):
+    """Attach an existing shared-memory block created by the parent.
+
+    Workers share the parent's resource-tracker process (the pool fork
+    happens after :func:`ensure_running`), where registration is a set —
+    the worker-side duplicate register is a no-op and the creating parent
+    alone unregisters on unlink, so the tracker never double-frees.
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+class _WorkerShard:
+    """Worker-side state for one registered plan shard."""
+
+    def __init__(self, spec: dict) -> None:
+        self.shms = [_attach_shm(spec[k]) for k in ("tails", "weights", "dist")]
+        tails = np.ndarray(spec["n_arcs"], dtype=np.int64, buffer=self.shms[0].buf)
+        weights = np.ndarray(spec["n_arcs"], dtype=np.float64, buffer=self.shms[1].buf)
+        self.dist = np.ndarray(spec["n_cells"], dtype=np.float64, buffer=self.shms[2].buf)
+        lo, hi = spec["lo"], spec["hi"]
+        self.tails = tails[lo:hi]
+        self.weights = weights[lo:hi]
+        self.local_starts = spec["local_starts"]
+        seg_len = np.diff(np.concatenate((self.local_starts, [hi - lo])))
+        self.local_seg_id = np.repeat(
+            np.arange(self.local_starts.size, dtype=np.int64), seg_len
+        )
+        out_shm = _attach_shm(spec["segmin"])
+        pay_shm = _attach_shm(spec["winpay"])
+        self.shms += [out_shm, pay_shm]
+        k = int(self.local_starts.size)
+        off = spec["out_off"]
+        self.segmin_out = np.ndarray(
+            spec["out_total"], dtype=np.float64, buffer=out_shm.buf
+        )[off:off + k]
+        self.winpay_out = np.ndarray(
+            spec["out_total"], dtype=np.int64, buffer=pay_shm.buf
+        )[off:off + k]
+
+    def compute(self) -> None:
+        cand = self.dist.take(self.tails)
+        cand += self.weights
+        np.minimum.reduceat(cand, self.local_starts, out=self.segmin_out)
+        minrep = self.segmin_out.take(self.local_seg_id)
+        maskpay = np.where(cand == minrep, self.tails, _INT64_MAX)
+        np.minimum.reduceat(maskpay, self.local_starts, out=self.winpay_out)
+
+    def close(self) -> None:
+        # drop array views before closing their backing shared memory
+        self.tails = self.weights = self.dist = None
+        self.segmin_out = self.winpay_out = None
+        for shm in self.shms:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+        self.shms = []
+
+
+def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
+    """Worker loop: attach registered plans, compute rounds on request."""
+    shards: dict[int, _WorkerShard] = {}
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "exit":
+                break
+            if op == "register":
+                spec = msg[1]
+                shards[spec["key"]] = _WorkerShard(spec)
+                conn.send(("ok", spec["key"]))
+            elif op == "round":
+                _, key, rid = msg
+                t0 = time.perf_counter_ns()
+                shards[key].compute()
+                conn.send(("done", rid, time.perf_counter_ns() - t0))
+            else:
+                conn.send(("err", f"unknown op {op!r}"))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        for shard in shards.values():
+            shard.close()
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class _ShardMeta:
+    """Parent-side layout of one shard of a registered plan."""
+
+    __slots__ = ("worker", "lo", "hi", "seg_lo", "out_off", "out_len")
+
+    def __init__(self, worker, lo, hi, seg_lo, out_off, out_len):
+        self.worker = worker
+        self.lo = lo
+        self.hi = hi
+        self.seg_lo = seg_lo
+        self.out_off = out_off
+        self.out_len = out_len
+
+
+class _SharedPlan:
+    """Parent-side shared-memory image of one registered RelaxPlan."""
+
+    def __init__(self, key, plan, shms, dist_view, segmin_all, winpay_all, shards):
+        self.key = key
+        self.plan = plan  # keeps the plan (and its graph) alive
+        self.shms = shms
+        self.dist_view = dist_view
+        self.segmin_all = segmin_all
+        self.winpay_all = winpay_all
+        self.shards = shards  # list[_ShardMeta], fixed shard order
+
+    def close(self) -> None:
+        self.dist_view = self.segmin_all = self.winpay_all = None
+        for shm in self.shms:
+            for fn in (shm.close, shm.unlink):
+                try:
+                    fn()
+                except Exception:  # pragma: no cover - teardown best-effort
+                    pass
+        self.shms = []
+
+
+class ShardedBackend(ExecutionBackend):
+    """Dense relaxation rounds on a pool of shared-memory worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count ``W`` (default: ``min(4, cpu_count)``).
+    min_arcs:
+        Rounds with fewer arcs run in-process (IPC would dominate).
+    round_timeout:
+        Seconds to wait for a worker's round before degrading to serial.
+
+    The backend is lazy — no process is spawned until the first eligible
+    round — and fail-safe: any worker fault trips :attr:`failed`, tears
+    the pool down, and routes every later round through the serial
+    kernel (bit-identical results, serial wall-clock).
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        min_arcs: int = DEFAULT_MIN_ARCS,
+        round_timeout: float = DEFAULT_ROUND_TIMEOUT,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise InvalidStepError(f"worker count must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else max(
+            1, min(4, os.cpu_count() or 1)
+        )
+        self.min_arcs = int(min_arcs)
+        self.round_timeout = float(round_timeout)
+        self.failed = False
+        self.failure_reason: str | None = None
+        self.sharded_rounds = 0
+        self.serial_rounds = 0
+        self._procs: list = []
+        self._conns: list = []
+        self._plans: dict[int, _SharedPlan] = {}
+        self._next_key = 0
+        self._round_id = 0
+        self._atexit_registered = False
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _ensure_pool(self) -> bool:
+        if self._procs:
+            return True
+        import multiprocessing as mp
+        from multiprocessing import resource_tracker
+
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        try:
+            # Start the shared-memory resource tracker *before* forking so
+            # every worker inherits the same tracker process; a worker that
+            # lazily spawned its own would unlink our blocks when it exits.
+            resource_tracker.ensure_running()
+            for _ in range(self.workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main, args=(child_conn,), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except Exception as exc:  # pragma: no cover - host-dependent
+            self._fail(f"worker pool start failed: {exc!r}")
+            return False
+        if not self._atexit_registered:
+            atexit.register(self.close)
+            self._atexit_registered = True
+        return True
+
+    def close(self) -> None:
+        """Tear down workers and release every shared-memory block."""
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        self._procs = []
+        self._conns = []
+        for sp in self._plans.values():
+            sp.close()
+        self._plans = {}
+
+    def _fail(self, reason: str, cost=None) -> None:
+        """Trip permanent serial fallback: log, tear down, remember why."""
+        self.failed = True
+        self.failure_reason = reason
+        log.warning("sharded backend degrading to serial: %s", reason)
+        if cost is not None:
+            cost.traffic("backend.fallback", elements=1)
+        for proc in self._procs:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        self.close()
+
+    # -- plan registration ---------------------------------------------------
+
+    def _register(self, plan):
+        """Place ``plan`` into shared memory and hand shards to workers."""
+        from multiprocessing import shared_memory
+
+        n = int(plan.n_arcs)
+        bounds = shard_bounds(n, self.workers)
+        seg_start = plan.seg_start
+        shard_specs = []
+        out_off = 0
+        for lo, hi in bounds:
+            seg_lo = int(np.searchsorted(seg_start, lo, side="right")) - 1
+            seg_hi = int(np.searchsorted(seg_start, hi, side="left"))
+            local_starts = (
+                np.maximum(seg_start[seg_lo:seg_hi], lo) - lo
+            ).astype(np.int64)
+            shard_specs.append((lo, hi, seg_lo, out_off, seg_hi - seg_lo, local_starts))
+            out_off += seg_hi - seg_lo
+        out_total = out_off
+
+        shms = []
+
+        def _create(nbytes):
+            shm = shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+            shms.append(shm)
+            return shm
+
+        try:
+            tails_shm = _create(8 * n)
+            weights_shm = _create(8 * n)
+            dist_shm = _create(8 * plan.n_cells)
+            segmin_shm = _create(8 * out_total)
+            winpay_shm = _create(8 * out_total)
+            np.ndarray(n, dtype=np.int64, buffer=tails_shm.buf)[:] = plan.tails_s
+            np.ndarray(n, dtype=np.float64, buffer=weights_shm.buf)[:] = plan.weights_s
+            dist_view = np.ndarray(
+                plan.n_cells, dtype=np.float64, buffer=dist_shm.buf
+            )
+            segmin_all = np.ndarray(out_total, dtype=np.float64, buffer=segmin_shm.buf)
+            winpay_all = np.ndarray(out_total, dtype=np.int64, buffer=winpay_shm.buf)
+
+            key = self._next_key
+            self._next_key += 1
+            metas = []
+            deadline = time.monotonic() + self.round_timeout
+            for widx, (lo, hi, seg_lo, off, out_len, local_starts) in enumerate(
+                shard_specs
+            ):
+                self._conns[widx].send(
+                    (
+                        "register",
+                        {
+                            "key": key,
+                            "tails": tails_shm.name,
+                            "weights": weights_shm.name,
+                            "dist": dist_shm.name,
+                            "segmin": segmin_shm.name,
+                            "winpay": winpay_shm.name,
+                            "n_arcs": n,
+                            "n_cells": int(plan.n_cells),
+                            "lo": lo,
+                            "hi": hi,
+                            "local_starts": local_starts,
+                            "out_off": off,
+                            "out_total": out_total,
+                        },
+                    )
+                )
+                metas.append(_ShardMeta(widx, lo, hi, seg_lo, off, out_len))
+            for widx in range(len(shard_specs)):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._conns[widx].poll(remaining):
+                    raise TimeoutError(f"worker {widx} registration timed out")
+                ack = self._conns[widx].recv()
+                if ack != ("ok", key):
+                    raise RuntimeError(f"worker {widx} registration failed: {ack!r}")
+        except Exception as exc:
+            for shm in shms:
+                for fn in (shm.close, shm.unlink):
+                    try:
+                        fn()
+                    except Exception:
+                        pass
+            self._fail(f"plan registration failed: {exc!r}")
+            return None
+        sp = _SharedPlan(key, plan, shms, dist_view, segmin_all, winpay_all, metas)
+        self._plans[id(plan)] = sp
+        return sp
+
+    # -- the round -----------------------------------------------------------
+
+    def relax_segmin(self, plan, dist, take, cost=None):
+        """One dense round's ``(segmin, winpay)`` — sharded when eligible."""
+        out = None
+        if not self.failed and plan.n_arcs >= self.min_arcs and self._ensure_pool():
+            out = self._sharded_round(plan, dist, cost)
+        if out is None:
+            self.serial_rounds += 1
+            return super().relax_segmin(plan, dist, take, cost=cost)
+        self.sharded_rounds += 1
+        return out
+
+    def _sharded_round(self, plan, dist, cost):
+        sp = self._plans.get(id(plan))
+        if sp is None or sp.plan is not plan:
+            sp = self._register(plan)
+            if sp is None:
+                return None
+        np.copyto(sp.dist_view, dist)
+        self._round_id += 1
+        rid = self._round_id
+        walls = []
+        try:
+            for meta in sp.shards:
+                self._conns[meta.worker].send(("round", sp.key, rid))
+            deadline = time.monotonic() + self.round_timeout
+            for meta in sp.shards:
+                conn = self._conns[meta.worker]
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not conn.poll(max(remaining, 0.0)):
+                    raise TimeoutError(f"worker {meta.worker} round timed out")
+                msg = conn.recv()
+                if msg[0] != "done" or msg[1] != rid:
+                    raise RuntimeError(f"worker {meta.worker} answered {msg!r}")
+                walls.append(int(msg[2]))
+        except (EOFError, OSError, TimeoutError, RuntimeError) as exc:
+            self._fail(f"round {rid} failed: {exc!r}", cost=cost)
+            return None
+        parts = [
+            (
+                meta.seg_lo,
+                sp.segmin_all[meta.out_off:meta.out_off + meta.out_len],
+                sp.winpay_all[meta.out_off:meta.out_off + meta.out_len],
+            )
+            for meta in sp.shards
+        ]
+        _, segmin, winpay = tree_min_combine(parts)
+        if cost is not None:
+            cost.traffic("backend.round", elements=int(plan.n_arcs))
+            for meta, wall_ns in zip(sp.shards, walls):
+                cost.traffic("backend.shard", elements=meta.hi - meta.lo)
+                cost.traffic("backend.worker_wall_ns", elements=wall_ns)
+            combined = sum(meta.out_len for meta in sp.shards)
+            cost.traffic(
+                "backend.combine",
+                elements=int(segmin.size),
+                reads=combined,
+                writes=16 * combined,  # bytes moved through the combine tree
+            )
+        return segmin, winpay
+
+    def describe(self) -> str:
+        state = f"failed: {self.failure_reason}" if self.failed else "ok"
+        return f"sharded(workers={self.workers}, min_arcs={self.min_arcs}, {state})"

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.pram import pointer_jumping, primitives, scan, sort
+from repro.pram.backends.base import ExecutionBackend, resolve_backend
 from repro.pram.cost import CostModel, CostSnapshot
 from repro.pram.workspace import Workspace
 
@@ -34,13 +35,25 @@ class PRAM:
     per-round temporaries from it, so repeated rounds reallocate nothing.
     Pass a shared :class:`~repro.pram.workspace.Workspace` to let several
     machines (e.g. the per-source explorations of aMSSD) reuse one pool.
+
+    ``backend`` selects where the numeric kernels execute (see
+    :mod:`repro.pram.backends` and ``docs/backends.md``): an
+    :class:`~repro.pram.backends.ExecutionBackend` instance, a spec
+    string (``"serial"`` / ``"sharded"`` / ``"sharded:4"``), or ``None``
+    to follow the ``REPRO_BACKEND`` environment default.  Backends are
+    observationally invisible — bit-equal outputs, bit-identical charged
+    costs — only wall-clock changes.
     """
 
     def __init__(
-        self, cost: CostModel | None = None, workspace: Workspace | None = None
+        self,
+        cost: CostModel | None = None,
+        workspace: Workspace | None = None,
+        backend: ExecutionBackend | str | None = None,
     ) -> None:
         self.cost = cost if cost is not None else CostModel()
         self.workspace = workspace if workspace is not None else Workspace()
+        self.backend = resolve_backend(backend)
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -91,7 +104,9 @@ class PRAM:
         Returns ``(slots, arcs)``: per gathered arc, its frontier slot and
         its index into the CSR ``indices``/``weights`` arrays.
         """
-        return primitives.pgather_csr(self.cost, indptr, frontier, label=label)
+        return primitives.pgather_csr(
+            self.cost, indptr, frontier, label=label, backend=self.backend
+        )
 
     def gather_add(
         self,
@@ -107,6 +122,7 @@ class PRAM:
         return primitives.pgather_add(
             self.cost, indptr, indices, weights, frontier, base,
             workspace=self.workspace, label=label, add_label=add_label,
+            backend=self.backend,
         )
 
     def relax_arcs(
@@ -125,7 +141,8 @@ class PRAM:
         """One fused relaxation round (see ``primitives.prelax_arcs``)."""
         return primitives.prelax_arcs(
             self.cost, dist, parent, tails, heads, weights,
-            plan=plan, workspace=self.workspace, changed=changed, label=label,
+            plan=plan, workspace=self.workspace, backend=self.backend,
+            changed=changed, label=label,
             changed_label=changed_label, frontier_label=frontier_label,
         )
 

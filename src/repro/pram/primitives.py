@@ -41,6 +41,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.pram.backends.base import serial_gather_csr, serial_segmin
 from repro.pram.cost import CostModel
 from repro.pram.errors import InvalidStepError
 from repro.pram.workspace import INT_POISON
@@ -257,6 +258,7 @@ def pgather_csr(
     indptr: np.ndarray,
     frontier: np.ndarray,
     label: str = "gather_csr",
+    backend=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Gather the CSR arc ranges of the ``frontier`` vertices.
 
@@ -295,13 +297,11 @@ def pgather_csr(
         cost.traffic(label)
         cost.commit_round(label)
         return slots, arcs
-    starts = np.asarray(indptr[frontier], dtype=np.int64)
-    deg = np.asarray(indptr[frontier + 1], dtype=np.int64) - starts
-    total = int(deg.sum())
-    slots = np.repeat(np.arange(f, dtype=np.int64), deg)
-    run_start = np.concatenate(([0], np.cumsum(deg)[:-1]))
-    offsets = np.arange(total, dtype=np.int64) - run_start[slots]
-    arcs = starts[slots] + offsets
+    if backend is not None:
+        slots, arcs = backend.gather_csr(indptr, frontier)
+    else:
+        slots, arcs = serial_gather_csr(indptr, frontier)
+    total = int(arcs.size)
     if cost.wants_footprints:
         out_slots = np.arange(total, dtype=np.int64)
         cost.footprint(label, "slots", out_slots, slots, rule="exclusive")
@@ -324,6 +324,7 @@ def pgather_add(
     workspace=None,
     label: str = "gather_csr",
     add_label: str = "relax",
+    backend=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Fused CSR frontier gather + per-arc candidate add.
 
@@ -353,13 +354,11 @@ def pgather_add(
         cost.traffic(label)
         cost.commit_round(label)
         return empty, empty, np.zeros(0)
-    starts = np.asarray(indptr[frontier], dtype=np.int64)
-    deg = np.asarray(indptr[frontier + 1], dtype=np.int64) - starts
-    total = int(deg.sum())
-    slots = np.repeat(np.arange(f, dtype=np.int64), deg)
-    run_start = np.concatenate(([0], np.cumsum(deg)[:-1]))
-    offsets = np.arange(total, dtype=np.int64) - run_start[slots]
-    arcs = starts[slots] + offsets
+    if backend is not None:
+        slots, arcs = backend.gather_csr(indptr, frontier)
+    else:
+        slots, arcs = serial_gather_csr(indptr, frontier)
+    total = int(arcs.size)
     if cost.wants_footprints:
         out_slots = np.arange(total, dtype=np.int64)
         cost.footprint(label, "slots", out_slots, slots, rule="exclusive")
@@ -447,6 +446,7 @@ def prelax_arcs(
     *,
     plan: RelaxPlan | None = None,
     workspace=None,
+    backend=None,
     changed: str = "frontier",
     label: str = "relax",
     changed_label: str = "converged",
@@ -478,7 +478,11 @@ def prelax_arcs(
     re-sorted per call or via a precomputed :class:`RelaxPlan`
     (``plan=``, which also carries pre-permuted tails/weights — then
     ``tails``/``heads``/``weights`` are ignored).  Scratch arrays come
-    from the optional ``workspace`` pool.
+    from the optional ``workspace`` pool.  With a ``backend``
+    (:mod:`repro.pram.backends`) the planned round's segment-min kernel
+    runs on that backend — e.g. sharded across worker processes — still
+    bit-equal and charged identically; rounds that must declare write
+    footprints (an attached race detector) always run in process.
 
     Float min is order-independent, so the per-cell winning value is
     bit-equal to the lexsort-based :func:`scatter_min_arg`; the winning
@@ -552,11 +556,19 @@ def prelax_arcs(
             np.cumsum(first, out=seg_id)
             seg_id -= 1
         k = int(cells.size)
-        cand = take("relax.cand", n, np.float64)
-        dist.take(tails_s, out=cand)
-        cand += weights_s
-        segmin = take("relax.segmin", k, np.float64)
-        np.minimum.reduceat(cand, seg_start, out=segmin)
+        # The numeric kernel runs on the machine's execution backend (see
+        # repro.pram.backends): the serial path computes the per-segment
+        # (segmin, winpay) in process, the sharded path on worker shards
+        # with a fixed-order tree min-combine — bit-equal either way.
+        # Shadowed rounds need the per-arc cand/achieving arrays for their
+        # footprint declarations, so they always run the in-process kernel.
+        cand = achieving = None
+        if backend is not None and plan is not None and not cost.wants_footprints:
+            segmin, winpay = backend.relax_segmin(plan, dist, take, cost=cost)
+        else:
+            cand, segmin, winpay, achieving = serial_segmin(
+                dist, tails_s, weights_s, seg_start, seg_id, take
+            )
         incumbent = take("relax.incumbent", k, np.float64)
         dist.take(cells, out=incumbent)
         improve = take("relax.improve", k, bool)
@@ -564,15 +576,6 @@ def prelax_arcs(
         improved_cells = cells[improve]
         win_vals = segmin[improve]
         # payload = min tail among the value-achieving updates of each cell
-        minrep = take("relax.minrep", n, np.float64)
-        segmin.take(seg_id, out=minrep)
-        achieving = take("relax.achieving", n, bool)
-        np.equal(cand, minrep, out=achieving)
-        maskpay = take("relax.maskpay", n, np.int64)
-        maskpay.fill(_INT64_MAX)
-        np.copyto(maskpay, tails_s, where=achieving)
-        winpay = take("relax.winpay", k, np.int64)
-        np.minimum.reduceat(maskpay, seg_start, out=winpay)
         win_pays = winpay[improve]
         if cost.wants_footprints:
             cost.footprint(label, "target", heads_s[achieving], cand[achieving],

@@ -72,7 +72,10 @@ def bellman_ford(
     Ligra-style switch, the default); see :mod:`repro.pram.frontier`.
     ``fused`` toggles the fused relaxation kernel (default: the
     ``REPRO_FUSED`` environment default) — same outputs and charged cost,
-    different wall-clock.
+    different wall-clock.  Dense relaxation rounds execute on ``pram``'s
+    execution backend (:mod:`repro.pram.backends`): under
+    ``REPRO_BACKEND=sharded[:W]`` the segmented minimum runs on a pool of
+    shared-memory workers, again bit-exact and charge-identical.
     """
     if hops < 0:
         raise VertexError(f"hop budget must be non-negative, got {hops}")

@@ -57,7 +57,10 @@ def approximate_mssd(
     bit-exact regardless.  All explorations share one scratch
     :class:`~repro.pram.workspace.Workspace` (the outer machine's, if
     given), so the fused fast path allocates its round buffers once for
-    the whole sweep.
+    the whole sweep; they also share the outer machine's execution
+    backend (:mod:`repro.pram.backends`).  If an exploration raises, the
+    shared pool's buffers acquired by the sweep are released before the
+    error propagates.
     """
     src = np.asarray(sources, dtype=np.int64)
     if src.ndim != 1 or src.size == 0:
@@ -69,13 +72,24 @@ def approximate_mssd(
     total_work = 0
     max_depth = 0
     shared_ws = pram.workspace if pram is not None else Workspace()
-    for row, s in enumerate(src):
-        local = PRAM(CostModel(), workspace=shared_ws)
-        bf = bellman_ford(local, union, int(s), budget, engine=engine, fused=fused)
-        dists[row] = bf.dist
-        parents[row] = bf.parent
-        total_work += local.cost.work
-        max_depth = max(max_depth, local.cost.depth)
+    backend = pram.backend if pram is not None else None
+    ok = False
+    try:
+        for row, s in enumerate(src):
+            local = PRAM(CostModel(), workspace=shared_ws, backend=backend)
+            bf = bellman_ford(local, union, int(s), budget, engine=engine, fused=fused)
+            dists[row] = bf.dist
+            parents[row] = bf.parent
+            total_work += local.cost.work
+            max_depth = max(max_depth, local.cost.depth)
+        ok = True
+    finally:
+        if not ok:
+            # A failed exploration must not leave the sweep's pooled round
+            # buffers (and the cached plan of the abandoned union graph)
+            # pinned in the shared workspace — release them so the caller's
+            # pool shrinks back to its pre-sweep footprint.
+            shared_ws.clear()
     if pram is not None:
         with pram.phase("mssd"):
             pram.charge(work=total_work, depth=max_depth, label="mssd")

@@ -62,3 +62,32 @@ def test_shapes(setup):
     res = approximate_mssd(g, H, np.array([2, 4]))
     assert res.dist.shape == (2, g.n)
     assert res.parent.shape == (2, g.n)
+
+
+def test_failed_exploration_releases_shared_pool(setup):
+    """A mid-sweep error must not leave the outer machine's pool pinned.
+
+    approximate_mssd validates the *array shape* up front, not each
+    vertex, so an out-of-range source surfaces inside the per-source
+    loop — after earlier explorations already populated the shared
+    workspace with round buffers and the cached plan of G ∪ H.  The
+    regression: those stayed pinned in the caller's pool after the raise.
+    """
+    g, H = setup
+    pram = PRAM()
+    with pytest.raises(VertexError):
+        approximate_mssd(g, H, np.array([0, 1, g.n + 7]), pram=pram)
+    assert not pram.workspace._buffers   # round buffers released
+    assert not pram.workspace._plans     # abandoned union-graph plan dropped
+
+    # the machine (and its pool) stays fully serviceable afterwards
+    ok = approximate_mssd(g, H, np.array([0]), pram=pram)
+    assert np.isfinite(ok.dist[0]).any()
+
+
+def test_successful_sweep_keeps_pool_warm(setup):
+    """The release is error-path-only: a clean sweep keeps its buffers."""
+    g, H = setup
+    pram = PRAM()
+    approximate_mssd(g, H, np.array([0, 1]), pram=pram)
+    assert pram.workspace._buffers  # warm pool retained for the next sweep

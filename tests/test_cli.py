@@ -143,3 +143,84 @@ def test_edge_list_text_input(tmp_path):
     h = tmp_path / "h.npz"
     assert main(["build", str(txt), str(h), "--beta", "4"]) == 0
     assert main(["sssp", str(txt), str(h), "--source", "0"]) == 0
+
+
+@pytest.fixture
+def hopset_file(tmp_path, graph_file):
+    h = tmp_path / "h.npz"
+    assert main(["build", str(graph_file), str(h), "--beta", "8"]) == 0
+    return h
+
+
+def test_oracle_point_queries(graph_file, hopset_file, capsys):
+    rc = main([
+        "oracle", str(graph_file), str(hopset_file),
+        "--query", "0", "5", "--query", "5", "0", "--query", "3", "3",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "dist(0, 5)" in out and "dist(3, 3) ≈ 0" in out
+    # the reverse query answers from the cached forward exploration
+    assert "1 cache hits" in out and "explorations" in out
+
+
+def test_oracle_batch_matches_sssp(tmp_path, graph_file, hopset_file):
+    batch = tmp_path / "batch.npz"
+    rc = main([
+        "oracle", str(graph_file), str(hopset_file),
+        "--batch", "0,3", "--out", str(batch),
+    ])
+    assert rc == 0
+    single = tmp_path / "d0.npz"
+    assert main([
+        "sssp", str(graph_file), str(hopset_file), "--source", "0",
+        "--out", str(single),
+    ]) == 0
+    with np.load(batch) as b, np.load(single) as s:
+        assert np.array_equal(b["sources"], [0, 3])
+        assert np.array_equal(b["dist"][0], s["dist"])
+
+
+def test_oracle_interactive_loop(graph_file, hopset_file, capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr(
+        "sys.stdin", io.StringIO("query 0 5\nstats\nquery 0 9999\nnonsense\nquit\n")
+    )
+    assert main(["oracle", str(graph_file), str(hopset_file)]) == 0
+    out = capsys.readouterr().out
+    assert "dist(0, 5)" in out
+    assert "cached_sources" in out          # stats line
+    assert "error: vertex 9999" in out      # bad query handled, loop continues
+    assert "unrecognized" in out
+    assert "oracle stats:" in out
+
+
+def test_query_commands_accept_backend_flag(tmp_path, graph_file, hopset_file):
+    base = tmp_path / "base.npz"
+    shd = tmp_path / "shd.npz"
+    assert main([
+        "sssp", str(graph_file), str(hopset_file), "--source", "0",
+        "--backend", "serial", "--out", str(base),
+    ]) == 0
+    assert main([
+        "sssp", str(graph_file), str(hopset_file), "--source", "0",
+        "--backend", "sharded:2", "--out", str(shd),
+    ]) == 0
+    with np.load(base) as b, np.load(shd) as s:
+        assert np.array_equal(b["dist"], s["dist"])
+        assert np.array_equal(b["parent"], s["parent"])
+    assert main([
+        "oracle", str(graph_file), str(hopset_file),
+        "--query", "0", "1", "--backend", "serial",
+    ]) == 0
+
+
+def test_bad_backend_spec_is_rejected(graph_file, hopset_file):
+    from repro.pram.errors import InvalidStepError
+
+    with pytest.raises(InvalidStepError):
+        main([
+            "sssp", str(graph_file), str(hopset_file), "--source", "0",
+            "--backend", "warp-drive",
+        ])

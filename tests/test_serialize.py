@@ -82,6 +82,53 @@ def test_partial_paths_rejected(tmp_path):
         save_hopset(tmp_path / "h.npz", H)
 
 
+def _rewrite_with_format(src, dst, version):
+    """Clone an .npz archive with its format stamp replaced."""
+    with np.load(src, allow_pickle=False) as data:
+        fields = {k: data[k] for k in data.files}
+    fields["format"] = np.array([version])
+    np.savez_compressed(dst, **fields)
+
+
+def test_newer_format_version_rejected(tmp_path, graph):
+    """Archives stamped by a future format must refuse to load, loudly."""
+    gp = tmp_path / "g.npz"
+    save_graph(gp, graph)
+    _rewrite_with_format(gp, tmp_path / "g_new.npz", 99)
+    with pytest.raises(HopsetError, match="newer format"):
+        load_graph(tmp_path / "g_new.npz")
+
+    H, _ = build_hopset(graph, HopsetParams(beta=4))
+    hp = tmp_path / "h.npz"
+    save_hopset(hp, H)
+    _rewrite_with_format(hp, tmp_path / "h_new.npz", 99)
+    with pytest.raises(HopsetError, match="newer format"):
+        load_hopset(tmp_path / "h_new.npz")
+
+
+def test_older_format_version_still_loads(tmp_path, graph):
+    """The version gate is one-directional: v0 archives load fine today."""
+    gp = tmp_path / "g.npz"
+    save_graph(gp, graph)
+    _rewrite_with_format(gp, tmp_path / "g_old.npz", 0)
+    g2 = load_graph(tmp_path / "g_old.npz")
+    assert g2.n == graph.n and np.array_equal(g2.edge_w, graph.edge_w)
+
+
+def test_reduced_path_reporting_roundtrip(tmp_path, graph):
+    """The §4 + App. C/D combination survives persistence intact."""
+    from repro.hopsets.reduction_paths import build_reduced_path_reporting_hopset
+
+    H, _ = build_reduced_path_reporting_hopset(graph, HopsetParams(beta=6))
+    p = tmp_path / "h.npz"
+    save_hopset(p, H)
+    H2 = load_hopset(p)
+    assert H2.meta.get("reduction") == H.meta.get("reduction")
+    a = [(e.u, e.v, e.weight, e.scale, e.phase, e.kind, e.path) for e in H.edges]
+    b = [(e.u, e.v, e.weight, e.scale, e.phase, e.kind, e.path) for e in H2.edges]
+    assert a == b
+
+
 def test_kind_mismatch_rejected(tmp_path, graph):
     p = tmp_path / "g.npz"
     save_graph(p, graph)
