@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Maintain the append-only benchmark perf ledger from the command line.
+
+Usage::
+
+    python scripts/perf_ledger.py append [--bench-dir benchmarks] [--history H]
+    python scripts/perf_ledger.py check  [--bench-dir benchmarks] [--history H] [--warn-only]
+    python scripts/perf_ledger.py show   [--bench-dir benchmarks] [--history H] [--bench ID]
+
+A thin wrapper over :mod:`repro.obs.ledger` (the same engine behind
+``python -m repro perf``), plus a ``show`` action that prints the recorded
+trajectory of one bench id — the per-PR history the BENCH files themselves
+never kept.  See docs/observability.md ("perf ledger").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cli import cmd_perf  # noqa: E402
+from repro.obs import ledger  # noqa: E402
+
+
+def cmd_show(args) -> int:
+    history = (
+        Path(args.history) if args.history else ledger.history_path(args.bench_dir)
+    )
+    records = ledger.load_history(history)
+    if args.bench:
+        records = [r for r in records if r.get("bench") == args.bench]
+    if not records:
+        print(f"no records in {history}" + (f" for {args.bench}" if args.bench else ""))
+        return 1
+    benches = sorted({r.get("bench", "?") for r in records})
+    print(f"{history}: {len(records)} records, {len(benches)} bench ids")
+    for record in records if args.bench else records[-10:]:
+        metrics = record.get("metrics", {})
+        print(
+            f"  {record.get('bench', '?')}  sha={str(record.get('sha', '?'))[:12]}"
+            f"  host={record.get('host', '?')}  ({len(metrics)} metrics)"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = ap.add_subparsers(dest="perf_action", required=True)
+    for name in ("append", "check", "show"):
+        p = sub.add_parser(name)
+        p.add_argument("--bench-dir", default="benchmarks")
+        p.add_argument("--history", default=None)
+        if name == "check":
+            p.add_argument("--warn-only", action="store_true")
+        if name == "show":
+            p.add_argument("--bench", default=None, help="one bench id's trajectory")
+    args = ap.parse_args(argv)
+    if args.perf_action == "show":
+        return cmd_show(args)
+    return cmd_perf(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

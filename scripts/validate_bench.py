@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Validate every ``BENCH_*.json`` against the shared benchmark schema.
+
+Usage::
+
+    python scripts/validate_bench.py [--bench-dir benchmarks]
+
+The schema all BENCH files share (written by ``benchmarks/conftest.py``'s
+session hooks) is deliberately small, and checked by hand here — no
+external JSON-schema dependency:
+
+* the document is a JSON object with an ``"experiments"`` object;
+* every experiment is itself an object (string keys);
+* every *scalar* metric inside is a finite number, a boolean, or a string
+  (notes/labels) — NaN/Infinity would silently poison ledger comparisons,
+  so they are rejected at the gate.
+
+Exits non-zero with one message per violation.  The ``perf-ledger`` CI job
+runs this before appending anything to ``BENCH_history.jsonl``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def _walk(value, path: str, errors: list[str]) -> None:
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            if not isinstance(key, str):
+                errors.append(f"{path}: non-string key {key!r}")
+                continue
+            _walk(sub, f"{path}.{key}", errors)
+    elif isinstance(value, list):
+        for i, sub in enumerate(value):
+            _walk(sub, f"{path}[{i}]", errors)
+    elif isinstance(value, bool) or value is None or isinstance(value, str):
+        return
+    elif isinstance(value, (int, float)):
+        if not math.isfinite(value):
+            errors.append(f"{path}: non-finite number {value!r}")
+    else:
+        errors.append(f"{path}: unsupported value type {type(value).__name__}")
+
+
+def validate_doc(doc, name: str) -> list[str]:
+    """Return the schema violations of one parsed BENCH document."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"{name}: top level is {type(doc).__name__}, expected object"]
+    experiments = doc.get("experiments")
+    if not isinstance(experiments, dict):
+        return [f"{name}: missing or non-object 'experiments'"]
+    if not experiments:
+        errors.append(f"{name}: 'experiments' is empty")
+    for key, exp in experiments.items():
+        if not isinstance(exp, dict):
+            errors.append(
+                f"{name}: experiment {key!r} is {type(exp).__name__}, "
+                "expected object"
+            )
+            continue
+        _walk(exp, f"{name}:{key}", errors)
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench-dir", default="benchmarks")
+    args = ap.parse_args(argv)
+    paths = sorted(Path(args.bench_dir).glob("BENCH_*.json"))
+    if not paths:
+        print(f"no BENCH_*.json under {args.bench_dir}", file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            errors.append(f"{path.name}: invalid JSON ({exc})")
+            continue
+        errors.extend(validate_doc(doc, path.name))
+    for err in errors:
+        print(f"SCHEMA: {err}", file=sys.stderr)
+    print(
+        f"validate_bench: {len(paths)} files, {len(errors)} violations -> "
+        + ("FAIL" if errors else "PASS")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

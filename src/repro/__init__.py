@@ -28,7 +28,6 @@ from repro.hopsets import (
     certify,
     theoretical_beta,
 )
-from repro.obs import MetricsRegistry, SpanTracer
 from repro.pram import PRAM, CostModel
 from repro.sssp import (
     approximate_mssd,
@@ -38,6 +37,26 @@ from repro.sssp import (
 )
 
 __version__ = "1.0.0"
+
+# Observability classes resolve lazily (PEP 562): the zero-overhead claim
+# includes the import — ``import repro`` must not pull the obs machinery in
+# at all unless a tracer/registry is actually requested.
+_LAZY = {"SpanTracer": "repro.obs.tracer", "MetricsRegistry": "repro.obs.metrics"}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))
 
 __all__ = [
     "Graph",

@@ -10,13 +10,27 @@ Usage::
     python -m repro info    artifact.npz
     python -m repro gen     graph.npz --family er --n 100 [--seed 7 ...]
     python -m repro trace   {build,sssp,spt} ... --trace-out trace.json [--jsonl spans.jsonl]
+    python -m repro profile {build,sssp} ... [--top N] [--flame-out flame.folded]
+    python -m repro perf    {append,check} [--bench-dir D] [--history H] [--warn-only]
     python -m repro conformance [--strict] [--seed N] [--n N] [--families er,grid] [--trace-out t.json]
 
 ``trace`` runs the wrapped command under the observability layer
 (``repro.obs``): it writes a Chrome trace-event JSON (loadable in
 ``chrome://tracing`` / Perfetto) with per-scale/per-phase span attribution
 and per-primitive metrics, prints a flame-style report, and evaluates the
-paper's theorem bound watchdogs (measured constants, PASS/WARN).
+paper's theorem bound watchdogs (measured constants, PASS/WARN).  Under a
+sharded backend the trace gains one lane per worker (cross-process
+telemetry, docs/observability.md) and a backend-health table.
+
+``profile`` runs build/sssp under the tracer and prints per-scale,
+per-phase, per-primitive *exclusive* wall attribution (the ROADMAP item 2
+instrument), plus a folded flame file for flamegraph.pl / speedscope.
+
+``perf`` maintains the append-only benchmark ledger
+(``benchmarks/BENCH_history.jsonl``): ``append`` records the current
+``BENCH_*.json`` values; ``check`` compares them against the recorded
+baseline under per-metric tolerance bands and exits nonzero on regression
+(``--warn-only`` reports without failing).
 
 ``conformance`` diffs every vectorized primitive against a literal CREW
 program and sweeps the E-family smoke graphs under the shadow race
@@ -72,8 +86,16 @@ from repro.obs.bounds import (
     theorem_3_7_envelopes,
     watchdog_table,
 )
-from repro.obs.export import flame_report, op_wall_report, write_chrome_trace, write_jsonl
+from repro.obs import ledger
+from repro.obs.export import (
+    backend_health_report,
+    flame_report,
+    op_wall_report,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import profile_report, write_folded_flame
 from repro.obs.tracer import SpanTracer
 from repro.pram.frontier import ENGINES
 from repro.pram.machine import PRAM
@@ -232,9 +254,11 @@ def cmd_oracle(args, pram: PRAM | None = None) -> int:
     budget = args.hops or (
         spt_hop_budget(hopset.beta) if hopset.meta.get("reduction") else None
     )
+    pram = _query_pram(args, pram)
+    registry = MetricsRegistry.attach(pram.cost)
     oracle = HopsetDistanceOracle(
         g, hopset, hop_budget=budget, cache_size=args.cache_size,
-        pram=_query_pram(args, pram),
+        pram=pram, metrics=registry,
     )
     ran = False
     for u, v in args.query or ():
@@ -271,10 +295,16 @@ def cmd_oracle(args, pram: PRAM | None = None) -> int:
                           "(try: query U V | stats | quit)")
             except (ValueError, VertexError) as exc:
                 print(f"error: {exc}")
+    registry.detach(pram.cost)
     info = oracle.cache_info()
     print(
         f"oracle stats: {info['explorations']} explorations, "
         f"{info['hits']} cache hits, {info['cached_sources']} sources cached"
+    )
+    print(
+        "metrics: "
+        f"oracle.cache.hit={registry.counter('oracle.cache.hit').value} "
+        f"oracle.cache.miss={registry.counter('oracle.cache.miss').value}"
     )
     return 0
 
@@ -315,11 +345,17 @@ def cmd_trace(args) -> int:
         "graph": {"n": g.n, "m": g.num_edges},
         "watchdogs": [v.to_dict() for v in verdicts],
     }
-    write_chrome_trace(args.trace_out, tracer, metrics=registry, extra=extra)
+    write_chrome_trace(
+        args.trace_out, tracer, metrics=registry, extra=extra,
+        worker_rounds=getattr(pram.backend, "round_log", None),
+    )
     if args.jsonl:
         write_jsonl(args.jsonl, tracer)
     print(flame_report(tracer, title=f"trace: {args.traced}"))
     print(op_wall_report(tracer, title=f"where real time goes: {args.traced}"))
+    health = backend_health_report(registry)
+    if health:
+        print(health)
     print(watchdog_table(verdicts))
     print(
         f"span coverage: {100 * tracer.coverage():.1f}% of charged work; "
@@ -327,6 +363,55 @@ def cmd_trace(args) -> int:
         + (f" and {args.jsonl}" if args.jsonl else "")
     )
     # WARN verdicts are advisory (tracked constants), not failures.
+    return 0
+
+
+def cmd_profile(args) -> int:
+    runner = _TRACEABLE[args.profiled]
+    pram = _query_pram(args, None)
+    tracer = SpanTracer.attach(pram.cost, root_name=args.profiled)
+    try:
+        rc = runner(args, pram)
+    finally:
+        tracer.finish()
+    if rc != 0:
+        return rc
+    print(profile_report(tracer, top=args.top))
+    flame = args.flame_out or f"profile_{args.profiled}.folded"
+    write_folded_flame(flame, tracer)
+    print(f"wrote folded flame: {flame}")
+    return 0
+
+
+def cmd_perf(args) -> int:
+    bench_dir = Path(args.bench_dir)
+    history = Path(args.history) if args.history else ledger.history_path(bench_dir)
+    if args.perf_action == "append":
+        pairs = ledger.scan_bench_dir(bench_dir)
+        if not pairs:
+            print(f"no BENCH_*.json under {bench_dir}", file=sys.stderr)
+            return 2
+        host = ledger.host_fingerprint()
+        sha = ledger.git_sha()
+        records = [
+            ledger.make_record(bid, metrics, host=host, sha=sha)
+            for bid, metrics in pairs
+        ]
+        n = ledger.append_records(history, records)
+        print(f"appended {n} records ({host}, {sha[:12]}) -> {history}")
+        return 0
+    regressions, compared, missing = ledger.check(bench_dir, history)
+    for r in regressions:
+        print(f"REGRESSION: {r}")
+    if missing:
+        print(f"no baseline yet for {len(missing)} bench(es): {', '.join(missing)}")
+    verdict = "FAIL" if regressions else "PASS"
+    print(
+        f"perf check: {compared} benches vs {history} -> "
+        f"{len(regressions)} regressions ({verdict})"
+    )
+    if regressions and not args.warn_only:
+        return 1
     return 0
 
 
@@ -493,6 +578,40 @@ def build_parser() -> argparse.ArgumentParser:
         )
         tp.add_argument("--jsonl", default=None, help="also write one span per line")
         tp.set_defaults(func=cmd_trace, traced=name)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-scale, per-primitive wall attribution + folded flame export",
+    )
+    psub = p.add_subparsers(dest="profiled", required=True)
+    for name, adder in (("build", _add_build_flags), ("sssp", _add_query_flags)):
+        pp = psub.add_parser(name, help=f"profiled {name}")
+        adder(pp)
+        pp.add_argument("--top", type=int, default=12,
+                        help="rows in the hot-primitive table")
+        pp.add_argument("--flame-out", default=None,
+                        help="folded-stack output path "
+                             "(default profile_<cmd>.folded)")
+        pp.set_defaults(func=cmd_profile, profiled=name)
+
+    p = sub.add_parser(
+        "perf", help="append to / check against the benchmark perf ledger"
+    )
+    fsub = p.add_subparsers(dest="perf_action", required=True)
+    for name, hint in (
+        ("append", "record current BENCH_*.json values in the ledger"),
+        ("check", "compare BENCH_*.json against the recorded baseline"),
+    ):
+        fp = fsub.add_parser(name, help=hint)
+        fp.add_argument("--bench-dir", default="benchmarks",
+                        help="directory holding BENCH_*.json (default benchmarks)")
+        fp.add_argument("--history", default=None,
+                        help="ledger path (default <bench-dir>/BENCH_history.jsonl "
+                             "or REPRO_LEDGER_PATH)")
+        if name == "check":
+            fp.add_argument("--warn-only", action="store_true",
+                            help="report regressions without failing")
+        fp.set_defaults(func=cmd_perf, perf_action=name)
 
     p = sub.add_parser(
         "conformance",

@@ -350,8 +350,10 @@ def neighbor_tables(
     all_clusters = np.arange(partition.num_clusters, dtype=np.int64)
     table = _seed(members, all_clusters, all_clusters, record_paths)
     pram.charge(work=table.size, depth=1, label="distribute")
-    table = _propagate(pram, graph, table, hops, threshold, x)
-    return _aggregate(pram, partition, table, x)
+    with pram.subphase("explore"):
+        table = _propagate(pram, graph, table, hops, threshold, x)
+    with pram.subphase("aggregate"):
+        return _aggregate(pram, partition, table, x)
 
 
 def bfs_from_clusters(

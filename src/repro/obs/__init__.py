@@ -14,6 +14,10 @@ zero-overhead when nothing is attached:
 * :mod:`repro.obs.bounds` — declarative watchdog envelopes encoding the
   paper's asymptotic bounds; evaluate a finished run and report measured
   constants with PASS/WARN status.
+* :mod:`repro.obs.profile` — per-scale, per-primitive wall attribution of
+  hopset builds plus the folded flame exporter (``repro profile``).
+* :mod:`repro.obs.ledger` — the append-only perf-regression ledger behind
+  ``repro perf {append,check}`` and the ``perf-ledger`` CI job.
 
 See ``docs/observability.md`` for the guide.
 """
@@ -27,6 +31,7 @@ from repro.obs.bounds import (
     watchdog_table,
 )
 from repro.obs.export import (
+    backend_health_report,
     chrome_trace_events,
     flame_report,
     op_wall_report,
@@ -34,6 +39,19 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.ledger import (
+    Regression,
+    append_records,
+    baseline_for,
+    check,
+    compare_metrics,
+    flatten_metrics,
+    history_path,
+    load_history,
+    make_record,
+    scan_bench_dir,
+)
+from repro.obs.profile import profile_report, write_folded_flame
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import Span, SpanTracer
 
@@ -50,6 +68,19 @@ __all__ = [
     "write_jsonl",
     "flame_report",
     "op_wall_report",
+    "backend_health_report",
+    "profile_report",
+    "write_folded_flame",
+    "Regression",
+    "flatten_metrics",
+    "make_record",
+    "scan_bench_dir",
+    "append_records",
+    "load_history",
+    "baseline_for",
+    "compare_metrics",
+    "check",
+    "history_path",
     "Envelope",
     "WatchdogVerdict",
     "theorem_3_7_envelopes",

@@ -35,6 +35,7 @@ __all__ = [
     "write_jsonl",
     "flame_report",
     "op_wall_report",
+    "backend_health_report",
 ]
 
 _SourceT = Union[Span, SpanTracer]
@@ -44,14 +45,66 @@ def _root_of(source: _SourceT) -> Span:
     return source.root if isinstance(source, SpanTracer) else source
 
 
-def chrome_trace_events(source: _SourceT) -> list[dict]:
-    """Flatten a span tree into Chrome trace-event dicts (``ph: "X"``)."""
+def chrome_trace_events(
+    source: _SourceT, worker_rounds: list[dict] | None = None
+) -> list[dict]:
+    """Flatten a span tree into Chrome trace-event dicts (``ph: "X"``).
+
+    ``worker_rounds`` — a :class:`ShardedBackend`'s ``round_log`` — adds
+    one wall-clock lane per worker (tid ``1 + worker``) under pid 0, so a
+    sharded run renders as a real multi-track timeline: each round's
+    per-shard compute appears as an ``X`` slice on its worker's lane,
+    placed on the parent's clock (round launch time plus the worker's
+    reported wall).
+    """
     root = _root_of(source)
     events: list[dict] = [
         {"ph": "M", "pid": 0, "name": "process_name", "args": {"name": "wall-clock"}},
         {"ph": "M", "pid": 1, "name": "process_name", "args": {"name": "work-clock"}},
     ]
     t0 = root.wall_start
+    if worker_rounds:
+        events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "name": "thread_name",
+                "args": {"name": "parent"},
+            }
+        )
+        workers = sorted(
+            {w["worker"] for entry in worker_rounds for w in entry["workers"]}
+        )
+        for widx in workers:
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": 1 + widx,
+                    "name": "thread_name",
+                    "args": {"name": f"worker {widx}"},
+                }
+            )
+        for entry in worker_rounds:
+            ts = max((entry["t0"] - t0) * 1e6, 0.0)
+            for w in entry["workers"]:
+                events.append(
+                    {
+                        "name": f"round {entry['round']}",
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": 1 + w["worker"],
+                        "ts": ts,
+                        "dur": w["wall_ns"] / 1e3,
+                        "args": {
+                            "arcs": w["arcs"],
+                            "gather_ns": w["gather_ns"],
+                            "segmin_ns": w["segmin_ns"],
+                            "serialize_ns": w["serialize_ns"],
+                        },
+                    }
+                )
     for span in root.walk():
         args = {
             "work": span.work,
@@ -89,6 +142,7 @@ def to_chrome_trace(
     source: _SourceT,
     metrics: MetricsRegistry | None = None,
     extra: dict | None = None,
+    worker_rounds: list[dict] | None = None,
 ) -> dict:
     """The full Chrome trace JSON object for a finished trace."""
     root = _root_of(source)
@@ -104,7 +158,7 @@ def to_chrome_trace(
     if extra:
         other.update(extra)
     return {
-        "traceEvents": chrome_trace_events(root),
+        "traceEvents": chrome_trace_events(root, worker_rounds),
         "displayTimeUnit": "ms",
         "otherData": other,
     }
@@ -115,10 +169,13 @@ def write_chrome_trace(
     source: _SourceT,
     metrics: MetricsRegistry | None = None,
     extra: dict | None = None,
+    worker_rounds: list[dict] | None = None,
 ) -> Path:
     """Serialize :func:`to_chrome_trace` to ``path``; returns the path."""
     path = Path(path)
-    path.write_text(json.dumps(to_chrome_trace(source, metrics, extra), indent=1))
+    path.write_text(
+        json.dumps(to_chrome_trace(source, metrics, extra, worker_rounds), indent=1)
+    )
     return path
 
 
@@ -202,6 +259,81 @@ def op_wall_report(
         )
     headers = ["op", "calls", "work", "wall ms", "us/call", "share"]
     return render_table(title, headers, rows)
+
+
+def backend_health_report(
+    metrics: MetricsRegistry, title: str = "backend health"
+) -> str:
+    """Sharded-backend health table from a registry's ``backend.*`` counters.
+
+    Summarizes rounds routed sharded vs serial (with the serial reason),
+    fallback events by reason, IPC/imbalance/combine-depth figures, and one
+    row per worker (rounds, arcs, wall split).  Returns ``""`` when the
+    registry saw no backend traffic at all — callers can print the result
+    unconditionally.
+    """
+    counters = metrics.counters
+
+    def val(label: str, field: str = "elements") -> int:
+        c = counters.get(f"primitive.{label}.{field}")
+        return c.value if c is not None else 0
+
+    if not any(k.startswith("primitive.backend.") for k in counters):
+        return ""
+    rows = [["sharded rounds", val("backend.round", "calls")]]
+    for reason in ("min-arcs", "fallback"):
+        n = val(f"backend.serial_round.{reason}")
+        if n:
+            rows.append([f"serial rounds ({reason})", n])
+    for name, c in sorted(counters.items()):
+        prefix = "primitive.backend.fallback."
+        if name.startswith(prefix) and name.endswith(".elements") and c.value:
+            reason = name[len(prefix):-len(".elements")]
+            rows.append([f"fallback ({reason})", c.value])
+    round_wall = val("backend.round_wall_ns")
+    if round_wall:
+        rows.append(["round wall ms", f"{round_wall / 1e6:.2f}"])
+        rows.append(["ipc ms", f"{val('backend.ipc_ns') / 1e6:.2f}"])
+    imb_calls = val("backend.imbalance_milli", "calls")
+    if imb_calls:
+        mean_imb = val("backend.imbalance_milli") / imb_calls / 1000.0
+        rows.append(["mean shard imbalance", f"{mean_imb:.2f}x"])
+    depth_calls = val("backend.combine_depth", "calls")
+    if depth_calls:
+        rows.append(
+            ["combine depth", val("backend.combine_depth") // depth_calls]
+        )
+    near = val("backend.timeout_near_miss")
+    if near:
+        rows.append(["timeout near-misses", near])
+    report = render_table(title, ["figure", "value"], rows)
+    workers = sorted(
+        int(name.split(".")[3])
+        for name in counters
+        if name.startswith("primitive.backend.worker.")
+        and name.endswith(".wall_ns.elements")
+    )
+    if workers:
+        wrows = []
+        for w in workers:
+            p = f"backend.worker.{w}"
+            wrows.append(
+                [
+                    w,
+                    val(f"{p}.wall_ns", "calls"),
+                    val(f"{p}.arcs"),
+                    f"{val(f'{p}.wall_ns') / 1e6:.2f}",
+                    f"{val(f'{p}.gather_ns') / 1e6:.2f}",
+                    f"{val(f'{p}.segmin_ns') / 1e6:.2f}",
+                    f"{val(f'{p}.serialize_ns') / 1e6:.2f}",
+                ]
+            )
+        report += "\n" + render_table(
+            "per-worker compute",
+            ["worker", "rounds", "arcs", "wall ms", "gather", "segmin", "serialize"],
+            wrows,
+        )
+    return report
 
 
 def _span_races(span: Span) -> int:

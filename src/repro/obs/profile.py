@@ -1,0 +1,165 @@
+"""Per-scale, per-primitive wall-time attribution for hopset builds.
+
+ROADMAP item 2 says hopset *construction* dominates wall-clock; this module
+is the measurement instrument for that claim.  It consumes a finished
+:class:`~repro.obs.tracer.Span` tree (whose names follow the repo's
+``scale{k}/phase{i}/{detect,ruling,supercluster,interconnect}`` phase
+convention) and produces:
+
+* :func:`profile_report` — an inclusive per-scale table, an exclusive
+  per-scale/per-phase-kind wall table, and a top-N hot-primitive table
+  (exclusive attributed host nanoseconds, see ``OpStats.wall_ns``);
+* :func:`write_folded_flame` — the semicolon-folded stack format consumed
+  by ``flamegraph.pl`` and https://speedscope.app: one line per
+  ``frame;frame;... value`` where values are attributed nanoseconds.
+  Primitive labels appear as leaf frames under their span; span wall not
+  claimed by any primitive or child span is emitted as the span's own
+  residual line, so the flame's total matches the root's wall clock.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.tables import render_table
+from repro.obs.tracer import Span, SpanTracer
+
+__all__ = ["profile_report", "write_folded_flame"]
+
+_SourceT = Union[Span, SpanTracer]
+
+#: The single-scale builder's phase kinds, in pipeline order.
+PHASE_KINDS = ("detect", "ruling", "supercluster", "interconnect")
+
+
+def _root_of(source: _SourceT) -> Span:
+    return source.root if isinstance(source, SpanTracer) else source
+
+
+def _scale_of(name: str) -> str:
+    """The ``scale{k}`` component owning a span, or ``(top)`` outside one."""
+    head = name.split("/", 1)[0]
+    return head if head.startswith("scale") else "(top)"
+
+
+def _kind_of(name: str) -> str:
+    """The phase kind of a span: its known pipeline stage, else its leaf."""
+    parts = name.split("/")
+    for part in parts:
+        if part in PHASE_KINDS:
+            return part
+    return parts[-1]
+
+
+def profile_report(source: _SourceT, top: int = 12) -> str:
+    """Three attribution tables for a traced build/query run.
+
+    1. **per-scale** — inclusive charged work and wall seconds of each
+       ``scale{k}`` span, with its share of the root wall clock;
+    2. **per-scale phase wall** — *exclusive* primitive wall nanoseconds
+       grouped by (scale, phase kind), ranked;
+    3. **hot primitives** — the ``top`` (scale, phase, primitive) cells by
+       exclusive wall, the table that names what to optimize next.
+    """
+    root = _root_of(source)
+    scale_spans: list[Span] = []
+    per_kind: dict[tuple[str, str], int] = {}
+    per_op: dict[tuple[str, str, str], list[int]] = {}
+    for span in root.walk():
+        if span.level == 1 and span.name.startswith("scale"):
+            scale_spans.append(span)
+        scale = _scale_of(span.name)
+        kind = _kind_of(span.name)
+        for label, s in span.ops.items():
+            per_kind[scale, kind] = per_kind.get((scale, kind), 0) + s.wall_ns
+            row = per_op.setdefault((scale, kind, label), [0, 0, 0])
+            row[0] += s.calls
+            row[1] += s.work
+            row[2] += s.wall_ns
+
+    sections = []
+    root_wall = max(root.wall, 1e-12)
+    if scale_spans:
+        rows = [
+            [
+                sp.name,
+                sp.work,
+                sp.depth,
+                f"{sp.wall * 1e3:.2f}",
+                f"{100.0 * sp.wall / root_wall:.1f}%",
+            ]
+            for sp in scale_spans
+        ]
+        sections.append(
+            render_table(
+                "per-scale (inclusive)",
+                ["scale", "work", "depth", "wall ms", "share"],
+                rows,
+            )
+        )
+
+    total_ns = max(sum(per_kind.values()), 1)
+    if per_kind:
+        rows = [
+            [scale, kind, f"{ns / 1e6:.2f}", f"{100.0 * ns / total_ns:.1f}%"]
+            for (scale, kind), ns in sorted(
+                per_kind.items(), key=lambda kv: kv[1], reverse=True
+            )
+            if ns > 0
+        ]
+        sections.append(
+            render_table(
+                "per-scale phase wall (exclusive)",
+                ["scale", "phase", "wall ms", "share"],
+                rows,
+            )
+        )
+
+    if per_op:
+        ranked = sorted(per_op.items(), key=lambda kv: kv[1][2], reverse=True)[:top]
+        rows = [
+            [
+                label,
+                scale,
+                kind,
+                calls,
+                work,
+                f"{ns / 1e6:.2f}",
+                f"{100.0 * ns / total_ns:.1f}%",
+            ]
+            for (scale, kind, label), (calls, work, ns) in ranked
+        ]
+        sections.append(
+            render_table(
+                f"hot primitives (top {top}, exclusive wall)",
+                ["primitive", "scale", "phase", "calls", "work", "wall ms", "share"],
+                rows,
+            )
+        )
+    return "\n".join(sections) if sections else "(empty trace)"
+
+
+def write_folded_flame(path: str | Path, source: _SourceT) -> Path:
+    """Write the span tree as folded stacks (nanosecond values)."""
+    root = _root_of(source)
+    lines: list[str] = []
+
+    def visit(span: Span, stack: list[str]) -> None:
+        frames = stack + [span.name.rsplit("/", 1)[-1]]
+        ops_ns = 0
+        for label, s in sorted(span.ops.items()):
+            if s.wall_ns:
+                lines.append(";".join(frames + [label]) + f" {s.wall_ns}")
+                ops_ns += s.wall_ns
+        child_ns = sum(int(c.wall * 1e9) for c in span.children)
+        residual = int(span.wall * 1e9) - child_ns - ops_ns
+        if residual > 0:
+            lines.append(";".join(frames) + f" {residual}")
+        for child in span.children:
+            visit(child, frames)
+
+    visit(root, [])
+    path = Path(path)
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path

@@ -48,6 +48,40 @@ Observability: each sharded round reports ``backend.round`` (arcs),
 histogram records the shard balance), ``backend.worker_wall_ns``
 (per-worker compute nanoseconds, measured inside the worker), and
 ``backend.combine`` (cells combined, bytes moved) traffic events.
+
+**Cross-process worker telemetry** (``REPRO_WORKER_STATS``, default on):
+each worker additionally writes a per-round stats row — shard arcs plus
+its wall nanoseconds split into *gather* (candidate gather + add),
+*segmin* (the value ``reduceat``), and *serialize* (payload masking +
+writing results into the shared output block) — into a preallocated
+``multiprocessing.shared_memory`` stats block, one row per worker, no
+IPC beyond the existing round ack.  After every sharded round the parent
+merges the rows **in fixed shard order** into whatever cost-model
+subscribers are attached (``SpanTracer`` / ``MetricsRegistry``) as
+``backend.worker.<i>.{wall_ns,gather_ns,segmin_ns,serialize_ns,arcs}``
+traffic, plus derived health metrics:
+
+* ``backend.round_wall_ns``    — parent-measured wall of the whole round
+  (IPC included), so per-worker compute can be compared against it;
+* ``backend.imbalance_milli``  — 1000 × max/mean worker wall (shard
+  imbalance ratio; mean over rounds = elements / calls);
+* ``backend.ipc_ns``           — round wall minus the slowest worker's
+  compute (the IPC + combine overhead share);
+* ``backend.combine_depth``    — ⌈log₂ shards⌉ of the combine tree;
+* ``backend.timeout_near_miss`` — rounds that consumed more than 80 % of
+  ``round_timeout`` without tripping it.
+
+The parent also keeps a bounded :attr:`ShardedBackend.round_log` (one
+entry per telemetered round, with the parent-clock start timestamp) that
+the Chrome-trace exporter renders as one lane per worker — see
+:func:`repro.obs.export.chrome_trace_events`.  Telemetry is only
+collected while a subscriber is attached and never touches the numeric
+path: outputs and charged costs are bit-identical with stats enabled or
+disabled.  Serial degradations carry a structured reason:
+``backend.fallback.<reason>`` with ``reason`` ∈ {``worker-death``,
+``timeout``, ``registration``, ``pool-start``}, and per-round serial
+routing reports ``backend.serial_round.<reason>`` with ``reason`` ∈
+{``min-arcs``, ``fallback``}.
 """
 
 from __future__ import annotations
@@ -73,6 +107,24 @@ DEFAULT_MIN_ARCS = 4096
 
 #: Seconds the parent waits for one worker's round before tripping fallback.
 DEFAULT_ROUND_TIMEOUT = 30.0
+
+#: Fields of one worker's shared-memory stats row (all int64):
+#: round id, shard arcs, gather ns, segmin ns, serialize ns, total ns.
+STATS_FIELDS = 6
+
+#: Rounds recorded in :attr:`ShardedBackend.round_log` before dropping
+#: (each entry is a small dict; the cap bounds memory on week-long runs).
+ROUND_LOG_CAP = 16384
+
+#: Fraction of ``round_timeout`` past which a round counts as a near-miss.
+NEAR_MISS_FRACTION = 0.8
+
+
+def worker_stats_enabled() -> bool:
+    """Whether workers collect the per-round stats rows (``REPRO_WORKER_STATS``)."""
+    return os.environ.get("REPRO_WORKER_STATS", "1").strip().lower() not in (
+        "0", "false", "off", "no",
+    )
 
 
 def shard_bounds(n_arcs: int, shards: int) -> list[tuple[int, int]]:
@@ -181,13 +233,24 @@ class _WorkerShard:
             spec["out_total"], dtype=np.int64, buffer=pay_shm.buf
         )[off:off + k]
 
-    def compute(self) -> None:
+    def compute(self) -> tuple[int, int, int]:
+        """One round; returns ``(gather_ns, segmin_ns, serialize_ns)``.
+
+        The telemetry split: *gather* is the candidate gather + add,
+        *segmin* the value ``reduceat``, *serialize* the payload masking
+        pass that writes the results into the shared output block.
+        """
+        t0 = time.perf_counter_ns()
         cand = self.dist.take(self.tails)
         cand += self.weights
+        t1 = time.perf_counter_ns()
         np.minimum.reduceat(cand, self.local_starts, out=self.segmin_out)
+        t2 = time.perf_counter_ns()
         minrep = self.segmin_out.take(self.local_seg_id)
         maskpay = np.where(cand == minrep, self.tails, _INT64_MAX)
         np.minimum.reduceat(maskpay, self.local_starts, out=self.winpay_out)
+        t3 = time.perf_counter_ns()
+        return t1 - t0, t2 - t1, t3 - t2
 
     def close(self) -> None:
         # drop array views before closing their backing shared memory
@@ -201,10 +264,25 @@ class _WorkerShard:
         self.shms = []
 
 
-def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
-    """Worker loop: attach registered plans, compute rounds on request."""
+def _worker_main(conn, stats_spec=None) -> None:  # pragma: no cover - subprocess
+    """Worker loop: attach registered plans, compute rounds on request.
+
+    ``stats_spec`` (``{"name", "row", "workers"}`` or ``None``) names the
+    parent's shared-memory stats block and this worker's row in it; when
+    present, every round writes its telemetry row *before* sending the
+    ack, so the parent reads a consistent row after the ack arrives.
+    """
     shards: dict[int, _WorkerShard] = {}
+    stats_shm = None
+    stats_row = None
     try:
+        if stats_spec is not None:
+            stats_shm = _attach_shm(stats_spec["name"])
+            stats_row = np.ndarray(
+                (stats_spec["workers"], STATS_FIELDS),
+                dtype=np.int64,
+                buffer=stats_shm.buf,
+            )[stats_spec["row"]]
         while True:
             msg = conn.recv()
             op = msg[0]
@@ -216,9 +294,16 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
                 conn.send(("ok", spec["key"]))
             elif op == "round":
                 _, key, rid = msg
+                shard = shards[key]
                 t0 = time.perf_counter_ns()
-                shards[key].compute()
-                conn.send(("done", rid, time.perf_counter_ns() - t0))
+                gather_ns, segmin_ns, serialize_ns = shard.compute()
+                total_ns = time.perf_counter_ns() - t0
+                if stats_row is not None:
+                    stats_row[:] = (
+                        rid, shard.tails.size,
+                        gather_ns, segmin_ns, serialize_ns, total_ns,
+                    )
+                conn.send(("done", rid, total_ns))
             else:
                 conn.send(("err", f"unknown op {op!r}"))
     except (EOFError, OSError, KeyboardInterrupt):
@@ -226,6 +311,12 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
     finally:
         for shard in shards.values():
             shard.close()
+        if stats_shm is not None:
+            stats_row = None
+            try:
+                stats_shm.close()
+            except Exception:
+                pass
         try:
             conn.close()
         except Exception:
@@ -304,22 +395,31 @@ class ShardedBackend(ExecutionBackend):
         self.round_timeout = float(round_timeout)
         self.failed = False
         self.failure_reason: str | None = None
+        self.failure_kind: str | None = None
         self.sharded_rounds = 0
         self.serial_rounds = 0
+        #: Per-round telemetry entries (parent-clock ``t0`` + per-worker
+        #: splits), capped at ROUND_LOG_CAP; the Chrome-trace exporter
+        #: renders these as one lane per worker.
+        self.round_log: list[dict] = []
+        self.rounds_dropped = 0
+        self.collect_stats = worker_stats_enabled()
         self._procs: list = []
         self._conns: list = []
         self._plans: dict[int, _SharedPlan] = {}
+        self._stats_shm = None
+        self._stats_view: np.ndarray | None = None
         self._next_key = 0
         self._round_id = 0
         self._atexit_registered = False
 
     # -- pool lifecycle ------------------------------------------------------
 
-    def _ensure_pool(self) -> bool:
+    def _ensure_pool(self, cost=None) -> bool:
         if self._procs:
             return True
         import multiprocessing as mp
-        from multiprocessing import resource_tracker
+        from multiprocessing import resource_tracker, shared_memory
 
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork" if "fork" in methods else "spawn")
@@ -328,17 +428,37 @@ class ShardedBackend(ExecutionBackend):
             # every worker inherits the same tracker process; a worker that
             # lazily spawned its own would unlink our blocks when it exits.
             resource_tracker.ensure_running()
-            for _ in range(self.workers):
+            if self.collect_stats and self._stats_shm is None:
+                self._stats_shm = shared_memory.SharedMemory(
+                    create=True, size=8 * self.workers * STATS_FIELDS
+                )
+                self._stats_view = np.ndarray(
+                    (self.workers, STATS_FIELDS),
+                    dtype=np.int64,
+                    buffer=self._stats_shm.buf,
+                )
+                self._stats_view.fill(0)
+            for widx in range(self.workers):
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
+                stats_spec = (
+                    {
+                        "name": self._stats_shm.name,
+                        "row": widx,
+                        "workers": self.workers,
+                    }
+                    if self._stats_shm is not None
+                    else None
+                )
                 proc = ctx.Process(
-                    target=_worker_main, args=(child_conn,), daemon=True
+                    target=_worker_main, args=(child_conn, stats_spec), daemon=True
                 )
                 proc.start()
                 child_conn.close()
                 self._procs.append(proc)
                 self._conns.append(parent_conn)
         except Exception as exc:  # pragma: no cover - host-dependent
-            self._fail(f"worker pool start failed: {exc!r}")
+            self._fail(f"worker pool start failed: {exc!r}", cost=cost,
+                       kind="pool-start")
             return False
         if not self._atexit_registered:
             atexit.register(self.close)
@@ -367,14 +487,30 @@ class ShardedBackend(ExecutionBackend):
         for sp in self._plans.values():
             sp.close()
         self._plans = {}
+        if self._stats_shm is not None:
+            self._stats_view = None
+            for fn in (self._stats_shm.close, self._stats_shm.unlink):
+                try:
+                    fn()
+                except Exception:  # pragma: no cover - teardown best-effort
+                    pass
+            self._stats_shm = None
 
-    def _fail(self, reason: str, cost=None) -> None:
-        """Trip permanent serial fallback: log, tear down, remember why."""
+    def _fail(self, reason: str, cost=None, kind: str = "worker-death") -> None:
+        """Trip permanent serial fallback: log, tear down, remember why.
+
+        ``kind`` is the structured reason slug reported as
+        ``backend.fallback.<kind>`` traffic (``worker-death`` / ``timeout``
+        / ``registration`` / ``pool-start``) so the degradation is visible
+        in trace summaries and metrics, not only in logs.
+        """
         self.failed = True
         self.failure_reason = reason
-        log.warning("sharded backend degrading to serial: %s", reason)
+        self.failure_kind = kind
+        log.warning("sharded backend degrading to serial (%s): %s", kind, reason)
         if cost is not None:
             cost.traffic("backend.fallback", elements=1)
+            cost.traffic(f"backend.fallback.{kind}", elements=1)
         for proc in self._procs:
             try:
                 proc.terminate()
@@ -384,7 +520,7 @@ class ShardedBackend(ExecutionBackend):
 
     # -- plan registration ---------------------------------------------------
 
-    def _register(self, plan):
+    def _register(self, plan, cost=None):
         """Place ``plan`` into shared memory and hand shards to workers."""
         from multiprocessing import shared_memory
 
@@ -466,7 +602,8 @@ class ShardedBackend(ExecutionBackend):
                         fn()
                     except Exception:
                         pass
-            self._fail(f"plan registration failed: {exc!r}")
+            self._fail(f"plan registration failed: {exc!r}", cost=cost,
+                       kind="registration")
             return None
         sp = _SharedPlan(key, plan, shms, dist_view, segmin_all, winpay_all, metas)
         self._plans[id(plan)] = sp
@@ -477,10 +614,14 @@ class ShardedBackend(ExecutionBackend):
     def relax_segmin(self, plan, dist, take, cost=None):
         """One dense round's ``(segmin, winpay)`` — sharded when eligible."""
         out = None
-        if not self.failed and plan.n_arcs >= self.min_arcs and self._ensure_pool():
+        eligible = plan.n_arcs >= self.min_arcs
+        if not self.failed and eligible and self._ensure_pool(cost):
             out = self._sharded_round(plan, dist, cost)
         if out is None:
             self.serial_rounds += 1
+            if cost is not None:
+                reason = "fallback" if self.failed else "min-arcs"
+                cost.traffic(f"backend.serial_round.{reason}", elements=1)
             return super().relax_segmin(plan, dist, take, cost=cost)
         self.sharded_rounds += 1
         return out
@@ -488,13 +629,15 @@ class ShardedBackend(ExecutionBackend):
     def _sharded_round(self, plan, dist, cost):
         sp = self._plans.get(id(plan))
         if sp is None or sp.plan is not plan:
-            sp = self._register(plan)
+            sp = self._register(plan, cost=cost)
             if sp is None:
                 return None
         np.copyto(sp.dist_view, dist)
         self._round_id += 1
         rid = self._round_id
         walls = []
+        wall_t0 = time.perf_counter()  # parent clock, same as SpanTracer's
+        t0_ns = time.perf_counter_ns()
         try:
             for meta in sp.shards:
                 self._conns[meta.worker].send(("round", sp.key, rid))
@@ -508,8 +651,12 @@ class ShardedBackend(ExecutionBackend):
                 if msg[0] != "done" or msg[1] != rid:
                     raise RuntimeError(f"worker {meta.worker} answered {msg!r}")
                 walls.append(int(msg[2]))
-        except (EOFError, OSError, TimeoutError, RuntimeError) as exc:
-            self._fail(f"round {rid} failed: {exc!r}", cost=cost)
+        except TimeoutError as exc:
+            self._fail(f"round {rid} failed: {exc!r}", cost=cost, kind="timeout")
+            return None
+        except (EOFError, OSError, RuntimeError) as exc:
+            self._fail(f"round {rid} failed: {exc!r}", cost=cost,
+                       kind="worker-death")
             return None
         parts = [
             (
@@ -520,6 +667,7 @@ class ShardedBackend(ExecutionBackend):
             for meta in sp.shards
         ]
         _, segmin, winpay = tree_min_combine(parts)
+        round_wall_ns = time.perf_counter_ns() - t0_ns
         if cost is not None:
             cost.traffic("backend.round", elements=int(plan.n_arcs))
             for meta, wall_ns in zip(sp.shards, walls):
@@ -532,8 +680,76 @@ class ShardedBackend(ExecutionBackend):
                 reads=combined,
                 writes=16 * combined,  # bytes moved through the combine tree
             )
+            if cost.has_subscribers:
+                self._merge_worker_stats(sp, rid, wall_t0, round_wall_ns, cost)
         return segmin, winpay
+
+    def _merge_worker_stats(self, sp, rid, wall_t0, round_wall_ns, cost) -> None:
+        """Fold this round's shared-memory stats rows into the cost hooks.
+
+        Rows are read in fixed shard order (deterministic merge) after all
+        acks arrived, so each participating worker's row is consistent and
+        tagged with this round id.  Derived health figures (imbalance,
+        IPC share, combine depth, near-misses) ride along, and one bounded
+        :attr:`round_log` entry records the lane data for the exporter.
+        """
+        stats = self._stats_view
+        if stats is None:
+            return
+        worker_entries = []
+        totals = []
+        for meta in sp.shards:
+            row = stats[meta.worker]
+            if int(row[0]) != rid:  # defensive: row not from this round
+                continue
+            arcs, gather, segmin_ns, serialize, total = (int(v) for v in row[1:])
+            prefix = f"backend.worker.{meta.worker}"
+            cost.traffic(f"{prefix}.wall_ns", elements=total)
+            cost.traffic(f"{prefix}.gather_ns", elements=gather)
+            cost.traffic(f"{prefix}.segmin_ns", elements=segmin_ns)
+            cost.traffic(f"{prefix}.serialize_ns", elements=serialize)
+            cost.traffic(f"{prefix}.arcs", elements=arcs)
+            worker_entries.append(
+                {
+                    "worker": meta.worker,
+                    "arcs": arcs,
+                    "gather_ns": gather,
+                    "segmin_ns": segmin_ns,
+                    "serialize_ns": serialize,
+                    "wall_ns": total,
+                }
+            )
+            totals.append(total)
+        cost.traffic("backend.round_wall_ns", elements=int(round_wall_ns))
+        cost.traffic(
+            "backend.combine_depth",
+            elements=max(len(sp.shards) - 1, 0).bit_length(),
+        )
+        if totals:
+            imbalance = max(totals) / (sum(totals) / len(totals) or 1)
+            cost.traffic("backend.imbalance_milli", elements=int(1000 * imbalance))
+            cost.traffic(
+                "backend.ipc_ns", elements=max(int(round_wall_ns) - max(totals), 0)
+            )
+        if round_wall_ns > NEAR_MISS_FRACTION * self.round_timeout * 1e9:
+            cost.traffic("backend.timeout_near_miss", elements=1)
+        if len(self.round_log) < ROUND_LOG_CAP:
+            self.round_log.append(
+                {
+                    "round": rid,
+                    "t0": wall_t0,
+                    "wall_ns": int(round_wall_ns),
+                    "arcs": int(sp.plan.n_arcs),
+                    "workers": worker_entries,
+                }
+            )
+        else:
+            self.rounds_dropped += 1
 
     def describe(self) -> str:
         state = f"failed: {self.failure_reason}" if self.failed else "ok"
-        return f"sharded(workers={self.workers}, min_arcs={self.min_arcs}, {state})"
+        stats = "on" if self.collect_stats else "off"
+        return (
+            f"sharded(workers={self.workers}, min_arcs={self.min_arcs}, "
+            f"worker_stats={stats}, {state})"
+        )

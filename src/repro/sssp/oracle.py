@@ -38,6 +38,12 @@ class HopsetDistanceOracle:
         Rounds per exploration; defaults to 2β+1 (Lemma 2.1's splice).
     cache_size:
         Number of source vectors kept (LRU).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when given,
+        cache outcomes increment ``oracle.cache.{hit,miss}`` counters there.
+        Outcomes are also reported as cost-model traffic under the same
+        labels, so any attached hook (tracer, registry) sees them in trace
+        summaries without the oracle knowing about it.
     """
 
     def __init__(
@@ -47,6 +53,7 @@ class HopsetDistanceOracle:
         hop_budget: int | None = None,
         cache_size: int = 32,
         pram: PRAM | None = None,
+        metrics=None,
     ) -> None:
         if hopset.n != graph.n:
             raise VertexError("hopset and graph disagree on the vertex count")
@@ -63,8 +70,15 @@ class HopsetDistanceOracle:
         self.pram = pram if pram is not None else PRAM()
         self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
         self._cache_size = cache_size
+        self.metrics = metrics
         self.explorations = 0
         self.hits = 0
+
+    def _note(self, event: str) -> None:
+        """Record one cache outcome (``hit`` | ``miss``) with every sink."""
+        self.pram.cost.traffic(f"oracle.cache.{event}", elements=1)
+        if self.metrics is not None:
+            self.metrics.counter(f"oracle.cache.{event}").inc()
 
     def distances_from(self, source: int) -> np.ndarray:
         """The cached (1+ε)-approximate distance vector of ``source``."""
@@ -72,10 +86,12 @@ class HopsetDistanceOracle:
             raise VertexError(f"source {source} out of range")
         if source in self._cache:
             self.hits += 1
+            self._note("hit")
             self._cache.move_to_end(source)
             return self._cache[source]
         res = bellman_ford(self.pram, self.union, source, self.hop_budget)
         self.explorations += 1
+        self._note("miss")
         self._cache[source] = res.dist
         if len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)

@@ -1,0 +1,170 @@
+"""Exporter edge cases: empty traces, fallback-only traces, worker lanes.
+
+The worker-lane test checks *shape* against a golden file
+(``golden_sharded_trace.json``): event names, phases, pids, tids, and
+metadata — never timestamps or durations, which are host-dependent.  The
+golden trace is synthetic (a hand-driven cost model plus a fabricated
+``round_log``), so the shape is fully deterministic.
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs.export import (
+    backend_health_report,
+    chrome_trace_events,
+    flame_report,
+    op_wall_report,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import write_folded_flame
+from repro.obs.tracer import SpanTracer
+from repro.pram.cost import CostModel
+
+GOLDEN = Path(__file__).parent / "golden_sharded_trace.json"
+
+
+def _empty_trace():
+    c = CostModel()
+    tracer = SpanTracer.attach(c, root_name="empty")
+    tracer.finish()
+    return tracer
+
+
+def _fallback_only_trace():
+    """A trace whose only activity is a backend fallback (no charges)."""
+    c = CostModel()
+    tracer = SpanTracer.attach(c, root_name="degenerate")
+    registry = MetricsRegistry.attach(c)
+    c.traffic("backend.fallback", elements=1)
+    c.traffic("backend.fallback.worker-death", elements=1)
+    c.traffic("backend.serial_round.fallback", elements=1)
+    tracer.finish()
+    registry.detach(c)
+    return tracer, registry
+
+
+def _synthetic_sharded_trace():
+    """A deterministic sharded-looking run: fixed spans + fabricated lanes."""
+    ticks = iter(i * 0.001 for i in range(1, 1000))
+    c = CostModel()
+    tracer = SpanTracer.attach(c, clock=lambda: next(ticks), root_name="sssp")
+    with c.phase("sssp_query"):
+        c.charge(work=1000, depth=8, label="bf_relax")
+        c.traffic("backend.round", elements=512)
+        c.traffic("backend.round", elements=512)
+    tracer.finish()
+    worker_rounds = [
+        {
+            "round": rid,
+            "t0": 0.001 * rid,
+            "wall_ns": 900_000,
+            "arcs": 512,
+            "workers": [
+                {
+                    "worker": w,
+                    "arcs": 256,
+                    "gather_ns": 100_000,
+                    "segmin_ns": 150_000,
+                    "serialize_ns": 200_000,
+                    "wall_ns": 500_000,
+                }
+                for w in (0, 1)
+            ],
+        }
+        for rid in (1, 2)
+    ]
+    return tracer, worker_rounds
+
+
+def _shape(events):
+    """The timestamp-free skeleton of a trace-event list."""
+    skeleton = []
+    for e in events:
+        entry = {
+            "ph": e["ph"],
+            "pid": e.get("pid"),
+            "tid": e.get("tid"),
+            "name": e.get("name"),
+        }
+        if e["ph"] == "M":
+            entry["meta_name"] = e["args"]["name"]
+        skeleton.append(entry)
+    return skeleton
+
+
+# -- empty trace --------------------------------------------------------------
+
+
+def test_empty_trace_exports_cleanly(tmp_path):
+    tracer = _empty_trace()
+    events = chrome_trace_events(tracer)
+    assert [e["ph"] for e in events] == ["M", "M", "X", "X"]  # just the root
+    doc = to_chrome_trace(tracer)
+    assert doc["otherData"]["total_work"] == 0
+    assert doc["otherData"]["span_coverage"] == 1.0
+    write_chrome_trace(tmp_path / "t.json", tracer)
+    json.loads((tmp_path / "t.json").read_text())
+    write_jsonl(tmp_path / "s.jsonl", tracer)
+    assert len((tmp_path / "s.jsonl").read_text().splitlines()) == 1
+    assert "empty" in flame_report(tracer)
+    op_wall_report(tracer)  # no ops at all: must not raise
+    flame = write_folded_flame(tmp_path / "f.folded", tracer)
+    for line in flame.read_text().splitlines():
+        frames, value = line.rsplit(" ", 1)
+        assert frames and int(value) >= 0
+
+
+def test_empty_trace_with_empty_worker_rounds():
+    tracer = _empty_trace()
+    assert chrome_trace_events(tracer, []) == chrome_trace_events(tracer, None)
+
+
+# -- fallback-only trace ------------------------------------------------------
+
+
+def test_fallback_only_trace_exports_and_reports(tmp_path):
+    tracer, registry = _fallback_only_trace()
+    events = chrome_trace_events(tracer)
+    assert sum(e["ph"] == "X" for e in events) == 2  # root on both tracks
+    report = op_wall_report(tracer)
+    assert "backend.fallback" in report
+    health = backend_health_report(registry)
+    assert "fallback (worker-death)" in health
+    assert "serial rounds (fallback)" in health
+    doc = to_chrome_trace(tracer, metrics=registry)
+    counters = doc["otherData"]["metrics"]["counters"]
+    assert counters["primitive.backend.fallback.elements"] == 1
+
+
+# -- sharded worker lanes vs golden shape -------------------------------------
+
+
+def test_sharded_trace_shape_matches_golden():
+    tracer, worker_rounds = _synthetic_sharded_trace()
+    shape = _shape(chrome_trace_events(tracer, worker_rounds))
+    golden = json.loads(GOLDEN.read_text())
+    assert shape == golden
+
+
+def test_sharded_lane_events_place_on_parent_clock():
+    tracer, worker_rounds = _synthetic_sharded_trace()
+    events = chrome_trace_events(tracer, worker_rounds)
+    lanes = [e for e in events if e["ph"] == "X" and e.get("tid", 0) >= 1]
+    assert len(lanes) == 4  # 2 rounds x 2 workers
+    for e in lanes:
+        assert e["pid"] == 0  # wall-clock track only
+        assert e["ts"] >= 0.0
+        assert e["dur"] == 500_000 / 1e3
+        assert e["args"]["arcs"] == 256
+    # a round's t0 before the root's wall_start clamps to lane origin
+    early = dict(worker_rounds[0], t0=-5.0)
+    clamped = chrome_trace_events(tracer, [early])
+    assert all(
+        e["ts"] == 0.0
+        for e in clamped
+        if e["ph"] == "X" and e.get("tid", 0) >= 1
+    )

@@ -1,0 +1,93 @@
+"""Per-scale profiler: attribution tables and the folded flame exporter."""
+
+import numpy as np
+
+from repro.graphs.generators import erdos_renyi
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.obs.profile import (
+    PHASE_KINDS,
+    _kind_of,
+    _scale_of,
+    profile_report,
+    write_folded_flame,
+)
+from repro.obs.tracer import SpanTracer
+from repro.pram.cost import CostModel
+from repro.pram.machine import PRAM
+
+
+def _traced_build():
+    g = erdos_renyi(48, 0.1, seed=2)
+    pram = PRAM()
+    tracer = SpanTracer.attach(pram.cost, root_name="build")
+    build_hopset(g, HopsetParams(beta=6), pram)
+    tracer.finish()
+    return tracer
+
+
+def test_scale_and_kind_classification():
+    assert _scale_of("scale3/phase0/detect") == "scale3"
+    assert _scale_of("sssp_query") == "(top)"
+    assert _kind_of("scale3/phase0/detect/explore") == "detect"
+    assert _kind_of("scale3/phase1/ruling/bit2") == "ruling"
+    assert _kind_of("sssp_query") == "sssp_query"
+    assert set(PHASE_KINDS) == {"detect", "ruling", "supercluster", "interconnect"}
+
+
+def test_profile_report_attributes_scales_and_phases():
+    tracer = _traced_build()
+    report = profile_report(tracer, top=6)
+    assert "per-scale (inclusive)" in report
+    assert "per-scale phase wall (exclusive)" in report
+    assert "hot primitives (top 6" in report
+    # the build opened at least one scale span and the known phase kinds
+    assert "scale" in report and "ruling" in report and "detect" in report
+    # the detect explore/aggregate subphases fold under 'detect'
+    assert "explore" not in report.split("hot primitives")[0]
+
+
+def test_profile_report_empty_trace():
+    c = CostModel()
+    tracer = SpanTracer.attach(c, root_name="nothing")
+    tracer.finish()
+    assert profile_report(tracer) == "(empty trace)"
+
+
+def test_folded_flame_totals_match_root_wall(tmp_path):
+    tracer = _traced_build()
+    path = write_folded_flame(tmp_path / "build.folded", tracer)
+    total = 0
+    stacks = set()
+    for line in path.read_text().splitlines():
+        frames, value = line.rsplit(" ", 1)
+        # duplicate stacks are fine (flamegraph sums them): re-entered phases
+        assert int(value) > 0
+        stacks.add(frames)
+        assert frames.startswith("build")
+        total += int(value)
+    root_ns = tracer.root.wall * 1e9
+    # residual lines make the folded total ~the root wall (rounding slack)
+    assert abs(total - root_ns) <= max(0.01 * root_ns, 1e4)
+    # primitive labels appear as leaf frames under their phase stacks
+    assert any(";detect;" in s or s.endswith("detect") for s in stacks)
+
+
+def test_folded_flame_deterministic_shape(tmp_path):
+    """Same synthetic trace -> same folded stacks (values aside)."""
+    def run():
+        ticks = iter(i * 0.001 for i in range(1, 100))
+        c = CostModel()
+        tracer = SpanTracer.attach(c, clock=lambda: next(ticks), root_name="r")
+        with c.phase("a"):
+            c.charge(work=5, depth=1, label="scan")
+            c.traffic("scan", elements=10)
+        tracer.finish()
+        return tracer
+
+    p1 = write_folded_flame(tmp_path / "one.folded", run())
+    p2 = write_folded_flame(tmp_path / "two.folded", run())
+    stacks1 = [ln.rsplit(" ", 1)[0] for ln in p1.read_text().splitlines()]
+    stacks2 = [ln.rsplit(" ", 1)[0] for ln in p2.read_text().splitlines()]
+    assert stacks1 == stacks2
+    assert "r;a;scan" in stacks1

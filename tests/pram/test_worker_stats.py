@@ -1,0 +1,214 @@
+"""Cross-process worker telemetry of the sharded backend.
+
+Pins the tentpole contracts of docs/observability.md ("cross-process
+telemetry"): per-worker stats rows merge into the registry with a sane
+wall-split, per-worker wall never exceeds the backend's round wall, the
+Chrome exporter gains one lane per worker next to the parent lane,
+fallbacks carry a structured reason label, and — the backend contract —
+outputs and charged costs are bit-identical with worker stats enabled,
+disabled, or with no hooks attached at all.
+"""
+
+import os
+import signal
+
+import numpy as np
+
+from repro.graphs.generators import erdos_renyi
+from repro.obs.export import backend_health_report, to_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanTracer
+from repro.pram.backends import SerialBackend, ShardedBackend
+from repro.pram.backends.sharded import worker_stats_enabled
+from repro.pram.machine import PRAM
+from repro.sssp.bellman_ford import bellman_ford
+
+
+def _graph():
+    return erdos_renyi(120, 0.08, seed=11)
+
+
+def _instrumented_run(be):
+    """One Bellman–Ford run under tracer+registry; returns all the pieces."""
+    g = _graph()
+    pram = PRAM(backend=be)
+    tracer = SpanTracer.attach(pram.cost)
+    registry = MetricsRegistry.attach(pram.cost)
+    res = bellman_ford(pram, g, 0, g.n - 1)
+    tracer.finish()
+    registry.detach(pram.cost)
+    return res, pram.cost.snapshot(), tracer, registry
+
+
+def _counter(registry, name):
+    c = registry.counters.get(name)
+    return c.value if c is not None else 0
+
+
+def test_worker_stats_env_toggle(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKER_STATS", raising=False)
+    assert worker_stats_enabled()
+    for off in ("0", "false", "OFF", "no"):
+        monkeypatch.setenv("REPRO_WORKER_STATS", off)
+        assert not worker_stats_enabled()
+    monkeypatch.setenv("REPRO_WORKER_STATS", "1")
+    assert worker_stats_enabled()
+
+
+def test_worker_metrics_merge_with_sane_wall_split():
+    be = ShardedBackend(workers=2, min_arcs=1)
+    try:
+        _, _, _, registry = _instrumented_run(be)
+        assert be.sharded_rounds > 0 and not be.failed
+        rounds = _counter(registry, "primitive.backend.round.calls")
+        round_wall = _counter(registry, "primitive.backend.round_wall_ns.elements")
+        assert rounds == be.sharded_rounds and round_wall > 0
+        for w in range(2):
+            prefix = f"primitive.backend.worker.{w}"
+            wall = _counter(registry, f"{prefix}.wall_ns.elements")
+            split = sum(
+                _counter(registry, f"{prefix}.{part}.elements")
+                for part in ("gather_ns", "segmin_ns", "serialize_ns")
+            )
+            assert wall > 0, f"worker {w} reported no wall"
+            assert split <= wall, "split parts exceed the worker's total"
+            assert _counter(registry, f"{prefix}.arcs.elements") > 0
+        # derived health figures all present and plausible
+        assert _counter(registry, "primitive.backend.combine_depth.elements") >= 1
+        imb = _counter(registry, "primitive.backend.imbalance_milli.elements")
+        calls = _counter(registry, "primitive.backend.imbalance_milli.calls")
+        assert imb >= 1000 * calls  # max/mean >= 1 by construction
+        assert _counter(registry, "primitive.backend.ipc_ns.elements") >= 0
+    finally:
+        be.close()
+
+
+def test_per_round_worker_wall_bounded_by_round_wall():
+    be = ShardedBackend(workers=2, min_arcs=1)
+    try:
+        _instrumented_run(be)
+        assert be.round_log, "no rounds logged"
+        for entry in be.round_log:
+            assert entry["wall_ns"] > 0
+            workers = {w["worker"] for w in entry["workers"]}
+            assert workers == {0, 1}
+            for w in entry["workers"]:
+                assert 0 < w["wall_ns"] <= entry["wall_ns"]
+                parts = w["gather_ns"] + w["segmin_ns"] + w["serialize_ns"]
+                assert parts <= w["wall_ns"]
+    finally:
+        be.close()
+
+
+def test_chrome_trace_gains_one_lane_per_worker():
+    be = ShardedBackend(workers=2, min_arcs=1)
+    try:
+        _, _, tracer, registry = _instrumented_run(be)
+        doc = to_chrome_trace(tracer, metrics=registry, worker_rounds=be.round_log)
+        events = doc["traceEvents"]
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {"parent", "worker 0", "worker 1"}
+        lane_tids = {
+            e["tid"] for e in events if e["ph"] == "X" and e.get("pid") == 0
+        }
+        assert {1, 2} <= lane_tids  # one wall-clock lane per worker
+        for e in events:
+            if e["ph"] == "X" and e.get("tid", 0) >= 1 and e.get("pid") == 0:
+                assert e["ts"] >= 0 and e["dur"] > 0
+                assert e["args"]["arcs"] > 0
+    finally:
+        be.close()
+
+
+def test_outputs_and_costs_identical_stats_on_off(monkeypatch):
+    g = _graph()
+    runs = {}
+    for mode in ("1", "0"):
+        monkeypatch.setenv("REPRO_WORKER_STATS", mode)
+        be = ShardedBackend(workers=2, min_arcs=1)
+        try:
+            pram = PRAM(backend=be)
+            res = bellman_ford(pram, g, 0, g.n - 1)
+            assert be.sharded_rounds > 0
+            runs[mode] = (res, pram.cost.snapshot())
+        finally:
+            be.close()
+    serial = bellman_ford(PRAM(backend=SerialBackend()), g, 0, g.n - 1)
+    (on, on_cost), (off, off_cost) = runs["1"], runs["0"]
+    assert np.array_equal(on.dist, off.dist)
+    assert np.array_equal(on.parent, off.parent)
+    assert np.array_equal(serial.dist, on.dist)
+    assert np.array_equal(serial.parent, on.parent)
+    assert (on_cost.work, on_cost.depth) == (off_cost.work, off_cost.depth)
+
+
+def test_no_hooks_means_no_merge_but_round_log_still_fills():
+    """Without subscribers the merge is skipped; plain runs stay lean."""
+    be = ShardedBackend(workers=2, min_arcs=1)
+    try:
+        g = _graph()
+        bellman_ford(PRAM(backend=be), g, 0, g.n - 1)
+        assert be.sharded_rounds > 0
+        assert be.round_log == []  # merge (and its logging) is hook-gated
+    finally:
+        be.close()
+
+
+def test_fallback_reason_label_after_worker_death():
+    g = _graph()
+    be = ShardedBackend(workers=2, min_arcs=1, round_timeout=10.0)
+    try:
+        pram = PRAM(backend=be)
+        registry = MetricsRegistry.attach(pram.cost)
+        bellman_ford(pram, g, 0, 2, early_exit=False)  # spin up the pool
+        victim = be._procs[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10.0)
+        res = bellman_ford(pram, g, 0, g.n - 1)
+        registry.detach(pram.cost)
+        assert be.failed and be.failure_kind == "worker-death"
+        assert _counter(registry, "primitive.backend.fallback.elements") == 1
+        assert (
+            _counter(registry, "primitive.backend.fallback.worker-death.elements")
+            == 1
+        )
+        assert (
+            _counter(registry, "primitive.backend.serial_round.fallback.elements")
+            > 0
+        )
+        report = backend_health_report(registry)
+        assert "fallback (worker-death)" in report
+        serial = bellman_ford(PRAM(backend=SerialBackend()), g, 0, g.n - 1)
+        assert np.array_equal(serial.dist, res.dist)
+    finally:
+        be.close()
+
+
+def test_serial_round_reason_min_arcs():
+    be = ShardedBackend(workers=2, min_arcs=10**9)
+    try:
+        _, _, _, registry = _instrumented_run(be)
+        assert be.sharded_rounds == 0
+        assert (
+            _counter(registry, "primitive.backend.serial_round.min-arcs.elements")
+            == be.serial_rounds
+        )
+        report = backend_health_report(registry)
+        assert "serial rounds (min-arcs)" in report
+    finally:
+        be.close()
+
+
+def test_health_report_empty_without_backend_traffic():
+    registry = MetricsRegistry()
+    assert backend_health_report(registry) == ""
+    g = _graph()
+    pram = PRAM(backend=SerialBackend())
+    reg = MetricsRegistry.attach(pram.cost)
+    bellman_ford(pram, g, 0, g.n - 1)
+    reg.detach(pram.cost)
+    assert backend_health_report(reg) == ""

@@ -62,6 +62,28 @@ def test_batch_matches_single(setup):
     assert np.array_equal(mat[1], oracle.distances_from(4))
 
 
+def test_cache_outcomes_feed_metrics_and_traffic(setup):
+    from repro.obs.metrics import MetricsRegistry
+    from repro.pram.machine import PRAM
+
+    g, H = setup
+    pram = PRAM()
+    registry = MetricsRegistry.attach(pram.cost)
+    oracle = HopsetDistanceOracle(g, H, pram=pram, metrics=registry)
+    oracle.query(0, 5)   # miss (explore 0)
+    oracle.query(5, 0)   # hit  (cached side)
+    oracle.query(0, 9)   # hit  (source 0 cached)
+    registry.detach(pram.cost)
+    assert registry.counter("oracle.cache.hit").value == 2
+    assert registry.counter("oracle.cache.miss").value == 1
+    # the same outcomes also rode the cost-model traffic stream
+    assert registry.counter("primitive.oracle.cache.hit.calls").value == 2
+    assert registry.counter("primitive.oracle.cache.miss.calls").value == 1
+    # and a metrics-less oracle still works (traffic no-ops unsubscribed)
+    bare = HopsetDistanceOracle(g, H)
+    assert bare.query(0, 5) == oracle.query(0, 5)
+
+
 def test_validation(setup):
     g, H = setup
     oracle = HopsetDistanceOracle(g, H)

@@ -224,3 +224,100 @@ def test_bad_backend_spec_is_rejected(graph_file, hopset_file):
             "sssp", str(graph_file), str(hopset_file), "--source", "0",
             "--backend", "warp-drive",
         ])
+
+
+def test_oracle_routes_cache_stats_through_metrics(graph_file, hopset_file, capsys):
+    rc = main([
+        "oracle", str(graph_file), str(hopset_file),
+        "--query", "0", "5", "--query", "5", "0", "--query", "0", "7",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # forward explores (miss), reverse hits the cache, third reuses source 0
+    assert "oracle.cache.hit=2" in out
+    assert "oracle.cache.miss=1" in out
+
+
+def test_profile_build_prints_attribution_and_flame(tmp_path, graph_file, capsys):
+    h = tmp_path / "h.npz"
+    flame = tmp_path / "build.folded"
+    rc = main([
+        "profile", "build", str(graph_file), str(h), "--beta", "6",
+        "--top", "5", "--flame-out", str(flame),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "per-scale (inclusive)" in out
+    assert "per-scale phase wall (exclusive)" in out
+    assert "hot primitives (top 5" in out
+    assert flame.exists() and flame.stat().st_size > 0
+    for line in flame.read_text().splitlines():
+        frames, value = line.rsplit(" ", 1)
+        assert frames.startswith("build") and int(value) > 0
+
+
+def test_profile_sssp_runs(tmp_path, graph_file, hopset_file, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # default flame path lands in cwd
+    rc = main(["profile", "sssp", str(graph_file), str(hopset_file), "--source", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "hot primitives" in out
+    assert (tmp_path / "profile_sssp.folded").exists()
+
+
+def _write_bench(d, work):
+    d.mkdir(exist_ok=True)
+    (d / "BENCH_demo.json").write_text(
+        '{"experiments": {"er": {"bit_exact": true, "work": %d}}}' % work
+    )
+
+
+def test_perf_append_then_check_gate(tmp_path, capsys):
+    bench = tmp_path / "benchmarks"
+    _write_bench(bench, 1000)
+    assert main(["perf", "check", "--bench-dir", str(bench)]) == 0  # no baseline
+    assert main(["perf", "append", "--bench-dir", str(bench)]) == 0
+    assert main(["perf", "check", "--bench-dir", str(bench)]) == 0
+    _write_bench(bench, 100_000)  # far beyond the 1.25x band
+    assert main(["perf", "check", "--bench-dir", str(bench)]) == 1
+    assert main(["perf", "check", "--bench-dir", str(bench), "--warn-only"]) == 0
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "demo:er" in out
+
+
+def test_perf_append_empty_dir_errors(tmp_path):
+    empty = tmp_path / "nothing"
+    empty.mkdir()
+    assert main(["perf", "append", "--bench-dir", str(empty)]) == 2
+
+
+def test_trace_sharded_emits_worker_lanes_and_health(tmp_path, graph_file,
+                                                    hopset_file, capsys):
+    import json
+
+    from repro.pram.backends.base import _SINGLETONS
+
+    trace = tmp_path / "t.json"
+    # the default min_arcs guard keeps tiny graphs serial; force engagement
+    from repro.pram.backends.sharded import ShardedBackend
+
+    be = ShardedBackend(workers=2, min_arcs=1)
+    _SINGLETONS["sharded:2"] = be
+    try:
+        rc = main([
+            "trace", "sssp", str(graph_file), str(hopset_file), "--source", "0",
+            "--backend", "sharded:2", "--trace-out", str(trace),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend health" in out and "per-worker compute" in out
+        doc = json.loads(trace.read_text())
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {"parent", "worker 0", "worker 1"}
+    finally:
+        _SINGLETONS.pop("sharded:2", None)
+        be.close()
