@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""CI perf smoke: the fused build path must not be slower, and the store must hit.
+
+Builds the hopset for a small layered workload with the fused build
+kernels (``REPRO_FUSED_BUILD=1``: grouped staged-minimum entry prune/
+aggregate + per-scale plan cache) and with the unfused lexsort path,
+taking the best of a few repeats, and exits non-zero if the fused build
+is slower or anything observable diverges (hopset edge set including
+provenance, charged work/depth).  Then runs the warm-store round-trip:
+saving the built hopset and loading it back by content key must be a
+``store.hit`` returning a bit-identical hopset, and must cost less than
+half of a cold build (the benchmark's acceptance bar is <10% on the
+headline workload; the smoke uses a loose bound so a tiny graph can't
+flap on fixed I/O costs).  See docs/hopset_store.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+from repro.graphs.generators import layered_hop_graph
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.store import HopsetStore
+from repro.pram.machine import PRAM
+
+_REPEATS = 3
+_PARAMS = HopsetParams(epsilon=0.25, kappa=3, rho=0.45, beta=8)
+
+
+def _edge_key(e):
+    return (e.u, e.v, e.weight, e.scale, e.phase, e.kind, e.path)
+
+
+def _best_of(fn, repeats=_REPEATS):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return out, best
+
+
+def main() -> int:
+    g = layered_hop_graph(64, 4, seed=2403)
+
+    def run(fused):
+        def go():
+            os.environ["REPRO_FUSED_BUILD"] = "1" if fused else "0"
+            try:
+                pram = PRAM()
+                hopset, _ = build_hopset(g, _PARAMS, pram=pram)
+                return hopset, pram.cost.work, pram.cost.depth
+            finally:
+                os.environ.pop("REPRO_FUSED_BUILD", None)
+
+        return _best_of(go)
+
+    (unfused, u_work, u_depth), u_wall = run(fused=False)
+    (fused, f_work, f_depth), f_wall = run(fused=True)
+    speedup = u_wall / max(f_wall, 1e-12)
+    print(
+        f"layered graph n={g.n} m={g.num_edges}: "
+        f"build unfused={u_wall * 1e3:.1f}ms fused={f_wall * 1e3:.1f}ms "
+        f"(speedup {speedup:.2f}x)"
+    )
+    ok = True
+    if sorted(map(_edge_key, unfused.edges)) != sorted(map(_edge_key, fused.edges)):
+        print("FAIL: fused hopset diverges from unfused", file=sys.stderr)
+        ok = False
+    if (f_work, f_depth) != (u_work, u_depth):
+        print(
+            f"FAIL: fused charged cost differs: "
+            f"fused=({f_work}, {f_depth}) unfused=({u_work}, {u_depth})",
+            file=sys.stderr,
+        )
+        ok = False
+    if f_wall > u_wall:
+        print("FAIL: fused build path is slower than unfused", file=sys.stderr)
+        ok = False
+
+    with tempfile.TemporaryDirectory() as root:
+        store = HopsetStore(root)
+        store.save(g, _PARAMS, fused)
+        warm, w_wall = _best_of(lambda: store.load(g, _PARAMS))
+        print(f"warm store load: {w_wall * 1e3:.1f}ms ({w_wall / f_wall:.3f} of cold)")
+        if warm is None:
+            print("FAIL: warm store missed its own artifact", file=sys.stderr)
+            ok = False
+        elif sorted(map(_edge_key, warm.edges)) != sorted(
+            map(_edge_key, fused.edges)
+        ):
+            print("FAIL: warm store returned a different hopset", file=sys.stderr)
+            ok = False
+        if w_wall > 0.5 * f_wall:
+            print("FAIL: warm load cost more than half a cold build", file=sys.stderr)
+            ok = False
+    if ok:
+        print(
+            "perf smoke OK: fused build >= unfused speed, bit-exact, "
+            "cost-identical, warm store hits"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

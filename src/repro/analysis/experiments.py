@@ -47,6 +47,7 @@ EXPERIMENTS: tuple[Experiment, ...] = (
     Experiment("E21", "sparse-frontier vs dense relaxation engines", "engineering, docs/frontier.md", "test_e21_frontier"),
     Experiment("E22", "wall-clock fast path: fused kernels + pooling", "engineering, docs/frontier.md", "test_e22_wallclock"),
     Experiment("E23", "sharded backend scaling vs Brent's T_p ≤ W/p + D", "engineering, docs/backends.md", "test_e23_sharded"),
+    Experiment("E24", "hopset build fast path + warm store", "engineering, docs/hopset_store.md", "test_e24_build"),
 )
 
 

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro build   graph.npz hopset.npz [--epsilon E --kappa K --rho R --beta B --paths --reduce]
+                            [--store DIR [--warm]]
     python -m repro sssp    graph.npz hopset.npz --source S [--out dist.npz] [--engine {dense,sparse,auto}]
     python -m repro spt     graph.npz hopset.npz --source S [--out tree.npz]
     python -m repro oracle  graph.npz hopset.npz [--query U V ...] [--batch S1,S2,...]
@@ -74,6 +75,7 @@ from repro.graphs.generators import (
 from repro.hopsets.multi_scale import build_hopset
 from repro.hopsets.params import HopsetParams
 from repro.hopsets.path_reporting import build_path_reporting_hopset
+from repro.hopsets.store import HopsetStore, build_variant
 from repro.hopsets.reduction_paths import (
     build_reduced_path_reporting_hopset,
     spt_hop_budget,
@@ -152,17 +154,31 @@ def cmd_build(args, pram: PRAM | None = None) -> int:
     g = _read_graph(args.graph)
     params = _params(args)
     pram = pram if pram is not None else PRAM()
-    if args.reduce and args.paths:
-        hopset, _ = build_reduced_path_reporting_hopset(g, params, pram)
-    elif args.reduce:
-        hopset, _ = build_reduced_hopset(g, params, pram)
-    elif args.paths:
-        hopset, _ = build_path_reporting_hopset(g, params, pram)
-    else:
-        hopset, _ = build_hopset(g, params, pram)
+    if args.warm and not args.store:
+        print("--warm needs --store DIR (the artifact cache to load from)",
+              file=sys.stderr)
+        return 2
+    variant = build_variant(paths=args.paths, reduce=args.reduce)
+    store = HopsetStore(args.store) if args.store else None
+    hopset = None
+    if store is not None and args.warm:
+        hopset = store.load(g, params, variant=variant, cost=pram.cost)
+    warm = hopset is not None
+    if hopset is None:
+        if args.reduce and args.paths:
+            hopset, _ = build_reduced_path_reporting_hopset(g, params, pram)
+        elif args.reduce:
+            hopset, _ = build_reduced_hopset(g, params, pram)
+        elif args.paths:
+            hopset, _ = build_path_reporting_hopset(g, params, pram)
+        else:
+            hopset, _ = build_hopset(g, params, pram)
+        if store is not None:
+            store.save(g, params, hopset, variant=variant)
     save_hopset(args.out, hopset)
+    source = "warm store hit" if warm else "built"
     print(
-        f"built hopset: {hopset.num_records} records / {hopset.size()} pairs, "
+        f"{source} hopset: {hopset.num_records} records / {hopset.size()} pairs, "
         f"work={pram.cost.work:,}, depth={pram.cost.depth:,} -> {args.out}"
     )
     return 0
@@ -499,6 +515,16 @@ def _add_build_flags(p: argparse.ArgumentParser) -> None:
     _add_param_flags(p)
     p.add_argument("--paths", action="store_true", help="record memory paths (§4)")
     p.add_argument("--reduce", action="store_true", help="Klein–Sairam reduction (App. C/D)")
+    p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="content-addressed hopset store: built artifacts are filed "
+             "under graph+params keys (docs/hopset_store.md)",
+    )
+    p.add_argument(
+        "--warm", action="store_true",
+        help="consult --store before building: a key hit loads the cached "
+             "hopset instead of rebuilding (miss falls back to a build)",
+    )
 
 
 def _add_query_flags(p: argparse.ArgumentParser) -> None:

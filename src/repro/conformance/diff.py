@@ -529,6 +529,103 @@ def _diff_relax_arcs(case, seed, strict):
                     rounds, rounds <= cost.depth + 4)
 
 
+def _entry_inputs(
+    case: str, seed: int, n: int = _N, k: int = 6
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(vert, src, dist, seed_ids) entry-table rows per case.
+
+    ``duplicate-index`` piles every row onto one vertex (the deepest
+    per-group reduction), ``all-ties`` makes every distance equal (the
+    staged minima must fall through to the src/seed tiebreaks),
+    ``adversarial-stride`` interleaves groups with descending distances.
+    Distances are integer-valued doubles, exact under any grouping.
+    """
+    rng = np.random.default_rng(seed)
+    if case == "empty":
+        z = np.zeros(0, dtype=np.int64)
+        return z, z, np.zeros(0), z
+    if case == "singleton":
+        return (
+            np.asarray([2], dtype=np.int64),
+            np.asarray([1], dtype=np.int64),
+            np.asarray([4.0]),
+            np.asarray([9], dtype=np.int64),
+        )
+    if case == "duplicate-index":
+        vert = np.full(n, 3, dtype=np.int64)
+        src = rng.integers(0, 3, size=n).astype(np.int64)
+        dist = rng.integers(0, 4, size=n).astype(np.float64)
+    elif case == "all-ties":
+        vert = np.asarray([i % 3 for i in range(n)], dtype=np.int64)
+        src = np.asarray([i % 4 for i in range(n)], dtype=np.int64)
+        dist = np.full(n, 7.0)
+    elif case == "adversarial-stride":
+        vert = np.asarray([(5 * i) % k for i in range(n)], dtype=np.int64)
+        src = np.asarray([(3 * i) % k for i in range(n)], dtype=np.int64)
+        dist = np.asarray([float(n - i) for i in range(n)])
+    else:
+        vert = rng.integers(0, k, size=n).astype(np.int64)
+        src = rng.integers(0, k, size=n).astype(np.int64)
+        dist = rng.integers(0, 20, size=n).astype(np.float64)
+    seed_ids = rng.integers(0, 50, size=vert.size).astype(np.int64)
+    return vert, src, dist, seed_ids
+
+
+def _diff_prune_entries(case, seed, strict):
+    """Fused entry prune vs the literal sort program, at x = 1 and x = 3."""
+    vert, src, dist, seed_ids = _entry_inputs(case, seed)
+    ws = Workspace(poison=True)
+    equal = True
+    depth = rounds = 0
+    cost = CostModel()
+    shadow = ShadowCREW()
+    for x in (1, 3):
+        out, cost, shadow = _shadowed_run(
+            lambda c: primitives.pprune_entries(
+                c, vert, src, dist, seed_ids, x, workspace=ws
+            ),
+            strict,
+        )
+        lit, lit_rounds = reference.crew_prune_entries(
+            vert.tolist(), src.tolist(), dist.tolist(), seed_ids.tolist(), x
+        )
+        equal = equal and all(
+            np.array_equal(np.asarray(o), np.asarray(l)) for o, l in zip(out, lit)
+        )
+        depth = max(depth, cost.depth)
+        rounds = max(rounds, lit_rounds)
+    # the literal side runs two O(n) odd-even networks plus scans
+    n = int(vert.size)
+    return _outcome("prune_entries", case, n, equal, cost, shadow, rounds,
+                    rounds <= 4 * n + depth + 12,
+                    detail="literal = odd-even network" if equal else "")
+
+
+def _diff_aggregate_entries(case, seed, strict):
+    """Fused per-cluster aggregation vs the literal sort program (x = 2)."""
+    cl, src, dist, seed_ids = _entry_inputs(case, seed)
+    rng = np.random.default_rng(seed + 3)
+    member = rng.integers(0, 9, size=cl.size).astype(np.int64)
+    ws = Workspace(poison=True)
+    out, cost, shadow = _shadowed_run(
+        lambda c: primitives.paggregate_entries(
+            c, cl, src, dist, member, seed_ids, 2, workspace=ws
+        ),
+        strict,
+    )
+    lit, rounds = reference.crew_aggregate_entries(
+        cl.tolist(), src.tolist(), dist.tolist(), member.tolist(),
+        seed_ids.tolist(), 2,
+    )
+    equal = all(
+        np.array_equal(np.asarray(o), np.asarray(l)) for o, l in zip(out, lit)
+    )
+    n = int(cl.size)
+    return _outcome("aggregate_entries", case, n, equal, cost, shadow, rounds,
+                    rounds <= 4 * n + cost.depth + 12,
+                    detail="literal = odd-even network" if equal else "")
+
+
 def _diff_pointer_jump(case, seed, strict):
     parent = _parent_forest(case, seed)
     n = parent.size
@@ -577,6 +674,8 @@ PRIMITIVE_DIFFS: dict[str, Callable[[str, int, bool], DiffOutcome]] = {
     "segmented_sum": _diff_segmented_sum,
     "gather_csr": _diff_gather_csr,
     "relax_arcs": _diff_relax_arcs,
+    "prune_entries": _diff_prune_entries,
+    "aggregate_entries": _diff_aggregate_entries,
     "sort": _diff_sort,
     "lexsort": _diff_lexsort,
     "pointer_jump": _diff_pointer_jump,

@@ -35,7 +35,7 @@ from repro.hopsets.clusters import ClusterMemory, Partition
 from repro.hopsets.errors import HopsetError
 from repro.pram.machine import PRAM
 from repro.pram.primitives import ceil_log2
-from repro.pram.workspace import fused_default
+from repro.pram.workspace import fused_build_default, fused_default
 
 __all__ = ["EntryTable", "ClusterTables", "BFSResult", "neighbor_tables", "bfs_from_clusters"]
 
@@ -153,11 +153,28 @@ def _seed(
     )
 
 
-def _dedup_and_prune(table: EntryTable, x: int, pram: PRAM) -> EntryTable:
-    """Algorithm 3: dedup per (vertex, source) by min distance, keep x per vertex."""
+def _dedup_and_prune(
+    table: EntryTable, x: int, pram: PRAM, fused: bool | None = None
+) -> EntryTable:
+    """Algorithm 3: dedup per (vertex, source) by min distance, keep x per vertex.
+
+    ``fused=None`` follows :func:`fused_build_default` (``REPRO_FUSED_BUILD``).
+    The fused path replaces the multi-key lexsorts with the grouped
+    staged-minimum kernel :func:`~repro.pram.primitives.pprune_entries` —
+    bit-identical rows and charges, wall-clock only.  Path-recording
+    tables always take the sort path: path tuples are selected by sorted
+    row *position*, which value-space minima cannot reproduce.
+    """
     n = table.size
     if n == 0:
         return table
+    if fused is None:
+        fused = fused_build_default()
+    if fused and table.paths is None:
+        vert, src, dist, seed = pram.prune_entries(
+            table.vert, table.src, table.dist, table.seed, x
+        )
+        return EntryTable(vert=vert, src=src, dist=dist, seed=seed)
     if x == 1:
         # Per-vertex pruning to one entry subsumes the per-(vertex, source)
         # dedup: keep the minimum (dist, src, seed) row per vertex.
@@ -213,7 +230,11 @@ def _propagate(
     """
     indptr, indices, weights = graph.indptr, graph.indices, graph.weights
     use_fused = fused_default()
-    table = _dedup_and_prune(table, x, pram)
+    fused_build = fused_build_default()
+    # per-scale cluster-graph gather plan: the cached degree array spares
+    # every round below one row-pointer gather + subtract
+    deg_all = pram.workspace.csr_degrees(graph)
+    table = _dedup_and_prune(table, x, pram, fused=fused_build)
     for _ in range(rounds):
         if table.size == 0:
             break
@@ -222,7 +243,7 @@ def _propagate(
             # charged identically to the gather_csr + raw-add sequence below.
             rep, head, cand_dist = pram.gather_add(
                 indptr, indices, weights, table.vert, table.dist,
-                label="relax_gather", add_label="relax",
+                label="relax_gather", add_label="relax", deg_all=deg_all,
             )
             if head.size == 0:
                 break
@@ -255,7 +276,7 @@ def _propagate(
         )
         before = table.size
         before_key = (table.vert.copy(), table.src.copy(), table.dist.copy())
-        table = _dedup_and_prune(EntryTable.concat(table, cand), x, pram)
+        table = _dedup_and_prune(EntryTable.concat(table, cand), x, pram, fused=fused_build)
         if table.size == before and np.array_equal(table.vert, before_key[0]) and np.array_equal(
             table.src, before_key[1]
         ) and np.array_equal(table.dist, before_key[2]):
@@ -269,7 +290,14 @@ def _aggregate(
     table: EntryTable,
     x: int,
 ) -> ClusterTables:
-    """Aggregation part: merge member entries into per-cluster m(C) tables."""
+    """Aggregation part: merge member entries into per-cluster m(C) tables.
+
+    The fused path (``REPRO_FUSED_BUILD``, default on) runs the grouped
+    staged-minimum kernel :func:`~repro.pram.primitives.paggregate_entries`
+    instead of the 5-key lexsort — bit-identical rows and charges;
+    path-recording tables always take the sort path (path tuples are
+    selected by sorted row position).
+    """
     ncl = partition.num_clusters
     cl = partition.cluster_of[table.vert] if table.size else np.zeros(0, dtype=np.int64)
     live = cl >= 0
@@ -277,7 +305,12 @@ def _aggregate(
     t = table.take(idx)
     cl = cl[idx]
     n = t.size
-    if n:
+    if n and t.paths is None and fused_build_default():
+        cl, src_a, dist_a, member_a, seed_a = pram.aggregate_entries(
+            cl, t.src, t.dist, t.vert, t.seed, x
+        )
+        t = EntryTable(vert=member_a, src=src_a, dist=dist_a, seed=seed_a)
+    elif n:
         # dedup per (cluster, src) keeping min (dist, member, seed)
         order = np.lexsort((t.seed, t.vert, t.dist, t.src, cl))
         t = t.take(order)

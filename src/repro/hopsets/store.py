@@ -1,0 +1,163 @@
+"""Warm hopset store: a content-addressed cache of built hopsets.
+
+Hopset construction is the expensive half of the paper's pipeline —
+Theorem 3.7 work for an artifact that is then queried many times.  The
+store makes repeated builds of the same ``(graph, params, variant)``
+free: artifacts are the versioned ``.npz`` archives of
+:mod:`repro.serialize`, filed under a key derived from the *content* of
+the inputs, so a warm run loads the cached hopset (bit-identical to a
+fresh build — the construction is deterministic) instead of rebuilding.
+
+Key derivation (see ``docs/hopset_store.md``):
+
+* the **graph fingerprint** hashes ``n`` and the canonical undirected
+  edge arrays ``edge_u`` / ``edge_v`` / ``edge_w`` exactly as the
+  :class:`~repro.graphs.csr.Graph` constructor normalized them
+  (endpoint-sorted, lexicographically ordered), so two graphs built from
+  differently-permuted edge lists share a fingerprint iff they are the
+  same weighted graph;
+* the **store key** folds in every :class:`~repro.hopsets.params.HopsetParams`
+  field (``epsilon``, ``kappa``, ``rho``, ``beta``, ``tight_weights``,
+  ``scale_epsilon``), the build *variant* (``plain`` / ``paths`` /
+  ``reduce`` / ``reduce-paths``) and :data:`STORE_FORMAT_VERSION` — any
+  perturbation of graph or parameters changes the key, and bumping the
+  format version invalidates every older artifact at once.
+
+Misses never raise: a missing, truncated, or corrupted artifact (or one
+whose recorded ``n`` disagrees with the graph) reports a ``store.miss``
+traffic event and returns ``None`` so the caller falls back to a fresh
+build; hits report ``store.hit``.  Per-event slugs
+(``store.miss.{absent,corrupt,mismatch}``) make the reason visible in
+trace summaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from repro.hopsets.hopset import Hopset
+from repro.hopsets.params import HopsetParams
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "graph_fingerprint",
+    "store_key",
+    "HopsetStore",
+    "build_variant",
+]
+
+#: Bump to invalidate every artifact written under an older layout.
+STORE_FORMAT_VERSION = 1
+
+#: The build variants ``repro build`` can produce (flag combinations).
+_VARIANTS = ("plain", "paths", "reduce", "reduce-paths")
+
+
+def build_variant(paths: bool = False, reduce: bool = False) -> str:
+    """The store variant slug for a build-flag combination."""
+    if reduce and paths:
+        return "reduce-paths"
+    if reduce:
+        return "reduce"
+    if paths:
+        return "paths"
+    return "plain"
+
+
+def graph_fingerprint(graph) -> str:
+    """SHA-256 over the graph's canonical content (hex digest).
+
+    Hashes ``n`` plus the raw bytes of the canonical edge arrays; the
+    :class:`~repro.graphs.csr.Graph` constructor already endpoint-sorts
+    and lexicographically orders them, so the fingerprint is a function
+    of the weighted graph, not of the edge-list permutation it was built
+    from.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-graph-v1")
+    h.update(int(graph.n).to_bytes(8, "little"))
+    for arr in (graph.edge_u, graph.edge_v, graph.edge_w):
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def store_key(graph, params: HopsetParams, variant: str = "plain") -> str:
+    """The content key of a ``(graph, params, variant)`` build (hex digest)."""
+    if variant not in _VARIANTS:
+        raise ValueError(f"unknown build variant {variant!r}; one of {_VARIANTS}")
+    h = hashlib.sha256()
+    h.update(b"repro-hopset-store-v%d" % STORE_FORMAT_VERSION)
+    h.update(graph_fingerprint(graph).encode())
+    h.update(
+        repr(
+            (
+                float(params.epsilon),
+                int(params.kappa),
+                float(params.rho),
+                None if params.beta is None else int(params.beta),
+                bool(params.tight_weights),
+                bool(params.scale_epsilon),
+            )
+        ).encode()
+    )
+    h.update(variant.encode())
+    return h.hexdigest()
+
+
+class HopsetStore:
+    """A directory of content-addressed hopset artifacts.
+
+    ``load`` is fail-soft by contract: every failure mode short of a bug
+    (absent file, truncated archive, foreign/corrupt content, stale
+    graph) is a miss, reported as ``store.miss`` traffic on the optional
+    cost model, never an exception — the warm path degrades to a cold
+    build, it cannot break one.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Artifact location of ``key`` inside the store."""
+        return self.root / f"hopset-{key}.npz"
+
+    def load(
+        self, graph, params: HopsetParams, variant: str = "plain", cost=None
+    ) -> Hopset | None:
+        """The cached hopset of ``(graph, params, variant)``, or ``None``."""
+        from repro.serialize import load_hopset
+
+        key = store_key(graph, params, variant)
+        path = self.path_for(key)
+        if not path.is_file():
+            self._miss(cost, "absent")
+            return None
+        try:
+            hopset = load_hopset(path)
+        except Exception:  # corrupt/truncated/foreign artifact -> fresh build
+            self._miss(cost, "corrupt")
+            return None
+        if hopset.n != graph.n:  # key collision would be required; stay safe
+            self._miss(cost, "mismatch")
+            return None
+        if cost is not None:
+            cost.traffic("store.hit", elements=1)
+        return hopset
+
+    def save(
+        self, graph, params: HopsetParams, hopset: Hopset, variant: str = "plain"
+    ) -> Path:
+        """File ``hopset`` under its content key; returns the artifact path."""
+        from repro.serialize import save_hopset
+
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(store_key(graph, params, variant))
+        save_hopset(path, hopset)
+        return path
+
+    @staticmethod
+    def _miss(cost, reason: str) -> None:
+        if cost is not None:
+            cost.traffic("store.miss", elements=1)
+            cost.traffic(f"store.miss.{reason}", elements=1)

@@ -42,22 +42,28 @@ __all__ = [
     "backend_default",
     "serial_gather_csr",
     "serial_segmin",
+    "serial_entry_segmin",
 ]
 
 _INT64_MAX = np.iinfo(np.int64).max  # "no achieving tail" payload sentinel
 
 
 def serial_gather_csr(
-    indptr: np.ndarray, frontier: np.ndarray
+    indptr: np.ndarray, frontier: np.ndarray, deg_all: np.ndarray | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Numeric core of :func:`repro.pram.primitives.pgather_csr`.
 
     Returns ``(slots, arcs)`` for the flattened out-arc list of the
     (validated, non-empty) ``frontier``; cost charging stays with the
-    calling primitive.
+    calling primitive.  ``deg_all`` is the optional cached per-vertex
+    degree array (``Workspace.csr_degrees``) — supplying it replaces the
+    second row-pointer gather + subtract with one degree gather.
     """
     starts = np.asarray(indptr[frontier], dtype=np.int64)
-    deg = np.asarray(indptr[frontier + 1], dtype=np.int64) - starts
+    if deg_all is not None:
+        deg = np.asarray(deg_all[frontier], dtype=np.int64)
+    else:
+        deg = np.asarray(indptr[frontier + 1], dtype=np.int64) - starts
     total = int(deg.sum())
     slots = np.repeat(np.arange(frontier.size, dtype=np.int64), deg)
     run_start = np.concatenate(([0], np.cumsum(deg)[:-1]))
@@ -103,6 +109,58 @@ def serial_segmin(
     return cand, segmin, winpay, achieving
 
 
+def serial_entry_segmin(
+    dist_s: np.ndarray,
+    aux1_s: np.ndarray,
+    aux2_s: np.ndarray | None,
+    seg_start: np.ndarray,
+    seg_id: np.ndarray,
+    take,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Per-segment staged lexicographic minimum of entry rows — in process.
+
+    The numeric core of the fused hopset-build prune/aggregate kernels:
+    rows are grouped into contiguous segments (``seg_start`` offsets into
+    the row arrays, ``seg_id`` the per-row segment index) and each segment
+    reduces to the lexicographic minimum of its ``(dist, aux1[, aux2])``
+    row tuples, computed by staged value minima — per segment the minimum
+    ``dist``, then the minimum ``aux1`` among dist-achieving rows, then
+    the minimum ``aux2`` among rows achieving both.  Staged minima equal
+    the lexicographic minimum and are permutation-independent, which is
+    what makes the fused kernels bit-equal to the sort-based unfused path
+    and makes sharded execution legal (the combine is associative).
+
+    Scratch comes from ``take(name, size, dtype)``; the returned arrays
+    are pooled views valid until the pool's next round — callers copy out
+    whatever survives.  ``aux2_s=None`` skips the third stage.
+    """
+    n = int(dist_s.size)
+    k = int(seg_start.size)
+    gmin_d = take("entry.gmin_d", k, np.float64)
+    np.minimum.reduceat(dist_s, seg_start, out=gmin_d)
+    rep = take("entry.rep", n, np.float64)
+    gmin_d.take(seg_id, out=rep)
+    achieving = take("entry.achieving", n, bool)
+    np.equal(dist_s, rep, out=achieving)
+    masked = take("entry.masked", n, np.int64)
+    masked.fill(_INT64_MAX)
+    np.copyto(masked, aux1_s, where=achieving)
+    gmin_a1 = take("entry.gmin_a1", k, np.int64)
+    np.minimum.reduceat(masked, seg_start, out=gmin_a1)
+    if aux2_s is None:
+        return gmin_d, gmin_a1, None
+    irep = take("entry.irep", n, np.int64)
+    gmin_a1.take(seg_id, out=irep)
+    also = take("entry.also", n, bool)
+    np.equal(aux1_s, irep, out=also)
+    achieving &= also
+    masked.fill(_INT64_MAX)
+    np.copyto(masked, aux2_s, where=achieving)
+    gmin_a2 = take("entry.gmin_a2", k, np.int64)
+    np.minimum.reduceat(masked, seg_start, out=gmin_a2)
+    return gmin_d, gmin_a1, gmin_a2
+
+
 class ExecutionBackend:
     """Where the numeric kernels of the simulated machine execute.
 
@@ -119,10 +177,10 @@ class ExecutionBackend:
     workers = 1
 
     def gather_csr(
-        self, indptr: np.ndarray, frontier: np.ndarray
+        self, indptr: np.ndarray, frontier: np.ndarray, deg_all: np.ndarray | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Flattened CSR out-arc gather of a non-empty frontier."""
-        return serial_gather_csr(indptr, frontier)
+        return serial_gather_csr(indptr, frontier, deg_all)
 
     def relax_segmin(
         self, plan, dist: np.ndarray, take, cost=None
@@ -136,6 +194,24 @@ class ExecutionBackend:
             dist, plan.tails_s, plan.weights_s, plan.seg_start, plan.seg_id, take
         )
         return segmin, winpay
+
+    def entry_segmin(
+        self,
+        dist_s: np.ndarray,
+        aux1_s: np.ndarray,
+        aux2_s: np.ndarray | None,
+        seg_start: np.ndarray,
+        seg_id: np.ndarray,
+        take,
+        cost=None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Per-segment staged lexicographic min of grouped entry rows.
+
+        The grouped-reduction core of the fused hopset-build prune and
+        aggregate kernels (``pprune_entries`` / ``paggregate_entries``);
+        see :func:`serial_entry_segmin` for the exact semantics.
+        """
+        return serial_entry_segmin(dist_s, aux1_s, aux2_s, seg_start, seg_id, take)
 
     def close(self) -> None:
         """Release any host resources (worker processes, shared memory)."""

@@ -96,7 +96,12 @@ import numpy as np
 from repro.pram.backends.base import ExecutionBackend, serial_segmin
 from repro.pram.errors import InvalidStepError
 
-__all__ = ["ShardedBackend", "shard_bounds", "tree_min_combine"]
+__all__ = [
+    "ShardedBackend",
+    "shard_bounds",
+    "tree_min_combine",
+    "entry_tree_combine",
+]
 
 log = logging.getLogger("repro.backends")
 
@@ -104,6 +109,13 @@ _INT64_MAX = np.iinfo(np.int64).max
 
 #: Rounds with fewer arcs than this run in-process (IPC would dominate).
 DEFAULT_MIN_ARCS = 4096
+
+#: Entry-segmin rounds with fewer rows than this run in-process.  Entry
+#: rows are transient (fresh grouping every call, nothing to register in
+#: shared memory once), so the whole row slice ships through the pipe —
+#: the amortization threshold is accordingly much higher than for the
+#: registered relaxation plans.
+DEFAULT_MIN_ENTRY_ROWS = 65536
 
 #: Seconds the parent waits for one worker's round before tripping fallback.
 DEFAULT_ROUND_TIMEOUT = 30.0
@@ -190,6 +202,116 @@ def tree_min_combine(parts):
             nxt.append(level[-1])
         level = nxt
     return level[0]
+
+
+def _entry_lex_combine(a, b):
+    """Lexicographic min of two staged ``(dist, aux1[, aux2])`` triples.
+
+    Each operand is one shard's staged minimum for the same (straddling)
+    segment — itself the lexicographic minimum of that shard's rows — so
+    the combined triple is the segment's global lexicographic minimum.
+    """
+    a_d, a_1, a_2 = a
+    b_d, b_1, b_2 = b
+    if b_d < a_d:
+        return b
+    if a_d < b_d:
+        return a
+    if b_1 < a_1:
+        return b
+    if a_1 < b_1:
+        return a
+    if a_2 is None:
+        return a
+    return a if a_2 <= b_2 else b
+
+
+def _entry_merge(a, b):
+    """Combine two adjacent shard entry-partials (contiguous segment runs).
+
+    Operands are ``(seg_lo, gmin_d, gmin_a1, gmin_a2_or_None)``; ``b``
+    starts either at ``a``'s end (disjoint) or one segment earlier (the
+    boundary segment's rows straddle the shard cut), in which case the
+    straddling cell combines by staged-lexicographic minimum — exact and
+    associative, see :func:`_entry_lex_combine`.
+    """
+    a_lo, a_d, a_1, a_2 = a
+    b_lo, b_d, b_1, b_2 = b
+    a_hi = a_lo + a_d.size
+    has2 = a_2 is not None
+    if b_lo == a_hi:  # no straddling segment
+        return (
+            a_lo,
+            np.concatenate((a_d, b_d)),
+            np.concatenate((a_1, b_1)),
+            np.concatenate((a_2, b_2)) if has2 else None,
+        )
+    if b_lo != a_hi - 1:
+        raise InvalidStepError(
+            f"non-adjacent entry shard results: [{a_lo},{a_hi}) then {b_lo}"
+        )
+    va = (float(a_d[-1]), int(a_1[-1]), int(a_2[-1]) if has2 else None)
+    vb = (float(b_d[0]), int(b_1[0]), int(b_2[0]) if has2 else None)
+    d, a1, a2 = _entry_lex_combine(va, vb)
+    mid_d = np.array([d], dtype=a_d.dtype)
+    mid_1 = np.array([a1], dtype=a_1.dtype)
+    return (
+        a_lo,
+        np.concatenate((a_d[:-1], mid_d, b_d[1:])),
+        np.concatenate((a_1[:-1], mid_1, b_1[1:])),
+        np.concatenate((a_2[:-1], np.array([a2], dtype=a_2.dtype), b_2[1:]))
+        if has2
+        else None,
+    )
+
+
+def entry_tree_combine(parts):
+    """Fixed-shard-order tree combine of per-shard entry-segmin partials.
+
+    ``parts`` is the ascending shard-order list of ``(seg_lo, gmin_d,
+    gmin_a1, gmin_a2_or_None)`` partials; returns the combined quadruple
+    covering the union.  Bit-equal to the serial staged reduction for any
+    shard count because the per-cell rule is the associative staged
+    lexicographic minimum.
+    """
+    if not parts:
+        raise InvalidStepError("entry_tree_combine: no shard results")
+    if len(parts) == 1:
+        lo, gd, g1, g2 = parts[0]
+        return lo, gd.copy(), g1.copy(), None if g2 is None else g2.copy()
+    level = list(parts)
+    while len(level) > 1:
+        nxt = [
+            _entry_merge(level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def _entry_partial(dist, aux1, aux2, local_starts):
+    """One shard's staged entry minima (the worker-side compute).
+
+    Mirrors :func:`repro.pram.backends.base.serial_entry_segmin` on a row
+    slice: per local segment the min ``dist``, the min ``aux1`` among
+    dist-achieving rows, and (when ``aux2`` rides along) the min ``aux2``
+    among rows achieving both.  The achieving masks use the *local*
+    minima, so each cell is the lexicographic min of the shard's rows —
+    exactly what :func:`entry_tree_combine` needs.
+    """
+    seg_len = np.diff(np.concatenate((local_starts, [dist.size])))
+    seg_id = np.repeat(np.arange(local_starts.size, dtype=np.int64), seg_len)
+    gmin_d = np.minimum.reduceat(dist, local_starts)
+    achieving = dist == gmin_d.take(seg_id)
+    masked = np.where(achieving, aux1, _INT64_MAX)
+    gmin_a1 = np.minimum.reduceat(masked, local_starts)
+    if aux2 is None:
+        return gmin_d, gmin_a1, None
+    achieving &= aux1 == gmin_a1.take(seg_id)
+    masked = np.where(achieving, aux2, _INT64_MAX)
+    gmin_a2 = np.minimum.reduceat(masked, local_starts)
+    return gmin_d, gmin_a1, gmin_a2
 
 
 def _attach_shm(name: str):
@@ -304,6 +426,17 @@ def _worker_main(conn, stats_spec=None) -> None:  # pragma: no cover - subproces
                         gather_ns, segmin_ns, serialize_ns, total_ns,
                     )
                 conn.send(("done", rid, total_ns))
+            elif op == "entry":
+                _, rid, payload = msg
+                t0 = time.perf_counter_ns()
+                part = _entry_partial(
+                    payload["dist"],
+                    payload["aux1"],
+                    payload["aux2"],
+                    payload["local_starts"],
+                )
+                total_ns = time.perf_counter_ns() - t0
+                conn.send(("edone", rid, part, total_ns))
             else:
                 conn.send(("err", f"unknown op {op!r}"))
     except (EOFError, OSError, KeyboardInterrupt):
@@ -385,6 +518,7 @@ class ShardedBackend(ExecutionBackend):
         workers: int | None = None,
         min_arcs: int = DEFAULT_MIN_ARCS,
         round_timeout: float = DEFAULT_ROUND_TIMEOUT,
+        min_entry_rows: int = DEFAULT_MIN_ENTRY_ROWS,
     ) -> None:
         if workers is not None and workers < 1:
             raise InvalidStepError(f"worker count must be >= 1, got {workers}")
@@ -393,11 +527,14 @@ class ShardedBackend(ExecutionBackend):
         )
         self.min_arcs = int(min_arcs)
         self.round_timeout = float(round_timeout)
+        self.min_entry_rows = int(min_entry_rows)
         self.failed = False
         self.failure_reason: str | None = None
         self.failure_kind: str | None = None
         self.sharded_rounds = 0
         self.serial_rounds = 0
+        self.sharded_entry_rounds = 0
+        self.serial_entry_rounds = 0
         #: Per-round telemetry entries (parent-clock ``t0`` + per-worker
         #: splits), capped at ROUND_LOG_CAP; the Chrome-trace exporter
         #: renders these as one lane per worker.
@@ -626,6 +763,85 @@ class ShardedBackend(ExecutionBackend):
         self.sharded_rounds += 1
         return out
 
+    def entry_segmin(self, dist_s, aux1_s, aux2_s, seg_start, seg_id, take, cost=None):
+        """Staged entry minima of one prune/aggregate round — sharded when big.
+
+        Entry rows are transient, so eligible rounds ship their row slices
+        through the worker pipes (no shared-memory registration); each
+        worker returns its staged per-segment partials in the ack and the
+        parent runs the fixed-shard-order lexicographic tree combine.
+        Smaller rounds — and every round after a fault — run the serial
+        kernel, reported as ``backend.serial_entry.{min-rows,fallback}``.
+        """
+        out = None
+        eligible = int(dist_s.size) >= self.min_entry_rows and seg_start.size > 0
+        if not self.failed and eligible and self._ensure_pool(cost):
+            out = self._entry_round(dist_s, aux1_s, aux2_s, seg_start, cost)
+        if out is None:
+            self.serial_entry_rounds += 1
+            if cost is not None:
+                reason = "fallback" if self.failed else "min-rows"
+                cost.traffic(f"backend.serial_entry.{reason}", elements=1)
+            return super().entry_segmin(
+                dist_s, aux1_s, aux2_s, seg_start, seg_id, take, cost=cost
+            )
+        self.sharded_entry_rounds += 1
+        return out
+
+    def _entry_round(self, dist_s, aux1_s, aux2_s, seg_start, cost):
+        n = int(dist_s.size)
+        bounds = shard_bounds(n, self.workers)
+        self._round_id += 1
+        rid = self._round_id
+        shard_specs = []
+        for lo, hi in bounds:
+            seg_lo = int(np.searchsorted(seg_start, lo, side="right")) - 1
+            seg_hi = int(np.searchsorted(seg_start, hi, side="left"))
+            local_starts = (
+                np.maximum(seg_start[seg_lo:seg_hi], lo) - lo
+            ).astype(np.int64)
+            shard_specs.append((lo, hi, seg_lo, local_starts))
+        try:
+            for widx, (lo, hi, _seg_lo, local_starts) in enumerate(shard_specs):
+                self._conns[widx].send(
+                    (
+                        "entry",
+                        rid,
+                        {
+                            "dist": dist_s[lo:hi],
+                            "aux1": aux1_s[lo:hi],
+                            "aux2": None if aux2_s is None else aux2_s[lo:hi],
+                            "local_starts": local_starts,
+                        },
+                    )
+                )
+            parts = []
+            deadline = time.monotonic() + self.round_timeout
+            for widx, (lo, hi, seg_lo, _ls) in enumerate(shard_specs):
+                conn = self._conns[widx]
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not conn.poll(max(remaining, 0.0)):
+                    raise TimeoutError(f"worker {widx} entry round timed out")
+                msg = conn.recv()
+                if msg[0] != "edone" or msg[1] != rid:
+                    raise RuntimeError(f"worker {widx} answered {msg!r}")
+                gd, g1, g2 = msg[2]
+                parts.append((seg_lo, gd, g1, g2))
+        except TimeoutError as exc:
+            self._fail(f"entry round {rid} failed: {exc!r}", cost=cost,
+                       kind="timeout")
+            return None
+        except (EOFError, OSError, RuntimeError) as exc:
+            self._fail(f"entry round {rid} failed: {exc!r}", cost=cost,
+                       kind="worker-death")
+            return None
+        _, gmin_d, gmin_a1, gmin_a2 = entry_tree_combine(parts)
+        if cost is not None:
+            cost.traffic("backend.entry_round", elements=n)
+            for lo, hi, _seg_lo, _ls in shard_specs:
+                cost.traffic("backend.entry_shard", elements=hi - lo)
+        return gmin_d, gmin_a1, gmin_a2
+
     def _sharded_round(self, plan, dist, cost):
         sp = self._plans.get(id(plan))
         if sp is None or sp.plan is not plan:
@@ -751,5 +967,6 @@ class ShardedBackend(ExecutionBackend):
         stats = "on" if self.collect_stats else "off"
         return (
             f"sharded(workers={self.workers}, min_arcs={self.min_arcs}, "
+            f"min_entry_rows={self.min_entry_rows}, "
             f"worker_stats={stats}, {state})"
         )

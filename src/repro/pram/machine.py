@@ -117,12 +117,44 @@ class PRAM:
         base: np.ndarray,
         label: str = "gather_csr",
         add_label: str = "relax",
+        deg_all: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Fused CSR gather + candidate add (see ``primitives.pgather_add``)."""
         return primitives.pgather_add(
             self.cost, indptr, indices, weights, frontier, base,
             workspace=self.workspace, label=label, add_label=add_label,
-            backend=self.backend,
+            backend=self.backend, deg_all=deg_all,
+        )
+
+    def prune_entries(
+        self,
+        vert: np.ndarray,
+        src: np.ndarray,
+        dist: np.ndarray,
+        seed: np.ndarray,
+        x: int,
+        label: str = "algo3_sort",
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Fused Algorithm 3 entry prune (see ``primitives.pprune_entries``)."""
+        return primitives.pprune_entries(
+            self.cost, vert, src, dist, seed, x,
+            workspace=self.workspace, backend=self.backend, label=label,
+        )
+
+    def aggregate_entries(
+        self,
+        cl: np.ndarray,
+        src: np.ndarray,
+        dist: np.ndarray,
+        member: np.ndarray,
+        seed: np.ndarray,
+        x: int,
+        label: str = "aggregate",
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Fused per-cluster aggregation (see ``primitives.paggregate_entries``)."""
+        return primitives.paggregate_entries(
+            self.cost, cl, src, dist, member, seed, x,
+            workspace=self.workspace, backend=self.backend, label=label,
         )
 
     def relax_arcs(

@@ -41,7 +41,11 @@ from typing import Callable
 
 import numpy as np
 
-from repro.pram.backends.base import serial_gather_csr, serial_segmin
+from repro.pram.backends.base import (
+    serial_entry_segmin,
+    serial_gather_csr,
+    serial_segmin,
+)
 from repro.pram.cost import CostModel
 from repro.pram.errors import InvalidStepError
 from repro.pram.workspace import INT_POISON
@@ -62,7 +66,10 @@ __all__ = [
     "pgather_add",
     "RelaxPlan",
     "build_relax_plan",
+    "build_relax_plan_from_csr",
     "prelax_arcs",
+    "pprune_entries",
+    "paggregate_entries",
 ]
 
 
@@ -325,6 +332,7 @@ def pgather_add(
     label: str = "gather_csr",
     add_label: str = "relax",
     backend=None,
+    deg_all: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Fused CSR frontier gather + per-arc candidate add.
 
@@ -339,6 +347,9 @@ def pgather_add(
     before charging).  Returns ``(slots, heads, cand)``; when a
     :class:`~repro.pram.workspace.Workspace` is supplied, ``heads`` and
     ``cand`` are pooled scratch views valid until its next round.
+    ``deg_all`` is the optional per-graph cached degree array
+    (``Workspace.csr_degrees``) the gather core may consult — a pure
+    wall-clock shortcut, bit-identical output and identical charges.
     """
     frontier = np.asarray(frontier, dtype=np.int64)
     n = int(indptr.size) - 1
@@ -355,9 +366,9 @@ def pgather_add(
         cost.commit_round(label)
         return empty, empty, np.zeros(0)
     if backend is not None:
-        slots, arcs = backend.gather_csr(indptr, frontier)
+        slots, arcs = backend.gather_csr(indptr, frontier, deg_all)
     else:
-        slots, arcs = serial_gather_csr(indptr, frontier)
+        slots, arcs = serial_gather_csr(indptr, frontier, deg_all)
     total = int(arcs.size)
     if cost.wants_footprints:
         out_slots = np.arange(total, dtype=np.int64)
@@ -627,6 +638,298 @@ def prelax_arcs(
     )
     cost.commit_round(frontier_label)
     return improved_cells
+
+
+def build_relax_plan_from_csr(graph) -> RelaxPlan:
+    """A :class:`RelaxPlan` for a symmetric CSR graph, without re-sorting.
+
+    An undirected :class:`~repro.graphs.csr.Graph` stores both arc
+    directions sorted by ``(row, neighbor)``, so the arc list sorted
+    stably by head — what :func:`build_relax_plan` computes with an
+    O(m log m) argsort — is just the CSR read with tail/head roles
+    swapped: row ``v``'s slots are exactly the in-arcs ``(u → v)`` in
+    ascending-tail order, with bit-identical weights (both directions of
+    an edge share one weight entry).  The plan equals
+    ``build_relax_plan(*graph.arcs(), n_cells=graph.n)`` array-for-array,
+    at O(n + m) cost — which is what lets the workspace hand out a fresh
+    plan per hopset scale without re-deriving the CSR layout.
+    """
+    indptr = graph.indptr
+    deg = np.diff(indptr)
+    cells = np.flatnonzero(deg)
+    return RelaxPlan(
+        n_arcs=int(indptr[-1]),
+        n_cells=int(graph.n),
+        tails_s=graph.indices,
+        weights_s=graph.weights,
+        heads_s=np.repeat(np.arange(int(graph.n), dtype=np.int64), deg),
+        cells=cells,
+        seg_start=np.asarray(indptr[cells], dtype=np.int64),
+        seg_id=np.repeat(np.arange(cells.size, dtype=np.int64), deg[cells]),
+    )
+
+
+def _entry_groups(key1: np.ndarray, key2: np.ndarray | None, take):
+    """Sort entry rows into contiguous ``(key1[, key2])`` groups.
+
+    Returns ``(order, k1_s, k2_s, seg_start, seg_id)``.  The sort is a
+    plain (unstable) argsort on a composite integer key when the key
+    range permits — legal because every consumer reduces groups by
+    *value* (staged minima), never by position — with a stable two-key
+    ``lexsort`` fallback for exotic key ranges.  Scratch arrays come from
+    ``take``; the returned ``k1_s``/``k2_s``/``seg_id`` are pooled views.
+    """
+    n = int(key1.size)
+    if key2 is None:
+        order = np.argsort(key1)
+    else:
+        k1max = int(key1.max())
+        k1min = int(key1.min())
+        k2max = int(key2.max())
+        k2min = int(key2.min())
+        if k1min >= 0 and k2min >= 0 and (k1max + 1) * (k2max + 1) < 2**62:
+            key = take("entrygrp.key", n, np.int64)
+            np.multiply(key1, k2max + 1, out=key)
+            key += key2
+            order = np.argsort(key)
+        else:  # pragma: no cover - exotic key ranges
+            order = np.lexsort((key2, key1))
+    k1_s = take("entrygrp.k1", n, np.int64)
+    key1.take(order, out=k1_s)
+    first = take("entrygrp.first", n, bool)
+    first[0] = True
+    np.not_equal(k1_s[1:], k1_s[:-1], out=first[1:])
+    k2_s = None
+    if key2 is not None:
+        k2_s = take("entrygrp.k2", n, np.int64)
+        key2.take(order, out=k2_s)
+        first[1:] |= k2_s[1:] != k2_s[:-1]
+    seg_start = np.flatnonzero(first)
+    seg_id = take("entrygrp.seg_id", n, np.int64)
+    np.cumsum(first, out=seg_id)
+    seg_id -= 1
+    return order, k1_s, k2_s, seg_start, seg_id
+
+
+def _keep_x_per_group(group: np.ndarray, dist: np.ndarray, x: int) -> np.ndarray:
+    """Rank rows ``(group, dist, tiebreak)``-lexicographically, keep x per group.
+
+    Precondition: rows already arrive grouped by ``group`` (contiguous
+    ascending runs) and sorted by the tiebreak key within each run — the
+    dedup stage's output order.  Under that precondition a stable
+    ``lexsort((dist, group))`` is bit-identical to the unfused path's
+    three-key ``lexsort((tiebreak, dist, group))``: rows tied on
+    ``(group, dist)`` keep their input order, which *is* tiebreak order,
+    and ``(group, tiebreak)`` pairs are unique after dedup.  Returns the
+    row indices of the ``rank < x`` survivors in that sorted order — the
+    exact selection the unfused Algorithm 3 second sort performs.
+
+    Execution is sort-free: rank ``r``'s survivor in each run is the
+    first remaining row achieving the run minimum (first occurrence =
+    lowest tiebreak, matching the stable sort's tie order), extracted by
+    ``x`` masked ``reduceat`` rounds.  Extracted rows are masked with
+    NaN, which ``fmin.reduceat`` ignores and ``==`` never matches, so
+    exhausted runs (all-NaN, minimum NaN) select nothing while runs of
+    genuine ``inf`` rows still do.  Survivors land in a ``(run, rank)``
+    slot matrix whose row-major order is exactly the sorted order.
+    """
+    n = int(group.size)
+    new_g = np.ones(n, dtype=bool)
+    new_g[1:] = group[1:] != group[:-1]
+    group_start = np.flatnonzero(new_g)
+    group_id = np.cumsum(new_g) - 1
+    run_len = np.diff(np.append(group_start, n))
+    rounds = min(int(x), int(run_len.max()))
+    hit = np.flatnonzero(dist == np.minimum.reduceat(dist, group_start)[group_id])
+    gid = group_id[hit]
+    first = np.ones(hit.size, dtype=bool)
+    first[1:] = gid[1:] != gid[:-1]
+    if rounds == 1:
+        return hit[first]
+    masked = dist.astype(np.float64)  # copies: dist stays intact
+    slots = np.full((group_start.size, rounds), -1, dtype=np.int64)
+    gmin = np.empty(n, dtype=np.float64)
+    for r in range(rounds):
+        win = hit[first]
+        slots[gid[first], r] = win
+        if r + 1 == rounds:
+            break
+        masked[win] = np.nan
+        np.fmin.reduceat(masked, group_start).take(group_id, out=gmin)
+        hit = np.flatnonzero(masked == gmin)
+        if hit.size == 0:
+            break
+        gid = group_id[hit]
+        first = np.ones(hit.size, dtype=bool)
+        first[1:] = gid[1:] != gid[:-1]
+    out = slots.ravel()
+    return out[out >= 0]
+
+
+def pprune_entries(
+    cost: CostModel,
+    vert: np.ndarray,
+    src: np.ndarray,
+    dist: np.ndarray,
+    seed: np.ndarray,
+    x: int,
+    *,
+    workspace=None,
+    backend=None,
+    label: str = "algo3_sort",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Fused Algorithm 3 entry prune: dedup + keep-x in one grouped pass.
+
+    Semantically identical to the unfused hopset ``_dedup_and_prune``:
+    dedup entry rows per ``(vert, src)`` keeping the minimum
+    ``(dist, seed)``, then keep the ``x`` closest sources per vertex
+    (ties by source id); with ``x == 1`` the per-vertex prune subsumes
+    the dedup and keeps the minimum ``(dist, src, seed)`` row per vertex.
+    Returns fresh ``(vert, src, dist, seed)`` arrays, bit-equal to the
+    sort-based path — including row order — and **charged identically**
+    to it: one AKS-rate ``(n·⌈log n⌉, ⌈log n⌉+1)`` charge under ``label``
+    for ``x == 1``, the doubled two-sort rate otherwise (the unfused path
+    declares no traffic or footprints for these sorts, so the replayed
+    stream is exactly that one charge).
+
+    Execution differs only in wall-clock: instead of a 4-key lexsort the
+    rows are grouped by a single-key argsort and each group reduces by
+    staged value minima (``minimum.reduceat``) — the per-group staged
+    minimum *is* the lexicographic minimum, computed without a stable
+    sort.  The grouped reduction runs on the machine's execution
+    ``backend`` (sharded across worker processes when eligible, bit-equal
+    either way); scratch comes from the optional ``workspace`` pool.
+    """
+    n = int(vert.size)
+    empty_i = np.zeros(0, dtype=np.int64)
+    if n == 0:
+        return empty_i, empty_i.copy(), np.zeros(0), empty_i.copy()
+    ws = workspace
+
+    def take(name, size, dtype):
+        if ws is not None:
+            return ws.take(name, size, dtype)
+        return np.empty(size, dtype=dtype)
+
+    if x == 1:
+        # per-vertex lexicographic min of (dist, src, seed)
+        order, v_s, _, seg_start, seg_id = _entry_groups(vert, None, take)
+        dist_s = take("prune.dist_s", n, np.float64)
+        dist.take(order, out=dist_s)
+        src_s = take("prune.src_s", n, np.int64)
+        src.take(order, out=src_s)
+        seed_s = take("prune.seed_s", n, np.int64)
+        seed.take(order, out=seed_s)
+        if backend is not None:
+            g_d, g_s, g_z = backend.entry_segmin(
+                dist_s, src_s, seed_s, seg_start, seg_id, take, cost=cost
+            )
+        else:
+            g_d, g_s, g_z = serial_entry_segmin(
+                dist_s, src_s, seed_s, seg_start, seg_id, take
+            )
+        out = (v_s[seg_start], np.array(g_s), np.array(g_d), np.array(g_z))
+        cost.charge(
+            work=n * max(1, ceil_log2(n)),
+            depth=ceil_log2(max(n, 2)) + 1,
+            label=label,
+        )
+        return out
+    # dedup per (vert, src) keeping the minimum (dist, seed)
+    order, v_s, s_s, seg_start, seg_id = _entry_groups(vert, src, take)
+    dist_s = take("prune.dist_s", n, np.float64)
+    dist.take(order, out=dist_s)
+    seed_s = take("prune.seed_s", n, np.int64)
+    seed.take(order, out=seed_s)
+    if backend is not None:
+        g_d, g_z, _ = backend.entry_segmin(
+            dist_s, seed_s, None, seg_start, seg_id, take, cost=cost
+        )
+    else:
+        g_d, g_z, _ = serial_entry_segmin(dist_s, seed_s, None, seg_start, seg_id, take)
+    vert_g = v_s[seg_start]
+    src_g = s_s[seg_start]
+    dist_g = np.array(g_d)
+    seed_g = np.array(g_z)
+    # keep the x closest sources per vertex (ties by src id: the group
+    # rows arrive (vert, src)-sorted, so first-occurrence extraction
+    # resolves dist ties in src order, like the stable sort it replaces)
+    idx = _keep_x_per_group(vert_g, dist_g, x)
+    cost.charge(
+        work=2 * n * max(1, ceil_log2(n)),
+        depth=2 * (ceil_log2(max(n, 2)) + 1),
+        label=label,
+    )
+    return vert_g[idx], src_g[idx], dist_g[idx], seed_g[idx]
+
+
+def paggregate_entries(
+    cost: CostModel,
+    cl: np.ndarray,
+    src: np.ndarray,
+    dist: np.ndarray,
+    member: np.ndarray,
+    seed: np.ndarray,
+    x: int,
+    *,
+    workspace=None,
+    backend=None,
+    label: str = "aggregate",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Fused per-cluster aggregation: dedup + keep-x of member entries.
+
+    Semantically identical to the unfused hopset ``_aggregate`` core:
+    dedup rows per ``(cluster, src)`` keeping the minimum
+    ``(dist, member, seed)``, then keep the ``x`` closest sources per
+    cluster (ties by source id), rows ordered ``(cluster, dist, src)``.
+    Returns fresh ``(cl, src, dist, member, seed)`` arrays, bit-equal to
+    the 5-key-lexsort path, and charged identically to it — one doubled
+    AKS-rate charge under ``label`` (no traffic/footprints, matching the
+    unfused stream).  Same grouped staged-minimum execution as
+    :func:`pprune_entries`, with the second tie key ``member`` between
+    ``dist`` and ``seed``.
+    """
+    n = int(cl.size)
+    empty_i = np.zeros(0, dtype=np.int64)
+    if n == 0:
+        return empty_i, empty_i.copy(), np.zeros(0), empty_i.copy(), empty_i.copy()
+    ws = workspace
+
+    def take(name, size, dtype):
+        if ws is not None:
+            return ws.take(name, size, dtype)
+        return np.empty(size, dtype=dtype)
+
+    order, c_s, s_s, seg_start, seg_id = _entry_groups(cl, src, take)
+    dist_s = take("prune.dist_s", n, np.float64)
+    dist.take(order, out=dist_s)
+    member_s = take("prune.member_s", n, np.int64)
+    member.take(order, out=member_s)
+    seed_s = take("prune.seed_s", n, np.int64)
+    seed.take(order, out=seed_s)
+    if backend is not None:
+        g_d, g_m, g_z = backend.entry_segmin(
+            dist_s, member_s, seed_s, seg_start, seg_id, take, cost=cost
+        )
+    else:
+        g_d, g_m, g_z = serial_entry_segmin(
+            dist_s, member_s, seed_s, seg_start, seg_id, take
+        )
+    cl_g = c_s[seg_start]
+    src_g = s_s[seg_start]
+    dist_g = np.array(g_d)
+    member_g = np.array(g_m)
+    seed_g = np.array(g_z)
+    # keep the x closest sources per cluster (ties by src id: the group
+    # rows arrive (cl, src)-sorted, so first-occurrence extraction
+    # resolves dist ties in src order, like the stable sort it replaces)
+    idx = _keep_x_per_group(cl_g, dist_g, x)
+    cost.charge(
+        work=2 * n * max(1, ceil_log2(n)),
+        depth=2 * (ceil_log2(max(n, 2)) + 1),
+        label=label,
+    )
+    return cl_g[idx], src_g[idx], dist_g[idx], member_g[idx], seed_g[idx]
 
 
 def pselect(cost: CostModel, mask: np.ndarray, label: str = "select") -> np.ndarray:

@@ -50,6 +50,8 @@ __all__ = [
     "crew_segmented_sum",
     "crew_sort",
     "crew_lexsort",
+    "crew_prune_entries",
+    "crew_aggregate_entries",
     "crew_pointer_jump",
     "crew_list_rank",
     "crew_frontier_gather",
@@ -347,6 +349,125 @@ def crew_lexsort(keys: tuple) -> tuple[list[int], int]:
             raise InvalidStepError("crew_lexsort: key arrays must have equal length")
     composite = [tuple(keys[j][i] for j in reversed(range(len(keys)))) for i in range(n)]
     return _odd_even_sort(composite)
+
+
+def _crew_first_flags(rows: list, same: Callable) -> tuple[list[int], int]:
+    """First-of-group flags on a CREW memory (rows pre-sorted by group).
+
+    Each row processor reads its own cell and its left neighbor's (the
+    concurrent read is CREW-legal — the right neighbor reads the same
+    cell) and writes its flag into its own output cell; one load round,
+    one flag round.
+    """
+    n = len(rows)
+    mem = CREWMemory.from_values(rows, extra_cells=n)
+    updates = {}
+    for i in range(n):
+        updates[n + i] = 1 if i == 0 or not same(mem.read(i - 1), mem.read(i)) else 0
+    for c, v in updates.items():
+        mem.write(c, v)
+    mem.end_round()
+    return [mem.read(n + i) for i in range(n)], mem.rounds
+
+
+def _crew_rank_select(group_flags: list[int], x: int) -> tuple[list[int], int]:
+    """Indices whose within-group rank is below ``x``, literally.
+
+    ``group_flags`` marks each group's first row (rows pre-sorted by
+    group).  An inclusive scan turns the flags into 1-based group ids;
+    each row processor then derives its rank from its own scan cell and
+    its group's start position (processor-local bookkeeping, as the
+    module conventions allow) and the scan-based :func:`crew_select`
+    compacts the survivors.
+    """
+    gids, r1 = crew_prefix_sum(group_flags)
+    start: dict[int, int] = {}
+    for i, g in enumerate(gids):
+        start.setdefault(int(g), i)
+    keep = [1 if i - start[int(g)] < x else 0 for i, g in enumerate(gids)]
+    kept, r2 = crew_select(keep)
+    return kept, r1 + r2
+
+
+def crew_prune_entries(
+    vert: list[int], src: list[int], dist: list[float], seed: list[int], x: int
+) -> tuple[tuple[list, list, list, list], int]:
+    """Literal Algorithm-3 entry prune — counterpart of ``pprune_entries``.
+
+    Runs the *unfused* sort semantics on the literal machine: for
+    ``x == 1`` one network sort by ``(vert, dist, src, seed)`` and a
+    first-per-vertex compaction; for ``x > 1`` a dedup sort by
+    ``(vert, src, dist, seed)``, a first-per-(vertex, source) compaction,
+    a second network sort by ``(vert, dist, src)`` and the scan-based
+    rank-below-``x`` selection.  The sorts are odd–even transposition
+    networks, so the round count carries their O(n) envelope.  Returns
+    ``((vert, src, dist, seed), rounds)`` — the same rows, in the same
+    order, as both vectorized paths.
+    """
+    n = len(vert)
+    if n == 0:
+        return ([], [], [], []), 0
+    if x == 1:
+        order, r1 = crew_lexsort((seed, src, dist, vert))
+        rows = [(vert[i], src[i], dist[i], seed[i]) for i in order]
+        flags, r2 = _crew_first_flags(rows, lambda a, b: a[0] == b[0])
+        kept, r3 = crew_select(flags)
+        out = [rows[i] for i in kept]
+        v, s, d, z = (list(col) for col in zip(*out))
+        return (v, s, d, z), r1 + r2 + r3
+    order, r1 = crew_lexsort((seed, dist, src, vert))
+    rows = [(vert[i], src[i], dist[i], seed[i]) for i in order]
+    flags, r2 = _crew_first_flags(
+        rows, lambda a, b: a[0] == b[0] and a[1] == b[1]
+    )
+    kept, r3 = crew_select(flags)
+    rows = [rows[i] for i in kept]
+    order2, r4 = crew_lexsort(
+        ([r[1] for r in rows], [r[2] for r in rows], [r[0] for r in rows])
+    )
+    rows = [rows[i] for i in order2]
+    flags2, r5 = _crew_first_flags(rows, lambda a, b: a[0] == b[0])
+    kept2, r6 = _crew_rank_select(flags2, x)
+    out = [rows[i] for i in kept2]
+    v, s, d, z = (list(col) for col in zip(*out))
+    return (v, s, d, z), r1 + r2 + r3 + r4 + r5 + r6
+
+
+def crew_aggregate_entries(
+    cl: list[int],
+    src: list[int],
+    dist: list[float],
+    member: list[int],
+    seed: list[int],
+    x: int,
+) -> tuple[tuple[list, list, list, list, list], int]:
+    """Literal per-cluster aggregation — counterpart of ``paggregate_entries``.
+
+    The unfused semantics on the literal machine: a dedup network sort by
+    ``(cl, src, dist, member, seed)``, a first-per-(cluster, source)
+    compaction, a second network sort by ``(cl, dist, src)`` and the
+    scan-based rank-below-``x`` selection.  Returns
+    ``((cl, src, dist, member, seed), rounds)``.
+    """
+    n = len(cl)
+    if n == 0:
+        return ([], [], [], [], []), 0
+    order, r1 = crew_lexsort((seed, member, dist, src, cl))
+    rows = [(cl[i], src[i], dist[i], member[i], seed[i]) for i in order]
+    flags, r2 = _crew_first_flags(
+        rows, lambda a, b: a[0] == b[0] and a[1] == b[1]
+    )
+    kept, r3 = crew_select(flags)
+    rows = [rows[i] for i in kept]
+    order2, r4 = crew_lexsort(
+        ([r[1] for r in rows], [r[2] for r in rows], [r[0] for r in rows])
+    )
+    rows = [rows[i] for i in order2]
+    flags2, r5 = _crew_first_flags(rows, lambda a, b: a[0] == b[0])
+    kept2, r6 = _crew_rank_select(flags2, x)
+    out = [rows[i] for i in kept2]
+    c, s, d, m, z = (list(col) for col in zip(*out))
+    return (c, s, d, m, z), r1 + r2 + r3 + r4 + r5 + r6
 
 
 def crew_pointer_jump(parent: list[int], weight: list[float]) -> tuple[list[int], list[float], int]:

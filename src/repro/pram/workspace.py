@@ -36,7 +36,7 @@ import os
 
 import numpy as np
 
-__all__ = ["Workspace", "fused_default", "poison_default"]
+__all__ = ["Workspace", "fused_default", "fused_build_default", "poison_default"]
 
 #: Poison sentinel written into integer buffers (floats get NaN, bools True).
 INT_POISON = np.iinfo(np.int64).min + 1
@@ -50,6 +50,18 @@ def fused_default() -> bool:
     anything else — including unset — means fused.
     """
     return os.environ.get("REPRO_FUSED", "1") != "0"
+
+
+def fused_build_default() -> bool:
+    """Resolve the fused hopset-*build* default (``REPRO_FUSED_BUILD``).
+
+    ``REPRO_FUSED_BUILD=0`` forces the build-phase prune/aggregate
+    kernels onto the unfused lexsort path (the benchmark baseline and
+    the reference side of the build-conformance differential matrix);
+    anything else — including unset — means fused.  Independent from
+    ``REPRO_FUSED`` so construction and queries can be A/B'd separately.
+    """
+    return os.environ.get("REPRO_FUSED_BUILD", "1") != "0"
 
 
 def poison_default() -> bool:
@@ -67,12 +79,13 @@ class Workspace:
     fancy indexing does this naturally).  Distinct names never alias.
     """
 
-    __slots__ = ("poison", "_buffers", "_plans")
+    __slots__ = ("poison", "_buffers", "_plans", "_degrees")
 
     def __init__(self, poison: bool | None = None) -> None:
         self.poison = poison_default() if poison is None else bool(poison)
         self._buffers: dict[str, np.ndarray] = {}
         self._plans: dict[int, tuple[object, object]] = {}
+        self._degrees: dict[int, tuple[object, np.ndarray]] = {}
 
     def take(self, name: str, size: int, dtype) -> np.ndarray:
         """A length-``size`` scratch view named ``name`` (contents undefined)."""
@@ -94,23 +107,48 @@ class Workspace:
     def relax_plan(self, graph):
         """The cached :class:`~repro.pram.primitives.RelaxPlan` of ``graph``.
 
-        Built on first use (one stable argsort of the arc heads plus the
-        permuted tail/weight copies); subsequent rounds and subsequent
-        explorations of the same graph reuse it.  The cache keeps the graph
-        alive, which is what makes ``id(graph)`` a sound key.
+        Built on first use; subsequent rounds and subsequent explorations
+        of the same graph reuse it.  Symmetric CSR graphs get the O(n+m)
+        sort-free derivation (:func:`~repro.pram.primitives.build_relax_plan_from_csr`
+        — the arc list sorted by head is the CSR with tail/head roles
+        swapped), so each hopset scale's cluster graph costs no argsort;
+        other arc layouts fall back to the stable-argsort builder.  The
+        cache keeps the graph alive, which is what makes ``id(graph)`` a
+        sound key.
         """
         key = id(graph)
         hit = self._plans.get(key)
         if hit is not None and hit[0] is graph:
             return hit[1]
-        from repro.pram.primitives import build_relax_plan
+        from repro.pram.primitives import build_relax_plan, build_relax_plan_from_csr
 
-        tails, heads, weights = graph.arcs()
-        plan = build_relax_plan(tails, heads, weights, n_cells=graph.n)
+        if hasattr(graph, "indptr") and hasattr(graph, "indices"):
+            plan = build_relax_plan_from_csr(graph)
+        else:  # pragma: no cover - no such caller today
+            tails, heads, weights = graph.arcs()
+            plan = build_relax_plan(tails, heads, weights, n_cells=graph.n)
         self._plans[key] = (graph, plan)
         return plan
+
+    def csr_degrees(self, graph) -> np.ndarray:
+        """The cached out-degree array of ``graph`` (``np.diff(indptr)``).
+
+        The per-scale gather plan of the hopset build: every build-phase
+        relaxation round gathers the frontier's CSR ranges, and with the
+        degree array cached the per-round derivation drops one row-pointer
+        gather + subtract.  Keyed by graph identity like :meth:`relax_plan`
+        (the cache keeps the graph alive).
+        """
+        key = id(graph)
+        hit = self._degrees.get(key)
+        if hit is not None and hit[0] is graph:
+            return hit[1]
+        deg = np.diff(graph.indptr)
+        self._degrees[key] = (graph, deg)
+        return deg
 
     def clear(self) -> None:
         """Drop every pooled buffer and cached plan."""
         self._buffers.clear()
         self._plans.clear()
+        self._degrees.clear()

@@ -85,19 +85,28 @@ def load_hopset(path: str | Path) -> Hopset:
         has_paths = bool(data["has_paths"][0])
         flat = data["path_flat"]
         offsets = data["path_offsets"]
+        # hoist every member out of the archive once: NpzFile re-inflates
+        # the whole array on each __getitem__, so indexing members inside
+        # the loop would decompress the arrays O(records) times over
+        edge_u = data["edge_u"]
+        edge_v = data["edge_v"]
+        edge_w = data["edge_w"]
+        edge_scale = data["edge_scale"]
+        edge_phase = data["edge_phase"]
+        edge_kind = data["edge_kind"]
         edges = []
-        for i in range(data["edge_u"].size):
+        for i in range(edge_u.size):
             path = None
             if has_paths:
                 path = tuple(int(x) for x in flat[offsets[i]:offsets[i + 1]])
             edges.append(
                 HopsetEdge(
-                    u=int(data["edge_u"][i]),
-                    v=int(data["edge_v"][i]),
-                    weight=float(data["edge_w"][i]),
-                    scale=int(data["edge_scale"][i]),
-                    phase=int(data["edge_phase"][i]),
-                    kind=kinds[int(data["edge_kind"][i])],
+                    u=int(edge_u[i]),
+                    v=int(edge_v[i]),
+                    weight=float(edge_w[i]),
+                    scale=int(edge_scale[i]),
+                    phase=int(edge_phase[i]),
+                    kind=kinds[int(edge_kind[i])],
                     path=path,
                 )
             )

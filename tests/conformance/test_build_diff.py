@@ -1,0 +1,177 @@
+"""Build-conformance differential matrix: fused hopset construction.
+
+The fused build kernels (``pprune_entries`` / ``paggregate_entries``, the
+grouped staged-minimum replacements for Algorithm 3's multi-key lexsorts)
+and the build-phase backend seam (``ExecutionBackend.entry_segmin``)
+promise to be *observationally identical* to the unfused sort path —
+bit-identical hopset edge sets, bit-identical charged work/depth/phase
+totals — differing only in wall-clock.  This matrix pins that promise
+over fused × unfused × backend (serial, sharded W ∈ {1, 2}) × graph
+families × parameter points, with the same hostile twists as the SSSP
+fused matrix:
+
+* the fused side runs with a **poisoned** buffer pool, so a kernel that
+  reads a pooled cell before writing it produces loudly wrong output;
+* both sides run under a **strict** :class:`ShadowCREW`, so every round
+  of the build must stay CREW-legal while the kernels are swapped;
+* the sharded backends run with ``min_arcs=1`` / ``min_entry_rows=1``,
+  forcing every relaxation and every entry reduction through the worker
+  pool and its fixed-shard-order combines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.conformance.diff import SMOKE_FAMILIES
+from repro.conformance.shadow import ShadowCREW
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.pram.backends.sharded import ShardedBackend
+from repro.pram.machine import PRAM
+from repro.pram.primitives import build_relax_plan, build_relax_plan_from_csr
+from repro.pram.workspace import Workspace
+
+_N = 24
+_SEED = 7
+
+#: Parameter points: kappa=2 drives the x == 1 prune path, kappa=3 the
+#: x > 1 rank-selection path (and the aggregation keeps x sources).
+_POINTS = {
+    "k2": HopsetParams(epsilon=0.25, kappa=2, rho=0.4, beta=8),
+    "k3": HopsetParams(epsilon=0.25, kappa=3, rho=0.45, beta=8),
+}
+
+_FAMILIES = sorted(SMOKE_FAMILIES)
+
+
+def _edge_key(e):
+    return (e.u, e.v, e.weight, e.scale, e.phase, e.kind, e.path)
+
+
+def _build(graph, params, fused, monkeypatch, backend=None):
+    monkeypatch.setenv("REPRO_FUSED_BUILD", "1" if fused else "0")
+    pram = PRAM(workspace=Workspace(poison=fused), backend=backend)
+    shadow = ShadowCREW.attach(pram.cost, strict=True, mode="record")
+    try:
+        hopset, report = build_hopset(graph, params, pram=pram)
+    finally:
+        shadow.detach(pram.cost)
+    return hopset, report, pram.cost, shadow
+
+
+@pytest.fixture(scope="module")
+def sharded_pools():
+    """Worker pools shared by the whole matrix (spawning one per case
+    would dominate the runtime); every round is forced through them."""
+    pools = {
+        w: ShardedBackend(workers=w, min_arcs=1, min_entry_rows=1)
+        for w in (1, 2)
+    }
+    yield pools
+    for be in pools.values():
+        be.close()
+
+
+_BASELINES: dict = {}
+
+
+def _baseline(family, point, monkeypatch):
+    key = (family, point)
+    if key not in _BASELINES:
+        g = SMOKE_FAMILIES[family](_N, _SEED)
+        _BASELINES[key] = (g, _build(g, _POINTS[point], False, monkeypatch))
+    return _BASELINES[key]
+
+
+@pytest.mark.parametrize("backend_spec", ["serial", "sharded:1", "sharded:2"])
+@pytest.mark.parametrize("point", sorted(_POINTS))
+@pytest.mark.parametrize("family", _FAMILIES)
+def test_build_fused_matches_unfused_bit_exactly(
+    family, point, backend_spec, sharded_pools, monkeypatch
+):
+    g, (h0, r0, c0, s0) = _baseline(family, point, monkeypatch)
+    backend = (
+        None
+        if backend_spec == "serial"
+        else sharded_pools[int(backend_spec.split(":")[1])]
+    )
+    h1, r1, c1, s1 = _build(g, _POINTS[point], True, monkeypatch, backend=backend)
+    assert sorted(map(_edge_key, h1.edges)) == sorted(map(_edge_key, h0.edges))
+    assert (c1.work, c1.depth) == (c0.work, c0.depth)
+    assert dict(c1.phase_totals) == dict(c0.phase_totals)
+    assert (r1.scales, r1.per_scale_edges) == (r0.scales, r0.per_scale_edges)
+    assert s0.clean, [f.kind for f in s0.findings]
+    assert s1.clean, [f.kind for f in s1.findings]
+    if backend is not None:
+        assert not backend.failed, backend.failure_reason
+
+
+def test_sharded_entry_rounds_actually_engage(sharded_pools, monkeypatch):
+    """The forced-engagement pools must route entry reductions through
+    the workers — otherwise the matrix silently tests serial twice."""
+    be = sharded_pools[2]
+    before = be.sharded_entry_rounds
+    g = SMOKE_FAMILIES["er"](_N, _SEED)
+    _build(g, _POINTS["k3"], True, monkeypatch, backend=be)
+    assert be.sharded_entry_rounds > before
+    assert not be.failed
+
+
+def test_build_toggle_is_independent_from_query_toggle(monkeypatch):
+    """All four (REPRO_FUSED, REPRO_FUSED_BUILD) combinations agree."""
+    g = SMOKE_FAMILIES["layered"](_N, _SEED)
+    outs = {}
+    for q in ("1", "0"):
+        for b in ("1", "0"):
+            monkeypatch.setenv("REPRO_FUSED", q)
+            monkeypatch.setenv("REPRO_FUSED_BUILD", b)
+            pram = PRAM()
+            h, _ = build_hopset(g, _POINTS["k3"], pram=pram)
+            outs[(q, b)] = (
+                sorted(map(_edge_key, h.edges)), pram.cost.work, pram.cost.depth
+            )
+    base = outs[("1", "1")]
+    assert all(v == base for v in outs.values())
+
+
+def test_path_recording_build_keeps_sort_path(monkeypatch):
+    """Path-recording tables must bypass the fused kernels (path tuples
+    are selected by sorted row position) — and stay bit-identical under
+    both toggle settings."""
+    from repro.hopsets.path_reporting import build_path_reporting_hopset
+
+    g = SMOKE_FAMILIES["grid"](_N, _SEED)
+    results = []
+    for flag in ("1", "0"):
+        monkeypatch.setenv("REPRO_FUSED_BUILD", flag)
+        pram = PRAM()
+        h, _ = build_path_reporting_hopset(g, _POINTS["k3"], pram)
+        results.append((sorted(map(_edge_key, h.edges)), pram.cost.work))
+    assert results[0] == results[1]
+    paths = [e.path for e in h.edges]
+    assert paths and all(p is not None for p in paths)
+
+
+@pytest.mark.parametrize("family", _FAMILIES)
+def test_csr_plan_matches_argsort_plan(family):
+    """The sort-free CSR plan derivation is array-for-array equal to the
+    stable-argsort builder (the per-scale plan cache relies on it)."""
+    g = SMOKE_FAMILIES[family](_N, _SEED)
+    tails, heads, weights = g.arcs()
+    p0 = build_relax_plan(tails, heads, weights, n_cells=g.n)
+    p1 = build_relax_plan_from_csr(g)
+    assert (p0.n_arcs, p0.n_cells) == (p1.n_arcs, p1.n_cells)
+    for name in ("tails_s", "heads_s", "weights_s", "cells", "seg_start", "seg_id"):
+        assert np.array_equal(getattr(p0, name), getattr(p1, name)), name
+
+
+def test_workspace_degree_cache_is_identity_keyed():
+    g1 = SMOKE_FAMILIES["er"](_N, _SEED)
+    g2 = SMOKE_FAMILIES["er"](_N, _SEED + 1)
+    ws = Workspace()
+    d1 = ws.csr_degrees(g1)
+    assert ws.csr_degrees(g1) is d1  # cached
+    assert np.array_equal(d1, np.diff(g1.indptr))
+    assert not np.array_equal(ws.csr_degrees(g2), d1) or g1.num_edges == g2.num_edges
+    ws.clear()
+    assert ws.csr_degrees(g1) is not d1
