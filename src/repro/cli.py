@@ -14,6 +14,9 @@ Usage::
     python -m repro profile {build,sssp} ... [--top N] [--flame-out flame.folded]
     python -m repro perf    {append,check} [--bench-dir D] [--history H] [--warn-only]
     python -m repro conformance [--strict] [--seed N] [--n N] [--families er,grid] [--trace-out t.json]
+    python -m repro serve   graph.npz hopset.npz [--host H --port P] [--probe "dist U V" ...]
+                            [--max-requests N --log queries.log --pair-cache K
+                             --max-batch B --batch-window MS --cache-size S --hops B --backend SPEC]
 
 ``trace`` runs the wrapped command under the observability layer
 (``repro.obs``): it writes a Chrome trace-event JSON (loadable in
@@ -37,6 +40,14 @@ baseline under per-metric tolerance bands and exits nonzero on regression
 program and sweeps the E-family smoke graphs under the shadow race
 detector (``repro.conformance``, docs/conformance.md); exit status 0 iff
 everything matches bit-exactly with zero race findings.
+
+``serve`` loads a graph plus a saved hopset into an
+:class:`~repro.serve.server.OracleServer` — micro-batched tiered-cache
+distance/path serving over a line-protocol TCP socket (docs/serving.md).
+``--probe`` answers the given request lines in-process and exits (no
+socket; the CI smoke path); otherwise the server listens on
+``--host``/``--port`` until interrupted (or until ``--max-requests``).
+A serving-health table is printed on exit.
 
 ``oracle`` loads a graph plus a saved hopset into a
 :class:`~repro.sssp.oracle.HopsetDistanceOracle` and answers point
@@ -93,6 +104,7 @@ from repro.obs.export import (
     backend_health_report,
     flame_report,
     op_wall_report,
+    serve_health_report,
     write_chrome_trace,
     write_jsonl,
 )
@@ -102,6 +114,7 @@ from repro.obs.tracer import SpanTracer
 from repro.pram.frontier import ENGINES
 from repro.pram.machine import PRAM
 from repro.serialize import load_graph, load_hopset, save_graph, save_hopset
+from repro.serve.server import OracleServer, serve_tcp
 from repro.sssp.oracle import HopsetDistanceOracle
 from repro.sssp.spt import approximate_spt
 from repro.sssp.sssp import approximate_sssp_with_hopset
@@ -323,6 +336,60 @@ def cmd_oracle(args, pram: PRAM | None = None) -> int:
         f"oracle.cache.miss={registry.counter('oracle.cache.miss').value}"
     )
     return 0
+
+
+def cmd_serve(args, pram: PRAM | None = None) -> int:
+    g = _read_graph(args.graph)
+    hopset = load_hopset(args.hopset)
+    budget = args.hops or (
+        spt_hop_budget(hopset.beta) if hopset.meta.get("reduction") else None
+    )
+    server = OracleServer(
+        g,
+        hopset,
+        hop_budget=budget,
+        cache_size=args.cache_size,
+        pair_cache=args.pair_cache,
+        backend=getattr(args, "backend", None),
+        max_batch=args.max_batch,
+        batch_window=args.batch_window / 1000.0,
+        log_path=args.log,
+    )
+    rc = 0
+    try:
+        if args.probe:
+            for reply in server.serve_batch(list(args.probe)):
+                print(reply)
+                if reply.startswith("err "):
+                    rc = 1
+        else:
+            tcp = serve_tcp(server, host=args.host, port=args.port)
+            if args.max_requests:
+                server.on_request_limit(args.max_requests, tcp.shutdown)
+            # flush: clients script against this line to learn the bound
+            # port, and block-buffered pipes would hold it until exit
+            print(
+                f"serving {args.graph} + {args.hopset} on "
+                f"{args.host}:{tcp.port} (backend {server.pram.backend.describe()}; "
+                "protocol: dist U V | path U V | stats | quit)",
+                flush=True,
+            )
+            try:
+                tcp.serve_forever()
+            except KeyboardInterrupt:  # pragma: no cover - interactive stop
+                pass
+            finally:
+                tcp.shutdown()
+                tcp.server_close()
+    finally:
+        registry = server.registry
+        server.close()
+    health = serve_health_report(registry)
+    if health:
+        print(health)
+    if server.degraded:
+        print(f"degraded to in-process serving ({server.degraded})")
+    return rc
 
 
 _TRACEABLE = {"build": cmd_build, "sssp": cmd_sssp, "spt": cmd_spt}
@@ -587,6 +654,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the --batch matrix to this .npz")
     _add_backend_flag(p)
     p.set_defaults(func=cmd_oracle)
+
+    p = sub.add_parser(
+        "serve",
+        help="line-protocol query server over a saved hopset (docs/serving.md)",
+    )
+    p.add_argument("graph")
+    p.add_argument("hopset")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0: pick a free ephemeral port)")
+    p.add_argument(
+        "--probe", action="append", default=None, metavar="LINE",
+        help="serve this request line in-process and exit (repeatable; "
+             "no socket — exit 1 if any reply is an error)",
+    )
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="shut the server down after serving this many requests")
+    p.add_argument("--log", default=None, metavar="PATH",
+                   help="append served dist/path request lines (replay input)")
+    p.add_argument("--pair-cache", type=int, default=4096,
+                   help="exact-hit pair cache entries (0 disables the tier)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="micro-batch size cap")
+    p.add_argument("--batch-window", type=float, default=1.0,
+                   help="micro-batch gather window, milliseconds (0: no wait)")
+    p.add_argument("--cache-size", type=int, default=128,
+                   help="LRU source-vector cache size")
+    p.add_argument("--hops", type=int, default=None)
+    _add_backend_flag(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "trace", help="run build/sssp/spt under the tracer + theorem watchdogs"

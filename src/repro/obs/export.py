@@ -36,6 +36,8 @@ __all__ = [
     "flame_report",
     "op_wall_report",
     "backend_health_report",
+    "histogram_quantile",
+    "serve_health_report",
 ]
 
 _SourceT = Union[Span, SpanTracer]
@@ -334,6 +336,78 @@ def backend_health_report(
             wrows,
         )
     return report
+
+
+def histogram_quantile(hist, q: float) -> float:
+    """Approximate quantile ``q`` of a log₂-bucketed :class:`Histogram`.
+
+    Walks the buckets in order until the cumulative count reaches
+    ``q * count`` and returns that bucket's upper bound ``2^b``, clamped
+    into ``[min, max]`` of the exact extrema the histogram tracks — so the
+    answer is never tighter than a bucket but never outside the observed
+    range.  Returns ``0.0`` on an empty histogram.
+    """
+    if hist.count == 0:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    need = q * hist.count
+    seen = 0
+    for bucket, n in sorted(hist.buckets.items()):
+        seen += n
+        if seen >= need:
+            return float(min(max(2.0 ** bucket, hist.min), hist.max))
+    return float(hist.max)  # pragma: no cover - q <= 1 always lands above
+
+
+def serve_health_report(
+    metrics: MetricsRegistry, title: str = "serving health"
+) -> str:
+    """Serving-layer health table from a registry's ``serve.*`` telemetry.
+
+    Summarizes the request/batch traffic, tier hit rates (the exact-hit
+    pair cache and the per-source oracle cache), latency quantiles from
+    the ``serve.latency_us`` histogram (log₂-bucket approximations),
+    structured error counts, and any ``serve.fallback.<kind>`` degradation
+    events.  Returns ``""`` when the registry saw no serving traffic at
+    all — callers can print the result unconditionally.
+    """
+    counters = metrics.counters
+
+    def val(label: str, field: str = "elements") -> int:
+        c = counters.get(f"primitive.{label}.{field}")
+        return c.value if c is not None else 0
+
+    if not any(k.startswith("primitive.serve.") for k in counters):
+        return ""
+    requests = val("serve.request")
+    batches = val("serve.batch", "calls")
+    rows = [["requests", requests], ["batches", batches]]
+    if batches:
+        rows.append(["mean batch size", f"{val('serve.batch') / batches:.2f}"])
+    lat = metrics.histograms.get("serve.latency_us")
+    if lat is not None and lat.count:
+        rows.append(["latency p50 us", f"{histogram_quantile(lat, 0.50):.1f}"])
+        rows.append(["latency p99 us", f"{histogram_quantile(lat, 0.99):.1f}"])
+        rows.append(["latency mean us", f"{lat.mean:.1f}"])
+    for tier, hit_label, miss_label in (
+        ("pair cache", "serve.cache.pair.hit", "serve.cache.pair.miss"),
+        ("source cache", "oracle.cache.hit", "oracle.cache.miss"),
+    ):
+        hits, misses = val(hit_label), val(miss_label)
+        if hits or misses:
+            rows.append(
+                [f"{tier} hit rate", f"{100.0 * hits / (hits + misses):.1f}%"]
+            )
+    for name, c in sorted(counters.items()):
+        for prefix, caption in (
+            ("primitive.serve.error.", "errors"),
+            ("primitive.serve.fallback.", "fallback"),
+        ):
+            if name.startswith(prefix) and name.endswith(".elements") and c.value:
+                slug = name[len(prefix):-len(".elements")]
+                rows.append([f"{caption} ({slug})", c.value])
+    return render_table(title, ["figure", "value"], rows)
 
 
 def _span_races(span: Span) -> int:

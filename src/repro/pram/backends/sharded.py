@@ -531,6 +531,11 @@ class ShardedBackend(ExecutionBackend):
         self.failed = False
         self.failure_reason: str | None = None
         self.failure_kind: str | None = None
+        #: Callables ``(kind, reason)`` invoked synchronously from
+        #: :meth:`_fail`, i.e. mid-round, before the serial retry runs —
+        #: layers above the cost stream (the serving layer) use this to
+        #: report the degradation under their own traffic labels.
+        self._failure_listeners: list = []
         self.sharded_rounds = 0
         self.serial_rounds = 0
         self.sharded_entry_rounds = 0
@@ -633,6 +638,19 @@ class ShardedBackend(ExecutionBackend):
                     pass
             self._stats_shm = None
 
+    def add_failure_listener(self, listener) -> None:
+        """Subscribe ``listener(kind, reason)`` to serial-fallback trips.
+
+        Listeners fire synchronously inside :meth:`_fail` — that is,
+        *during* the round that degraded, before its serial retry — so a
+        subscriber sees the event in causal order with the answers it
+        serves.  A backend that already failed notifies the new listener
+        immediately (late subscribers still learn the state).
+        """
+        self._failure_listeners.append(listener)
+        if self.failed:
+            listener(self.failure_kind, self.failure_reason)
+
     def _fail(self, reason: str, cost=None, kind: str = "worker-death") -> None:
         """Trip permanent serial fallback: log, tear down, remember why.
 
@@ -648,6 +666,11 @@ class ShardedBackend(ExecutionBackend):
         if cost is not None:
             cost.traffic("backend.fallback", elements=1)
             cost.traffic(f"backend.fallback.{kind}", elements=1)
+        for listener in self._failure_listeners:
+            try:
+                listener(kind, reason)
+            except Exception:  # pragma: no cover - observers must not kill math
+                log.exception("backend failure listener raised")
         for proc in self._procs:
             try:
                 proc.terminate()

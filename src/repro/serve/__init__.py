@@ -1,0 +1,35 @@
+"""Persistent (1+ε)-approximate distance-query serving (``repro serve``).
+
+The paper's economics — one polylog-depth, near-linear-work hopset build
+amortized over arbitrarily many cheap queries (Theorem 1.1, §1.2) — only
+pay off behind a long-running service.  This package turns the PR 5
+one-shot ``repro oracle`` CLI into that service:
+
+* :mod:`repro.serve.protocol` — the line protocol (``dist U V`` /
+  ``path U V`` / ``stats``) with structured error replies;
+* :mod:`repro.serve.cache`    — the tier-0 exact-hit pair LRU;
+* :mod:`repro.serve.batcher`  — the micro-batcher that collapses
+  concurrent queries into one ordered multi-source evaluation;
+* :mod:`repro.serve.server`   — :class:`~repro.serve.server.OracleServer`
+  (the in-process API the tests and benchmarks drive) plus the
+  threaded TCP front end.
+
+The serving semantics, cache tiers, determinism contract, and fallback
+behaviour are documented in ``docs/serving.md``.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import PairCache
+from repro.serve.protocol import ProtocolError, Request, parse_line
+from repro.serve.server import OracleServer, OracleTCPServer, serve_tcp
+
+__all__ = [
+    "MicroBatcher",
+    "OracleServer",
+    "OracleTCPServer",
+    "PairCache",
+    "ProtocolError",
+    "Request",
+    "parse_line",
+    "serve_tcp",
+]

@@ -1,0 +1,69 @@
+"""Tier-0 of the serving cache: an exact-hit LRU over *directed* pairs.
+
+The serving layer answers ``dist U V`` from source U's vector, always
+(``docs/serving.md``: the determinism contract).  That makes the answer a
+pure function of ``(graph, hopset, hop_budget, U, V)``, so memoizing it
+under the **ordered** key ``(U, V)`` is semantically transparent: a hit
+returns the identical bit pattern the lower tiers would recompute, no
+matter what tier-1 has since evicted.
+
+The key is deliberately *not* symmetrized: ``dist U V`` and ``dist V U``
+are both (1+ε)-certified but may differ in the last ulp (the β-hop
+accumulation runs the opposite way), and an unordered key would make the
+served value depend on which direction happened to arrive first — exactly
+the history-dependence the contract rules out.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["PairCache"]
+
+
+class PairCache:
+    """Bounded LRU from directed vertex pairs to served distances.
+
+    ``capacity=0`` disables the tier (every lookup misses, nothing is
+    stored) — the CLI's ``--pair-cache 0``.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 0:
+            raise ValueError(f"pair-cache capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._store: OrderedDict[tuple[int, int], float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, u: int, v: int) -> float | None:
+        """The memoized ``dist u v`` answer, or ``None`` (counts the outcome)."""
+        hit = self._store.get((u, v))
+        if hit is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._store.move_to_end((u, v))
+        return hit
+
+    def put(self, u: int, v: int, value: float) -> None:
+        if self.capacity == 0:
+            return
+        self._store[(u, v)] = value
+        self._store.move_to_end((u, v))
+        if len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def info(self) -> dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -1,0 +1,118 @@
+"""The ``repro serve`` line protocol.
+
+One request per line, one reply line per request, in order.  Requests::
+
+    dist U V      (1+ε)-approximate distance from U to V
+    path U V      the vertex sequence realizing that estimate
+    stats         one-line JSON of the server's counters
+    quit          close the connection (handled by the transport)
+
+Replies::
+
+    ok dist U V <value>            value is repr(float): round-trips bitwise
+    ok path U V <v0> <v1> ... <vk>
+    ok path U V unreachable
+    ok stats <json>
+    err <code> <message>
+
+Error codes are structured and stable — ``bad-request`` (unparsable line,
+wrong arity, non-integer vertex) and ``out-of-range`` (vertex outside
+``[0, n)``) — and a malformed line never takes down the connection, let
+alone the server; the reply is the diagnostic.
+
+Distances are serialized with :func:`repr`, the shortest string that
+round-trips the exact float64 bit pattern, so a client parsing the reply
+with ``float()`` recovers the served value bit-exactly — the property the
+serve-vs-offline differential suite (``tests/serve/``) leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ProtocolError",
+    "Request",
+    "format_dist",
+    "format_error",
+    "format_path",
+    "format_stats",
+    "parse_line",
+]
+
+#: Request kinds that take two vertex operands.
+_PAIR_KINDS = ("dist", "path")
+#: Request kinds with no operands.
+_NULLARY_KINDS = ("stats", "quit")
+
+
+class ProtocolError(ValueError):
+    """A malformed or out-of-range request; carries a structured code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed protocol line."""
+
+    kind: str      # "dist" | "path" | "stats" | "quit"
+    u: int = -1
+    v: int = -1
+
+    def line(self) -> str:
+        """The canonical request line (what the query log records)."""
+        if self.kind in _PAIR_KINDS:
+            return f"{self.kind} {self.u} {self.v}"
+        return self.kind
+
+
+def parse_line(line: str) -> Request:
+    """Parse one request line; raises :class:`ProtocolError` when malformed."""
+    parts = line.split()
+    if not parts:
+        raise ProtocolError("bad-request", "empty request")
+    kind = parts[0]
+    if kind in _NULLARY_KINDS:
+        if len(parts) != 1:
+            raise ProtocolError("bad-request", f"{kind} takes no operands")
+        return Request(kind)
+    if kind not in _PAIR_KINDS:
+        raise ProtocolError(
+            "bad-request",
+            f"unknown request {kind!r} (try: dist U V | path U V | stats | quit)",
+        )
+    if len(parts) != 3:
+        raise ProtocolError("bad-request", f"{kind} takes exactly two vertices")
+    try:
+        u, v = int(parts[1]), int(parts[2])
+    except ValueError:
+        raise ProtocolError(
+            "bad-request", f"non-integer vertex in {line.strip()!r}"
+        ) from None
+    return Request(kind, u, v)
+
+
+def format_dist(u: int, v: int, value: float) -> str:
+    """The ``dist`` reply; ``repr(value)`` round-trips the float64 bitwise."""
+    return f"ok dist {u} {v} {value!r}"
+
+
+def format_path(u: int, v: int, path: list[int] | None) -> str:
+    """The ``path`` reply; ``None`` renders as ``unreachable``."""
+    if path is None:
+        return f"ok path {u} {v} unreachable"
+    return f"ok path {u} {v} " + " ".join(str(p) for p in path)
+
+
+def format_stats(payload: str) -> str:
+    """The ``stats`` reply wrapping an already-serialized JSON payload."""
+    return f"ok stats {payload}"
+
+
+def format_error(code: str, message: str) -> str:
+    """The ``err`` reply; whitespace-squashed so it can never span lines."""
+    return f"err {code} {' '.join(str(message).split())}"

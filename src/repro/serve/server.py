@@ -1,0 +1,357 @@
+"""The oracle serving layer: tiered-cache answering behind a micro-batcher.
+
+:class:`OracleServer` is the in-process engine (tests and benchmarks drive
+it directly); :func:`serve_tcp` wraps it in a threaded TCP front end that
+speaks the line protocol of :mod:`repro.serve.protocol` — together they
+are ``repro serve``.
+
+**Answer tiers** (``docs/serving.md``):
+
+0. *Exact-hit pair LRU* (:class:`~repro.serve.cache.PairCache`) —
+   memoized ``dist U V`` floats under the directed key ``(U, V)``.
+1. *Per-source vectors* — the
+   :class:`~repro.sssp.oracle.HopsetDistanceOracle` LRU of ``(dist,
+   parent)`` vectors, shared by every query naming that source.
+2. *Hopset-limited Bellman–Ford* — a β-hop exploration of G ∪ H on the
+   server's one :class:`~repro.pram.machine.PRAM`; every exploration
+   reuses the same cached :class:`~repro.pram.primitives.RelaxPlan`, and
+   under a sharded backend that plan lives in
+   ``multiprocessing.shared_memory`` once, with W workers computing
+   per-shard segment minima — W serving workers, one copy of the data.
+
+**Determinism contract.**  ``dist U V`` is answered from source U's
+vector, always — never from V's even when V happens to be cached (the
+offline oracle's opportunistic swap).  Every served answer is therefore a
+pure function of ``(graph, hopset, hop_budget, U, V)``: independent of
+arrival order, batch partitioning, cache state, worker count, and
+degradation events — which is what makes the pair cache transparent, a
+recorded query log exactly replayable, and the serve-vs-offline
+differential (``tests/serve/test_serve_diff.py``) a bitwise assertion
+against ``HopsetDistanceOracle.distances_from(U)[V]``.
+
+**Degradation.**  Under a sharded backend a worker death / round timeout
+trips the backend's permanent serial fallback (docs/backends.md); the
+server subscribes a failure listener and reports the event as
+``serve.fallback.<kind>`` traffic, then keeps serving in-process —
+bit-identical answers, serial wall-clock.  Malformed or out-of-range
+request lines get structured ``err <code> ...`` replies and never
+interrupt the batch, the connection, or the server.
+
+Observability: ``serve.request`` / ``serve.batch`` / ``serve.cache.pair.*``
+/ ``serve.error.<code>`` / ``serve.fallback.<kind>`` cost-model traffic
+(the oracle tier adds ``oracle.cache.{hit,miss}``), a ``serve.latency_us``
+histogram of per-request service time, and the
+:func:`repro.obs.export.serve_health_report` table over all of it.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.hopsets.hopset import Hopset
+from repro.obs.metrics import MetricsRegistry
+from repro.pram.machine import PRAM
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import PairCache
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    format_dist,
+    format_error,
+    format_path,
+    format_stats,
+    parse_line,
+)
+from repro.sssp.oracle import HopsetDistanceOracle, tree_path
+
+__all__ = ["OracleServer", "OracleTCPServer", "serve_tcp", "read_query_log"]
+
+
+def read_query_log(path) -> list[str]:
+    """The recorded request lines of a query log, in served order."""
+    return [
+        line for line in Path(path).read_text().splitlines() if line.strip()
+    ]
+
+
+class OracleServer:
+    """Micro-batched, tiered-cache distance/path serving over one hopset.
+
+    Parameters
+    ----------
+    graph, hopset:
+        The base graph and its prebuilt hopset (one immutable copy serves
+        every query).
+    hop_budget, cache_size:
+        Forwarded to the tier-1 :class:`HopsetDistanceOracle`.
+    pair_cache:
+        Tier-0 capacity (directed exact-hit entries); ``0`` disables.
+    backend:
+        Execution backend for the explorations — an instance, a spec
+        string (``"sharded:2"``), or ``None`` for the ``REPRO_BACKEND``
+        default.  The server never closes a backend it did not create
+        (specs resolve to process-wide singletons).
+    max_batch, batch_window:
+        Micro-batcher knobs (:class:`~repro.serve.batcher.MicroBatcher`);
+        ``batch_window`` is in seconds.
+    log_path:
+        When given, every served ``dist``/``path`` request line is
+        appended there in served order — a deterministic replay input
+        (``stats`` lines are excluded: their replies are counters, not
+        pure functions of the request).
+    metrics:
+        Optional externally-attached registry; by default the server
+        attaches (and on :meth:`close` detaches) its own.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        hopset: Hopset,
+        hop_budget: int | None = None,
+        cache_size: int = 128,
+        pair_cache: int = 4096,
+        backend=None,
+        max_batch: int = 64,
+        batch_window: float = 0.001,
+        log_path=None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.pram = PRAM(backend=backend)
+        self._own_registry = metrics is None
+        self.registry = (
+            metrics if metrics is not None else MetricsRegistry.attach(self.pram.cost)
+        )
+        self.oracle = HopsetDistanceOracle(
+            graph,
+            hopset,
+            hop_budget=hop_budget,
+            cache_size=cache_size,
+            pram=self.pram,
+            metrics=self.registry,
+        )
+        self.pairs = PairCache(pair_cache)
+        self.batcher = MicroBatcher(
+            self.serve_batch, max_batch=max_batch, window_s=batch_window
+        )
+        #: cumulative charged work attributed to each explored source
+        self.source_charges: dict[int, int] = {}
+        self.requests = 0
+        self.errors = 0
+        self.degraded: str | None = None
+        self._lock = threading.RLock()
+        self._log_fh = open(log_path, "a") if log_path else None
+        self._limit_cb = None
+        self._limit = None
+        listen = getattr(self.pram.backend, "add_failure_listener", None)
+        if listen is not None:
+            listen(self._on_backend_failure)
+
+    # -- degradation ---------------------------------------------------------
+
+    def _on_backend_failure(self, kind: str, reason: str) -> None:
+        """Backend tripped serial fallback mid-exploration: surface it."""
+        self.degraded = kind
+        self.pram.cost.traffic(f"serve.fallback.{kind}", elements=1)
+
+    # -- answering (callers hold the lock) -----------------------------------
+
+    def _check(self, w: int) -> None:
+        if not 0 <= w < self.oracle.graph.n:
+            raise ProtocolError(
+                "out-of-range", f"vertex {w} outside [0, {self.oracle.graph.n})"
+            )
+
+    def _explore(self, source: int) -> tuple[np.ndarray, np.ndarray]:
+        """Tier-1/2 lookup with per-source charged-work attribution."""
+        before = self.pram.cost.work
+        vectors = self.oracle.vectors_from(source)
+        delta = self.pram.cost.work - before
+        if delta:
+            self.source_charges[source] = (
+                self.source_charges.get(source, 0) + delta
+            )
+        return vectors
+
+    def _answer_dist(self, u: int, v: int) -> float:
+        self._check(u)
+        self._check(v)
+        if u == v:
+            return 0.0
+        hit = self.pairs.get(u, v)
+        if hit is not None:
+            self.pram.cost.traffic("serve.cache.pair.hit", elements=1)
+            return hit
+        self.pram.cost.traffic("serve.cache.pair.miss", elements=1)
+        value = float(self._explore(u)[0][v])
+        self.pairs.put(u, v, value)
+        return value
+
+    def _answer_path(self, u: int, v: int) -> list[int] | None:
+        self._check(u)
+        self._check(v)
+        if u == v:
+            return [u]
+        dist, parent = self._explore(u)
+        if not np.isfinite(dist[v]):
+            return None
+        return tree_path(parent, u, v, self.oracle.graph.n)
+
+    def _serve_one(self, item) -> str:
+        t0 = time.perf_counter_ns()
+        try:
+            req = parse_line(item) if isinstance(item, str) else item
+            if req.kind == "dist":
+                reply = format_dist(req.u, req.v, self._answer_dist(req.u, req.v))
+            elif req.kind == "path":
+                reply = format_path(req.u, req.v, self._answer_path(req.u, req.v))
+            elif req.kind == "stats":
+                reply = format_stats(json.dumps(self.stats(), sort_keys=True))
+            elif req.kind == "quit":
+                reply = "ok bye"
+            else:  # unreachable behind parse_line, defensive for Request users
+                raise ProtocolError("bad-request", f"unknown kind {req.kind!r}")
+            if self._log_fh is not None and req.kind in ("dist", "path"):
+                self._log_fh.write(req.line() + "\n")
+        except ProtocolError as exc:
+            self.errors += 1
+            self.pram.cost.traffic(f"serve.error.{exc.code}", elements=1)
+            reply = format_error(exc.code, exc.message)
+        self.requests += 1
+        self.pram.cost.traffic("serve.request", elements=1)
+        self.registry.histogram("serve.latency_us").observe(
+            (time.perf_counter_ns() - t0) / 1e3
+        )
+        return reply
+
+    # -- the batch entry points ----------------------------------------------
+
+    def serve_batch(self, items) -> list[str]:
+        """Answer one arrival-ordered batch; one reply line per item.
+
+        ``items`` are raw request lines or parsed :class:`Request`\\ s.
+        This is the micro-batcher's evaluate callable and the direct
+        entry point for in-process callers (benchmarks, ``--probe``);
+        the lock keeps direct calls and the collector thread serialized.
+        """
+        with self._lock:
+            self.pram.cost.traffic("serve.batch", elements=len(items))
+            replies = [self._serve_one(item) for item in items]
+            if self._log_fh is not None:
+                self._log_fh.flush()
+        if self._limit_cb is not None and self.requests >= (self._limit or 0):
+            cb, self._limit_cb = self._limit_cb, None
+            cb()
+        return replies
+
+    def submit_line(self, line: str):
+        """Enqueue one request line with the micro-batcher; returns a future."""
+        return self.batcher.submit(line)
+
+    def handle_line(self, line: str) -> str:
+        """Serve one request line immediately (a batch of one)."""
+        return self.serve_batch([line])[0]
+
+    def replay(self, lines) -> list[str]:
+        """Re-serve a recorded query log; replies pin bitwise (the contract)."""
+        return [self.handle_line(line) for line in lines]
+
+    # -- convenience API ------------------------------------------------------
+
+    def query(self, u: int, v: int) -> float:
+        """The served ``dist u v`` value (tier-0/1/2, canonical source u)."""
+        with self._lock:
+            return self._answer_dist(u, v)
+
+    def path(self, u: int, v: int) -> list[int] | None:
+        """The served ``path u v`` vertex sequence (canonical source u)."""
+        with self._lock:
+            return self._answer_path(u, v)
+
+    def on_request_limit(self, limit: int, callback) -> None:
+        """Invoke ``callback`` once after ``limit`` requests were served."""
+        self._limit = int(limit)
+        self._limit_cb = callback
+
+    def stats(self) -> dict:
+        """One JSON-friendly dict of serving counters (the ``stats`` reply)."""
+        info = self.oracle.cache_info()
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "batches": self.batcher.batches,
+            "pair_cache": self.pairs.info(),
+            "source_cache": info,
+            "sources_charged": len(self.source_charges),
+            "backend": self.pram.backend.describe(),
+            "degraded": self.degraded,
+        }
+
+    def close(self) -> None:
+        """Drain the batcher and release what the server owns.
+
+        The execution backend is deliberately *not* closed: spec-resolved
+        backends are process-wide singletons and instances belong to the
+        caller.
+        """
+        self.batcher.close()
+        if self._own_registry:
+            self.registry.detach(self.pram.cost)
+        if self._log_fh is not None:
+            self._log_fh.close()
+            self._log_fh = None
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    """One thread per connection: read lines, batch-submit, reply in order."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via socket tests
+        server: OracleServer = self.server.oracle_server  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            try:
+                reply = server.submit_line(line).result()
+            except RuntimeError as exc:  # batcher closed under us
+                reply = format_error("shutdown", str(exc))
+            try:
+                self.wfile.write((reply + "\n").encode("utf-8"))
+                self.wfile.flush()
+            except OSError:
+                return  # client went away mid-reply
+            if line.split()[:1] == ["quit"]:
+                return
+
+
+class OracleTCPServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP transport for one :class:`OracleServer`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+    oracle_server: OracleServer
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def serve_tcp(
+    server: OracleServer, host: str = "127.0.0.1", port: int = 0
+) -> OracleTCPServer:
+    """Bind the line-protocol TCP front end (``port=0`` picks a free port).
+
+    The caller runs ``serve_forever()`` (or hands it to a thread) and later
+    ``shutdown()`` + ``server_close()``; the :class:`OracleServer` itself
+    is closed separately.
+    """
+    tcp = OracleTCPServer((host, port), _LineHandler)
+    tcp.oracle_server = server
+    return tcp

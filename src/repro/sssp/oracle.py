@@ -2,14 +2,19 @@
 
 The S×V application of §1.2 ([EN20]): once the hopset exists, every source
 costs one β-hop Bellman–Ford.  The oracle materializes G ∪ H once, caches
-per-source distance vectors (LRU), and answers:
+per-source distance *and parent* vectors (LRU), and answers:
 
 * ``query(u, v)`` — a (1+ε)-approximate u–v distance,
-* ``distances_from(s)`` — the full vector for one source,
+* ``path(u, v)`` — the vertex sequence realizing that estimate,
+* ``distances_from(s)`` / ``parents_from(s)`` — full vectors for one source,
 * ``batch(sources)`` — the S × V matrix of Theorem 3.8's aMSSD.
 
 Pair queries are answered from whichever endpoint is already cached, so a
-locality-heavy query stream touches few explorations.
+locality-heavy query stream touches few explorations.  The serving layer
+(:mod:`repro.serve`) stacks a micro-batcher and an exact-hit pair cache on
+top of this tier; it pins its answers to the *first-named* endpoint instead
+of the opportunistic swap so that served values are cache-state independent
+(see ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -24,7 +29,24 @@ from repro.hopsets.hopset import Hopset
 from repro.pram.machine import PRAM
 from repro.sssp.bellman_ford import bellman_ford
 
-__all__ = ["HopsetDistanceOracle"]
+__all__ = ["HopsetDistanceOracle", "tree_path"]
+
+
+def tree_path(parent: np.ndarray, s: int, t: int, n: int) -> list[int] | None:
+    """The s→t vertex sequence through an exploration tree rooted at ``s``.
+
+    Follows ``parent`` pointers from ``t`` back to ``s`` and reverses;
+    returns ``None`` when the walk leaves the tree (no parent) or exceeds
+    ``n`` steps — callers check reachability via the distance first.
+    """
+    walk = [t]
+    while walk[-1] != s:
+        nxt = int(parent[walk[-1]])
+        if nxt < 0 or len(walk) > n:
+            return None
+        walk.append(nxt)
+    walk.reverse()
+    return walk
 
 
 class HopsetDistanceOracle:
@@ -68,11 +90,13 @@ class HopsetDistanceOracle:
             else min(2 * hopset.beta + 1, max(graph.n - 1, 1))
         )
         self.pram = pram if pram is not None else PRAM()
-        self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        #: source -> (dist, parent), most-recently-used last
+        self._cache: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = OrderedDict()
         self._cache_size = cache_size
         self.metrics = metrics
         self.explorations = 0
         self.hits = 0
+        self.misses = 0
 
     def _note(self, event: str) -> None:
         """Record one cache outcome (``hit`` | ``miss``) with every sink."""
@@ -80,8 +104,12 @@ class HopsetDistanceOracle:
         if self.metrics is not None:
             self.metrics.counter(f"oracle.cache.{event}").inc()
 
-    def distances_from(self, source: int) -> np.ndarray:
-        """The cached (1+ε)-approximate distance vector of ``source``."""
+    def is_cached(self, source: int) -> bool:
+        """Whether ``source``'s vectors are resident (no LRU touch)."""
+        return source in self._cache
+
+    def vectors_from(self, source: int) -> tuple[np.ndarray, np.ndarray]:
+        """The cached ``(dist, parent)`` pair of ``source``, exploring on miss."""
         if not 0 <= source < self.graph.n:
             raise VertexError(f"source {source} out of range")
         if source in self._cache:
@@ -91,11 +119,20 @@ class HopsetDistanceOracle:
             return self._cache[source]
         res = bellman_ford(self.pram, self.union, source, self.hop_budget)
         self.explorations += 1
+        self.misses += 1
         self._note("miss")
-        self._cache[source] = res.dist
+        self._cache[source] = (res.dist, res.parent)
         if len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
-        return res.dist
+        return self._cache[source]
+
+    def distances_from(self, source: int) -> np.ndarray:
+        """The cached (1+ε)-approximate distance vector of ``source``."""
+        return self.vectors_from(source)[0]
+
+    def parents_from(self, source: int) -> np.ndarray:
+        """The parent vector of ``source``'s exploration tree."""
+        return self.vectors_from(source)[1]
 
     def query(self, u: int, v: int) -> float:
         """A (1+ε)-approximate u–v distance (symmetric)."""
@@ -107,6 +144,33 @@ class HopsetDistanceOracle:
             u, v = v, u
         return float(self.distances_from(u)[v])
 
+    def path(self, u: int, v: int) -> list[int] | None:
+        """The u→v vertex sequence behind :meth:`query`'s estimate.
+
+        Reconstructed from the exploration tree of whichever endpoint is
+        (or becomes) cached, following the same endpoint-swap rule as
+        :meth:`query`; returns ``None`` when ``v`` is unreached within the
+        hop budget.  Tree edges may be hopset shortcuts, so consecutive
+        vertices are adjacent in G ∪ H, not necessarily in G.
+        """
+        if not 0 <= v < self.graph.n:
+            raise VertexError(f"vertex {v} out of range")
+        if not 0 <= u < self.graph.n:
+            raise VertexError(f"vertex {u} out of range")
+        if u == v:
+            return [u]
+        swapped = v in self._cache and u not in self._cache
+        s, t = (v, u) if swapped else (u, v)
+        dist, parent = self.vectors_from(s)
+        if not np.isfinite(dist[t]):
+            return None
+        walk = tree_path(parent, s, t, self.graph.n)
+        if walk is None:
+            return None  # broken tree (cannot happen on a finite dist)
+        # ``walk`` runs s -> t; when the endpoints were swapped (s = v),
+        # the u -> v path is its reverse.
+        return walk[::-1] if swapped else walk
+
     def batch(self, sources: np.ndarray) -> np.ndarray:
         """The |S| × n matrix of Theorem 3.8's aMSSD."""
         src = np.asarray(sources, dtype=np.int64)
@@ -117,4 +181,5 @@ class HopsetDistanceOracle:
             "cached_sources": len(self._cache),
             "explorations": self.explorations,
             "hits": self.hits,
+            "misses": self.misses,
         }

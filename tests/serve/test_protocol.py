@@ -1,0 +1,65 @@
+"""The serve line protocol: parsing, formatting, structured errors."""
+
+import math
+
+import pytest
+
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    format_dist,
+    format_error,
+    format_path,
+    format_stats,
+    parse_line,
+)
+
+
+def test_parse_pair_requests():
+    assert parse_line("dist 3 7") == Request("dist", 3, 7)
+    assert parse_line("path 0 12") == Request("path", 0, 12)
+    assert parse_line("  dist  3   7 \n") == Request("dist", 3, 7)
+
+
+def test_parse_nullary_requests():
+    assert parse_line("stats") == Request("stats")
+    assert parse_line("quit\n") == Request("quit")
+
+
+@pytest.mark.parametrize(
+    "line",
+    ["", "   ", "frobnicate 1 2", "dist 1", "dist 1 2 3", "dist a b",
+     "path 1 2.5", "stats 3", "quit now"],
+)
+def test_parse_rejects_malformed(line):
+    with pytest.raises(ProtocolError) as exc:
+        parse_line(line)
+    assert exc.value.code == "bad-request"
+    assert exc.value.message
+
+
+def test_canonical_line_round_trips():
+    for line in ("dist 3 7", "path 0 12", "stats", "quit"):
+        assert parse_line(line).line() == line
+
+
+def test_format_dist_repr_round_trips_bitwise():
+    # repr(float) is the shortest string that reparses to the same bits
+    value = 4.815619533438085
+    reply = format_dist(0, 5, value)
+    assert reply == f"ok dist 0 5 {value!r}"
+    parsed = float(reply.rsplit(" ", 1)[1])
+    assert math.copysign(1, parsed) == math.copysign(1, value)
+    assert parsed.hex() == value.hex()
+
+
+def test_format_path_and_unreachable():
+    assert format_path(0, 3, [0, 2, 3]) == "ok path 0 3 0 2 3"
+    assert format_path(0, 3, None) == "ok path 0 3 unreachable"
+
+
+def test_format_stats_and_error_stay_one_line():
+    assert format_stats('{"a": 1}') == 'ok stats {"a": 1}'
+    reply = format_error("bad-request", "no\nnewlines\nallowed")
+    assert "\n" not in reply
+    assert reply.startswith("err bad-request ")

@@ -97,3 +97,96 @@ def test_validation(setup):
 
     with pytest.raises(VertexError):
         HopsetDistanceOracle(g, Hopset(n=g.n + 1))
+
+
+# -- serving-PR edge cases (cache_size=1, either-endpoint pairs, counters) ---
+
+
+def test_cache_size_one_eviction_order(setup):
+    """cache_size=1: every new source evicts the previous one, LRU-exact."""
+    g, H = setup
+    oracle = HopsetDistanceOracle(g, H, cache_size=1)
+    oracle.distances_from(0)
+    assert oracle.is_cached(0)
+    oracle.distances_from(1)  # evicts 0 immediately
+    assert oracle.is_cached(1) and not oracle.is_cached(0)
+    assert oracle.cache_info()["cached_sources"] == 1
+    before = oracle.explorations
+    oracle.distances_from(1)  # resident: no new exploration
+    assert oracle.explorations == before
+    oracle.distances_from(0)  # evicted: must re-explore, evicts 1
+    assert oracle.explorations == before + 1
+    assert oracle.is_cached(0) and not oracle.is_cached(1)
+
+
+def test_pair_query_served_from_either_cached_endpoint(setup):
+    """query(u, v) swaps to whichever endpoint is resident (and only then)."""
+    g, H = setup
+    oracle = HopsetDistanceOracle(g, H, cache_size=4)
+    oracle.distances_from(7)  # cache source 7 only
+    before = oracle.explorations
+    got = oracle.query(2, 7)  # u not cached, v cached: answered from 7's side
+    assert oracle.explorations == before
+    assert got == float(oracle.distances_from(7)[2])
+    # when *both* endpoints are cached, the first-named one wins
+    oracle.distances_from(2)
+    assert oracle.query(2, 7) == float(oracle.distances_from(2)[7])
+    # when neither is cached, u is explored (no swap target)
+    oracle2 = HopsetDistanceOracle(g, H, cache_size=4)
+    oracle2.query(3, 9)
+    assert oracle2.is_cached(3) and not oracle2.is_cached(9)
+
+
+def test_hit_miss_counters_consistent_with_cache_info(setup):
+    g, H = setup
+    oracle = HopsetDistanceOracle(g, H, cache_size=2)
+    for s in (0, 1, 0, 2, 0, 1):  # mix of misses, hits, and re-explorations
+        oracle.distances_from(s)
+    info = oracle.cache_info()
+    assert info["hits"] == oracle.hits
+    assert info["misses"] == oracle.misses
+    assert info["explorations"] == oracle.explorations
+    assert info["misses"] == info["explorations"]  # every miss explores
+    assert info["hits"] + info["misses"] == 6  # one outcome per lookup
+    assert info["cached_sources"] == 2
+
+
+def test_is_cached_does_not_touch_lru(setup):
+    g, H = setup
+    oracle = HopsetDistanceOracle(g, H, cache_size=2)
+    oracle.distances_from(0)
+    oracle.distances_from(1)
+    hits = oracle.hits
+    assert oracle.is_cached(0) and oracle.is_cached(1)
+    assert oracle.hits == hits  # probes count nothing
+    oracle.distances_from(2)  # evicts 0 (probing 0 above must not refresh it)
+    assert not oracle.is_cached(0)
+
+
+def test_path_walks_union_tree_and_matches_query(setup):
+    g, H = setup
+    from repro.sssp.oracle import tree_path
+
+    oracle = HopsetDistanceOracle(g, H)
+    walk = oracle.path(0, 9)
+    assert walk is not None and walk[0] == 0 and walk[-1] == 9
+    dist, parent = oracle.vectors_from(0)
+    assert walk == tree_path(parent, 0, 9, g.n)
+    assert oracle.path(4, 4) == [4]
+    # reversed pair from the cached side: the reversed walk
+    rev = oracle.path(9, 0)
+    assert rev == walk[::-1]
+    with pytest.raises(VertexError):
+        oracle.path(0, g.n)
+
+
+def test_tree_path_detects_broken_trees():
+    import numpy as np
+
+    from repro.sssp.oracle import tree_path
+
+    parent = np.array([-1, 0, 1, -1], dtype=np.int64)
+    assert tree_path(parent, 0, 2, 4) == [0, 1, 2]
+    assert tree_path(parent, 0, 3, 4) is None  # 3 has no parent
+    cyclic = np.array([1, 0, 2, 2], dtype=np.int64)
+    assert tree_path(cyclic, 3, 0, 4) is None  # walk exceeds n steps
