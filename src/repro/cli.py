@@ -7,16 +7,19 @@ Usage::
     python -m repro sssp    graph.npz hopset.npz --source S [--out dist.npz] [--engine {dense,sparse,auto}]
     python -m repro spt     graph.npz hopset.npz --source S [--out tree.npz]
     python -m repro oracle  graph.npz hopset.npz [--query U V ...] [--batch S1,S2,...]
+                            [--mssp-block S]
     python -m repro certify graph.npz hopset.npz [--beta B --epsilon E]
     python -m repro info    artifact.npz
+    python -m repro store   {ls,gc} DIR [--keep-newest N --max-bytes B]
     python -m repro gen     graph.npz --family er --n 100 [--seed 7 ...]
     python -m repro trace   {build,sssp,spt} ... --trace-out trace.json [--jsonl spans.jsonl]
     python -m repro profile {build,sssp} ... [--top N] [--flame-out flame.folded]
     python -m repro perf    {append,check} [--bench-dir D] [--history H] [--warn-only]
     python -m repro conformance [--strict] [--seed N] [--n N] [--families er,grid] [--trace-out t.json]
-    python -m repro serve   graph.npz hopset.npz [--host H --port P] [--probe "dist U V" ...]
+    python -m repro serve   graph.npz [hopset.npz] [--host H --port P] [--probe "dist U V" ...]
                             [--max-requests N --log queries.log --pair-cache K
                              --max-batch B --batch-window MS --cache-size S --hops B --backend SPEC]
+                            [--mssp-block S] [--store DIR --warm [--epsilon E --kappa K ...]]
 
 ``trace`` runs the wrapped command under the observability layer
 (``repro.obs``): it writes a Chrome trace-event JSON (loadable in
@@ -83,6 +86,7 @@ from repro.graphs.generators import (
     random_geometric,
     wide_weight_graph,
 )
+from repro.hopsets.hopset import Hopset
 from repro.hopsets.multi_scale import build_hopset
 from repro.hopsets.params import HopsetParams
 from repro.hopsets.path_reporting import build_path_reporting_hopset
@@ -287,7 +291,7 @@ def cmd_oracle(args, pram: PRAM | None = None) -> int:
     registry = MetricsRegistry.attach(pram.cost)
     oracle = HopsetDistanceOracle(
         g, hopset, hop_budget=budget, cache_size=args.cache_size,
-        pram=pram, metrics=registry,
+        pram=pram, metrics=registry, mssp_block=args.mssp_block,
     )
     ran = False
     for u, v in args.query or ():
@@ -327,7 +331,9 @@ def cmd_oracle(args, pram: PRAM | None = None) -> int:
     registry.detach(pram.cost)
     info = oracle.cache_info()
     print(
-        f"oracle stats: {info['explorations']} explorations, "
+        f"oracle stats: {info['tier2_explorations']} tier-2 explorations "
+        f"({info['matrix_passes']} matrix passes), "
+        f"{info['tier1_vector_misses']} tier-1 vector misses, "
         f"{info['hits']} cache hits, {info['cached_sources']} sources cached"
     )
     print(
@@ -338,9 +344,41 @@ def cmd_oracle(args, pram: PRAM | None = None) -> int:
     return 0
 
 
+def _serve_hopset(args, g: Graph) -> tuple[Hopset | None, str]:
+    """The hopset a ``repro serve`` boots from, plus where it came from.
+
+    ``--warm --store DIR`` consults the content-addressed store first
+    (key: graph content + build params).  Fail-soft by construction: a
+    store miss falls back to the positional artifact if one was given,
+    else to a fresh in-process build that is then filed in the store —
+    the warm path can degrade, never break, the boot.
+    """
+    if args.warm:
+        if not args.store:
+            print("--warm needs --store DIR (the artifact cache to load from)",
+                  file=sys.stderr)
+            return None, ""
+        params = _params(args)
+        store = HopsetStore(args.store)
+        hopset = store.load(g, params)
+        if hopset is not None:
+            return hopset, f"warm store hit ({args.store})"
+        if args.hopset:
+            return load_hopset(args.hopset), f"store miss -> {args.hopset}"
+        hopset, _ = build_hopset(g, params, PRAM())
+        store.save(g, params, hopset)
+        return hopset, "store miss -> fresh build (filed)"
+    if not args.hopset:
+        print("need a hopset artifact (or --warm --store DIR)", file=sys.stderr)
+        return None, ""
+    return load_hopset(args.hopset), args.hopset
+
+
 def cmd_serve(args, pram: PRAM | None = None) -> int:
     g = _read_graph(args.graph)
-    hopset = load_hopset(args.hopset)
+    hopset, origin = _serve_hopset(args, g)
+    if hopset is None:
+        return 2
     budget = args.hops or (
         spt_hop_budget(hopset.beta) if hopset.meta.get("reduction") else None
     )
@@ -354,6 +392,7 @@ def cmd_serve(args, pram: PRAM | None = None) -> int:
         max_batch=args.max_batch,
         batch_window=args.batch_window / 1000.0,
         log_path=args.log,
+        mssp_block=args.mssp_block,
     )
     rc = 0
     try:
@@ -369,7 +408,7 @@ def cmd_serve(args, pram: PRAM | None = None) -> int:
             # flush: clients script against this line to learn the bound
             # port, and block-buffered pipes would hold it until exit
             print(
-                f"serving {args.graph} + {args.hopset} on "
+                f"serving {args.graph} + {origin} on "
                 f"{args.host}:{tcp.port} (backend {server.pram.backend.describe()}; "
                 "protocol: dist U V | path U V | stats | quit)",
                 flush=True,
@@ -387,6 +426,13 @@ def cmd_serve(args, pram: PRAM | None = None) -> int:
     health = serve_health_report(registry)
     if health:
         print(health)
+    info = server.oracle.cache_info()
+    print(
+        f"serve stats: {info['tier2_explorations']} tier-2 explorations "
+        f"({info['matrix_passes']} matrix passes), "
+        f"{info['tier1_vector_misses']} tier-1 vector misses, "
+        f"{info['hits']} cache hits, {info['cached_sources']} sources cached"
+    )
     if server.degraded:
         print(f"degraded to in-process serving ({server.degraded})")
     return rc
@@ -565,6 +611,42 @@ def cmd_conformance(args) -> int:
     return 0 if ok else 1
 
 
+def _human_age(seconds: float) -> str:
+    """Compact age rendering for the store listing (42s / 3.2h / 5.1d)."""
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    if seconds < 86400:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def cmd_store(args) -> int:
+    store = HopsetStore(args.dir)
+    if args.store_action == "ls":
+        entries = store.entries()
+        total = sum(e.size for e in entries)
+        print(f"store {args.dir}: {len(entries)} artifacts, {total:,} bytes")
+        for e in entries:
+            print(f"  {e.key[:16]}  {e.size:>12,} B  {_human_age(e.age_s):>7}  "
+                  f"{e.path.name}")
+        return 0
+    if args.keep_newest is None and args.max_bytes is None:
+        print("store gc needs --keep-newest N and/or --max-bytes B",
+              file=sys.stderr)
+        return 2
+    removed = store.gc(keep_newest=args.keep_newest, max_bytes=args.max_bytes)
+    freed = sum(e.size for e in removed)
+    kept = store.entries()
+    held = sum(e.size for e in kept)
+    print(
+        f"store gc {args.dir}: removed {len(removed)} artifacts "
+        f"({freed:,} bytes), kept {len(kept)} ({held:,} bytes)"
+    )
+    return 0
+
+
 def cmd_gen(args) -> int:
     if args.family not in _FAMILIES:
         print(f"unknown family {args.family!r}; options: {sorted(_FAMILIES)}",
@@ -616,6 +698,14 @@ def _add_backend_flag(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_mssp_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--mssp-block", type=int, default=None, metavar="S",
+        help="S×V matrix-engine row-block width for grouped explorations "
+             "(docs/mssp.md; 0 disables batching, default follows REPRO_MSSP)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro", description="Deterministic PRAM hopsets & approximate SSSP"
@@ -653,6 +743,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write the --batch matrix to this .npz")
     _add_backend_flag(p)
+    _add_mssp_flag(p)
     p.set_defaults(func=cmd_oracle)
 
     p = sub.add_parser(
@@ -660,7 +751,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="line-protocol query server over a saved hopset (docs/serving.md)",
     )
     p.add_argument("graph")
-    p.add_argument("hopset")
+    p.add_argument("hopset", nargs="?", default=None,
+                   help="saved hopset artifact (optional with --warm --store)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0,
                    help="TCP port (default 0: pick a free ephemeral port)")
@@ -682,7 +774,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-size", type=int, default=128,
                    help="LRU source-vector cache size")
     p.add_argument("--hops", type=int, default=None)
+    p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="content-addressed hopset store to boot from with --warm "
+             "(docs/hopset_store.md)",
+    )
+    p.add_argument(
+        "--warm", action="store_true",
+        help="boot from --store: a key hit loads the cached hopset; a miss "
+             "falls back to the positional artifact or a fresh build",
+    )
+    _add_param_flags(p)
     _add_backend_flag(p)
+    _add_mssp_flag(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -761,6 +865,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("info", help="describe a saved artifact")
     p.add_argument("artifact")
     p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser(
+        "store", help="inspect / garbage-collect a content-addressed hopset store"
+    )
+    ssub = p.add_subparsers(dest="store_action", required=True)
+    sp = ssub.add_parser("ls", help="list filed artifacts (size, age, key)")
+    sp.add_argument("dir", help="store directory (the build --store DIR)")
+    sp.set_defaults(func=cmd_store)
+    sp = ssub.add_parser("gc", help="evict old artifacts to bound the store")
+    sp.add_argument("dir", help="store directory (the build --store DIR)")
+    sp.add_argument("--keep-newest", type=int, default=None, metavar="N",
+                    help="keep only the N most recently filed artifacts")
+    sp.add_argument("--max-bytes", type=int, default=None, metavar="B",
+                    help="evict oldest-first until at most B bytes remain")
+    sp.set_defaults(func=cmd_store)
 
     p = sub.add_parser("gen", help="generate a workload graph")
     p.add_argument("out")

@@ -529,6 +529,76 @@ def _diff_relax_arcs(case, seed, strict):
                     rounds, rounds <= cost.depth + 4)
 
 
+def _diff_relax_arcs_batch(case, seed, strict):
+    """Batched S×V relaxation round vs S stacked literal CREW programs.
+
+    Three checks per case: (1) the batched kernel's matrix output equals
+    the literal batch reference bit-exactly; (2) every row's dist/parent
+    *and charged (work, depth)* equal a solo ``prelax_arcs`` run of that
+    row — the charge-stream identity the matrix engine rests on; (3) a
+    masked-out row is untouched and charges nothing (the per-source early
+    exit).  Row 0 runs under the shadow detector, which routes it through
+    the per-row footprint path — the mixed shadowed/batched round is
+    exactly what a strict conformance sweep of the engine executes.
+    """
+    dist, parent, tails, heads, weights = _relax_inputs(case, seed)
+    n_cells = int(dist.size)
+    plan = primitives.build_relax_plan(tails, heads, weights, n_cells=n_cells)
+    rows = 3
+    dist_m = np.stack([np.roll(dist, r) for r in range(rows)])
+    parent_m = np.stack([parent.copy() for _ in range(rows)])
+    solo_d, solo_p = dist_m.copy(), parent_m.copy()
+    mask_d, mask_p = dist_m.copy(), parent_m.copy()
+    ws = Workspace(poison=True)  # poisoned pool: stale reuse would surface
+    costs = [CostModel() for _ in range(rows)]
+    shadow = ShadowCREW.attach(costs[0], strict=strict)
+    try:
+        out = primitives.prelax_arcs_batch(
+            costs, dist_m, parent_m, plan=plan, workspace=ws,
+        )
+    finally:
+        shadow.detach(costs[0])
+    lit_d, lit_p, lit_any, rounds = reference.crew_relax_arcs_batch(
+        [np.roll(dist, r).tolist() for r in range(rows)],
+        [parent.tolist() for _ in range(rows)],
+        tails.tolist(), heads.tolist(), weights.tolist(),
+    )
+    equal = (
+        np.array_equal(dist_m, np.asarray(lit_d))
+        and np.array_equal(parent_m, np.asarray(lit_p))
+        and np.array_equal(out, np.asarray(lit_any, dtype=bool))
+    )
+    for r in range(rows):
+        solo_cost = CostModel()
+        solo_out = primitives.prelax_arcs(
+            solo_cost, solo_d[r], solo_p[r], tails, heads, weights,
+            plan=plan, workspace=ws, changed="any",
+        )
+        equal = equal and (
+            np.array_equal(solo_d[r], dist_m[r])
+            and np.array_equal(solo_p[r], parent_m[r])
+            and bool(solo_out) == bool(out[r])
+            and (solo_cost.work, solo_cost.depth) == (costs[r].work, costs[r].depth)
+        )
+    # a converged (masked-out) row is skipped entirely and charges nothing
+    mask = np.asarray([True, False, True])
+    mask_costs = [CostModel() for _ in range(rows)]
+    masked_out = primitives.prelax_arcs_batch(
+        mask_costs, mask_d, mask_p, plan=plan, active=mask, workspace=ws,
+    )
+    equal = equal and (
+        not masked_out[1]
+        and np.array_equal(mask_d[1], np.roll(dist, 1))
+        and np.array_equal(mask_p[1], parent)
+        and (mask_costs[1].work, mask_costs[1].depth) == (0, 0)
+        and np.array_equal(mask_d[0], dist_m[0])
+        and np.array_equal(mask_d[2], dist_m[2])
+    )
+    # literal pays load + merge + flag rounds on top of the combine tree
+    return _outcome("relax_arcs_batch", case, tails.size, equal, costs[0],
+                    shadow, rounds, rounds <= costs[0].depth + 4)
+
+
 def _entry_inputs(
     case: str, seed: int, n: int = _N, k: int = 6
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -674,6 +744,7 @@ PRIMITIVE_DIFFS: dict[str, Callable[[str, int, bool], DiffOutcome]] = {
     "segmented_sum": _diff_segmented_sum,
     "gather_csr": _diff_gather_csr,
     "relax_arcs": _diff_relax_arcs,
+    "relax_arcs_batch": _diff_relax_arcs_batch,
     "prune_entries": _diff_prune_entries,
     "aggregate_entries": _diff_aggregate_entries,
     "sort": _diff_sort,

@@ -34,6 +34,8 @@ trace summaries.
 from __future__ import annotations
 
 import hashlib
+import time
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.hopsets.hopset import Hopset
@@ -41,11 +43,26 @@ from repro.hopsets.params import HopsetParams
 
 __all__ = [
     "STORE_FORMAT_VERSION",
+    "StoreEntry",
     "graph_fingerprint",
     "store_key",
     "HopsetStore",
     "build_variant",
 ]
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One artifact in the store: its key, location, size, and age."""
+
+    key: str
+    path: Path
+    size: int    # bytes on disk
+    mtime: float  # seconds since the epoch (filing time)
+
+    @property
+    def age_s(self) -> float:
+        return max(0.0, time.time() - self.mtime)
 
 #: Bump to invalidate every artifact written under an older layout.
 STORE_FORMAT_VERSION = 1
@@ -161,3 +178,64 @@ class HopsetStore:
         if cost is not None:
             cost.traffic("store.miss", elements=1)
             cost.traffic(f"store.miss.{reason}", elements=1)
+
+    # -- inventory and garbage collection (``repro store {ls,gc}``) ----------
+
+    def entries(self) -> list[StoreEntry]:
+        """Every artifact currently filed, newest first.
+
+        Files that vanish mid-scan (a concurrent GC) are skipped — the
+        listing, like ``load``, is fail-soft.
+        """
+        found: list[StoreEntry] = []
+        if not self.root.is_dir():
+            return found
+        for path in self.root.glob("hopset-*.npz"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            key = path.stem[len("hopset-"):]
+            found.append(
+                StoreEntry(key=key, path=path, size=stat.st_size, mtime=stat.st_mtime)
+            )
+        found.sort(key=lambda e: (-e.mtime, e.key))
+        return found
+
+    def total_bytes(self) -> int:
+        """Bytes currently occupied by filed artifacts."""
+        return sum(e.size for e in self.entries())
+
+    def gc(
+        self, keep_newest: int | None = None, max_bytes: int | None = None
+    ) -> list[StoreEntry]:
+        """Evict old artifacts; returns the entries that were removed.
+
+        ``keep_newest=N`` keeps only the N most recently filed
+        artifacts; ``max_bytes=B`` then evicts oldest-first until the
+        survivors occupy at most B bytes.  Both constraints may be
+        combined; with neither, nothing is removed.  Races with a
+        concurrent writer are tolerated (an already-gone file counts as
+        removed).
+        """
+        if keep_newest is not None and keep_newest < 0:
+            raise ValueError(f"keep_newest must be >= 0, got {keep_newest}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        survivors = self.entries()  # newest first
+        doomed: list[StoreEntry] = []
+        if keep_newest is not None and len(survivors) > keep_newest:
+            doomed.extend(survivors[keep_newest:])
+            survivors = survivors[:keep_newest]
+        if max_bytes is not None:
+            held = sum(e.size for e in survivors)
+            while survivors and held > max_bytes:
+                oldest = survivors.pop()
+                held -= oldest.size
+                doomed.append(oldest)
+        for entry in doomed:
+            try:
+                entry.path.unlink()
+            except FileNotFoundError:
+                pass
+        return doomed

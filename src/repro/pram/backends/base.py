@@ -42,6 +42,7 @@ __all__ = [
     "backend_default",
     "serial_gather_csr",
     "serial_segmin",
+    "serial_segmin_batch",
     "serial_entry_segmin",
 ]
 
@@ -107,6 +108,46 @@ def serial_segmin(
     winpay = take("relax.winpay", k, np.int64)
     np.minimum.reduceat(maskpay, seg_start, out=winpay)
     return cand, segmin, winpay, achieving
+
+
+def serial_segmin_batch(
+    dist_block: np.ndarray,
+    tails_s: np.ndarray,
+    weights_s: np.ndarray,
+    seg_start: np.ndarray,
+    seg_id: np.ndarray,
+    take,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-batched :func:`serial_segmin`: S sources in one rectangular pass.
+
+    ``dist_block`` is the (A, n) active-row slice of the S×V distance
+    matrix; the candidate gather, both ``reduceat`` reductions, and the
+    achieving-tail payload all run along ``axis=1`` so every active source
+    advances in the same kernel launch.  Row ``r`` of the returned
+    ``(segmin, winpay)`` pair is bit-identical to ``serial_segmin`` on
+    ``dist_block[r]`` alone — same candidates, same ties, same minimum
+    achieving tail — which is what lets the matrix engine replay the
+    per-source charge stream unchanged.  Scratch comes from
+    ``take(name, size, dtype)`` (flat pooled views, reshaped here).
+    """
+    rows = int(dist_block.shape[0])
+    n = int(tails_s.size)
+    k = int(seg_start.size)
+    cand = take("relaxb.cand", rows * n, np.float64).reshape(rows, n)
+    np.take(dist_block, tails_s, axis=1, out=cand)
+    cand += weights_s
+    segmin = take("relaxb.segmin", rows * k, np.float64).reshape(rows, k)
+    np.minimum.reduceat(cand, seg_start, axis=1, out=segmin)
+    minrep = take("relaxb.minrep", rows * n, np.float64).reshape(rows, n)
+    segmin.take(seg_id, axis=1, out=minrep)
+    achieving = take("relaxb.achieving", rows * n, bool).reshape(rows, n)
+    np.equal(cand, minrep, out=achieving)
+    maskpay = take("relaxb.maskpay", rows * n, np.int64).reshape(rows, n)
+    maskpay.fill(_INT64_MAX)
+    np.copyto(maskpay, tails_s, where=achieving)
+    winpay = take("relaxb.winpay", rows * k, np.int64).reshape(rows, k)
+    np.minimum.reduceat(maskpay, seg_start, axis=1, out=winpay)
+    return segmin, winpay
 
 
 def serial_entry_segmin(
@@ -194,6 +235,21 @@ class ExecutionBackend:
             dist, plan.tails_s, plan.weights_s, plan.seg_start, plan.seg_id, take
         )
         return segmin, winpay
+
+    def relax_segmin_batch(
+        self, plan, dist_block: np.ndarray, take, cost=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Row-batched :meth:`relax_segmin`: one round for A active sources.
+
+        ``dist_block`` is the (A, n) active-row slice of the S×V distance
+        matrix; returns ``(segmin, winpay)`` of shape (A, n_cells).  Row
+        ``r`` must be bit-identical to ``relax_segmin`` on ``dist_block[r]``
+        alone — the matrix engine relies on that to keep the per-source
+        charge stream equal to A independent runs.
+        """
+        return serial_segmin_batch(
+            dist_block, plan.tails_s, plan.weights_s, plan.seg_start, plan.seg_id, take
+        )
 
     def entry_segmin(
         self,

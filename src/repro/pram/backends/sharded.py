@@ -354,6 +354,12 @@ class _WorkerShard:
         self.winpay_out = np.ndarray(
             spec["out_total"], dtype=np.int64, buffer=pay_shm.buf
         )[off:off + k]
+        self.k = k
+        self.out_off = int(off)
+        self.out_total = int(spec["out_total"])
+        self.n_cells = int(spec["n_cells"])
+        self.b_shms: list = []
+        self.b_dist = self.b_segmin = self.b_winpay = None
 
     def compute(self) -> tuple[int, int, int]:
         """One round; returns ``(gather_ns, segmin_ns, serialize_ns)``.
@@ -374,8 +380,60 @@ class _WorkerShard:
         t3 = time.perf_counter_ns()
         return t1 - t0, t2 - t1, t3 - t2
 
+    def battach(self, spec: dict) -> None:
+        """Attach (or re-attach, after row-capacity growth) the batch block.
+
+        The batched round's shared memory is one (rows_cap × n_cells) dist
+        block plus (rows_cap × out_total) output blocks shared by every
+        shard of the plan — each worker writes only its own column slice
+        of each row, so the sharding stays exclusive-write per row.
+        """
+        self.bclose()
+        shms = [_attach_shm(spec[k]) for k in ("dist", "segmin", "winpay")]
+        rows_cap = int(spec["rows_cap"])
+        self.b_shms = shms
+        self.b_dist = np.ndarray(
+            (rows_cap, self.n_cells), dtype=np.float64, buffer=shms[0].buf
+        )
+        self.b_segmin = np.ndarray(
+            (rows_cap, self.out_total), dtype=np.float64, buffer=shms[1].buf
+        )
+        self.b_winpay = np.ndarray(
+            (rows_cap, self.out_total), dtype=np.int64, buffer=shms[2].buf
+        )
+
+    def bcompute(self, rows: int) -> tuple[int, int, int]:
+        """One batched round over ``rows`` active sources; telemetry split
+        as in :meth:`compute`, measured over the whole row block."""
+        off, k = self.out_off, self.k
+        t0 = time.perf_counter_ns()
+        cand = np.take(self.b_dist[:rows], self.tails, axis=1)
+        cand += self.weights
+        t1 = time.perf_counter_ns()
+        segmin = self.b_segmin[:rows, off:off + k]
+        np.minimum.reduceat(cand, self.local_starts, axis=1, out=segmin)
+        t2 = time.perf_counter_ns()
+        minrep = segmin.take(self.local_seg_id, axis=1)
+        maskpay = np.where(cand == minrep, self.tails, _INT64_MAX)
+        np.minimum.reduceat(
+            maskpay, self.local_starts, axis=1,
+            out=self.b_winpay[:rows, off:off + k],
+        )
+        t3 = time.perf_counter_ns()
+        return t1 - t0, t2 - t1, t3 - t2
+
+    def bclose(self) -> None:
+        self.b_dist = self.b_segmin = self.b_winpay = None
+        for shm in self.b_shms:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+        self.b_shms = []
+
     def close(self) -> None:
         # drop array views before closing their backing shared memory
+        self.bclose()
         self.tails = self.weights = self.dist = None
         self.segmin_out = self.winpay_out = None
         for shm in self.shms:
@@ -423,6 +481,22 @@ def _worker_main(conn, stats_spec=None) -> None:  # pragma: no cover - subproces
                 if stats_row is not None:
                     stats_row[:] = (
                         rid, shard.tails.size,
+                        gather_ns, segmin_ns, serialize_ns, total_ns,
+                    )
+                conn.send(("done", rid, total_ns))
+            elif op == "battach":
+                _, key, spec = msg
+                shards[key].battach(spec)
+                conn.send(("bok", key))
+            elif op == "bround":
+                _, key, rid, rows = msg
+                shard = shards[key]
+                t0 = time.perf_counter_ns()
+                gather_ns, segmin_ns, serialize_ns = shard.bcompute(rows)
+                total_ns = time.perf_counter_ns() - t0
+                if stats_row is not None:
+                    stats_row[:] = (
+                        rid, shard.tails.size * rows,
                         gather_ns, segmin_ns, serialize_ns, total_ns,
                     )
                 conn.send(("done", rid, total_ns))
@@ -481,8 +555,24 @@ class _SharedPlan:
         self.segmin_all = segmin_all
         self.winpay_all = winpay_all
         self.shards = shards  # list[_ShardMeta], fixed shard order
+        # lazily-created batched row-block (grown geometrically on demand)
+        self.batch_shms: list = []
+        self.b_dist = self.b_segmin = self.b_winpay = None
+        self.rows_cap = 0
+
+    def close_batch(self) -> None:
+        self.b_dist = self.b_segmin = self.b_winpay = None
+        self.rows_cap = 0
+        for shm in self.batch_shms:
+            for fn in (shm.close, shm.unlink):
+                try:
+                    fn()
+                except Exception:  # pragma: no cover - teardown best-effort
+                    pass
+        self.batch_shms = []
 
     def close(self) -> None:
+        self.close_batch()
         self.dist_view = self.segmin_all = self.winpay_all = None
         for shm in self.shms:
             for fn in (shm.close, shm.unlink):
@@ -786,6 +876,33 @@ class ShardedBackend(ExecutionBackend):
         self.sharded_rounds += 1
         return out
 
+    def relax_segmin_batch(self, plan, dist_block, take, cost=None):
+        """One batched round's (A × n_cells) ``(segmin, winpay)`` matrices.
+
+        Eligibility scales with the *total* candidate count — ``rows ×
+        n_arcs`` against the same ``min_arcs`` floor — since the row block
+        amortizes one IPC round over every active source.  The row block
+        is broadcast to the shards once per round through a lazily-grown
+        shared-memory block; each worker computes its arc shard for all
+        rows in one rectangular pass, and the parent runs the established
+        fixed-shard-order tree min-combine *per row* — bit-identical to
+        the serial batch kernel, which is itself row-identical to the solo
+        kernel.  Any fault degrades to the in-process batch kernel.
+        """
+        rows = int(dist_block.shape[0])
+        out = None
+        eligible = rows * int(plan.n_arcs) >= self.min_arcs
+        if not self.failed and eligible and self._ensure_pool(cost):
+            out = self._sharded_batch_round(plan, dist_block, cost)
+        if out is None:
+            self.serial_rounds += 1
+            if cost is not None:
+                reason = "fallback" if self.failed else "min-arcs"
+                cost.traffic(f"backend.serial_round.{reason}", elements=1)
+            return super().relax_segmin_batch(plan, dist_block, take, cost=cost)
+        self.sharded_rounds += 1
+        return out
+
     def entry_segmin(self, dist_s, aux1_s, aux2_s, seg_start, seg_id, take, cost=None):
         """Staged entry minima of one prune/aggregate round — sharded when big.
 
@@ -918,6 +1035,145 @@ class ShardedBackend(ExecutionBackend):
                 elements=int(segmin.size),
                 reads=combined,
                 writes=16 * combined,  # bytes moved through the combine tree
+            )
+            if cost.has_subscribers:
+                self._merge_worker_stats(sp, rid, wall_t0, round_wall_ns, cost)
+        return segmin, winpay
+
+    def _ensure_batch(self, sp, rows: int, cost) -> bool:
+        """Grow ``sp``'s batched row-block to hold ``rows`` sources.
+
+        Creates fresh (rows_cap × n_cells) dist and (rows_cap × out_total)
+        output blocks, re-attaches every shard's workers to them, then
+        releases the outgrown blocks.  Registration faults trip the same
+        permanent fallback as plan registration.
+        """
+        if sp.rows_cap >= rows and sp.b_dist is not None:
+            return True
+        from multiprocessing import shared_memory
+
+        rows_cap = max(rows, 2 * sp.rows_cap, 4)
+        n_cells = int(sp.dist_view.size)
+        out_total = int(sp.segmin_all.size)
+        shms = []
+
+        def _create(nbytes):
+            shm = shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+            shms.append(shm)
+            return shm
+
+        try:
+            dist_shm = _create(8 * rows_cap * n_cells)
+            segmin_shm = _create(8 * rows_cap * out_total)
+            winpay_shm = _create(8 * rows_cap * out_total)
+            spec = {
+                "dist": dist_shm.name,
+                "segmin": segmin_shm.name,
+                "winpay": winpay_shm.name,
+                "rows_cap": rows_cap,
+            }
+            deadline = time.monotonic() + self.round_timeout
+            for meta in sp.shards:
+                self._conns[meta.worker].send(("battach", sp.key, spec))
+            for meta in sp.shards:
+                conn = self._conns[meta.worker]
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not conn.poll(max(remaining, 0.0)):
+                    raise TimeoutError(
+                        f"worker {meta.worker} batch attach timed out"
+                    )
+                ack = conn.recv()
+                if ack != ("bok", sp.key):
+                    raise RuntimeError(f"worker {meta.worker} batch attach: {ack!r}")
+        except Exception as exc:
+            for shm in shms:
+                for fn in (shm.close, shm.unlink):
+                    try:
+                        fn()
+                    except Exception:
+                        pass
+            self._fail(f"batch block attach failed: {exc!r}", cost=cost,
+                       kind="registration")
+            return False
+        sp.close_batch()  # workers have moved off the old block already
+        sp.batch_shms = shms
+        sp.b_dist = np.ndarray(
+            (rows_cap, n_cells), dtype=np.float64, buffer=dist_shm.buf
+        )
+        sp.b_segmin = np.ndarray(
+            (rows_cap, out_total), dtype=np.float64, buffer=segmin_shm.buf
+        )
+        sp.b_winpay = np.ndarray(
+            (rows_cap, out_total), dtype=np.int64, buffer=winpay_shm.buf
+        )
+        sp.rows_cap = rows_cap
+        return True
+
+    def _sharded_batch_round(self, plan, dist_block, cost):
+        sp = self._plans.get(id(plan))
+        if sp is None or sp.plan is not plan:
+            sp = self._register(plan, cost=cost)
+            if sp is None:
+                return None
+        rows = int(dist_block.shape[0])
+        if not self._ensure_batch(sp, rows, cost):
+            return None
+        np.copyto(sp.b_dist[:rows], dist_block)
+        self._round_id += 1
+        rid = self._round_id
+        walls = []
+        wall_t0 = time.perf_counter()
+        t0_ns = time.perf_counter_ns()
+        try:
+            for meta in sp.shards:
+                self._conns[meta.worker].send(("bround", sp.key, rid, rows))
+            deadline = time.monotonic() + self.round_timeout
+            for meta in sp.shards:
+                conn = self._conns[meta.worker]
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not conn.poll(max(remaining, 0.0)):
+                    raise TimeoutError(f"worker {meta.worker} batch round timed out")
+                msg = conn.recv()
+                if msg[0] != "done" or msg[1] != rid:
+                    raise RuntimeError(f"worker {meta.worker} answered {msg!r}")
+                walls.append(int(msg[2]))
+        except TimeoutError as exc:
+            self._fail(f"batch round {rid} failed: {exc!r}", cost=cost,
+                       kind="timeout")
+            return None
+        except (EOFError, OSError, RuntimeError) as exc:
+            self._fail(f"batch round {rid} failed: {exc!r}", cost=cost,
+                       kind="worker-death")
+            return None
+        # the established fixed-shard-order tree combine, applied per row
+        k0 = int(plan.cells.size)
+        segmin = np.empty((rows, k0), dtype=np.float64)
+        winpay = np.empty((rows, k0), dtype=np.int64)
+        for i in range(rows):
+            parts = [
+                (
+                    meta.seg_lo,
+                    sp.b_segmin[i, meta.out_off:meta.out_off + meta.out_len],
+                    sp.b_winpay[i, meta.out_off:meta.out_off + meta.out_len],
+                )
+                for meta in sp.shards
+            ]
+            _, mn, py = tree_min_combine(parts)
+            segmin[i] = mn
+            winpay[i] = py
+        round_wall_ns = time.perf_counter_ns() - t0_ns
+        if cost is not None:
+            cost.traffic("backend.batch_round", elements=int(plan.n_arcs) * rows)
+            cost.traffic("backend.batch_rows", elements=rows)
+            for meta, wall_ns in zip(sp.shards, walls):
+                cost.traffic("backend.shard", elements=(meta.hi - meta.lo) * rows)
+                cost.traffic("backend.worker_wall_ns", elements=wall_ns)
+            combined = sum(meta.out_len for meta in sp.shards) * rows
+            cost.traffic(
+                "backend.combine",
+                elements=int(segmin.size),
+                reads=combined,
+                writes=16 * combined,
             )
             if cost.has_subscribers:
                 self._merge_worker_stats(sp, rid, wall_t0, round_wall_ns, cost)

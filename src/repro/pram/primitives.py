@@ -45,6 +45,7 @@ from repro.pram.backends.base import (
     serial_entry_segmin,
     serial_gather_csr,
     serial_segmin,
+    serial_segmin_batch,
 )
 from repro.pram.cost import CostModel
 from repro.pram.errors import InvalidStepError
@@ -68,6 +69,7 @@ __all__ = [
     "build_relax_plan",
     "build_relax_plan_from_csr",
     "prelax_arcs",
+    "prelax_arcs_batch",
     "pprune_entries",
     "paggregate_entries",
 ]
@@ -667,6 +669,129 @@ def build_relax_plan_from_csr(graph) -> RelaxPlan:
         seg_start=np.asarray(indptr[cells], dtype=np.int64),
         seg_id=np.repeat(np.arange(cells.size, dtype=np.int64), deg[cells]),
     )
+
+
+#: Backend observability sink used when a batched round has no ``obs_cost``
+#: (traffic no-ops without subscribers; backends never *charge* any cost).
+_NULL_COST = CostModel()
+
+
+def prelax_arcs_batch(
+    costs,
+    dist: np.ndarray,
+    parent: np.ndarray,
+    *,
+    plan: RelaxPlan,
+    active: np.ndarray | None = None,
+    workspace=None,
+    backend=None,
+    obs_cost: CostModel | None = None,
+    label: str = "relax",
+    changed_label: str = "converged",
+) -> np.ndarray:
+    """One ``changed="any"`` relaxation round for S sources at once.
+
+    ``dist``/``parent`` are the (S × V) distance/parent matrices of the
+    batched multi-source engine and ``costs`` the per-source cost models;
+    row ``r`` advances exactly as ``prelax_arcs(costs[r], dist[r],
+    parent[r], ..., plan=plan, changed="any")`` would — bit-identical
+    distances, parents, *and charge stream* (same labels, work, depth,
+    traffic, committed rounds).  Execution differs only in wall-clock:
+    the candidate gather, both segment ``reduceat`` reductions, and the
+    payload min run once over the whole active row block
+    (:func:`~repro.pram.backends.base.serial_segmin_batch`, or the
+    backend's :meth:`~repro.pram.backends.base.ExecutionBackend.relax_segmin_batch`
+    when one is attached), instead of once per source.
+
+    ``active`` masks the rows still advancing — converged rows are
+    skipped entirely and charge nothing, which is the matrix engine's
+    per-source early exit.  Rows whose cost model wants write footprints
+    (an attached race detector) always run the per-row in-process kernel,
+    exactly like shadowed rounds of :func:`prelax_arcs`.
+
+    ``obs_cost`` is where backend observability traffic (shard sizes,
+    worker wall times) is reported; per-row cost models only ever see the
+    model-level charge stream, so batched and looped runs stay
+    charge-identical.  Returns a length-S bool array: per row, whether
+    any cell improved (``False`` for inactive rows).
+    """
+    n_rows = int(dist.shape[0])
+    n_cells = int(dist.shape[1])
+    n = int(plan.n_arcs)
+    ws = workspace
+    obs = obs_cost if obs_cost is not None else _NULL_COST
+    if active is None:
+        active = np.ones(n_rows, dtype=bool)
+    changed_out = np.zeros(n_rows, dtype=bool)
+
+    def take(name, size, dtype):
+        if ws is not None:
+            return ws.take(name, size, dtype)
+        return np.empty(size, dtype=dtype)
+
+    # Shadowed rows declare per-round write footprints, which need the
+    # per-arc candidate arrays — route them through the literal per-row
+    # kernel (same rule as prelax_arcs: footprint rounds run in process).
+    batch_rows = []
+    for r in range(n_rows):
+        if not active[r]:
+            continue
+        if costs[r].wants_footprints or n == 0:
+            changed_out[r] = prelax_arcs(
+                costs[r], dist[r], parent[r], None, None, None,
+                plan=plan, workspace=ws, backend=backend, changed="any",
+                label=label, changed_label=changed_label,
+            )
+        else:
+            batch_rows.append(r)
+    if not batch_rows:
+        return changed_out
+
+    rows = np.asarray(batch_rows, dtype=np.int64)
+    a = int(rows.size)
+    dist_block = take("relaxb.dist", a * n_cells, np.float64).reshape(a, n_cells)
+    np.take(dist, rows, axis=0, out=dist_block)
+    if backend is not None:
+        segmin, winpay = backend.relax_segmin_batch(plan, dist_block, take, cost=obs)
+    else:
+        segmin, winpay = serial_segmin_batch(
+            dist_block, plan.tails_s, plan.weights_s, plan.seg_start, plan.seg_id,
+            take,
+        )
+    cells = plan.cells
+    k = int(cells.size)
+    incumbent = take("relaxb.incumbent", a * k, np.float64).reshape(a, k)
+    np.take(dist_block, cells, axis=1, out=incumbent)
+    improve = take("relaxb.improve", a * k, bool).reshape(a, k)
+    np.less(segmin, incumbent, out=improve)
+    relax_work = n * max(1, ceil_log2(n))
+    relax_depth = ceil_log2(n) + 2
+    relax_reads = n * max(1, ceil_log2(n)) + 2 * n
+    any_depth = ceil_log2(n_cells) + 1
+    any_reads = 2 * max(n_cells - 1, 0)
+    for i in range(a):
+        r = int(rows[i])
+        imp = improve[i]
+        improved_cells = cells[imp]
+        dist[r, improved_cells] = segmin[i][imp]
+        parent[r, improved_cells] = winpay[i][imp]
+        changed_out[r] = bool(improved_cells.size)
+        # replay the exact per-source charge stream of prelax_arcs
+        cost = costs[r]
+        cost.charge(work=relax_work, depth=relax_depth, label=label)
+        cost.traffic(label, elements=n, reads=relax_reads, writes=2 * n)
+        cost.commit_round(label)
+        cost.charge(work=n_cells, depth=1, label=changed_label)
+        cost.traffic(
+            changed_label, elements=n_cells, reads=2 * n_cells, writes=n_cells
+        )
+        cost.commit_round(changed_label)
+        cost.charge(work=n_cells, depth=any_depth, label=changed_label)
+        cost.traffic(
+            changed_label, elements=n_cells, reads=any_reads, writes=n_cells
+        )
+        cost.commit_round(changed_label)
+    return changed_out
 
 
 def _entry_groups(key1: np.ndarray, key2: np.ndarray | None, take):

@@ -56,6 +56,7 @@ __all__ = [
     "crew_list_rank",
     "crew_frontier_gather",
     "crew_relax_arcs",
+    "crew_relax_arcs_batch",
     "crew_bellman_ford",
     "crew_sssp",
 ]
@@ -623,6 +624,39 @@ def crew_relax_arcs(
         changed,
         mem.rounds + sel_rounds,
     )
+
+
+def crew_relax_arcs_batch(
+    dist_rows: list[list[float]],
+    parent_rows: list[list[int]],
+    tails: list[int],
+    heads: list[int],
+    weights: list[float],
+) -> tuple[list[list[float]], list[list[int]], list[bool], int]:
+    """Literal batched relaxation round — counterpart of ``prelax_arcs_batch``.
+
+    The S×V matrix round is, on the model, S independent copies of the
+    :func:`crew_relax_arcs` program running side by side on disjoint
+    memories (one per source row) against the shared read-only arc list —
+    no cell is ever shared between rows, so the parallel composition is
+    trivially CREW-legal and its round count is the *maximum* over rows
+    (all row machines advance in lockstep; each row's schedule is
+    identical, so the max is also every row's own count).  Returns
+    ``(dist_rows', parent_rows', changed_any, rounds)`` where
+    ``changed_any[r]`` is row r's OR-reduced changed flag — the
+    ``changed="any"`` result the batched kernel reports per source.
+    """
+    out_dist: list[list[float]] = []
+    out_parent: list[list[int]] = []
+    changed_any: list[bool] = []
+    rounds = 0
+    for dist, parent in zip(dist_rows, parent_rows):
+        d, p, changed, r = crew_relax_arcs(dist, parent, tails, heads, weights)
+        out_dist.append(d)
+        out_parent.append(p)
+        changed_any.append(bool(changed))
+        rounds = max(rounds, r)
+    return out_dist, out_parent, changed_any, rounds
 
 
 def crew_bellman_ford(graph: Graph, source: int, hops: int) -> tuple[list[float], int]:

@@ -39,6 +39,15 @@ class PairCache:
     def __len__(self) -> int:
         return len(self._store)
 
+    def contains(self, u: int, v: int) -> bool:
+        """Whether ``dist u v`` is memoized — no counters, no LRU touch.
+
+        The serving layer's batch pre-scan uses this to decide which
+        sources a micro-batch will actually explore; the authoritative
+        (counted) lookup still happens when the request is served.
+        """
+        return (u, v) in self._store
+
     def get(self, u: int, v: int) -> float | None:
         """The memoized ``dist u v`` answer, or ``None`` (counts the outcome)."""
         hit = self._store.get((u, v))

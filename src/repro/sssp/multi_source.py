@@ -20,8 +20,9 @@ from repro.graphs.errors import VertexError
 from repro.hopsets.hopset import Hopset
 from repro.pram.cost import CostModel, CostSnapshot
 from repro.pram.machine import PRAM
-from repro.pram.workspace import Workspace
+from repro.pram.workspace import Workspace, fused_default
 from repro.sssp.bellman_ford import bellman_ford
+from repro.sssp.mssp import explore_batch, mssp_block_default
 
 __all__ = ["MultiSourceResult", "approximate_mssd"]
 
@@ -48,6 +49,7 @@ def approximate_mssd(
     hop_budget: int | None = None,
     engine: str = "auto",
     fused: bool | None = None,
+    block: int | None = None,
 ) -> MultiSourceResult:
     """Run one β-hop exploration per source over G ∪ H.
 
@@ -61,6 +63,17 @@ def approximate_mssd(
     backend (:mod:`repro.pram.backends`).  If an exploration raises, the
     shared pool's buffers acquired by the sweep are released before the
     error propagates.
+
+    ``block`` selects the S×V *matrix engine* width
+    (:func:`repro.sssp.mssp.explore_batch`): source blocks of that size
+    advance as one (block × n) matrix per relaxation round — same
+    distances/parents, one vectorized pass instead of ``block`` scans.
+    ``None`` follows the ``REPRO_MSSP`` environment default
+    (``--mssp-block`` on the CLI); ``0`` forces the per-source loop.
+    The matrix engine replays the fused *dense* schedule per row, so it
+    engages only when that is what was asked for (``engine`` of
+    ``"auto"``/``"dense"`` with the fused kernels enabled); explicit
+    ``"sparse"`` scheduling or ``fused=False`` fall back to the loop.
     """
     src = np.asarray(sources, dtype=np.int64)
     if src.ndim != 1 or src.size == 0:
@@ -73,15 +86,31 @@ def approximate_mssd(
     max_depth = 0
     shared_ws = pram.workspace if pram is not None else Workspace()
     backend = pram.backend if pram is not None else None
+    nblock = mssp_block_default() if block is None else int(block)
+    use_fused = fused_default() if fused is None else bool(fused)
+    use_matrix = nblock >= 1 and use_fused and engine in ("auto", "dense")
     ok = False
     try:
-        for row, s in enumerate(src):
-            local = PRAM(CostModel(), workspace=shared_ws, backend=backend)
-            bf = bellman_ford(local, union, int(s), budget, engine=engine, fused=fused)
-            dists[row] = bf.dist
-            parents[row] = bf.parent
-            total_work += local.cost.work
-            max_depth = max(max_depth, local.cost.depth)
+        if use_matrix:
+            for lo in range(0, int(src.size), nblock):
+                chunk = src[lo : lo + nblock]
+                hi = lo + int(chunk.size)
+                res = explore_batch(
+                    union, chunk, budget,
+                    workspace=shared_ws, backend=backend,
+                    obs_cost=pram.cost if pram is not None else None,
+                    out=(dists[lo:hi], parents[lo:hi]),
+                )
+                total_work += sum(c.work for c in res.costs)
+                max_depth = max(max_depth, max(c.depth for c in res.costs))
+        else:
+            for row, s in enumerate(src):
+                local = PRAM(CostModel(), workspace=shared_ws, backend=backend)
+                bf = bellman_ford(local, union, int(s), budget, engine=engine, fused=fused)
+                dists[row] = bf.dist
+                parents[row] = bf.parent
+                total_work += local.cost.work
+                max_depth = max(max_depth, local.cost.depth)
         ok = True
     finally:
         if not ok:

@@ -27,7 +27,7 @@ from repro.graphs.csr import Graph
 from repro.graphs.errors import VertexError
 from repro.hopsets.hopset import Hopset
 from repro.pram.machine import PRAM
-from repro.sssp.bellman_ford import bellman_ford
+from repro.sssp.mssp import explore_batch, mssp_block_default
 
 __all__ = ["HopsetDistanceOracle", "tree_path"]
 
@@ -66,6 +66,22 @@ class HopsetDistanceOracle:
         Outcomes are also reported as cost-model traffic under the same
         labels, so any attached hook (tracer, registry) sees them in trace
         summaries without the oracle knowing about it.
+    mssp_block:
+        Row-block width of the S×V matrix engine
+        (:func:`repro.sssp.mssp.explore_batch`) used for tier-2
+        explorations; ``None`` follows ``REPRO_MSSP``.  Per-source
+        outputs and charges are block-invariant (the matrix contract),
+        only wall-clock changes.
+
+    **Counters.**  ``misses`` counts tier-1 vector-cache misses (a
+    source was requested and its vectors were not resident);
+    ``explorations`` counts tier-2 β-hop explorations actually run.
+    They are distinct tiers: :meth:`explore_many` (the serving layer's
+    grouped pre-explore) runs the exploration and books the miss at
+    grouping time, and vectors pre-installed that way are handed to the
+    *first* subsequent :meth:`vectors_from` without re-counting — so
+    any partitioning of a request stream into batches yields the same
+    counter values as serving it one request at a time.
     """
 
     def __init__(
@@ -76,6 +92,7 @@ class HopsetDistanceOracle:
         cache_size: int = 32,
         pram: PRAM | None = None,
         metrics=None,
+        mssp_block: int | None = None,
     ) -> None:
         if hopset.n != graph.n:
             raise VertexError("hopset and graph disagree on the vertex count")
@@ -94,9 +111,19 @@ class HopsetDistanceOracle:
         self._cache: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = OrderedDict()
         self._cache_size = cache_size
         self.metrics = metrics
+        block = mssp_block_default() if mssp_block is None else int(mssp_block)
+        #: sources per S×V matrix pass (0/1: one row at a time)
+        self.mssp_block = max(block, 1)
+        #: tier-2 explorations actually run (rows of matrix passes)
         self.explorations = 0
+        #: S×V matrix passes run (each explores >= 1 rows)
+        self.matrix_passes = 0
         self.hits = 0
+        #: tier-1 vector-cache misses (requested source not resident)
         self.misses = 0
+        #: sources pre-explored by :meth:`explore_many` whose (already
+        #: booked) miss has not yet been claimed by a ``vectors_from``
+        self._fresh: set[int] = set()
 
     def _note(self, event: str) -> None:
         """Record one cache outcome (``hit`` | ``miss``) with every sink."""
@@ -113,18 +140,84 @@ class HopsetDistanceOracle:
         if not 0 <= source < self.graph.n:
             raise VertexError(f"source {source} out of range")
         if source in self._cache:
-            self.hits += 1
-            self._note("hit")
+            if source in self._fresh:
+                # Pre-explored by explore_many, which already booked the
+                # miss this lookup would have been — claim it silently.
+                self._fresh.discard(source)
+            else:
+                self.hits += 1
+                self._note("hit")
             self._cache.move_to_end(source)
             return self._cache[source]
-        res = bellman_ford(self.pram, self.union, source, self.hop_budget)
-        self.explorations += 1
-        self.misses += 1
-        self._note("miss")
-        self._cache[source] = (res.dist, res.parent)
-        if len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        self.explore_many([source])
+        self._fresh.discard(source)
+        self._cache.move_to_end(source)
         return self._cache[source]
+
+    def explore_many(self, sources) -> dict[int, int]:
+        """Explore every not-yet-cached source in S×V matrix passes.
+
+        The serving layer's grouped tier-2 entry point: the distinct
+        uncached sources of one micro-batch advance together, one
+        (S × n) matrix pass per ``mssp_block`` rows
+        (:func:`repro.sssp.mssp.explore_batch`).  Each explored source
+        books one tier-1 miss and one tier-2 exploration here — the
+        first later :meth:`vectors_from` lookup claims the pre-counted
+        miss instead of booking a hit, so counters and charges match
+        one-at-a-time serving exactly.
+
+        Returns ``{source: charged work}`` of the explored sources (the
+        serving layer's per-source attribution); already-cached sources
+        are skipped and absent from the result.
+        """
+        todo: list[int] = []
+        seen: set[int] = set()
+        for s in sources:
+            s = int(s)
+            if not 0 <= s < self.graph.n:
+                raise VertexError(f"source {s} out of range")
+            if s not in self._cache and s not in seen:
+                seen.add(s)
+                todo.append(s)
+        charges: dict[int, int] = {}
+        for lo in range(0, len(todo), self.mssp_block):
+            chunk = np.asarray(todo[lo : lo + self.mssp_block], dtype=np.int64)
+            res = explore_batch(
+                self.union, chunk, self.hop_budget,
+                workspace=self.pram.workspace, backend=self.pram.backend,
+                obs_cost=self.pram.cost,
+            )
+            self.matrix_passes += 1
+            # Fold the per-row charge streams into the oracle's machine
+            # under the same subphase the rows charged themselves —
+            # the aggregate equals |chunk| sequential solo explorations,
+            # so charges are independent of how requests were batched.
+            with self.pram.cost.subphase("bellman_ford"):
+                for i, s in enumerate(map(int, chunk)):
+                    row_cost = res.costs[i]
+                    self.pram.cost.charge(
+                        work=row_cost.work, depth=row_cost.depth, label="bf_matrix"
+                    )
+                    charges[s] = row_cost.work
+                    self.explorations += 1
+                    self.misses += 1
+                    self._note("miss")
+                    self._fresh.add(s)
+                    self._cache[s] = (res.dist[i], res.parent[i])
+                    if len(self._cache) > self._cache_size:
+                        evicted, _ = self._cache.popitem(last=False)
+                        self._fresh.discard(evicted)
+        return charges
+
+    def finish_batch(self) -> None:
+        """Drop unclaimed pre-counted misses at the end of a served batch.
+
+        A source pre-explored for a batch is normally claimed by that
+        batch's first ``vectors_from`` lookup; if the claiming request
+        errored after grouping, the leftover marker must not silently
+        swallow a *future* hit.
+        """
+        self._fresh.clear()
 
     def distances_from(self, source: int) -> np.ndarray:
         """The cached (1+ε)-approximate distance vector of ``source``."""
@@ -177,9 +270,22 @@ class HopsetDistanceOracle:
         return np.stack([self.distances_from(int(s)) for s in src])
 
     def cache_info(self) -> dict[str, int]:
+        """Cache and exploration counters, tier by tier.
+
+        ``misses`` counts **tier-1** vector-cache misses (requested
+        source not resident) and ``explorations`` counts **tier-2**
+        β-hop explorations actually run; the historical aliases are kept
+        alongside the explicitly-tiered names (``tier1_vector_misses``,
+        ``tier2_explorations``) plus ``matrix_passes``, the number of
+        S×V matrix sweeps those explorations were grouped into.
+        """
         return {
             "cached_sources": len(self._cache),
             "explorations": self.explorations,
             "hits": self.hits,
             "misses": self.misses,
+            "tier1_vector_misses": self.misses,
+            "tier2_explorations": self.explorations,
+            "matrix_passes": self.matrix_passes,
+            "mssp_block": self.mssp_block,
         }

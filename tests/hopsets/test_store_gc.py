@@ -1,0 +1,94 @@
+"""Hopset-store inventory and garbage collection (``repro store {ls,gc}``)."""
+
+import os
+import time
+
+import pytest
+
+from repro.graphs.generators import layered_hop_graph
+from repro.hopsets.multi_scale import build_hopset
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.store import HopsetStore, store_key
+
+
+@pytest.fixture(scope="module")
+def filed(tmp_path_factory):
+    """A store holding three artifacts with distinct keys and mtimes."""
+    root = tmp_path_factory.mktemp("store")
+    g = layered_hop_graph(8, 3, seed=91)
+    store = HopsetStore(root)
+    keys = []
+    for i, eps in enumerate((0.2, 0.4, 0.8)):
+        params = HopsetParams(epsilon=eps, beta=8)
+        H, _ = build_hopset(g, params)
+        path = store.save(g, params, H)
+        # stamp strictly increasing mtimes so "newest" is deterministic
+        os.utime(path, (time.time() - 100 + i, time.time() - 100 + i))
+        keys.append(store_key(g, params))
+    return store, keys
+
+
+def test_entries_lists_newest_first(filed):
+    store, keys = filed
+    entries = store.entries()
+    assert [e.key for e in entries] == list(reversed(keys))
+    for e in entries:
+        assert e.size > 0 and e.path.is_file() and e.age_s >= 0.0
+
+
+def test_entries_of_missing_dir_is_empty(tmp_path):
+    assert HopsetStore(tmp_path / "nope").entries() == []
+    assert HopsetStore(tmp_path / "nope").total_bytes() == 0
+
+
+def test_gc_keep_newest_trims_oldest(filed, tmp_path):
+    store, keys = filed
+    # operate on a copy so the module fixture stays intact
+    copy = HopsetStore(tmp_path / "copy")
+    copy.root.mkdir()
+    for e in store.entries():
+        (copy.root / e.path.name).write_bytes(e.path.read_bytes())
+        os.utime(copy.root / e.path.name, (e.mtime, e.mtime))
+    removed = copy.gc(keep_newest=1)
+    assert [e.key for e in removed] == [keys[1], keys[0]]  # oldest-first out
+    assert [e.key for e in copy.entries()] == [keys[2]]
+
+
+def test_gc_max_bytes_evicts_oldest_first(filed, tmp_path):
+    store, keys = filed
+    copy = HopsetStore(tmp_path / "copy2")
+    copy.root.mkdir()
+    for e in store.entries():
+        (copy.root / e.path.name).write_bytes(e.path.read_bytes())
+        os.utime(copy.root / e.path.name, (e.mtime, e.mtime))
+    total = copy.total_bytes()
+    newest = copy.entries()[0]
+    removed = copy.gc(max_bytes=newest.size)
+    assert copy.total_bytes() <= newest.size
+    assert {e.key for e in removed} == {keys[0], keys[1]}
+    assert copy.total_bytes() < total
+
+
+def test_gc_without_constraints_removes_nothing(filed):
+    store, _ = filed
+    before = [e.key for e in store.entries()]
+    assert store.gc() == []
+    assert [e.key for e in store.entries()] == before
+
+
+def test_gc_rejects_negative_bounds(filed):
+    store, _ = filed
+    with pytest.raises(ValueError):
+        store.gc(keep_newest=-1)
+    with pytest.raises(ValueError):
+        store.gc(max_bytes=-1)
+
+
+def test_gc_keep_newest_zero_empties_the_store(filed, tmp_path):
+    store, _ = filed
+    copy = HopsetStore(tmp_path / "copy3")
+    copy.root.mkdir()
+    for e in store.entries():
+        (copy.root / e.path.name).write_bytes(e.path.read_bytes())
+    assert len(copy.gc(keep_newest=0)) == 3
+    assert copy.entries() == []

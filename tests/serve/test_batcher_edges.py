@@ -1,0 +1,152 @@
+"""Window-edge behavior of the micro-batcher, plus histogram quantiles.
+
+The batching contract (docs/serving.md) says batching is a wall-clock
+optimization only: no arrival timing may drop a request.  The edge these
+tests pin is the gather-window boundary — a request landing *exactly*
+when the window closes is popped with the closing batch, and a request
+landing after the collector has taken its batch is served by the next
+one; neither is ever lost.  Alongside: ``histogram_quantile`` on the
+degenerate histograms (empty, single-bucket) the serving health table
+feeds it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.export import histogram_quantile
+from repro.obs.metrics import Histogram
+from repro.serve import batcher as batcher_mod
+from repro.serve.batcher import MicroBatcher
+
+
+class _Clock:
+    """Controllable stand-in for ``time.monotonic`` inside the batcher.
+
+    ``read`` fires on the first lookup — the collector computing the
+    window deadline — so a test can sequence itself against the window
+    actually being open before it advances the clock.
+    """
+
+    def __init__(self) -> None:
+        self.t = 0.0
+        self.read = threading.Event()
+
+    def monotonic(self) -> float:
+        self.read.set()
+        return self.t
+
+
+def test_arrival_exactly_at_window_close_is_batched_not_dropped(monkeypatch):
+    """A submit landing at the precise expiry instant rides the closing batch.
+
+    The clock is frozen, then jumped to exactly the window's deadline —
+    the collector's ``remaining`` computes to exactly 0, the boundary
+    case — while a second request is already pending.  Both must come
+    out of the same evaluation; nothing may be dropped on the edge.
+    """
+    clock = _Clock()
+    monkeypatch.setattr(batcher_mod, "time", clock)
+    seen: list[list[object]] = []
+
+    def evaluate(items):
+        seen.append(list(items))
+        return [f"ok {i}" for i in items]
+
+    b = MicroBatcher(evaluate, max_batch=8, window_s=0.05)
+    f1 = b.submit("a")
+    # first monotonic() read == the deadline computation: the window is open
+    assert clock.read.wait(2.0)
+    # a second request arrives and the clock lands exactly on the deadline
+    f2 = b.submit("b")
+    clock.t = 0.05
+    with b._cv:
+        b._cv.notify()
+    assert f1.result(timeout=5.0) == "ok a"
+    assert f2.result(timeout=5.0) == "ok b"
+    assert ["a", "b"] in seen  # one batch carried both; neither was dropped
+    b.close()
+    assert b.submitted == 2
+
+
+def test_arrival_after_window_expiry_joins_next_batch():
+    """A request arriving once the window closed is served by the *next* batch."""
+    release = threading.Event()
+    first_running = threading.Event()
+    seen: list[list[object]] = []
+
+    def evaluate(items):
+        seen.append(list(items))
+        if len(seen) == 1:
+            first_running.set()
+            assert release.wait(5.0)
+        return [f"ok {i}" for i in items]
+
+    b = MicroBatcher(evaluate, max_batch=8, window_s=0.002)
+    f1 = b.submit("a")
+    assert first_running.wait(2.0)
+    # batch 1 is being evaluated -> its window is over; this arrival must
+    # open (and be served by) a fresh batch, not vanish with the old one
+    f2 = b.submit("late")
+    release.set()
+    assert f1.result(timeout=2.0) == "ok a"
+    assert f2.result(timeout=2.0) == "ok late"
+    assert seen[0] == ["a"]
+    assert seen[1] == ["late"]
+    assert b.batches == 2
+    b.close()
+
+
+def test_zero_window_still_serves_every_submission():
+    """``window_s=0`` evaluates immediately; back-to-back submits all resolve."""
+    seen: list[list[object]] = []
+
+    def evaluate(items):
+        seen.append(list(items))
+        return [f"ok {i}" for i in items]
+
+    b = MicroBatcher(evaluate, max_batch=4, window_s=0.0)
+    futures = [b.submit(i) for i in range(10)]
+    assert [f.result(timeout=2.0) for f in futures] == [f"ok {i}" for i in range(10)]
+    b.close()
+    assert sum(len(batch) for batch in seen) == 10
+    assert b.submitted == 10
+
+
+# -- histogram_quantile degenerate inputs ------------------------------------
+
+
+def test_histogram_quantile_empty_is_zero():
+    h = Histogram("empty")
+    for q in (0.0, 0.5, 1.0):
+        assert histogram_quantile(h, q) == 0.0
+
+
+def test_histogram_quantile_single_bucket_clamps_to_observed_value():
+    h = Histogram("single")
+    h.observe(7.0)
+    # one bucket, one observation: every quantile is the exact value
+    # (clamped into [min, max]), not the bucket's power-of-two bound
+    for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+        assert histogram_quantile(h, q) == 7.0
+
+
+def test_histogram_quantile_single_bucket_repeated_observations():
+    h = Histogram("repeat")
+    for _ in range(5):
+        h.observe(3.0)
+    assert h.count == 5 and len(h.buckets) == 1
+    assert histogram_quantile(h, 0.5) == 3.0
+    assert histogram_quantile(h, 1.0) == 3.0
+
+
+def test_histogram_quantile_rejects_out_of_range_q():
+    h = Histogram("bad-q")
+    h.observe(1.0)
+    with pytest.raises(ValueError):
+        histogram_quantile(h, 1.5)
+    with pytest.raises(ValueError):
+        histogram_quantile(h, -0.1)
