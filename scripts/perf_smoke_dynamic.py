@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""CI perf smoke: incremental repair must stay exact and stay cheap.
+
+Three checks on an E27-scale workload (docs/dynamic.md):
+
+* **Bit-exactness hard-fail.**  After every update batch,
+  ``DynamicSSSP``'s repaired distance vector must equal a full
+  Bellman–Ford recompute on the mutated graph, bitwise.  Any
+  divergence fails the job.
+
+* **Sparse-update work budget.**  At one update per step the repair
+  engine must charge at most ``_SPARSE_BUDGET`` of the per-step
+  rebuild baseline's work.  Charged work is deterministic, so this
+  gate has no timer noise — a breach is a real regression in the
+  repair path (e.g. the fallback tripping on every op).
+
+* **Hopset safety after decay + refresh.**  A congestion wave kills
+  hopset records; ``maintain()`` refreshes the decayed scales.  Both
+  before and after the refresh, β-hop distances through the union must
+  never under-estimate exact distances on the mutated graph.
+
+The ledgered crossover figures live in ``benchmarks/BENCH_dynamic.json``
+(E27); this script is the fast hard gate.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.dynamic import DynamicGraph, DynamicHopset, DynamicSSSP
+from repro.graphs.generators import (
+    as_rng,
+    periodic_weight_schedule,
+    road_network,
+)
+from repro.hopsets.params import HopsetParams
+from repro.pram.machine import PRAM
+from repro.sssp.bellman_ford import bellman_ford
+
+_STEPS = 8
+_SPARSE_BUDGET = 0.5  # repair work / rebuild work at one update per step
+
+
+def _reweight_schedule(g, steps, seed):
+    rng = as_rng(seed)
+    weights = {
+        (int(u), int(v)): float(w)
+        for u, v, w in zip(g.edge_u, g.edge_v, g.edge_w)
+    }
+    batches = []
+    for _ in range(steps):
+        pair = list(weights)[int(rng.integers(0, len(weights)))]
+        w = weights[pair] * float(rng.uniform(0.5, 2.0))
+        weights[pair] = w
+        batches.append([("update", *pair, w)])
+    return batches
+
+
+def _repair_vs_rebuild(g) -> tuple[bool, float]:
+    repair = DynamicSSSP(g, 0)
+    baseline = DynamicGraph(g)
+    base_pram = PRAM()
+    repair_base = repair.pram.cost.work
+    exact = True
+    for batch in _reweight_schedule(g, _STEPS, seed=4202):
+        for _, u, v, w in batch:
+            baseline.set_weight(u, v, w)
+            repair.apply(("update", u, v, w))
+        snap = baseline.snapshot()
+        full = bellman_ford(
+            PRAM(cost=base_pram.cost), snap, 0, hops=snap.n - 1,
+            early_exit=True,
+        )
+        exact = exact and np.array_equal(repair.dist, full.dist)
+    repair_work = repair.pram.cost.work - repair_base
+    rebuild_work = base_pram.cost.work
+    return exact, repair_work / max(rebuild_work, 1)
+
+
+def _hopset_never_under(g) -> bool:
+    dg = DynamicGraph(g)
+    dh = DynamicHopset(
+        dg, params=HopsetParams(epsilon=0.5), pram=PRAM(), rebuild_below=0.0
+    )
+    wave = periodic_weight_schedule(
+        g, _STEPS, frac=0.3, peak=6.0, period=2 * _STEPS, seed=4203
+    )
+    for batch in wave:
+        for _, u, v, w in batch:
+            old = dg.edge_weight(u, v)
+            if w > old:
+                dg.set_weight(u, v, w)
+                dh.on_weight_increase(u, v, old, w)
+
+    def safe() -> bool:
+        union = dh.union_graph()
+        snap = dg.snapshot()
+        budget = 2 * dh.beta + 1
+        for s in (0, g.n // 2):
+            exact = bellman_ford(PRAM(), snap, s, hops=snap.n - 1).dist
+            approx = bellman_ford(PRAM(), union, s, hops=budget).dist
+            fin = np.isfinite(exact)
+            if not np.all(approx[fin] >= exact[fin] - 1e-9):
+                return False
+        return True
+
+    decayed_safe = safe()
+    dh.maintain()
+    return decayed_safe and safe()
+
+
+def main() -> int:
+    g = road_network(12, 12, seed=4201, w_range=(1.0, 3.0))
+    ok = True
+    exact, ratio = _repair_vs_rebuild(g)
+    if not exact:
+        print(
+            "FAIL: repaired tree diverges from full recompute",
+            file=sys.stderr,
+        )
+        ok = False
+    print(
+        f"sparse updates: repair charges {ratio:.3f}x the per-step "
+        f"rebuild work (budget {_SPARSE_BUDGET}x)"
+    )
+    if ratio > _SPARSE_BUDGET:
+        print(
+            f"FAIL: repair work {ratio:.3f}x exceeds the "
+            f"{_SPARSE_BUDGET}x sparse-update budget",
+            file=sys.stderr,
+        )
+        ok = False
+    if not _hopset_never_under(g):
+        print(
+            "FAIL: hopset union under-estimates after decay/refresh",
+            file=sys.stderr,
+        )
+        ok = False
+    if ok:
+        print("perf smoke OK: repair bit-exact, cheap, hopset never-under")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

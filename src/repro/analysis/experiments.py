@@ -1,4 +1,4 @@
-"""The experiment registry: machine-readable index of E1–E26.
+"""The experiment registry: machine-readable index of E1–E27.
 
 A single source of truth connecting DESIGN.md §4's experiment table, the
 benchmark modules, and the paper claims they reproduce.  Tests assert the
@@ -50,6 +50,7 @@ EXPERIMENTS: tuple[Experiment, ...] = (
     Experiment("E24", "hopset build fast path + warm store", "engineering, docs/hopset_store.md", "test_e24_build"),
     Experiment("E25", "oracle serving layer: latency/QPS under the tiered cache", "engineering, docs/serving.md", "test_e25_serve"),
     Experiment("E26", "S×V matrix relaxation: loop-vs-batch crossover + serving payoff", "engineering, docs/mssp.md", "test_e26_mssp"),
+    Experiment("E27", "incremental repair vs full recompute under live updates", "§1.4 / engineering, docs/dynamic.md", "test_e27_dynamic"),
 )
 
 

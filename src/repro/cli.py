@@ -77,15 +77,21 @@ import numpy as np
 from repro.graphs.build import from_edges
 from repro.graphs.csr import Graph
 from repro.graphs.errors import VertexError
+from repro.dynamic import DynamicSSSP
 from repro.graphs.generators import (
+    as_rng,
     erdos_renyi,
+    failure_burst_schedule,
     grid_graph,
     layered_hop_graph,
     path_graph,
+    periodic_weight_schedule,
     preferential_attachment,
     random_geometric,
+    road_network,
     wide_weight_graph,
 )
+from repro.hopsets.errors import PathReportingError
 from repro.hopsets.hopset import Hopset
 from repro.hopsets.multi_scale import build_hopset
 from repro.hopsets.params import HopsetParams
@@ -135,6 +141,10 @@ _FAMILIES = {
     "geometric": lambda a: random_geometric(a.n, a.radius, seed=a.seed),
     "powerlaw": lambda a: preferential_attachment(a.n, 2, seed=a.seed),
     "wide": lambda a: wide_weight_graph(a.n, a.aspect, seed=a.seed),
+    "road": lambda a: road_network(
+        max(int(a.n**0.5), 2), max(int(a.n**0.5), 2),
+        seed=a.seed, w_range=(a.wmin, a.wmax),
+    ),
 }
 
 
@@ -376,24 +386,42 @@ def _serve_hopset(args, g: Graph) -> tuple[Hopset | None, str]:
 
 def cmd_serve(args, pram: PRAM | None = None) -> int:
     g = _read_graph(args.graph)
-    hopset, origin = _serve_hopset(args, g)
-    if hopset is None:
-        return 2
+    if args.dynamic and not args.hopset and not args.warm:
+        # the DynamicOracle builds its own path-reporting hopset
+        hopset, origin = None, "fresh path-reporting build"
+    else:
+        hopset, origin = _serve_hopset(args, g)
+        if hopset is None:
+            return 2
     budget = args.hops or (
-        spt_hop_budget(hopset.beta) if hopset.meta.get("reduction") else None
+        spt_hop_budget(hopset.beta)
+        if hopset is not None and hopset.meta.get("reduction")
+        else None
     )
-    server = OracleServer(
-        g,
-        hopset,
-        hop_budget=budget,
-        cache_size=args.cache_size,
-        pair_cache=args.pair_cache,
-        backend=getattr(args, "backend", None),
-        max_batch=args.max_batch,
-        batch_window=args.batch_window / 1000.0,
-        log_path=args.log,
-        mssp_block=args.mssp_block,
-    )
+    try:
+        server = OracleServer(
+            g,
+            hopset,
+            hop_budget=budget,
+            cache_size=args.cache_size,
+            pair_cache=args.pair_cache,
+            backend=getattr(args, "backend", None),
+            max_batch=args.max_batch,
+            batch_window=args.batch_window / 1000.0,
+            log_path=args.log,
+            mssp_block=args.mssp_block,
+            dynamic=args.dynamic,
+            params=_params(args),
+            refresh_below=args.refresh_below,
+            rebuild_below=args.rebuild_below,
+        )
+    except PathReportingError:
+        print(
+            "--dynamic needs a path-reporting hopset (build with --paths) "
+            "or no artifact at all (one is built fresh)",
+            file=sys.stderr,
+        )
+        return 2
     rc = 0
     try:
         if args.probe:
@@ -407,10 +435,13 @@ def cmd_serve(args, pram: PRAM | None = None) -> int:
                 server.on_request_limit(args.max_requests, tcp.shutdown)
             # flush: clients script against this line to learn the bound
             # port, and block-buffered pipes would hold it until exit
+            verbs = "dist U V | path U V"
+            if args.dynamic:
+                verbs += " | update U V W | delete U V"
             print(
                 f"serving {args.graph} + {origin} on "
                 f"{args.host}:{tcp.port} (backend {server.pram.backend.describe()}; "
-                "protocol: dist U V | path U V | stats | quit)",
+                f"protocol: {verbs} | stats | quit)",
                 flush=True,
             )
             try:
@@ -436,6 +467,95 @@ def cmd_serve(args, pram: PRAM | None = None) -> int:
     if server.degraded:
         print(f"degraded to in-process serving ({server.degraded})")
     return rc
+
+
+def _mixed_schedule(g: Graph, steps: int, rate: int, seed) -> list[list[tuple]]:
+    """Random update/delete/re-insert batches, valid by construction.
+
+    Mirrors the liveness every op induces while generating, so a delete
+    always targets a live edge and a re-insert a dead one — the schedule
+    replays cleanly against any consumer.
+    """
+    rng = as_rng(seed)
+    live = {
+        (int(u), int(v)): float(w)
+        for u, v, w in zip(g.edge_u, g.edge_v, g.edge_w)
+    }
+    dead: dict[tuple[int, int], float] = {}
+    batches: list[list[tuple]] = []
+    for _ in range(steps):
+        batch: list[tuple] = []
+        for _ in range(rate):
+            r = rng.random()
+            if r < 0.15 and len(live) > 1:
+                pairs = list(live)
+                u, v = pairs[int(rng.integers(0, len(pairs)))]
+                dead[(u, v)] = live.pop((u, v))
+                batch.append(("delete", u, v, None))
+            elif r < 0.3 and dead:
+                pairs = list(dead)
+                u, v = pairs[int(rng.integers(0, len(pairs)))]
+                w = dead.pop((u, v))
+                live[(u, v)] = w
+                batch.append(("update", u, v, w))
+            else:
+                pairs = list(live)
+                u, v = pairs[int(rng.integers(0, len(pairs)))]
+                w = live[(u, v)] * float(rng.uniform(0.5, 2.0))
+                live[(u, v)] = w
+                batch.append(("update", u, v, w))
+        batches.append(batch)
+    return batches
+
+
+def _dynamic_schedule(g: Graph, args) -> list[list[tuple]]:
+    """Materialize the requested time-varying workload as op batches."""
+    if args.schedule == "rush":
+        frac = min(1.0, max(args.rate, 1) / max(g.num_edges, 1))
+        return periodic_weight_schedule(g, args.steps, frac=frac, seed=args.seed)
+    if args.schedule == "failures":
+        burst_size = max(1, min(args.rate, g.num_edges // max(args.steps, 1)))
+        return failure_burst_schedule(
+            g, bursts=max(1, args.steps // 3), burst_size=burst_size,
+            quiet=1, seed=args.seed,
+        )
+    return _mixed_schedule(g, args.steps, max(args.rate, 1), args.seed)
+
+
+def cmd_dynamic(args, pram: PRAM | None = None) -> int:
+    g = _read_graph(args.graph)
+    pram = _query_pram(args, pram)
+    dyn = DynamicSSSP(g, args.source, fallback_frac=args.fallback_frac, pram=pram)
+    batches = _dynamic_schedule(g, args)
+    print(
+        f"dynamic sssp from {args.source}: n={g.n}, m={g.num_edges}, "
+        f"schedule={args.schedule}, fallback_frac={dyn.fallback_frac}"
+    )
+    print(f"{'step':>4} {'ops':>4} {'repair':>6} {'rebuild':>7} "
+          f"{'noop':>5} {'dirty':>6} {'work':>12} {'reached':>7}")
+    for step, batch in enumerate(batches):
+        modes = {"repair": 0, "rebuild": 0, "noop": 0}
+        work = dirty = 0
+        for op in batch:
+            st = dyn.apply(tuple(op))
+            modes[st.mode] += 1
+            work += st.work
+            dirty += st.dirty
+        if args.verify:
+            dyn.verify()
+        reached = int(np.isfinite(dyn.dist).sum())
+        print(
+            f"{step:>4} {len(batch):>4} {modes['repair']:>6} "
+            f"{modes['rebuild']:>7} {modes['noop']:>5} {dirty:>6} "
+            f"{work:>12,} {reached:>7}"
+        )
+    print(
+        f"totals: {dyn.updates} updates -> {dyn.repairs} repairs / "
+        f"{dyn.rebuilds} rebuilds; charged work repair={dyn.repair_work:,} "
+        f"rebuild={dyn.rebuild_work:,}"
+        + (" (verified bit-exact each step)" if args.verify else "")
+    )
+    return 0
 
 
 _TRACEABLE = {"build": cmd_build, "sssp": cmd_sssp, "spt": cmd_spt}
@@ -784,10 +904,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="boot from --store: a key hit loads the cached hopset; a miss "
              "falls back to the positional artifact or a fresh build",
     )
+    p.add_argument(
+        "--dynamic", action="store_true",
+        help="accept update U V W / delete U V mutation verbs "
+             "(docs/dynamic.md); needs a path-reporting hopset, or no "
+             "artifact at all (one is built fresh)",
+    )
+    p.add_argument(
+        "--refresh-below", type=float, default=0.5, metavar="F",
+        help="refresh a hopset scale when its live fraction drops below F",
+    )
+    p.add_argument(
+        "--rebuild-below", type=float, default=0.2, metavar="F",
+        help="rebuild the whole hopset when overall liveness drops below F",
+    )
     _add_param_flags(p)
     _add_backend_flag(p)
     _add_mssp_flag(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "dynamic",
+        help="maintain exact SSSP under a time-varying update schedule "
+             "(docs/dynamic.md)",
+    )
+    p.add_argument("graph")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument(
+        "--schedule", choices=("rush", "failures", "mixed"), default="mixed",
+        help="workload: periodic congestion, failure bursts, or random mix",
+    )
+    p.add_argument("--steps", type=int, default=12,
+                   help="schedule steps (batches of updates)")
+    p.add_argument(
+        "--rate", type=int, default=4,
+        help="updates per step (mixed), congested-edge count (rush), "
+             "or burst size (failures)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--fallback-frac", type=float, default=None, metavar="F",
+        help="repair->rebuild threshold as a fraction of all CSR arcs "
+             "(default follows REPRO_DYN_FALLBACK)",
+    )
+    p.add_argument(
+        "--verify", action="store_true",
+        help="assert bit-exactness against a full recompute after every step",
+    )
+    _add_backend_flag(p)
+    p.set_defaults(func=cmd_dynamic)
 
     p = sub.add_parser(
         "trace", help="run build/sssp/spt under the tracer + theorem watchdogs"

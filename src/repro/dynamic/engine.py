@@ -1,0 +1,199 @@
+"""The serving-facing composition: one mutable G, H, and G ∪ H, in sync.
+
+:class:`DynamicOracle` owns the three mutable structures the serving
+layer needs to answer queries between updates:
+
+* the base :class:`~repro.dynamic.graph.DynamicGraph` (the truth),
+* a :class:`~repro.dynamic.hopset.DynamicHopset` over it (certified
+  shortcuts, lazily repaired),
+* a second :class:`DynamicGraph` holding **G ∪ live H** — the graph
+  β-hop explorations actually run on.  Each union pair's weight is
+  ``min(graph weight, cheapest live record)`` — its *cover* — so one
+  update patches exactly the pairs whose cover changed, in place,
+  instead of re-materializing the union (O(m + |H|)) per update.
+
+:meth:`apply` is the single mutation entry point: it mutates the base,
+notifies the hopset (which reports every pair whose cover rose),
+patches the union, and performs **plan hygiene** — dropping the union's
+cached :class:`~repro.pram.primitives.RelaxPlan` from the workspace and
+evicting the sharded backend's shared-memory copy
+(:meth:`~repro.pram.backends.base.ExecutionBackend.evict_plan`), since
+worker-side copies do not alias the mutated arrays.  It returns what
+the server's cache-invalidation decision needs: whether any distance
+may have *improved* (decrease/insert — cached vectors are stale upper
+bounds everywhere) and the affected pairs (increase/delete — only
+vectors whose shortest-path trees touch them can change;
+:func:`tree_touches` decides per cached source).
+
+:func:`pair_codes` / :func:`tree_touches` are the vectorized helpers
+behind that per-source test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamic.graph import DynamicGraph
+from repro.dynamic.hopset import DynamicHopset, MaintenanceReport
+from repro.graphs.csr import Graph
+from repro.graphs.errors import InvalidGraphError
+from repro.hopsets.hopset import Hopset
+from repro.hopsets.params import HopsetParams
+from repro.pram.machine import PRAM
+
+__all__ = ["DynamicOracle", "pair_codes", "tree_touches"]
+
+
+def pair_codes(pairs, n: int) -> np.ndarray:
+    """Encode unordered vertex pairs as sorted int64 codes ``lo·n + hi``.
+
+    The dense encoding lets :func:`tree_touches` test membership with one
+    vectorized ``isin`` instead of a Python-level set probe per tree edge.
+    """
+    if len(pairs) == 0:
+        return np.zeros(0, dtype=np.int64)
+    arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    lo = arr.min(axis=1)
+    hi = arr.max(axis=1)
+    return np.unique(lo * np.int64(n) + hi)
+
+
+def tree_touches(parent: np.ndarray, codes: np.ndarray, n: int) -> bool:
+    """Whether any tree edge (parent[v], v) lands on a coded pair.
+
+    ``parent`` is one source's shortest-path-tree parent array (−1 where
+    unreached, self at the source); ``codes`` comes from
+    :func:`pair_codes`.  The serving layer keeps a cached distance
+    vector exactly when this is False — a tree that avoids every
+    worsened pair certifies its own distances (and by convergence, the
+    full vector; see ``docs/dynamic.md``).
+    """
+    if codes.size == 0:
+        return False
+    v = np.flatnonzero(parent >= 0)
+    v = v[parent[v] != v]  # drop the source's self-loop
+    if v.size == 0:
+        return False
+    p = parent[v]
+    lo = np.minimum(p, v)
+    hi = np.maximum(p, v)
+    return bool(np.isin(lo * np.int64(n) + hi, codes).any())
+
+
+class DynamicOracle:
+    """Mutable G / H / G ∪ H kept consistent for the serving layer.
+
+    Parameters mirror :class:`~repro.dynamic.hopset.DynamicHopset`; the
+    hopset is built path-reporting when not supplied.  ``union`` is the
+    graph to hand to β-hop explorations — its object identity is stable
+    between :meth:`maintain` calls that refresh or rebuild (which swap
+    it for a freshly materialized one; callers re-read the attribute).
+    """
+
+    def __init__(
+        self,
+        graph: Graph | DynamicGraph,
+        hopset: Hopset | None = None,
+        params: HopsetParams | None = None,
+        *,
+        pram: PRAM | None = None,
+        refresh_below: float = 0.5,
+        rebuild_below: float = 0.2,
+    ) -> None:
+        self.graph = graph if isinstance(graph, DynamicGraph) else DynamicGraph(graph)
+        self.pram = pram if pram is not None else PRAM()
+        self.hopset = DynamicHopset(
+            self.graph,
+            hopset,
+            params,
+            pram=self.pram,
+            refresh_below=refresh_below,
+            rebuild_below=rebuild_below,
+        )
+        self.union = DynamicGraph(self.hopset.union_graph())
+        self.updates = 0
+        self.maintenances = 0
+
+    # -- union consistency ----------------------------------------------------
+
+    def _patch_union(self, pairs) -> None:
+        """Re-derive the union weight (the cover) of each affected pair."""
+        for u, v in pairs:
+            target = min(
+                self.graph.edge_weight(u, v), self.hopset.record_cover(u, v)
+            )
+            if np.isfinite(target):
+                if self.union.has_edge(u, v):
+                    self.union.set_weight(u, v, target)
+                else:
+                    self.union.insert_edge(u, v, target)
+            elif self.union.has_edge(u, v):
+                self.union.delete_edge(u, v)
+
+    def _sync_plans(self) -> None:
+        """Plan hygiene after any union mutation (see the module docstring)."""
+        old = self.pram.workspace.drop_plan(self.union)
+        if old is not None:
+            self.pram.backend.evict_plan(old)
+
+    # -- the mutation entry point ---------------------------------------------
+
+    def apply(self, kind: str, u: int, v: int, w: float | None = None) -> dict:
+        """Apply one update and restore all invariants.
+
+        ``kind`` is ``"update"`` (upsert: set the weight, inserting the
+        edge when absent) or ``"delete"``.  Returns
+        ``{"improved": bool, "pairs": [...]}`` — ``improved`` means some
+        distance may have *decreased* (cached vectors are stale
+        everywhere); ``pairs`` are the worsened pairs for the
+        tree-touching invalidation test otherwise.
+        """
+        u, v = int(u), int(v)
+        self.updates += 1
+        if kind == "delete":
+            old = self.graph.delete_edge(u, v)
+            pairs = self.hopset.on_delete(u, v, old)
+            improved = False
+        elif kind == "update":
+            if w is None:
+                raise InvalidGraphError("update needs a weight")
+            w = float(w)
+            if self.graph.has_edge(u, v):
+                old = self.graph.set_weight(u, v, w)
+                if w == old:
+                    return {"improved": False, "pairs": []}
+                if w > old:
+                    pairs = self.hopset.on_weight_increase(u, v, old, w)
+                    improved = False
+                else:
+                    pairs = [(u, v) if u < v else (v, u)]
+                    improved = True
+            else:
+                self.graph.insert_edge(u, v, w)
+                pairs = [(u, v) if u < v else (v, u)]
+                improved = True
+        else:
+            raise InvalidGraphError(f"unknown dynamic verb {kind!r}")
+        self._patch_union(pairs)
+        self._sync_plans()
+        return {"improved": improved, "pairs": pairs}
+
+    def maintain(self) -> MaintenanceReport:
+        """Run the hopset's lazy repair; re-materialize the union if it acted."""
+        self.maintenances += 1
+        report = self.hopset.maintain()
+        if report.action != "none":
+            self._sync_plans()  # the old union object is about to die
+            self.union = DynamicGraph(self.hopset.union_graph())
+        return report
+
+    def stats(self) -> dict:
+        """Counters for the serving layer's ``stats`` verb."""
+        return {
+            "updates": self.updates,
+            "maintenances": self.maintenances,
+            "graph_generation": self.graph.generation,
+            "graph_recompactions": self.graph.recompactions,
+            "union_edges": self.union.num_edges,
+            "hopset": self.hopset.stats(),
+        }

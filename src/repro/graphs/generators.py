@@ -11,7 +11,12 @@ The families map to the experiments of DESIGN.md §4:
 * weighted paths, caterpillars and layered graphs — *high hop-diameter*
   workloads where a hopset is essential for polylog-depth SSSP (E4);
 * wide-weight-range graphs — aspect-ratio stress for the Klein–Sairam
-  reduction (E7).
+  reduction (E7);
+* road networks plus the *time-varying schedules* (periodic congestion,
+  failure bursts) — the dynamic-update workloads of E27
+  (:mod:`repro.dynamic`); schedules are plain op-batch lists so the same
+  sequence drives :class:`~repro.dynamic.repair.DynamicSSSP`,
+  :class:`~repro.dynamic.engine.DynamicOracle`, and a serving session.
 """
 
 from __future__ import annotations
@@ -39,6 +44,9 @@ __all__ = [
     "random_regular",
     "binary_tree",
     "circulant_graph",
+    "road_network",
+    "periodic_weight_schedule",
+    "failure_burst_schedule",
 ]
 
 
@@ -323,3 +331,114 @@ def circulant_graph(n: int, offsets: tuple[int, ...] = (1, 2), weight: float = 1
     v = np.concatenate(vs)
     keep = u != v
     return from_edge_arrays(n, u[keep], v[keep], np.full(int(keep.sum()), float(weight)))
+
+def road_network(rows: int, cols: int, diag_p: float = 0.15, seed=None, w_range=(1.0, 3.0)) -> Graph:
+    """A grid with sprinkled diagonal shortcuts — a road-network stand-in.
+
+    The planar grid gives the high hop-diameter of real road graphs; the
+    diagonals (each cell gets one with probability ``diag_p``) give the
+    occasional bypass/overpass that makes repair-vs-rebuild interesting:
+    worsening one street reroutes traffic through a *local* detour
+    instead of invalidating a whole quadrant.  The dynamic experiments
+    (E27) run their update schedules over this family.
+    """
+    if rows < 2 or cols < 2:
+        raise InvalidGraphError("road network needs at least a 2 x 2 grid")
+    if not 0.0 <= diag_p <= 1.0:
+        raise InvalidGraphError(f"diag_p must lie in [0, 1], got {diag_p}")
+    rng = as_rng(seed)
+    base = grid_graph(rows, cols, seed=rng, w_range=w_range)
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    nw = ids[:-1, :-1].ravel()  # cell corners: NW -> SE diagonals
+    se = ids[1:, 1:].ravel()
+    keep = rng.random(nw.size) < diag_p
+    if not keep.any():
+        return base
+    # a diagonal is longer than either street it bridges (sqrt(2) - ish)
+    diag_w = _weights(rng, int(keep.sum()), *w_range) * 1.5
+    u = np.concatenate([base.edge_u, nw[keep]])
+    v = np.concatenate([base.edge_v, se[keep]])
+    w = np.concatenate([base.edge_w, diag_w])
+    return from_edge_arrays(rows * cols, u, v, w)
+
+
+def periodic_weight_schedule(
+    graph: Graph, steps: int, *, frac: float = 0.2, peak: float = 3.0, period: int = 8, seed=None
+):
+    """Rush-hour congestion: sinusoidal weight multipliers on a fixed subset.
+
+    Picks ``frac`` of the edges once (the congested streets) and emits
+    ``steps`` batches of ``("update", u, v, w)`` ops; batch ``t`` scales
+    each congested edge's *base* weight by ``1 + (peak-1) * s_t`` where
+    ``s_t`` sweeps a sinusoid of the given period.  Weights therefore
+    return to baseline every cycle — the workload where lazy hopset
+    repair shines, because invalidated records become valid again
+    without a rebuild.  Deterministic given the seed.
+    """
+    if steps < 1:
+        raise InvalidGraphError("schedule needs at least one step")
+    if not 0.0 < frac <= 1.0:
+        raise InvalidGraphError(f"frac must lie in (0, 1], got {frac}")
+    if peak < 1.0:
+        raise InvalidGraphError(f"peak multiplier must be >= 1, got {peak}")
+    if period < 2:
+        raise InvalidGraphError(f"period must be at least 2, got {period}")
+    rng = as_rng(seed)
+    m = graph.edge_u.size
+    count = max(1, int(round(frac * m)))
+    congested = rng.choice(m, size=count, replace=False)
+    congested.sort()
+    base = graph.edge_w[congested]
+    batches = []
+    for t in range(steps):
+        s = 0.5 * (1.0 - float(np.cos(2.0 * np.pi * t / period)))
+        mult = 1.0 + (peak - 1.0) * s
+        batches.append(
+            [
+                ("update", int(graph.edge_u[i]), int(graph.edge_v[i]), float(b * mult))
+                for i, b in zip(congested, base)
+            ]
+        )
+    return batches
+
+
+def failure_burst_schedule(
+    graph: Graph, *, bursts: int = 3, burst_size: int = 4, quiet: int = 5, seed=None
+):
+    """Outage waves: delete a clustered batch of edges, then restore them.
+
+    Each burst deletes ``burst_size`` random live edges in one batch,
+    idles for ``quiet`` empty batches (queries keep arriving against the
+    degraded graph), then re-inserts the same edges at their original
+    weights.  Bursts never overlap and never pick an already-failed
+    edge, so every delete in the schedule targets a live edge — replay
+    is well-defined from any consumer.  Deterministic given the seed.
+    """
+    if bursts < 1 or burst_size < 1:
+        raise InvalidGraphError("bursts and burst_size must be positive")
+    if quiet < 0:
+        raise InvalidGraphError(f"quiet must be >= 0, got {quiet}")
+    m = graph.edge_u.size
+    if bursts * burst_size > m:
+        raise InvalidGraphError(
+            f"schedule needs {bursts * burst_size} distinct edges, graph has {m}"
+        )
+    rng = as_rng(seed)
+    picks = rng.choice(m, size=bursts * burst_size, replace=False)
+    batches = []
+    for b in range(bursts):
+        wave = picks[b * burst_size : (b + 1) * burst_size]
+        batches.append(
+            [
+                ("delete", int(graph.edge_u[i]), int(graph.edge_v[i]), None)
+                for i in wave
+            ]
+        )
+        batches.extend([] for _ in range(quiet))
+        batches.append(
+            [
+                ("update", int(graph.edge_u[i]), int(graph.edge_v[i]), float(graph.edge_w[i]))
+                for i in wave
+            ]
+        )
+    return batches

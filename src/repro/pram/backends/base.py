@@ -269,6 +269,18 @@ class ExecutionBackend:
         """
         return serial_entry_segmin(dist_s, aux1_s, aux2_s, seg_start, seg_id, take)
 
+    def evict_plan(self, plan) -> bool:
+        """Release any backend-held state derived from ``plan``.
+
+        In-process backends hold none (plans alias the caller's arrays),
+        so the base implementation is a no-op returning ``False``.  The
+        sharded backend overrides this to tear down the shared-memory
+        *copies* its workers registered for the plan — the dynamic
+        subsystem calls it whenever a graph mutates structurally, paired
+        with :meth:`~repro.pram.workspace.Workspace.drop_plan`.
+        """
+        return False
+
     def close(self) -> None:
         """Release any host resources (worker processes, shared memory)."""
 

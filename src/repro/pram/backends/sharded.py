@@ -488,6 +488,12 @@ def _worker_main(conn, stats_spec=None) -> None:  # pragma: no cover - subproces
                 _, key, spec = msg
                 shards[key].battach(spec)
                 conn.send(("bok", key))
+            elif op == "drop":
+                _, key = msg
+                shard = shards.pop(key, None)
+                if shard is not None:
+                    shard.close()
+                conn.send(("dropped", key))
             elif op == "bround":
                 _, key, rid, rows = msg
                 shard = shards[key]
@@ -727,6 +733,36 @@ class ShardedBackend(ExecutionBackend):
                 except Exception:  # pragma: no cover - teardown best-effort
                     pass
             self._stats_shm = None
+
+    def evict_plan(self, plan) -> bool:
+        """Drop one registered plan: worker shards and shared memory.
+
+        The dynamic subsystem's seam: when a graph mutates structurally
+        its plan object dies, but the workers still hold shared-memory
+        copies keyed by ``id(plan)`` — this sends each worker a ``drop``
+        for the key and then releases the parent-side blocks.  Returns
+        ``True`` when a registration was actually evicted.  Best-effort:
+        a worker that fails to ack trips the usual serial fallback.
+        """
+        sp = self._plans.pop(id(plan), None)
+        if sp is None:
+            return False
+        if not self.failed and self._conns:
+            try:
+                deadline = time.monotonic() + self.round_timeout
+                for conn in self._conns:
+                    conn.send(("drop", sp.key))
+                for conn in self._conns:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not conn.poll(remaining):
+                        raise TimeoutError("drop ack timeout")
+                    kind, got = conn.recv()
+                    if kind != "dropped" or got != sp.key:
+                        raise RuntimeError(f"unexpected drop ack {kind!r}")
+            except Exception as exc:  # pragma: no cover - worker trouble
+                self._fail(f"plan eviction failed: {exc!r}")
+        sp.close()
+        return True
 
     def add_failure_listener(self, listener) -> None:
         """Subscribe ``listener(kind, reason)`` to serial-fallback trips.

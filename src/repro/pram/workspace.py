@@ -147,6 +147,24 @@ class Workspace:
         self._degrees[key] = (graph, deg)
         return deg
 
+    def drop_plan(self, graph):
+        """Evict ``graph``'s cached plan and degree array; returns the plan.
+
+        The mutation seam of the dynamic subsystem: a cached
+        :class:`~repro.pram.primitives.RelaxPlan` aliases the graph's CSR
+        arrays, so an *in-place* weight update keeps it fresh — but a
+        structural change (a :class:`~repro.dynamic.graph.DynamicGraph`
+        recompaction swaps the arrays under the same object identity)
+        silently stales both caches.  Callers drop here, then hand the
+        returned plan to the execution backend's ``evict_plan`` so
+        sharded workers release their shared-memory *copies* too.
+        Returns ``None`` when nothing was cached.
+        """
+        key = id(graph)
+        hit = self._plans.pop(key, None)
+        self._degrees.pop(key, None)
+        return hit[1] if hit is not None else None
+
     def clear(self) -> None:
         """Drop every pooled buffer and cached plan."""
         self._buffers.clear()

@@ -69,6 +69,20 @@ class PairCache:
     def clear(self) -> None:
         self._store.clear()
 
+    def evict_source(self, u: int) -> int:
+        """Drop every entry answered from source ``u``'s vector.
+
+        Tier-0 entries are memoized reads ``(u, v) -> dist_u[v]``; when
+        the dynamic serving path invalidates ``u``'s tier-1 vector the
+        reads become unverifiable and must go with it.  Entries
+        ``(v, u)`` read *other* sources' still-certified vectors and
+        stay.  Returns the number of entries dropped.
+        """
+        stale = [key for key in self._store if key[0] == u]
+        for key in stale:
+            del self._store[key]
+        return len(stale)
+
     def info(self) -> dict[str, int]:
         return {
             "capacity": self.capacity,

@@ -4,6 +4,8 @@ One request per line, one reply line per request, in order.  Requests::
 
     dist U V      (1+ε)-approximate distance from U to V
     path U V      the vertex sequence realizing that estimate
+    update U V W  set edge (U, V) to weight W, inserting it when absent
+    delete U V    remove edge (U, V)
     stats         one-line JSON of the server's counters
     quit          close the connection (handled by the transport)
 
@@ -12,13 +14,17 @@ Replies::
     ok dist U V <value>            value is repr(float): round-trips bitwise
     ok path U V <v0> <v1> ... <vk>
     ok path U V unreachable
+    ok update U V <value>
+    ok delete U V
     ok stats <json>
     err <code> <message>
 
 Error codes are structured and stable — ``bad-request`` (unparsable line,
-wrong arity, non-integer vertex) and ``out-of-range`` (vertex outside
-``[0, n)``) — and a malformed line never takes down the connection, let
-alone the server; the reply is the diagnostic.
+wrong arity, non-integer vertex, non-positive or non-finite weight),
+``out-of-range`` (vertex outside ``[0, n)``), and ``unsupported`` (a
+mutation verb sent to a server running without ``--dynamic``) — and a
+malformed line never takes down the connection, let alone the server;
+the reply is the diagnostic.
 
 Distances are serialized with :func:`repr`, the shortest string that
 round-trips the exact float64 bit pattern, so a client parsing the reply
@@ -33,17 +39,21 @@ from dataclasses import dataclass
 __all__ = [
     "ProtocolError",
     "Request",
+    "format_delete",
     "format_dist",
     "format_error",
     "format_path",
     "format_stats",
+    "format_update",
     "parse_line",
 ]
 
 #: Request kinds that take two vertex operands.
-_PAIR_KINDS = ("dist", "path")
+_PAIR_KINDS = ("dist", "path", "delete")
 #: Request kinds with no operands.
 _NULLARY_KINDS = ("stats", "quit")
+#: Request kinds that mutate the served graph (dynamic servers only).
+MUTATION_KINDS = ("update", "delete")
 
 
 class ProtocolError(ValueError):
@@ -59,15 +69,27 @@ class ProtocolError(ValueError):
 class Request:
     """One parsed protocol line."""
 
-    kind: str      # "dist" | "path" | "stats" | "quit"
+    kind: str      # "dist" | "path" | "update" | "delete" | "stats" | "quit"
     u: int = -1
     v: int = -1
+    w: float = float("nan")  # only meaningful for kind == "update"
 
     def line(self) -> str:
         """The canonical request line (what the query log records)."""
+        if self.kind == "update":
+            return f"update {self.u} {self.v} {self.w!r}"
         if self.kind in _PAIR_KINDS:
             return f"{self.kind} {self.u} {self.v}"
         return self.kind
+
+
+def _parse_vertices(parts: list[str], line: str) -> tuple[int, int]:
+    try:
+        return int(parts[1]), int(parts[2])
+    except ValueError:
+        raise ProtocolError(
+            "bad-request", f"non-integer vertex in {line.strip()!r}"
+        ) from None
 
 
 def parse_line(line: str) -> Request:
@@ -80,19 +102,33 @@ def parse_line(line: str) -> Request:
         if len(parts) != 1:
             raise ProtocolError("bad-request", f"{kind} takes no operands")
         return Request(kind)
+    if kind == "update":
+        if len(parts) != 4:
+            raise ProtocolError(
+                "bad-request", "update takes two vertices and a weight"
+            )
+        u, v = _parse_vertices(parts, line)
+        try:
+            w = float(parts[3])
+        except ValueError:
+            raise ProtocolError(
+                "bad-request", f"non-numeric weight in {line.strip()!r}"
+            ) from None
+        if not (w > 0.0) or w != w or w == float("inf"):
+            raise ProtocolError(
+                "bad-request", f"weight must be positive and finite, got {w!r}"
+            )
+        return Request(kind, u, v, w)
     if kind not in _PAIR_KINDS:
         raise ProtocolError(
             "bad-request",
-            f"unknown request {kind!r} (try: dist U V | path U V | stats | quit)",
+            "unknown request "
+            f"{kind!r} (try: dist U V | path U V | update U V W | "
+            "delete U V | stats | quit)",
         )
     if len(parts) != 3:
         raise ProtocolError("bad-request", f"{kind} takes exactly two vertices")
-    try:
-        u, v = int(parts[1]), int(parts[2])
-    except ValueError:
-        raise ProtocolError(
-            "bad-request", f"non-integer vertex in {line.strip()!r}"
-        ) from None
+    u, v = _parse_vertices(parts, line)
     return Request(kind, u, v)
 
 
@@ -111,6 +147,16 @@ def format_path(u: int, v: int, path: list[int] | None) -> str:
 def format_stats(payload: str) -> str:
     """The ``stats`` reply wrapping an already-serialized JSON payload."""
     return f"ok stats {payload}"
+
+
+def format_update(u: int, v: int, value: float) -> str:
+    """The ``update`` reply echoing the applied weight, bit-exact."""
+    return f"ok update {u} {v} {value!r}"
+
+
+def format_delete(u: int, v: int) -> str:
+    """The ``delete`` reply acknowledging the removal."""
+    return f"ok delete {u} {v}"
 
 
 def format_error(code: str, message: str) -> str:

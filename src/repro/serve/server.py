@@ -54,19 +54,24 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.dynamic import DynamicOracle, pair_codes
 from repro.graphs.csr import Graph
+from repro.graphs.errors import InvalidGraphError
 from repro.hopsets.hopset import Hopset
 from repro.obs.metrics import MetricsRegistry
 from repro.pram.machine import PRAM
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import PairCache
 from repro.serve.protocol import (
+    MUTATION_KINDS,
     ProtocolError,
     Request,
+    format_delete,
     format_dist,
     format_error,
     format_path,
     format_stats,
+    format_update,
     parse_line,
 )
 from repro.sssp.oracle import HopsetDistanceOracle, tree_path
@@ -113,12 +118,27 @@ class OracleServer:
         Row-block width of the S×V matrix engine used when a
         micro-batch groups several uncached sources (``--mssp-block`` /
         ``REPRO_MSSP``); answers and charges are block-invariant.
+    dynamic:
+        When True the server accepts the mutation verbs ``update U V W``
+        and ``delete U V``: a :class:`~repro.dynamic.engine.DynamicOracle`
+        owns mutable G / H / G ∪ H, explorations run over its union, and
+        each mutation invalidates exactly the cache entries it can have
+        stained — everything on an improvement (cached vectors are stale
+        upper bounds everywhere), only tree-touching or non-converged
+        vectors on a worsening.  ``hopset`` may then be ``None`` (one is
+        built path-reporting from ``params``); a prebuilt hopset must
+        carry paths.  Without the flag, mutation verbs get
+        ``err unsupported``.
+    params, refresh_below, rebuild_below:
+        Dynamic-mode knobs, forwarded to the
+        :class:`~repro.dynamic.engine.DynamicOracle` (hopset build
+        parameters and the lazy-maintenance thresholds).
     """
 
     def __init__(
         self,
         graph: Graph,
-        hopset: Hopset,
+        hopset: Hopset | None,
         hop_budget: int | None = None,
         cache_size: int = 128,
         pair_cache: int = 4096,
@@ -128,20 +148,44 @@ class OracleServer:
         log_path=None,
         metrics: MetricsRegistry | None = None,
         mssp_block: int | None = None,
+        dynamic: bool = False,
+        params=None,
+        refresh_below: float = 0.5,
+        rebuild_below: float = 0.2,
     ) -> None:
         self.pram = PRAM(backend=backend)
         self._own_registry = metrics is None
         self.registry = (
             metrics if metrics is not None else MetricsRegistry.attach(self.pram.cost)
         )
+        if dynamic:
+            self.dynamic: DynamicOracle | None = DynamicOracle(
+                graph,
+                hopset,
+                params,
+                pram=self.pram,
+                refresh_below=refresh_below,
+                rebuild_below=rebuild_below,
+            )
+            oracle_hopset = self.dynamic.hopset
+            union = self.dynamic.union
+        else:
+            if hopset is None:
+                raise InvalidGraphError(
+                    "a static server needs a prebuilt hopset"
+                )
+            self.dynamic = None
+            oracle_hopset = hopset
+            union = None
         self.oracle = HopsetDistanceOracle(
             graph,
-            hopset,
+            oracle_hopset,
             hop_budget=hop_budget,
             cache_size=cache_size,
             pram=self.pram,
             metrics=self.registry,
             mssp_block=mssp_block,
+            union=union,
         )
         self.pairs = PairCache(pair_cache)
         self.batcher = MicroBatcher(
@@ -210,6 +254,54 @@ class OracleServer:
             return None
         return tree_path(parent, u, v, self.oracle.graph.n)
 
+    # -- mutation (dynamic mode) ---------------------------------------------
+
+    def _answer_mutation(self, req: Request) -> None:
+        """Apply one ``update``/``delete`` and invalidate what it stained."""
+        if self.dynamic is None:
+            raise ProtocolError(
+                "unsupported",
+                f"{req.kind} needs a server running with --dynamic",
+            )
+        self._check(req.u)
+        self._check(req.v)
+        if req.u == req.v:
+            raise ProtocolError("bad-request", "self-loops are not edges")
+        try:
+            if req.kind == "delete":
+                result = self.dynamic.apply("delete", req.u, req.v)
+            else:
+                result = self.dynamic.apply("update", req.u, req.v, req.w)
+        except InvalidGraphError as exc:
+            raise ProtocolError("bad-request", str(exc)) from None
+        self.pram.cost.traffic(f"serve.update.{req.kind}", elements=1)
+        if result["improved"]:
+            # every cached vector is a stale upper bound somewhere
+            evicted = self.oracle.invalidate_all()
+            dropped = len(self.pairs)
+            self.pairs.clear()
+        else:
+            # worsening: only vectors whose tree crosses an affected pair
+            # (or that never provably converged) can have changed
+            codes = pair_codes(result["pairs"], self.oracle.graph.n)
+            evicted = self.oracle.invalidate_touching(codes)
+            dropped = sum(self.pairs.evict_source(s) for s in evicted)
+        if evicted:
+            self.pram.cost.traffic(
+                "serve.update.evicted_vectors", elements=len(evicted)
+            )
+        if dropped:
+            self.pram.cost.traffic(
+                "serve.update.evicted_pairs", elements=dropped
+            )
+        report = self.dynamic.maintain()
+        if report.action != "none":
+            # maintenance swapped the union object: re-point, restart cold
+            self.oracle.union = self.dynamic.union
+            self.oracle.invalidate_all()
+            self.pairs.clear()
+            self.pram.cost.traffic("serve.update.refresh", elements=1)
+
     def _serve_one(self, item) -> str:
         t0 = time.perf_counter_ns()
         try:
@@ -218,13 +310,21 @@ class OracleServer:
                 reply = format_dist(req.u, req.v, self._answer_dist(req.u, req.v))
             elif req.kind == "path":
                 reply = format_path(req.u, req.v, self._answer_path(req.u, req.v))
+            elif req.kind == "update":
+                self._answer_mutation(req)
+                reply = format_update(req.u, req.v, req.w)
+            elif req.kind == "delete":
+                self._answer_mutation(req)
+                reply = format_delete(req.u, req.v)
             elif req.kind == "stats":
                 reply = format_stats(json.dumps(self.stats(), sort_keys=True))
             elif req.kind == "quit":
                 reply = "ok bye"
             else:  # unreachable behind parse_line, defensive for Request users
                 raise ProtocolError("bad-request", f"unknown kind {req.kind!r}")
-            if self._log_fh is not None and req.kind in ("dist", "path"):
+            if self._log_fh is not None and req.kind in (
+                "dist", "path", "update", "delete",
+            ):
                 self._log_fh.write(req.line() + "\n")
         except ProtocolError as exc:
             self.errors += 1
@@ -278,6 +378,14 @@ class OracleServer:
             if delta:
                 self.source_charges[s] = self.source_charges.get(s, 0) + delta
 
+    @staticmethod
+    def _mutates(item) -> bool:
+        """Whether a raw line / :class:`Request` is a mutation verb."""
+        if isinstance(item, Request):
+            return item.kind in MUTATION_KINDS
+        parts = item.split(None, 1)
+        return bool(parts) and parts[0] in MUTATION_KINDS
+
     def serve_batch(self, items) -> list[str]:
         """Answer one arrival-ordered batch; one reply line per item.
 
@@ -285,17 +393,40 @@ class OracleServer:
         This is the micro-batcher's evaluate callable and the direct
         entry point for in-process callers (benchmarks, ``--probe``);
         the lock keeps direct calls and the collector thread serialized.
-        The batch's distinct uncached sources are explored up front as
-        one S×V matrix pass (:meth:`_pre_explore`); the per-request
-        answering below then runs entirely against warm tiers.
+        Each segment's distinct uncached sources are explored up front
+        as one S×V matrix pass (:meth:`_pre_explore`); the per-request
+        answering then runs entirely against warm tiers.
+
+        Mutation verbs (``update``/``delete``) are segment boundaries:
+        the queries before one are answered as their own sub-batch, the
+        mutation is applied solo, and batching resumes after — so every
+        query observes exactly the graph state of its arrival position
+        and no pre-explored vector leaks across an invalidation.  A
+        mutation-free batch takes the single-segment path, byte- and
+        counter-identical to a server without ``--dynamic``.
         """
         with self._lock:
             self.pram.cost.traffic("serve.batch", elements=len(items))
-            self._pre_explore(items)
-            try:
-                replies = [self._serve_one(item) for item in items]
-            finally:
-                self.oracle.finish_batch()
+            replies: list[str] = []
+            segment: list = []
+
+            def flush() -> None:
+                if not segment:
+                    return
+                self._pre_explore(segment)
+                try:
+                    replies.extend(self._serve_one(item) for item in segment)
+                finally:
+                    self.oracle.finish_batch()
+                segment.clear()
+
+            for item in items:
+                if self._mutates(item):
+                    flush()
+                    replies.append(self._serve_one(item))
+                else:
+                    segment.append(item)
+            flush()
             if self._log_fh is not None:
                 self._log_fh.flush()
         if self._limit_cb is not None and self.requests >= (self._limit or 0):
@@ -344,6 +475,7 @@ class OracleServer:
             "sources_charged": len(self.source_charges),
             "backend": self.pram.backend.describe(),
             "degraded": self.degraded,
+            "dynamic": self.dynamic.stats() if self.dynamic else None,
         }
 
     def close(self) -> None:

@@ -74,7 +74,11 @@ class DecrementalSSSP:
 
     def _build(self) -> None:
         self.hopset, _ = build_path_reporting_hopset(self.graph, self.params, self.pram)
-        self._alive = [True] * len(self.hopset.edges)
+        self._alive = np.ones(len(self.hopset.edges), dtype=bool)
+        # records as parallel arrays: _live_union is one mask away
+        self._rec_u = np.array([e.u for e in self.hopset.edges], dtype=np.int64)
+        self._rec_v = np.array([e.v for e in self.hopset.edges], dtype=np.int64)
+        self._rec_w = np.array([e.weight for e in self.hopset.edges], dtype=np.float64)
         # pair → indices of hopset records on that pair
         self._records_on_pair: dict[tuple[int, int], list[int]] = {}
         # pair → indices of hopset records whose memory path *uses* the pair
@@ -84,16 +88,30 @@ class DecrementalSSSP:
             assert e.path is not None
             for a, b in zip(e.path, e.path[1:]):
                 self._dependents.setdefault(_key(int(a), int(b)), []).append(idx)
+        self._index_edges()
+
+    def _index_edges(self) -> None:
+        """The pair → position map into the graph's canonical edge arrays.
+
+        Edge positions are stable under weight-only updates (the canonical
+        order sorts by the endpoint pair alone), so the map is rebuilt only
+        here — at construction, after a rebuild, and after a deletion
+        changes the edge count.
+        """
+        eu, ev, _ = self.graph.edges()
+        self._edge_index = {
+            (int(a), int(b)): i for i, (a, b) in enumerate(zip(eu, ev))
+        }
 
     @property
     def live_fraction(self) -> float:
         """Fraction of hopset records still valid."""
-        if not self._alive:
+        if self._alive.size == 0:
             return 1.0
-        return sum(self._alive) / len(self._alive)
+        return float(self._alive.sum()) / self._alive.size
 
     def live_records(self) -> int:
-        return int(sum(self._alive))
+        return int(self._alive.sum())
 
     # -- updates -------------------------------------------------------------
 
@@ -120,13 +138,15 @@ class DecrementalSSSP:
     def _apply_edge_change(self, u: int, v: int, new_weight: float | None) -> None:
         self.updates += 1
         eu, ev, ew = self.graph.edges()
-        ew = ew.copy()
-        mask = (np.minimum(eu, ev) == min(u, v)) & (np.maximum(eu, ev) == max(u, v))
+        idx = self._edge_index[_key(u, v)]
         if new_weight is None:
-            keep = ~mask
+            keep = np.ones(eu.size, dtype=bool)
+            keep[idx] = False
             self.graph = from_edge_arrays(self.graph.n, eu[keep], ev[keep], ew[keep])
+            self._index_edges()  # positions after idx shifted down by one
         else:
-            ew[mask] = new_weight
+            ew = ew.copy()
+            ew[idx] = new_weight
             self.graph = from_edge_arrays(self.graph.n, eu, ev, ew)
         self._invalidate(_key(u, v))
         if self.live_fraction < self.rebuild_below:
@@ -159,17 +179,9 @@ class DecrementalSSSP:
     # -- queries ---------------------------------------------------------------
 
     def _live_union(self) -> Graph:
-        u, v, w = [], [], []
-        for idx, e in enumerate(self.hopset.edges):
-            if self._alive[idx]:
-                u.append(e.u)
-                v.append(e.v)
-                w.append(e.weight)
+        mask = self._alive
         return union_with_edges(
-            self.graph,
-            np.array(u, dtype=np.int64),
-            np.array(v, dtype=np.int64),
-            np.array(w, dtype=np.float64),
+            self.graph, self._rec_u[mask], self._rec_v[mask], self._rec_w[mask]
         )
 
     def distances(self, source: int, hop_budget: int | None = None) -> np.ndarray:

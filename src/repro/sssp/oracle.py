@@ -72,6 +72,13 @@ class HopsetDistanceOracle:
         explorations; ``None`` follows ``REPRO_MSSP``.  Per-source
         outputs and charges are block-invariant (the matrix contract),
         only wall-clock changes.
+    union:
+        An already-materialized G ∪ H to explore instead of building
+        one from ``hopset.union_graph(graph)`` — the dynamic serving
+        path hands the :class:`~repro.dynamic.engine.DynamicOracle`'s
+        mutable union here (and re-points the attribute after a
+        maintenance pass swaps it).  Any object exposing the CSR quartet
+        (``indptr``/``indices``/``weights``/``n``) works.
 
     **Counters.**  ``misses`` counts tier-1 vector-cache misses (a
     source was requested and its vectors were not resident);
@@ -93,6 +100,7 @@ class HopsetDistanceOracle:
         pram: PRAM | None = None,
         metrics=None,
         mssp_block: int | None = None,
+        union=None,
     ) -> None:
         if hopset.n != graph.n:
             raise VertexError("hopset and graph disagree on the vertex count")
@@ -100,7 +108,7 @@ class HopsetDistanceOracle:
             raise VertexError("cache_size must be at least 1")
         self.graph = graph
         self.hopset = hopset
-        self.union = hopset.union_graph(graph)
+        self.union = union if union is not None else hopset.union_graph(graph)
         self.hop_budget = (
             hop_budget
             if hop_budget is not None
@@ -124,6 +132,9 @@ class HopsetDistanceOracle:
         #: sources pre-explored by :meth:`explore_many` whose (already
         #: booked) miss has not yet been claimed by a ``vectors_from``
         self._fresh: set[int] = set()
+        #: rounds each cached source's exploration ran before converging
+        #: (== hop_budget means possibly truncated, not provably settled)
+        self._rounds: dict[int, int] = {}
 
     def _note(self, event: str) -> None:
         """Record one cache outcome (``hit`` | ``miss``) with every sink."""
@@ -204,10 +215,54 @@ class HopsetDistanceOracle:
                     self._note("miss")
                     self._fresh.add(s)
                     self._cache[s] = (res.dist[i], res.parent[i])
+                    self._rounds[s] = int(res.rounds_used[i])
                     if len(self._cache) > self._cache_size:
                         evicted, _ = self._cache.popitem(last=False)
                         self._fresh.discard(evicted)
+                        self._rounds.pop(evicted, None)
         return charges
+
+    def invalidate_all(self) -> list[int]:
+        """Evict every cached source vector; returns the evicted sources.
+
+        The dynamic serving path's response to an *improvement*
+        (weight decrease / edge insert): cached vectors are stale upper
+        bounds everywhere, so nothing survives.  Counters are untouched
+        — invalidation is not a miss, the next lookup is.
+        """
+        evicted = list(self._cache)
+        self._cache.clear()
+        self._fresh.clear()
+        self._rounds.clear()
+        return evicted
+
+    def invalidate_touching(self, codes: np.ndarray) -> list[int]:
+        """Evict cached sources a *worsening* of the coded pairs can reach.
+
+        ``codes`` encodes the worsened pairs
+        (:func:`repro.dynamic.engine.pair_codes`).  A cached vector
+        survives exactly when its exploration tree avoids every coded
+        pair **and** the exploration provably converged within the hop
+        budget — a converged tree that never crosses a worsened pair
+        re-derives the identical vector on recompute (docs/dynamic.md),
+        which is the serving determinism contract's bar for keeping it.
+        Returns the evicted sources (the serving layer evicts their
+        tier-0 entries alongside).
+        """
+        from repro.dynamic.engine import tree_touches
+
+        evicted = []
+        for s in list(self._cache):
+            converged = self._rounds.get(s, self.hop_budget) < self.hop_budget
+            if converged and not tree_touches(
+                self._cache[s][1], codes, self.graph.n
+            ):
+                continue
+            del self._cache[s]
+            self._fresh.discard(s)
+            self._rounds.pop(s, None)
+            evicted.append(s)
+        return evicted
 
     def finish_batch(self) -> None:
         """Drop unclaimed pre-counted misses at the end of a served batch.

@@ -1,0 +1,143 @@
+"""DynamicOracle: the union stays consistent and plans stay hygienic."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicGraph, DynamicOracle, pair_codes, tree_touches
+from repro.graphs.build import union_with_edges
+from repro.graphs.errors import InvalidGraphError
+from repro.graphs.generators import erdos_renyi
+from repro.hopsets.params import HopsetParams
+from repro.pram.machine import PRAM
+from repro.sssp.bellman_ford import bellman_ford
+
+PARAMS = HopsetParams(epsilon=0.5)
+
+
+@pytest.fixture()
+def oracle():
+    g = erdos_renyi(50, 0.12, seed=4, w_range=(1.0, 3.0))
+    return DynamicOracle(g, params=PARAMS)
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def test_pair_codes_sorts_and_dedups():
+    codes = pair_codes([(3, 1), (1, 3), (0, 2)], n=10)
+    assert codes.tolist() == [2, 13]
+    assert pair_codes([], n=10).size == 0
+
+
+def test_tree_touches_detects_tree_edges_only():
+    parent = np.array([0, 0, 1, -1])  # tree: 0-1, 1-2; vertex 3 unreached
+    n = 4
+    assert tree_touches(parent, pair_codes([(0, 1)], n), n)
+    assert tree_touches(parent, pair_codes([(2, 1)], n), n)
+    assert not tree_touches(parent, pair_codes([(0, 2)], n), n)  # non-tree pair
+    assert not tree_touches(parent, pair_codes([(0, 3)], n), n)  # unreached
+    assert not tree_touches(parent, np.zeros(0, dtype=np.int64), n)
+
+
+# -- union consistency --------------------------------------------------------
+
+
+def _union_reference(oracle):
+    """The union rebuilt from scratch — what patching must agree with."""
+    return union_with_edges(
+        oracle.graph.snapshot(), *oracle.hopset.live_edge_arrays()
+    )
+
+
+def _assert_union_matches(oracle):
+    got = oracle.union.snapshot()
+    ref = _union_reference(oracle)
+    assert got.num_edges == ref.num_edges
+    assert np.array_equal(got.edge_u, ref.edge_u)
+    assert np.array_equal(got.edge_v, ref.edge_v)
+    assert np.array_equal(got.edge_w, ref.edge_w)
+
+
+def test_incremental_union_patch_matches_rematerialization(oracle):
+    rng = np.random.default_rng(8)
+    g = oracle.graph
+    for _ in range(25):
+        i = int(rng.integers(0, g.edge_u.size))
+        u, v = int(g.edge_u[i]), int(g.edge_v[i])
+        if g.has_edge(u, v):
+            if rng.random() < 0.3:
+                oracle.apply("delete", u, v)
+            else:
+                oracle.apply("update", u, v, float(rng.uniform(0.5, 6.0)))
+        else:
+            oracle.apply("update", u, v, float(rng.uniform(0.5, 6.0)))
+        _assert_union_matches(oracle)
+
+
+def test_improved_flag_semantics(oracle):
+    g = oracle.graph
+    u, v = int(g.edge_u[0]), int(g.edge_v[0])
+    w = g.edge_weight(u, v)
+    assert oracle.apply("update", u, v, w * 2)["improved"] is False
+    assert oracle.apply("update", u, v, w)["improved"] is True
+    assert oracle.apply("update", u, v, w)["improved"] is False  # no-op
+    assert oracle.apply("delete", u, v)["improved"] is False
+    assert oracle.apply("update", u, v, w)["improved"] is True  # re-insert
+    with pytest.raises(InvalidGraphError):
+        oracle.apply("teleport", u, v)
+    with pytest.raises(InvalidGraphError):
+        oracle.apply("update", u, v)  # missing weight
+
+
+def test_union_queries_never_under_estimate(oracle):
+    rng = np.random.default_rng(3)
+    g = oracle.graph
+    for _ in range(15):
+        i = int(rng.integers(0, g.edge_u.size))
+        u, v = int(g.edge_u[i]), int(g.edge_v[i])
+        if g.has_edge(u, v):
+            oracle.apply("update", u, v, float(rng.uniform(0.5, 8.0)))
+        else:
+            oracle.apply("update", u, v, float(rng.uniform(0.5, 8.0)))
+    snap = oracle.graph.snapshot()
+    budget = 2 * oracle.hopset.beta + 1
+    for s in (0, 11):
+        exact = bellman_ford(PRAM(), snap, s, hops=snap.n - 1).dist
+        approx = bellman_ford(PRAM(), oracle.union, s, hops=budget).dist
+        fin = np.isfinite(exact)
+        assert np.all(approx[fin] >= exact[fin] - 1e-9)
+
+
+def test_maintain_rematerializes_union(oracle):
+    oracle.hopset.refresh_below = 0.999
+    oracle.hopset.rebuild_below = 0.0
+    g = oracle.graph
+    # decay until some records die
+    for u, v in list(zip(g.edge_u, g.edge_v)):
+        u, v = int(u), int(v)
+        if g.has_edge(u, v):
+            oracle.apply("update", u, v, g.edge_weight(u, v) * 5)
+        if oracle.hopset.live_fraction < 1.0:
+            break
+    old_union = oracle.union
+    report = oracle.maintain()
+    assert report.action in ("refresh", "rebuild")
+    assert oracle.union is not old_union  # fresh object, fresh plans
+    _assert_union_matches(oracle)
+
+
+def test_plan_hygiene_on_mutation(oracle):
+    ws = oracle.pram.workspace
+    plan = ws.relax_plan(oracle.union)
+    assert ws.relax_plan(oracle.union) is plan  # cached
+    g = oracle.graph
+    u, v = int(g.edge_u[2]), int(g.edge_v[2])
+    oracle.apply("update", u, v, g.edge_weight(u, v) * 2)
+    assert ws.relax_plan(oracle.union) is not plan  # dropped and rebuilt
+
+
+def test_stats_shape(oracle):
+    s = oracle.stats()
+    assert s["updates"] == 0
+    assert s["hopset"]["live_fraction"] == 1.0
+    assert s["union_edges"] == oracle.union.num_edges

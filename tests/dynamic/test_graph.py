@@ -1,0 +1,179 @@
+"""DynamicGraph: the mutable CSR core of the dynamic subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicGraph
+from repro.graphs.errors import InvalidGraphError, VertexError
+from repro.graphs.generators import erdos_renyi, grid_graph
+from repro.pram.machine import PRAM
+from repro.sssp.bellman_ford import bellman_ford
+
+
+@pytest.fixture()
+def base():
+    return erdos_renyi(40, 0.12, seed=2701, w_range=(1.0, 4.0))
+
+
+def _pick_edge(g, i=0):
+    return int(g.edge_u[i]), int(g.edge_v[i])
+
+
+def test_wraps_base_bit_identically(base):
+    dg = DynamicGraph(base)
+    assert dg.n == base.n
+    assert dg.num_edges == base.num_edges
+    assert np.array_equal(dg.weights, base.weights)
+    assert np.array_equal(dg.indptr, base.indptr)
+    snap = dg.snapshot()
+    assert np.array_equal(snap.edge_w, base.edge_w)
+    assert np.array_equal(snap.indices, base.indices)
+
+
+def test_pair_lookup_is_symmetric_and_total(base):
+    dg = DynamicGraph(base)
+    for i in range(base.num_edges):
+        u, v = _pick_edge(base, i)
+        assert dg.edge_index(u, v) == dg.edge_index(v, u) == i
+        assert dg.edge_weight(u, v) == base.edge_w[i]
+    assert dg.edge_index(0, base.n - 1) is None or dg.has_edge(0, base.n - 1)
+
+
+def test_set_weight_updates_both_arc_slots(base):
+    dg = DynamicGraph(base)
+    u, v = _pick_edge(base, 3)
+    old = dg.set_weight(u, v, 9.5)
+    assert old == base.edge_w[3]
+    assert dg.edge_weight(u, v) == 9.5
+    # both CSR directions see the new weight
+    for a, b in ((u, v), (v, u)):
+        lo, hi = dg.indptr[a], dg.indptr[a + 1]
+        slot = np.flatnonzero(dg.indices[lo:hi] == b)
+        assert dg.weights[lo:hi][slot] == 9.5
+    assert dg.generation == 1
+    assert dg.structural_generation == 0
+
+
+def test_same_weight_set_does_not_bump_generation(base):
+    dg = DynamicGraph(base)
+    u, v = _pick_edge(base)
+    dg.set_weight(u, v, dg.edge_weight(u, v))
+    assert dg.generation == 0
+
+
+def test_direction_guards(base):
+    dg = DynamicGraph(base)
+    u, v = _pick_edge(base)
+    w = dg.edge_weight(u, v)
+    with pytest.raises(InvalidGraphError):
+        dg.increase_weight(u, v, w / 2)
+    with pytest.raises(InvalidGraphError):
+        dg.decrease_weight(u, v, w * 2)
+    dg.increase_weight(u, v, w * 2)
+    dg.decrease_weight(u, v, w)
+    assert dg.edge_weight(u, v) == w
+
+
+def test_delete_tombstones_and_snapshot_drops(base):
+    dg = DynamicGraph(base)
+    u, v = _pick_edge(base, 1)
+    m = dg.num_edges
+    dg.delete_edge(u, v)
+    assert not dg.has_edge(u, v)
+    assert dg.num_edges == m - 1
+    assert dg.num_edge_records == m  # the record stays, tombstoned
+    assert np.isinf(dg.weights).sum() == 2  # both arc slots
+    snap = dg.snapshot()
+    assert snap.num_edges == m - 1
+    assert not snap.has_edge(u, v)
+    with pytest.raises(InvalidGraphError):
+        dg.delete_edge(u, v)  # already dead
+
+
+def test_tombstones_are_relaxation_transparent(base):
+    """β-hop exploration over the tombstoned CSR == over the live snapshot."""
+    dg = DynamicGraph(base)
+    for i in (0, 5, 9):
+        dg.delete_edge(*_pick_edge(base, i))
+    res_dyn = bellman_ford(PRAM(), dg, 0, hops=base.n - 1, engine="sparse")
+    res_snap = bellman_ford(PRAM(), dg.snapshot(), 0, hops=base.n - 1)
+    assert np.array_equal(res_dyn.dist, res_snap.dist)
+
+
+def test_insert_resurrects_tombstone_in_place(base):
+    dg = DynamicGraph(base)
+    u, v = _pick_edge(base, 2)
+    dg.delete_edge(u, v)
+    assert dg.insert_edge(u, v, 2.25) is False  # no recompaction
+    assert dg.edge_weight(u, v) == 2.25
+    assert dg.recompactions == 0
+
+
+def test_insert_new_pair_recompacts(base):
+    dg = DynamicGraph(base)
+    u, v = 0, base.n - 1
+    if dg.has_edge(u, v):
+        dg.delete_edge(u, v)
+        dg.insert_edge(u, v, 1.0)
+        assert dg.recompactions == 0
+        return
+    sg_before = dg.structural_generation
+    assert dg.insert_edge(u, v, 1.5) is True
+    assert dg.recompactions == 1
+    assert dg.structural_generation == sg_before + 1
+    assert dg.has_edge(u, v)
+    assert dg.snapshot().has_edge(u, v)
+    with pytest.raises(InvalidGraphError):
+        dg.insert_edge(u, v, 1.0)  # live duplicate
+
+
+def test_snapshot_cached_per_generation(base):
+    dg = DynamicGraph(base)
+    assert dg.snapshot() is dg.snapshot()
+    dg.set_weight(*_pick_edge(base), 8.0)
+    s1 = dg.snapshot()
+    assert s1 is dg.snapshot()
+    assert s1.edge_w[0] == 8.0
+
+
+def test_validation_errors(base):
+    dg = DynamicGraph(base)
+    with pytest.raises(VertexError):
+        dg.edge_weight(-1, 0)
+    with pytest.raises(VertexError):
+        dg.set_weight(0, base.n, 1.0)
+    u, v = _pick_edge(base)
+    for bad in (0.0, -1.0, float("inf"), float("nan")):
+        with pytest.raises(InvalidGraphError):
+            dg.set_weight(u, v, bad)
+    with pytest.raises(InvalidGraphError):
+        dg.insert_edge(3, 3, 1.0)
+    missing = next(
+        (a, b)
+        for a in range(base.n)
+        for b in range(a + 1, base.n)
+        if not dg.has_edge(a, b)
+    )
+    with pytest.raises(InvalidGraphError):
+        dg.set_weight(*missing, 1.0)
+
+
+def test_grid_round_trip_after_many_mutations():
+    g = grid_graph(6, 6, seed=5, w_range=(1.0, 3.0))
+    dg = DynamicGraph(g)
+    rng = np.random.default_rng(7)
+    for _ in range(60):
+        i = int(rng.integers(0, g.num_edges))
+        u, v = int(g.edge_u[i]), int(g.edge_v[i])
+        if dg.has_edge(u, v):
+            if rng.random() < 0.3:
+                dg.delete_edge(u, v)
+            else:
+                dg.set_weight(u, v, float(rng.uniform(0.5, 5.0)))
+        else:
+            dg.insert_edge(u, v, float(rng.uniform(0.5, 5.0)))
+    snap = dg.snapshot()
+    eu, ev, ew = dg.live_edges()
+    assert snap.num_edges == eu.size
+    for a, b, w in zip(eu, ev, ew):
+        assert snap.edge_weight(int(a), int(b)) == w

@@ -1,0 +1,313 @@
+"""Dynamic serving: mutation verbs, surgical invalidation, segmentation.
+
+The trust chain this file pins down:
+
+* protocol — ``update U V W`` / ``delete U V`` parse, render, and
+  round-trip; malformed weights are structured errors;
+* static servers answer mutation verbs with ``err unsupported`` and
+  keep serving;
+* **consistency** — after any mutation, every served ``dist`` equals an
+  out-of-band recompute over the server's *current* union (a stale
+  cache entry is exactly a violation of this);
+* **safety** — served distances never under-estimate exact distances
+  on the mutated graph (1e-9 float slack, the repo convention);
+* invalidation is surgical: a worsening far from a cached tree leaves
+  the vector resident, an improvement evicts everything;
+* mutation verbs segment a batch, so a query behind an update in the
+  same batch observes the new weight;
+* a mutation-free stream through a dynamic server is byte-identical to
+  the static server on the same hopset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import erdos_renyi, grid_graph
+from repro.hopsets.params import HopsetParams
+from repro.hopsets.path_reporting import build_path_reporting_hopset
+from repro.pram.machine import PRAM
+from repro.serve import OracleServer
+from repro.serve.protocol import ProtocolError, Request, parse_line
+from repro.sssp.bellman_ford import bellman_ford
+from repro.sssp.mssp import explore_batch
+
+PARAMS = HopsetParams(epsilon=0.5)
+
+
+def _make_server(**kw):
+    g = erdos_renyi(40, 0.12, seed=77, w_range=(1.0, 3.0))
+    return OracleServer(g, None, dynamic=True, params=PARAMS, **kw)
+
+
+# -- protocol ----------------------------------------------------------------
+
+
+def test_update_line_parses_and_round_trips():
+    req = parse_line("update 3 7 2.5")
+    assert req == Request("update", 3, 7, 2.5)
+    assert req.line() == "update 3 7 2.5"
+    assert parse_line(req.line()) == req
+
+
+def test_delete_line_parses_and_round_trips():
+    req = parse_line("delete 3 7")
+    assert req == Request("delete", 3, 7)
+    assert parse_line(req.line()) == req
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "update 3 7",          # missing weight
+        "update 3 7 2.5 9",    # extra operand
+        "update 3 x 2.5",      # non-integer vertex
+        "update 3 7 heavy",    # non-numeric weight
+        "update 3 7 0",        # non-positive
+        "update 3 7 -1.5",
+        "update 3 7 inf",      # non-finite
+        "update 3 7 nan",
+        "delete 3",            # arity
+    ],
+)
+def test_malformed_mutations_are_bad_requests(line):
+    with pytest.raises(ProtocolError) as exc:
+        parse_line(line)
+    assert exc.value.code == "bad-request"
+
+
+def test_static_server_rejects_mutations():
+    g = grid_graph(5, 5, seed=11, w_range=(1.0, 2.0))
+    H, _ = build_path_reporting_hopset(g, PARAMS)
+    server = OracleServer(g, H)
+    try:
+        assert server.handle_line("update 0 1 2.0").startswith("err unsupported")
+        assert server.handle_line("delete 0 1").startswith("err unsupported")
+        # the connectionkeeps serving afterwards
+        assert server.handle_line("dist 0 1").startswith("ok dist")
+    finally:
+        server.close()
+
+
+def test_static_server_requires_hopset():
+    from repro.graphs.errors import InvalidGraphError
+
+    g = grid_graph(4, 4, seed=1, w_range=(1.0, 2.0))
+    with pytest.raises(InvalidGraphError):
+        OracleServer(g, None)
+
+
+# -- consistency + safety under a mutation stream ----------------------------
+
+
+def _recompute(server, u: int, v: int) -> float:
+    """Out-of-band recompute of ``dist u v`` on the server's current union."""
+    res = explore_batch(
+        server.oracle.union,
+        np.array([u], dtype=np.int64),
+        server.oracle.hop_budget,
+    )
+    return float(res.dist[0][v])
+
+
+def _mutation_stream(g, steps: int, seed: int):
+    """Alternating mutate/query schedule over a live-edge pool."""
+    rng = np.random.default_rng(seed)
+    ops = []
+    for _ in range(steps):
+        i = int(rng.integers(0, g.edge_u.size))
+        u, v = int(g.edge_u[i]), int(g.edge_v[i])
+        r = rng.random()
+        if r < 0.2:
+            ops.append(("delete", u, v, None))
+        elif r < 0.6:
+            ops.append(("update", u, v, float(rng.uniform(2.0, 8.0))))
+        else:
+            ops.append(("update", u, v, float(rng.uniform(0.3, 1.0))))
+    return ops
+
+
+def test_served_answers_track_mutations():
+    server = _make_server()
+    rng = np.random.default_rng(5)
+    g = server.dynamic.graph
+    try:
+        for kind, u, v, w in _mutation_stream(g, 25, seed=13):
+            if kind == "delete" and not g.has_edge(u, v):
+                assert server.handle_line(f"delete {u} {v}").startswith("err")
+                continue
+            line = f"delete {u} {v}" if kind == "delete" else f"update {u} {v} {w!r}"
+            assert server.handle_line(line).startswith("ok")
+            # a handful of random probes: served == recompute, bit-exact
+            snap = g.snapshot()
+            exact = None
+            for _ in range(3):
+                a = int(rng.integers(0, g.n))
+                b = int(rng.integers(0, g.n))
+                if a == b:
+                    continue
+                reply = server.handle_line(f"dist {a} {b}")
+                assert reply.startswith("ok dist")
+                got = float(reply.split()[-1])
+                want = _recompute(server, a, b)
+                assert got == want or (np.isnan(got) and np.isnan(want)) or (
+                    np.isinf(got) and np.isinf(want)
+                ), f"stale cache: served {got!r}, recompute {want!r}"
+                # safety: never under-estimate the exact mutated metric
+                if exact is None or exact[0] != a:
+                    exact = (a, bellman_ford(PRAM(), snap, a, hops=g.n - 1).dist)
+                assert got >= float(exact[1][b]) - 1e-9
+    finally:
+        server.close()
+
+
+def test_replayed_mutation_log_pins_bitwise(tmp_path):
+    log = tmp_path / "queries.log"
+    server = _make_server(log_path=log)
+    g = server.dynamic.graph
+    try:
+        replies = []
+        for kind, u, v, w in _mutation_stream(g, 12, seed=29):
+            if kind == "delete" and not g.has_edge(u, v):
+                continue
+            line = f"delete {u} {v}" if kind == "delete" else f"update {u} {v} {w!r}"
+            replies.append(server.handle_line(line))
+            replies.append(server.handle_line(f"dist {u} {v}"))
+            replies.append(server.handle_line(f"path {u} {v}"))
+    finally:
+        server.close()
+    from repro.serve.server import read_query_log
+
+    lines = read_query_log(log)
+    fresh = _make_server()
+    try:
+        assert fresh.replay(lines) == replies
+    finally:
+        fresh.close()
+
+
+# -- surgical invalidation ---------------------------------------------------
+
+
+def test_improvement_invalidates_all_tiers():
+    server = _make_server()
+    g = server.dynamic.graph
+    try:
+        server.handle_line("dist 0 5")
+        server.handle_line("dist 7 5")
+        assert server.oracle.is_cached(0) and server.oracle.is_cached(7)
+        assert len(server.pairs) == 2
+        u, v = int(g.edge_u[0]), int(g.edge_v[0])
+        w = g.edge_weight(u, v)
+        server.handle_line(f"update {u} {v} {w / 2!r}")
+        assert not server.oracle.is_cached(0)
+        assert not server.oracle.is_cached(7)
+        assert len(server.pairs) == 0
+    finally:
+        server.close()
+
+
+def test_worsening_far_from_tree_keeps_vector():
+    # two islands: mutations on one cannot touch the other's trees
+    from repro.graphs.build import from_edges
+
+    g = from_edges(
+        6,
+        [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0), (3, 5, 3.0)],
+    )
+    server = OracleServer(g, None, dynamic=True, params=PARAMS)
+    try:
+        server.handle_line("dist 0 2")  # caches source 0 (island A)
+        assert server.oracle.is_cached(0)
+        server.handle_line("update 3 4 5.0")  # worsen island B
+        assert server.oracle.is_cached(0), "untouched tree was evicted"
+        assert len(server.pairs) == 1  # its tier-0 entry survived too
+        # ...and the surviving entries still serve the right values
+        assert float(server.handle_line("dist 0 2").split()[-1]) == 2.0
+        # island B reroutes: 3-5-4 = 3.0 + 1.0 beats the worsened direct 5.0
+        assert float(server.handle_line("dist 3 4").split()[-1]) == 4.0
+    finally:
+        server.close()
+
+
+def test_worsening_on_tree_evicts_and_reroutes():
+    from repro.graphs.build import from_edges
+
+    # 0-1-2 cheap chain plus a 0-2 detour the tree ignores until needed
+    g = from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+    server = OracleServer(g, None, dynamic=True, params=PARAMS)
+    try:
+        assert float(server.handle_line("dist 0 2").split()[-1]) == 2.0
+        server.handle_line("update 1 2 10.0")
+        assert not server.oracle.is_cached(0)
+        assert float(server.handle_line("dist 0 2").split()[-1]) == 5.0
+    finally:
+        server.close()
+
+
+# -- batch segmentation ------------------------------------------------------
+
+
+def test_batch_segments_at_mutation_verbs():
+    from repro.graphs.build import from_edges
+
+    g = from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+    server = OracleServer(g, None, dynamic=True, params=PARAMS)
+    try:
+        replies = server.serve_batch(
+            ["dist 0 2", "update 1 2 10.0", "dist 0 2"]
+        )
+        assert float(replies[0].split()[-1]) == 2.0
+        assert replies[1] == "ok update 1 2 10.0"
+        assert float(replies[2].split()[-1]) == 5.0
+    finally:
+        server.close()
+
+
+def test_mutation_free_stream_matches_static_server():
+    g = erdos_renyi(36, 0.12, seed=21, w_range=(1.0, 3.0))
+    H, _ = build_path_reporting_hopset(g, PARAMS)
+    rng = np.random.default_rng(2)
+    lines = [
+        f"{'dist' if rng.random() < 0.7 else 'path'} "
+        f"{int(rng.integers(0, g.n))} {int(rng.integers(0, g.n))}"
+        for _ in range(40)
+    ]
+    static = OracleServer(g, H)
+    dynamic = OracleServer(g, H, dynamic=True, params=PARAMS)
+    try:
+        assert dynamic.serve_batch(lines) == static.serve_batch(lines)
+    finally:
+        static.close()
+        dynamic.close()
+
+
+# -- observability -----------------------------------------------------------
+
+
+def test_mutation_traffic_and_stats():
+    from repro.pram.cost import CostHook
+
+    server = _make_server()
+    g = server.dynamic.graph
+    seen = []
+
+    class Hook(CostHook):
+        def on_traffic(self, label, calls, elements, reads, writes):
+            seen.append(label)
+
+    server.pram.cost.subscribe(Hook())
+    try:
+        u, v = int(g.edge_u[0]), int(g.edge_v[0])
+        server.handle_line(f"dist {u} {v}")
+        server.handle_line(f"update {u} {v} {g.edge_weight(u, v) / 2!r}")
+        server.handle_line(f"delete {u} {v}")
+        assert "serve.update.update" in seen
+        assert "serve.update.delete" in seen
+        assert "serve.update.evicted_vectors" in seen
+        stats = server.stats()
+        assert stats["dynamic"]["updates"] == 2
+        assert stats["dynamic"]["hopset"]["records"] >= 0
+        # the stats verb JSON-serializes the dynamic section too
+        assert server.handle_line("stats").startswith("ok stats")
+    finally:
+        server.close()

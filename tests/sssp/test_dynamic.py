@@ -100,6 +100,33 @@ def test_rebuild_triggers_and_restores():
     assert np.allclose(oracle.distances(0), exact)
 
 
+def test_rebuild_threshold_boundary_is_strict():
+    """Rebuild fires on ``live_fraction < rebuild_below`` — not ``<=``.
+
+    Probe the exact fraction one update produces, then pin both sides of
+    the boundary: a threshold *equal* to the observed fraction must not
+    rebuild, while the next representable float above it must.
+    """
+    g = path_graph(24, w_range=(1.0, 2.0), seed=1305)
+    params = HopsetParams(epsilon=0.25, beta=8)
+    probe = DecrementalSSSP(g, params, rebuild_below=0.0)
+    probe.increase_weight(11, 12, float(probe.graph.edge_weight(11, 12)) + 1.0)
+    f = probe.live_fraction
+    assert 0.0 < f < 1.0  # the probe update must kill some but not all
+
+    at = DecrementalSSSP(g, params, rebuild_below=f)
+    at.increase_weight(11, 12, float(at.graph.edge_weight(11, 12)) + 1.0)
+    assert at.rebuilds == 0
+    assert at.live_fraction == f
+
+    above = DecrementalSSSP(
+        g, params, rebuild_below=float(np.nextafter(f, 1.0))
+    )
+    above.increase_weight(11, 12, float(above.graph.edge_weight(11, 12)) + 1.0)
+    assert above.rebuilds == 1
+    assert above.live_fraction == 1.0
+
+
 def test_noop_weight_increase_changes_nothing(oracle):
     u, v = int(oracle.graph.edge_u[0]), int(oracle.graph.edge_v[0])
     w = float(oracle.graph.edge_weight(u, v))
